@@ -1,0 +1,301 @@
+package rtf_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"rtf/internal/bitvec"
+	"rtf/internal/consistency"
+	"rtf/internal/core"
+	"rtf/internal/dyadic"
+	"rtf/internal/eval"
+	"rtf/internal/probmath"
+	"rtf/internal/protocol"
+	"rtf/internal/rng"
+	"rtf/internal/sim"
+	"rtf/internal/transport"
+	"rtf/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// One benchmark per reproduction experiment (quick scale). These are the
+// regeneration entry points for every table in EXPERIMENTS.md; the full-
+// scale numbers come from cmd/rtf-experiments.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := eval.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, eval.Config{Quick: true, Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpE01ErrorVsK(b *testing.B)           { benchExperiment(b, "E1") }
+func BenchmarkExpE02ErrorVsD(b *testing.B)           { benchExperiment(b, "E2") }
+func BenchmarkExpE03ErrorVsN(b *testing.B)           { benchExperiment(b, "E3") }
+func BenchmarkExpE04ErrorVsEps(b *testing.B)         { benchExperiment(b, "E4") }
+func BenchmarkExpE05CGapScaling(b *testing.B)        { benchExperiment(b, "E5") }
+func BenchmarkExpE06PrivacyExact(b *testing.B)       { benchExperiment(b, "E6") }
+func BenchmarkExpE07Dyadic(b *testing.B)             { benchExperiment(b, "E7") }
+func BenchmarkExpE08Unbiasedness(b *testing.B)       { benchExperiment(b, "E8") }
+func BenchmarkExpE09CentralVsLocal(b *testing.B)     { benchExperiment(b, "E9") }
+func BenchmarkExpE10Consistency(b *testing.B)        { benchExperiment(b, "E10") }
+func BenchmarkExpE11HoeffdingBound(b *testing.B)     { benchExperiment(b, "E11") }
+func BenchmarkExpE12OnlineOffline(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkExpE13FutureRandVsBun(b *testing.B)    { benchExperiment(b, "E13") }
+func BenchmarkExpE14NaiveCrossover(b *testing.B)     { benchExperiment(b, "E14") }
+func BenchmarkExpE15LossRobustness(b *testing.B)     { benchExperiment(b, "E15") }
+func BenchmarkExpE16DomainTracking(b *testing.B)     { benchExperiment(b, "E16") }
+func BenchmarkExpE17AnnulusGeometry(b *testing.B)    { benchExperiment(b, "E17") }
+func BenchmarkExpE18AnnulusAblation(b *testing.B)    { benchExperiment(b, "E18") }
+func BenchmarkExpE19VariancePrediction(b *testing.B) { benchExperiment(b, "E19") }
+func BenchmarkExpE20MisspecifiedK(b *testing.B)      { benchExperiment(b, "E20") }
+
+// BenchmarkFastSimParallel measures the sharded fast engine.
+func BenchmarkFastSimParallel(b *testing.B) {
+	g := rng.New(17, 18)
+	w, err := (workload.UniformGen{N: 100000, D: 1024, K: 8}).Generate(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := sim.Framework{Kind: sim.FutureRand, Eps: 1, Fast: true, Workers: -1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run(w, g.Split()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: the hot paths of the library.
+
+// BenchmarkAnnulusExact measures the one-time exact parameter computation
+// (big.Float, precision k+128 bits) shared by all users.
+func BenchmarkAnnulusExact(b *testing.B) {
+	for _, k := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := probmath.NewFutureRand(k, 1.0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCGapLogSpace measures the float64 cross-check path.
+func BenchmarkCGapLogSpace(b *testing.B) {
+	p, err := probmath.NewFutureRand(1024, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.CGapLogSpace()
+	}
+}
+
+// BenchmarkComposedSample measures one draw of R̃(b) — the per-user
+// initialization cost of FutureRand (M.init draws R̃(1^k) once).
+func BenchmarkComposedSample(b *testing.B) {
+	for _, k := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			p, err := probmath.NewFutureRand(k, 1.0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := core.NewComposed(p.Annulus)
+			g := rng.New(1, 2)
+			in := bitvec.Ones(k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Sample(g, in)
+			}
+		})
+	}
+}
+
+// BenchmarkPerturb measures the per-report client cost (Algorithm 3,
+// lines 12–17), for zero and non-zero inputs.
+func BenchmarkPerturb(b *testing.B) {
+	f, err := core.NewFutureRandFactory(1<<20, 64, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := rng.New(3, 4)
+	b.Run("zero", func(b *testing.B) {
+		m := f.NewInstance(g)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%(1<<20) == 0 {
+				m = f.NewInstance(g) // stay within the instance's L budget
+			}
+			m.Perturb(0)
+		}
+	})
+	b.Run("nonzero", func(b *testing.B) {
+		// Fresh instance per 64 non-zeros (the k budget).
+		m := f.NewInstance(g)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%64 == 0 {
+				m = f.NewInstance(g)
+			}
+			m.Perturb(1)
+		}
+	})
+}
+
+// BenchmarkClientObserve measures the full client pipeline per time
+// period (boundary tracking + scheduling + randomizer).
+func BenchmarkClientObserve(b *testing.B) {
+	const d = 1024
+	factories, err := protocol.FutureRandFactories(d, 8, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := rng.New(5, 6)
+	b.ResetTimer()
+	var c *protocol.Client
+	for i := 0; i < b.N; i++ {
+		if i%d == 0 {
+			c = protocol.NewClient(0, d, factories, g)
+		}
+		// Constant value 1: exactly one change (the implicit 0→1 at t=1),
+		// well within the k=8 sparsity contract.
+		c.Observe(1)
+	}
+}
+
+// BenchmarkServerIngest measures report ingestion (Algorithm 2, line 5).
+func BenchmarkServerIngest(b *testing.B) {
+	srv := protocol.NewServer(1024, 100)
+	r := protocol.Report{User: 1, Order: 3, J: 17, Bit: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Ingest(r)
+	}
+}
+
+// BenchmarkEstimateSeries measures producing all d online estimates.
+func BenchmarkEstimateSeries(b *testing.B) {
+	for _, d := range []int{1024, 4096} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			srv := protocol.NewServer(d, 100)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				srv.EstimateSeries()
+			}
+		})
+	}
+}
+
+// BenchmarkFastSim measures a full fast-engine protocol run at realistic
+// scale (the engine behind E1–E4 and the examples).
+func BenchmarkFastSim(b *testing.B) {
+	g := rng.New(7, 8)
+	w, err := (workload.UniformGen{N: 100000, D: 1024, K: 8}).Generate(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := sim.Framework{Kind: sim.FutureRand, Eps: 1, Fast: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run(w, g.Split()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactSim measures the per-user exact engine (audit path).
+func BenchmarkExactSim(b *testing.B) {
+	g := rng.New(9, 10)
+	w, err := (workload.UniformGen{N: 1000, D: 256, K: 4}).Generate(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := sim.Framework{Kind: sim.FutureRand, Eps: 1, Fast: false}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run(w, g.Split()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConsistencySmooth measures the offline post-processing.
+func BenchmarkConsistencySmooth(b *testing.B) {
+	const d = 4096
+	tr := dyadic.NewTree(d)
+	g := rng.New(11, 12)
+	est := make([]float64, tr.Size())
+	for i := range est {
+		est[i] = g.Normal()
+	}
+	vars := make([]float64, dyadic.NumOrders(d))
+	for h := range vars {
+		vars[h] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		consistency.Smooth(tr, est, vars)
+	}
+}
+
+// BenchmarkTransportRoundTrip measures wire encode+decode of one report.
+func BenchmarkTransportRoundTrip(b *testing.B) {
+	var sink writableBuffer
+	enc := transport.NewEncoder(&sink)
+	m := transport.FromReport(protocol.Report{User: 12345, Order: 5, J: 321, Bit: -1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.reset()
+		if err := enc.Encode(m); err != nil {
+			b.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type writableBuffer struct{ n int }
+
+func (w *writableBuffer) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+func (w *writableBuffer) reset()                      { w.n = 0 }
+
+// BenchmarkWorkloadGen measures synthetic dataset generation.
+func BenchmarkWorkloadGen(b *testing.B) {
+	g := rng.New(13, 14)
+	gen := workload.UniformGen{N: 100000, D: 1024, K: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Generate(g.Split()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDyadicDecompose measures the C(t) computation (server line 6).
+func BenchmarkDyadicDecompose(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dyadic.Decompose(1023, 1024)
+	}
+}
+
+// BenchmarkBinomialHalf measures the exact popcount aggregate used for
+// zero-coordinate coins in the fast engine.
+func BenchmarkBinomialHalf(b *testing.B) {
+	g := rng.New(15, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BinomialHalf(100000)
+	}
+}

@@ -1,0 +1,131 @@
+// Command rtf-sim runs one end-to-end protocol execution on a synthetic
+// workload and reports error metrics, optionally dumping the estimate
+// series as CSV.
+//
+// Examples:
+//
+//	rtf-sim -n 50000 -d 1024 -k 8 -eps 1.0
+//	rtf-sim -protocol erlingsson -workload bursty -series
+//	rtf-sim -protocol futurerand -consistency -n 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rtf/ldp"
+	"rtf/workload"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 10000, "number of users")
+		d       = flag.Int("d", 256, "time periods (power of two)")
+		k       = flag.Int("k", 4, "max changes per user")
+		eps     = flag.Float64("eps", 1.0, "privacy budget (0 < eps <= 1)")
+		proto   = flag.String("protocol", "futurerand", "protocol: futurerand|independent|bun|erlingsson|naive-split|central-binary")
+		wl      = flag.String("workload", "uniform", "workload: uniform|max-changes|bursty|zipf|step|adversarial|periodic|static")
+		seed    = flag.Int64("seed", 1, "random seed")
+		exact   = flag.Bool("exact", false, "use the exact per-user engine")
+		consist = flag.Bool("consistency", false, "apply consistency post-processing")
+		series  = flag.Bool("series", false, "print the t,truth,estimate series as CSV")
+		wlOut   = flag.String("write-workload", "", "write the generated workload as CSV to this file")
+		wlIn    = flag.String("read-workload", "", "read the workload from this CSV file instead of generating")
+	)
+	flag.Parse()
+
+	w, err := loadWorkload(*wlIn, *wl, *n, *d, *k, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *wlOut != "" {
+		f, err := os.Create(*wlOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := w.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	start := time.Now()
+	res, err := ldp.Track(w, ldp.Options{
+		Protocol:    ldp.Protocol(*proto),
+		Epsilon:     *eps,
+		Exact:       *exact,
+		Consistency: *consist,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("protocol=%s workload=%s n=%d d=%d k=%d eps=%v seed=%d\n",
+		res.Protocol, *wl, w.N, w.D, w.K, *eps, *seed)
+	fmt.Printf("max error  %.1f\n", res.MaxError)
+	fmt.Printf("MAE        %.1f\n", res.MAE)
+	fmt.Printf("RMSE       %.1f\n", res.RMSE)
+	if res.HoeffdingBound > 0 {
+		fmt.Printf("Hoeffding bound (beta=0.05)  %.1f  (slack %.1fx)\n",
+			res.HoeffdingBound, res.HoeffdingBound/res.MaxError)
+	}
+	fmt.Printf("elapsed    %v\n", elapsed.Round(time.Millisecond))
+
+	if *series {
+		fmt.Println("t,truth,estimate")
+		for t := 1; t <= w.D; t++ {
+			fmt.Printf("%d,%d,%.2f\n", t, res.Truth[t-1], res.Estimates[t-1])
+		}
+	}
+}
+
+func loadWorkload(path, spec string, n, d, k int, seed int64) (*workload.Workload, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return workload.ReadCSV(f)
+	}
+	var s workload.Spec
+	switch spec {
+	case "uniform":
+		s = workload.Uniform{N: n, D: d, K: k}
+	case "max-changes":
+		s = workload.MaxChanges{N: n, D: d, K: k}
+	case "bursty":
+		s = workload.Bursty{N: n, D: d, K: k, Start: d / 4, End: d / 2, InBurst: 0.8}
+	case "zipf":
+		s = workload.ZipfActivity{N: n, D: d, K: k, S: 1.5}
+	case "step":
+		s = workload.Step{N: n, D: d, T0: d / 2, Jitter: d / 16, Fraction: 0.5}
+	case "adversarial":
+		s = workload.Adversarial{N: n, D: d, K: k}
+	case "periodic":
+		s = workload.Periodic{N: n, D: d, K: k, Period: maxInt(1, d/8)}
+	case "static":
+		s = workload.Static{N: n, D: d}
+	default:
+		return nil, fmt.Errorf("unknown workload %q", spec)
+	}
+	return workload.Generate(s, seed)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtf-sim:", err)
+	os.Exit(1)
+}

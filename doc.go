@@ -1,0 +1,13 @@
+// Package rtf is the root of the RTF repository: a Go implementation of
+// "Randomize the Future: Asymptotically Optimal Locally Private Frequency
+// Estimation Protocol for Longitudinal Data" (Ohrimenko, Wirth, Wu;
+// PODS 2022).
+//
+// The public API lives in rtf/ldp (protocol: one-call tracking, streaming
+// client/server, domain extension) and rtf/workload (synthetic dataset
+// generation and CSV IO). The implementation, baselines, evaluation
+// harness and verifiers live under rtf/internal; the experiments E1–E20
+// are runnable via cmd/rtf-experiments, and bench_test.go in this
+// directory carries one benchmark per experiment plus micro-benchmarks
+// of every hot path.
+package rtf

@@ -1,0 +1,47 @@
+// Comparison: the paper's headline claim on one workload. With k = 128
+// changes per user, FutureRand's √k error beats both baselines whose
+// error is linear in k (Erlingsson et al. and the ε/k composition) —
+// the crossover against the ε/k composition sits near k ≈ 40 at ε = 1 —
+// and the offline consistency post-processing tightens it further. The
+// central-model mechanism shows what a trusted curator could do instead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtf/ldp"
+	"rtf/workload"
+)
+
+func main() {
+	w, err := workload.Generate(workload.MaxChanges{N: 100000, D: 1024, K: 128}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("n=%d users, d=%d periods, k=%d changes each, eps=1\n\n", w.N, w.D, w.K)
+
+	type run struct {
+		label string
+		opts  ldp.Options
+	}
+	runs := []run{
+		{"futurerand (this paper)", ldp.Options{Protocol: ldp.FutureRand, Epsilon: 1}},
+		{"futurerand + consistency", ldp.Options{Protocol: ldp.FutureRand, Epsilon: 1, Consistency: true}},
+		{"erlingsson et al. 2020", ldp.Options{Protocol: ldp.Erlingsson, Epsilon: 1}},
+		{"independent eps/k (Ex 4.2)", ldp.Options{Protocol: ldp.Independent, Epsilon: 1}},
+		{"bun et al. composition", ldp.Options{Protocol: ldp.Bun, Epsilon: 1}},
+		{"central binary (trusted)", ldp.Options{Protocol: ldp.CentralBinary, Epsilon: 1}},
+	}
+	fmt.Println("protocol                      max error   RMSE")
+	for _, r := range runs {
+		r.opts.Seed = 9
+		res, err := ldp.Track(w, r.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-29s %-11.0f %.0f\n", r.label, res.MaxError, res.RMSE)
+	}
+	fmt.Println("\nexpected ordering at k=128: futurerand beats both linear-in-k baselines;")
+	fmt.Println("the trusted-curator mechanism is far ahead of every local protocol.")
+}

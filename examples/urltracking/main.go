@@ -1,0 +1,46 @@
+// URL tracking: the search-engine scenario from the paper's
+// introduction. Each of 40,000 users has a current favourite URL from a
+// catalogue of 8; favourites change rarely (at most 3 times over 256
+// days) and follow a Zipf popularity law. The server tracks every URL's
+// daily popularity under ε = 1 LDP using the richer-domain extension:
+// each user samples one target URL and runs the Boolean FutureRand
+// protocol on its indicator stream.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtf/ldp"
+)
+
+func main() {
+	const (
+		users = 1_000_000
+		days  = 128
+		urls  = 4
+		moves = 3
+		zipfS = 1.3
+		eps   = 1.0
+	)
+	w, err := ldp.GenerateDomain(users, days, urls, moves, zipfS, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := ldp.TrackDomain(w, ldp.Options{Epsilon: eps, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("daily URL popularity, %d users, %d URLs, eps=%v\n\n", users, urls, eps)
+	fmt.Println("url   truth@32   est@32     truth@128  est@128")
+	for x := 0; x < urls; x++ {
+		fmt.Printf("#%d    %-10d %-10.0f %-10d %.0f\n",
+			x, res.Truth[x][31], res.Estimates[x][31],
+			res.Truth[x][127], res.Estimates[x][127])
+	}
+	fmt.Printf("\nworst error over all URLs and days: %.0f users\n", res.MaxError)
+	fmt.Println("popular URLs are tracked well; tail URLs sit inside the noise floor")
+	fmt.Println("(per-item noise is ≈ √m × the Boolean protocol's — see experiment E16)")
+}

@@ -1,0 +1,87 @@
+// Package binom provides binomial coefficients in three forms used by the
+// annulus probability computations (paper Section 5.5 and Appendix A.1):
+// exact big.Int values, exact big.Float values at caller-chosen precision,
+// and float64 logarithms for fast cross-checking. Coefficients C(k, i)
+// appear in P*out (Eq 24), c_gap (Eq 42) and the annulus mass, where k can
+// reach thousands, so exact wide arithmetic is required.
+package binom
+
+import (
+	"math"
+	"math/big"
+	"sync"
+)
+
+// rowCache memoizes Pascal's-triangle rows keyed by n.
+var rowCache sync.Map // int -> []*big.Int
+
+// Row returns the full row [C(n,0), …, C(n,n)] as big.Ints. The returned
+// slice is shared and must not be modified.
+func Row(n int) []*big.Int {
+	if n < 0 {
+		panic("binom: negative n")
+	}
+	if v, ok := rowCache.Load(n); ok {
+		return v.([]*big.Int)
+	}
+	row := make([]*big.Int, n+1)
+	row[0] = big.NewInt(1)
+	for i := 1; i <= n; i++ {
+		// C(n,i) = C(n,i−1)·(n−i+1)/i, exact at every step.
+		t := new(big.Int).Mul(row[i-1], big.NewInt(int64(n-i+1)))
+		row[i] = t.Div(t, big.NewInt(int64(i)))
+	}
+	actual, _ := rowCache.LoadOrStore(n, row)
+	return actual.([]*big.Int)
+}
+
+// Choose returns C(n, i) as a big.Int. Out-of-range i yields 0. The
+// returned value is shared and must not be modified.
+var zero = big.NewInt(0)
+
+func Choose(n, i int) *big.Int {
+	if i < 0 || i > n {
+		return zero
+	}
+	return Row(n)[i]
+}
+
+// ChooseFloat returns C(n, i) as a big.Float with the given mantissa
+// precision in bits.
+func ChooseFloat(n, i int, prec uint) *big.Float {
+	return new(big.Float).SetPrec(prec).SetInt(Choose(n, i))
+}
+
+// LogChoose returns ln C(n, i) as a float64, computed with log-gamma.
+// It returns −Inf for out-of-range i.
+func LogChoose(n, i int) float64 {
+	if i < 0 || i > n {
+		return math.Inf(-1)
+	}
+	if i == 0 || i == n {
+		return 0
+	}
+	ln, _ := math.Lgamma(float64(n) + 1)
+	li, _ := math.Lgamma(float64(i) + 1)
+	lni, _ := math.Lgamma(float64(n-i) + 1)
+	return ln - li - lni
+}
+
+// LogSumExp returns ln Σ exp(x_i) in a numerically stable way. An empty
+// input yields −Inf.
+func LogSumExp(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Exp(x - m)
+	}
+	return m + math.Log(s)
+}

@@ -1,0 +1,143 @@
+package binom
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestRowKnownValues(t *testing.T) {
+	want := []int64{1, 5, 10, 10, 5, 1}
+	row := Row(5)
+	if len(row) != 6 {
+		t.Fatalf("Row(5) length %d", len(row))
+	}
+	for i, w := range want {
+		if row[i].Int64() != w {
+			t.Errorf("C(5,%d) = %v, want %d", i, row[i], w)
+		}
+	}
+	if Row(0)[0].Int64() != 1 {
+		t.Error("C(0,0) != 1")
+	}
+}
+
+func TestChooseSymmetry(t *testing.T) {
+	f := func(nRaw, iRaw uint8) bool {
+		n := int(nRaw % 120)
+		i := int(iRaw) % (n + 1)
+		return Choose(n, i).Cmp(Choose(n, n-i)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPascalIdentity(t *testing.T) {
+	f := func(nRaw, iRaw uint8) bool {
+		n := int(nRaw%100) + 2
+		i := int(iRaw)%(n-1) + 1 // 1 <= i <= n-1
+		sum := new(big.Int).Add(Choose(n-1, i-1), Choose(n-1, i))
+		return sum.Cmp(Choose(n, i)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowSumIsPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 1, 10, 64, 200} {
+		sum := new(big.Int)
+		for _, c := range Row(n) {
+			sum.Add(sum, c)
+		}
+		want := new(big.Int).Lsh(big.NewInt(1), uint(n))
+		if sum.Cmp(want) != 0 {
+			t.Errorf("sum of Row(%d) = %v, want 2^%d", n, sum, n)
+		}
+	}
+}
+
+func TestChooseOutOfRange(t *testing.T) {
+	if Choose(5, -1).Sign() != 0 || Choose(5, 6).Sign() != 0 {
+		t.Error("out-of-range Choose not zero")
+	}
+}
+
+func TestChooseNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Row(-1) did not panic")
+		}
+	}()
+	Row(-1)
+}
+
+func TestLogChooseMatchesExact(t *testing.T) {
+	for _, n := range []int{1, 5, 30, 100, 300, 1000} {
+		for i := 0; i <= n; i += 1 + n/7 {
+			exact := new(big.Float).SetInt(Choose(n, i))
+			mant := new(big.Float)
+			exp := exact.MantExp(mant)
+			mf, _ := mant.Float64()
+			want := math.Log(mf) + float64(exp)*math.Ln2
+			got := LogChoose(n, i)
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Errorf("LogChoose(%d,%d) = %v, want %v", n, i, got, want)
+			}
+		}
+	}
+	if !math.IsInf(LogChoose(5, 6), -1) || !math.IsInf(LogChoose(5, -1), -1) {
+		t.Error("out-of-range LogChoose not -Inf")
+	}
+}
+
+func TestChooseFloatPrecision(t *testing.T) {
+	got := ChooseFloat(64, 32, 200)
+	want := new(big.Float).SetPrec(200).SetInt(Choose(64, 32))
+	if got.Cmp(want) != 0 {
+		t.Errorf("ChooseFloat mismatch: %v vs %v", got, want)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Error("LogSumExp(nil) != -Inf")
+	}
+	got := LogSumExp([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	if math.Abs(got-math.Log(6)) > 1e-12 {
+		t.Errorf("LogSumExp = %v, want ln 6", got)
+	}
+	// Stability: huge common offset must not overflow.
+	got = LogSumExp([]float64{1000, 1000 + math.Log(2)})
+	if math.Abs(got-(1000+math.Log(3))) > 1e-9 {
+		t.Errorf("LogSumExp offset = %v, want %v", got, 1000+math.Log(3))
+	}
+	// -Inf entries are ignored gracefully.
+	got = LogSumExp([]float64{math.Inf(-1), 0})
+	if math.Abs(got) > 1e-12 {
+		t.Errorf("LogSumExp with -Inf = %v, want 0", got)
+	}
+}
+
+func TestRowCacheSharing(t *testing.T) {
+	a := Row(40)
+	b := Row(40)
+	if &a[0] != &b[0] {
+		t.Error("Row(40) not cached")
+	}
+}
+
+func BenchmarkRow1024(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rowCache.Delete(1023) // force recompute of a large row each time
+		Row(1023)
+	}
+}
+
+func BenchmarkLogChoose(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		LogChoose(4096, 2048)
+	}
+}

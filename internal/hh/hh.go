@@ -1,0 +1,254 @@
+// Package hh extends the Boolean protocol to frequency estimation over a
+// finite domain [m], the "richer domains via existing techniques"
+// adaptation mentioned in the paper's introduction (Section 1).
+//
+// Reduction: each user samples a target item x_u ∈ [m] uniformly at
+// random (data-independently, so announcing it costs no privacy, exactly
+// like the order h_u). The user then tracks the derived Boolean stream
+// b_u[t] = 1{v_u[t] = x_u}, which changes at most as often as the value
+// stream (each value change toggles the indicator at most once, and the
+// initial assignment corresponds to the Boolean convention st[0] = 0).
+// The server partitions users by target item, runs one instance of the
+// Boolean protocol per item, and multiplies each estimate by m:
+//
+//	E[ m·â_x(t) ] = m·Σ_u Pr[x_u = x]·1{v_u[t] = x} = f(x, t).
+//
+// The per-item error grows by √m relative to the Boolean protocol with
+// all n users (each sub-protocol has ≈ n/m users and the estimate is
+// scaled by m), which experiment E16 measures.
+package hh
+
+import (
+	"fmt"
+	"sort"
+
+	"rtf/internal/dyadic"
+	"rtf/internal/rng"
+	"rtf/internal/sim"
+	"rtf/internal/workload"
+)
+
+// ValueChange sets a user's value at time T (1-based). The first change
+// is the initial assignment.
+type ValueChange struct {
+	T     int
+	Value int
+}
+
+// DomainStream is one user's value history over [m], as a sorted change
+// list. Before the first change the user has no value (contributes to no
+// item's frequency).
+type DomainStream struct {
+	Changes []ValueChange
+}
+
+// ValueAt returns the user's value at time t, or −1 if unset.
+func (s DomainStream) ValueAt(t int) int {
+	v := -1
+	for _, c := range s.Changes {
+		if c.T > t {
+			break
+		}
+		v = c.Value
+	}
+	return v
+}
+
+// NumChanges returns the number of value changes (including the initial
+// assignment), which bounds the derived Boolean stream's change count.
+func (s DomainStream) NumChanges() int { return len(s.Changes) }
+
+// DomainWorkload is a complete domain-valued dataset.
+type DomainWorkload struct {
+	N, D, M, K int
+	Users      []DomainStream
+}
+
+// Validate checks structural invariants.
+func (w *DomainWorkload) Validate() error {
+	if !dyadic.IsPow2(w.D) {
+		return fmt.Errorf("hh: d=%d not a power of two", w.D)
+	}
+	if w.M < 2 {
+		return fmt.Errorf("hh: domain size m=%d < 2", w.M)
+	}
+	if len(w.Users) != w.N {
+		return fmt.Errorf("hh: %d users, header says %d", len(w.Users), w.N)
+	}
+	for u, us := range w.Users {
+		if len(us.Changes) > w.K {
+			return fmt.Errorf("hh: user %d has %d changes > k=%d", u, len(us.Changes), w.K)
+		}
+		prev := 0
+		lastVal := -1
+		for _, c := range us.Changes {
+			if c.T <= prev || c.T > w.D {
+				return fmt.Errorf("hh: user %d has invalid change time %d", u, c.T)
+			}
+			if c.Value < 0 || c.Value >= w.M {
+				return fmt.Errorf("hh: user %d has value %d outside [0..%d)", u, c.Value, w.M)
+			}
+			if c.Value == lastVal {
+				return fmt.Errorf("hh: user %d has no-op change at t=%d", u, c.T)
+			}
+			prev, lastVal = c.T, c.Value
+		}
+	}
+	return nil
+}
+
+// Truth returns the m×d matrix of true frequencies f(x, t).
+func (w *DomainWorkload) Truth() [][]int {
+	out := make([][]int, w.M)
+	for x := range out {
+		out[x] = make([]int, w.D)
+	}
+	// Difference arrays per item.
+	for _, us := range w.Users {
+		prevVal := -1
+		for _, c := range us.Changes {
+			if prevVal >= 0 {
+				out[prevVal][c.T-1]--
+			}
+			out[c.Value][c.T-1]++
+			prevVal = c.Value
+		}
+	}
+	for x := 0; x < w.M; x++ {
+		run := 0
+		for t := 0; t < w.D; t++ {
+			run += out[x][t]
+			out[x][t] = run
+		}
+	}
+	return out
+}
+
+// booleanStream derives the indicator stream 1{v_u = x} as a Boolean
+// change list.
+func booleanStream(us DomainStream, x int) workload.UserStream {
+	var times []int
+	bit := 0
+	for _, c := range us.Changes {
+		newBit := 0
+		if c.Value == x {
+			newBit = 1
+		}
+		if newBit != bit {
+			times = append(times, c.T)
+			bit = newBit
+		}
+	}
+	return workload.UserStream{ChangeTimes: times}
+}
+
+// Tracker runs the domain-frequency protocol: the Boolean FutureRand
+// protocol per sampled item, with the ×m estimator.
+type Tracker struct {
+	Eps  float64
+	Fast bool // use the fast Boolean simulation engine per item
+}
+
+// Run returns the m×d matrix of frequency estimates.
+func (tk Tracker) Run(w *DomainWorkload, g *rng.RNG) ([][]float64, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	// Partition users by their sampled target item.
+	groups := make([][]workload.UserStream, w.M)
+	for _, us := range w.Users {
+		x := g.IntN(w.M)
+		groups[x] = append(groups[x], booleanStream(us, x))
+	}
+	out := make([][]float64, w.M)
+	for x := 0; x < w.M; x++ {
+		out[x] = make([]float64, w.D)
+		if len(groups[x]) == 0 {
+			continue // no users sampled this item: estimate stays 0
+		}
+		sub := &workload.Workload{N: len(groups[x]), D: w.D, K: w.K, Users: groups[x]}
+		est, err := sim.Framework{Kind: sim.FutureRand, Eps: tk.Eps, Fast: tk.Fast}.Run(sub, g)
+		if err != nil {
+			return nil, fmt.Errorf("hh: item %d: %w", x, err)
+		}
+		for t := range est {
+			out[x][t] = float64(w.M) * est[t]
+		}
+	}
+	return out, nil
+}
+
+// ItemCount pairs an item with its estimated frequency at some time.
+type ItemCount struct {
+	Item  int
+	Count float64
+}
+
+// TopK returns the k items with the largest estimated frequency at time
+// t (1-based), in decreasing order — the heavy-hitter query the paper's
+// introduction motivates (popular URLs). Estimates below threshold are
+// suppressed: with per-item noise of order √(m·n)·polylog/ε, a threshold
+// near the per-item error bound filters noise-only items.
+func TopK(estimates [][]float64, t, k int, threshold float64) []ItemCount {
+	if t < 1 || len(estimates) == 0 || t > len(estimates[0]) {
+		panic(fmt.Sprintf("hh: time %d out of range", t))
+	}
+	if k < 0 {
+		panic("hh: negative k")
+	}
+	out := make([]ItemCount, 0, len(estimates))
+	for x := range estimates {
+		if c := estimates[x][t-1]; c >= threshold {
+			out = append(out, ItemCount{Item: x, Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// ZipfDomainGen generates a domain workload where values are drawn from a
+// Zipf law (a few popular items) and each user changes value a uniform
+// number of times up to K, at uniform times — a URL-popularity workload.
+type ZipfDomainGen struct {
+	N, D, M, K int
+	S          float64 // Zipf exponent over items
+}
+
+// Name identifies the generator.
+func (z ZipfDomainGen) Name() string { return "zipf-domain" }
+
+// Generate builds the workload.
+func (z ZipfDomainGen) Generate(g *rng.RNG) (*DomainWorkload, error) {
+	if z.N < 1 || !dyadic.IsPow2(z.D) || z.M < 2 || z.K < 1 || z.K > z.D {
+		return nil, fmt.Errorf("hh: invalid generator %+v", z)
+	}
+	if z.S < 0 {
+		return nil, fmt.Errorf("hh: negative Zipf exponent %v", z.S)
+	}
+	zipf := g.NewZipf(z.M, z.S)
+	w := &DomainWorkload{N: z.N, D: z.D, M: z.M, K: z.K, Users: make([]DomainStream, z.N)}
+	for i := range w.Users {
+		c := 1 + g.IntN(z.K) // at least the initial assignment
+		times := g.KSubset(z.D, c)
+		changes := make([]ValueChange, 0, c)
+		last := -1
+		for _, t0 := range times {
+			v := zipf.Sample()
+			if v == last {
+				v = (v + 1) % z.M // avoid no-op changes
+			}
+			changes = append(changes, ValueChange{T: t0 + 1, Value: v})
+			last = v
+		}
+		w.Users[i] = DomainStream{Changes: changes}
+	}
+	return w, nil
+}

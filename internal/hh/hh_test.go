@@ -1,0 +1,297 @@
+package hh
+
+import (
+	"math"
+	"testing"
+
+	"rtf/internal/rng"
+	"rtf/internal/workload"
+)
+
+func TestDomainStreamValueAt(t *testing.T) {
+	s := DomainStream{Changes: []ValueChange{{T: 2, Value: 3}, {T: 5, Value: 1}}}
+	want := []int{-1, 3, 3, 3, 1, 1}
+	for tt := 1; tt <= 6; tt++ {
+		if got := s.ValueAt(tt); got != want[tt-1] {
+			t.Errorf("ValueAt(%d) = %d, want %d", tt, got, want[tt-1])
+		}
+	}
+}
+
+func TestBooleanStreamDerivation(t *testing.T) {
+	us := DomainStream{Changes: []ValueChange{{T: 2, Value: 3}, {T: 5, Value: 1}, {T: 7, Value: 3}}}
+	// Indicator for item 3: 0,1,1,1,0,0,1,1 → changes at 2, 5, 7.
+	b3 := booleanStream(us, 3)
+	wantTimes := []int{2, 5, 7}
+	if len(b3.ChangeTimes) != len(wantTimes) {
+		t.Fatalf("item 3 changes = %v, want %v", b3.ChangeTimes, wantTimes)
+	}
+	for i := range wantTimes {
+		if b3.ChangeTimes[i] != wantTimes[i] {
+			t.Fatalf("item 3 changes = %v, want %v", b3.ChangeTimes, wantTimes)
+		}
+	}
+	// Indicator for item 1: changes at 5 and 7.
+	b1 := booleanStream(us, 1)
+	if len(b1.ChangeTimes) != 2 || b1.ChangeTimes[0] != 5 || b1.ChangeTimes[1] != 7 {
+		t.Errorf("item 1 changes = %v, want [5 7]", b1.ChangeTimes)
+	}
+	// Indicator for an item never held: no changes.
+	if got := booleanStream(us, 0); len(got.ChangeTimes) != 0 {
+		t.Errorf("item 0 changes = %v, want none", got.ChangeTimes)
+	}
+}
+
+func TestBooleanStreamBoundedByValueChanges(t *testing.T) {
+	g := rng.New(1, 2)
+	gen := ZipfDomainGen{N: 300, D: 64, M: 8, K: 6, S: 1}
+	w, err := gen.Generate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, us := range w.Users {
+		for x := 0; x < w.M; x++ {
+			b := booleanStream(us, x)
+			if b.NumChanges() > us.NumChanges() {
+				t.Fatalf("boolean stream has %d changes, value stream %d", b.NumChanges(), us.NumChanges())
+			}
+		}
+	}
+}
+
+func TestTruthMatchesBruteForce(t *testing.T) {
+	g := rng.New(3, 4)
+	w, err := (ZipfDomainGen{N: 100, D: 32, M: 5, K: 4, S: 1}).Generate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := w.Truth()
+	for x := 0; x < w.M; x++ {
+		for tt := 1; tt <= w.D; tt++ {
+			want := 0
+			for _, us := range w.Users {
+				if us.ValueAt(tt) == x {
+					want++
+				}
+			}
+			if truth[x][tt-1] != want {
+				t.Fatalf("truth[%d][%d] = %d, want %d", x, tt, truth[x][tt-1], want)
+			}
+		}
+	}
+}
+
+func TestTruthSumsToActiveUsers(t *testing.T) {
+	g := rng.New(5, 6)
+	w, err := (ZipfDomainGen{N: 200, D: 16, M: 4, K: 3, S: 0.5}).Generate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := w.Truth()
+	for tt := 1; tt <= w.D; tt++ {
+		total := 0
+		for x := 0; x < w.M; x++ {
+			total += truth[x][tt-1]
+		}
+		active := 0
+		for _, us := range w.Users {
+			if us.ValueAt(tt) >= 0 {
+				active++
+			}
+		}
+		if total != active {
+			t.Fatalf("t=%d: frequencies sum to %d, active users %d", tt, total, active)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := &DomainWorkload{N: 1, D: 8, M: 3, K: 2, Users: []DomainStream{
+		{Changes: []ValueChange{{T: 1, Value: 0}, {T: 4, Value: 2}}},
+	}}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid workload rejected: %v", err)
+	}
+	bad := map[string]*DomainWorkload{
+		"bad d":     {N: 1, D: 6, M: 3, K: 2, Users: []DomainStream{{}}},
+		"bad m":     {N: 1, D: 8, M: 1, K: 2, Users: []DomainStream{{}}},
+		"too many":  {N: 1, D: 8, M: 3, K: 1, Users: []DomainStream{{Changes: []ValueChange{{1, 0}, {2, 1}}}}},
+		"bad value": {N: 1, D: 8, M: 3, K: 2, Users: []DomainStream{{Changes: []ValueChange{{1, 5}}}}},
+		"no-op":     {N: 1, D: 8, M: 3, K: 3, Users: []DomainStream{{Changes: []ValueChange{{1, 0}, {2, 0}}}}},
+		"unsorted":  {N: 1, D: 8, M: 3, K: 3, Users: []DomainStream{{Changes: []ValueChange{{4, 0}, {2, 1}}}}},
+		"count":     {N: 2, D: 8, M: 3, K: 2, Users: []DomainStream{{}}},
+	}
+	for name, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	g := rng.New(7, 8)
+	bad := []ZipfDomainGen{
+		{N: 0, D: 8, M: 3, K: 2, S: 1},
+		{N: 10, D: 7, M: 3, K: 2, S: 1},
+		{N: 10, D: 8, M: 1, K: 2, S: 1},
+		{N: 10, D: 8, M: 3, K: 0, S: 1},
+		{N: 10, D: 8, M: 3, K: 2, S: -1},
+	}
+	for _, gen := range bad {
+		if _, err := gen.Generate(g); err == nil {
+			t.Errorf("%+v accepted", gen)
+		}
+	}
+	w, err := (ZipfDomainGen{N: 50, D: 16, M: 4, K: 3, S: 1.2}).Generate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Errorf("generated workload invalid: %v", err)
+	}
+}
+
+func TestTrackerUnbiased(t *testing.T) {
+	// E16 in miniature: over repeated runs (fresh item sampling and
+	// randomizers each time), the tracker's estimates center on f(x,t).
+	g := rng.New(9, 10)
+	w, err := (ZipfDomainGen{N: 400, D: 8, M: 3, K: 2, S: 1}).Generate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := w.Truth()
+	tk := Tracker{Eps: 1, Fast: true}
+	const trials = 150
+	sums := make([][]float64, w.M)
+	sqs := make([][]float64, w.M)
+	for x := range sums {
+		sums[x] = make([]float64, w.D)
+		sqs[x] = make([]float64, w.D)
+	}
+	for i := 0; i < trials; i++ {
+		est, err := tk.Run(w, g.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := 0; x < w.M; x++ {
+			for tt := 0; tt < w.D; tt++ {
+				sums[x][tt] += est[x][tt]
+				sqs[x][tt] += est[x][tt] * est[x][tt]
+			}
+		}
+	}
+	for x := 0; x < w.M; x++ {
+		for _, tt := range []int{3, 7} {
+			mean := sums[x][tt] / trials
+			sd := math.Sqrt(sqs[x][tt]/trials - mean*mean)
+			se := sd / math.Sqrt(trials)
+			if math.Abs(mean-float64(truth[x][tt])) > 6*se {
+				t.Errorf("item %d t=%d: mean %v, truth %d (se %v)", x, tt+1, mean, truth[x][tt], se)
+			}
+		}
+	}
+}
+
+func TestTrackerRejectsInvalid(t *testing.T) {
+	bad := &DomainWorkload{N: 1, D: 6, M: 3, K: 2, Users: []DomainStream{{}}}
+	if _, err := (Tracker{Eps: 1}).Run(bad, rng.New(1, 1)); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	est := [][]float64{
+		{10, 50}, // item 0
+		{90, 20}, // item 1
+		{30, 20}, // item 2 (ties with 1 at t=2 → lower item first)
+		{5, -40}, // item 3
+	}
+	got := TopK(est, 2, 3, 0)
+	want := []ItemCount{{0, 50}, {1, 20}, {2, 20}}
+	if len(got) != len(want) {
+		t.Fatalf("TopK = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	// Threshold suppression.
+	if got := TopK(est, 2, 4, 30); len(got) != 1 || got[0].Item != 0 {
+		t.Errorf("thresholded TopK = %v", got)
+	}
+	// k larger than survivors.
+	if got := TopK(est, 1, 10, 0); len(got) != 4 {
+		t.Errorf("TopK without cut = %v", got)
+	}
+	for name, f := range map[string]func(){
+		"t=0":   func() { TopK(est, 0, 1, 0) },
+		"t>d":   func() { TopK(est, 3, 1, 0) },
+		"k<0":   func() { TopK(est, 1, -1, 0) },
+		"empty": func() { TopK(nil, 1, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTopKRecoversPopularItems(t *testing.T) {
+	// End-to-end: on a Zipf workload with enough users, the true top item
+	// should appear in the estimated top 2 at the final time.
+	g := rng.New(13, 14)
+	w, err := (ZipfDomainGen{N: 60000, D: 32, M: 4, K: 2, S: 1.5}).Generate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := (Tracker{Eps: 1, Fast: true}).Run(w, g.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := w.Truth()
+	trueTop, best := 0, -1
+	for x := 0; x < w.M; x++ {
+		if truth[x][w.D-1] > best {
+			trueTop, best = x, truth[x][w.D-1]
+		}
+	}
+	top := TopK(est, w.D, 2, 0)
+	found := false
+	for _, ic := range top {
+		if ic.Item == trueTop {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("true top item %d (count %d) not in estimated top-2 %v", trueTop, best, top)
+	}
+}
+
+func TestBooleanStreamIntegratesToIndicator(t *testing.T) {
+	// Cross-check with the workload package's ValueAt.
+	g := rng.New(11, 12)
+	w, err := (ZipfDomainGen{N: 50, D: 32, M: 6, K: 5, S: 1}).Generate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, us := range w.Users {
+		for x := 0; x < w.M; x++ {
+			b := booleanStream(us, x)
+			var ws workload.UserStream = b
+			for tt := 1; tt <= w.D; tt++ {
+				want := uint8(0)
+				if us.ValueAt(tt) == x {
+					want = 1
+				}
+				if got := ws.ValueAt(tt); got != want {
+					t.Fatalf("item %d t=%d: indicator %d, want %d", x, tt, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package probmath
+
+import (
+	"math"
+	"testing"
+
+	"rtf/internal/binom"
+)
+
+func TestSingleDistanceAnnulus(t *testing.T) {
+	// LB = UB: only one distance keeps its g probability.
+	a, err := NewAnnulus(8, 0.3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Inside(3) || a.Inside(2) || a.Inside(4) {
+		t.Fatal("membership wrong")
+	}
+	// Distribution still sums to 1.
+	sum := 0.0
+	for i := 0; i <= 8; i++ {
+		sum += a.DistanceProb(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("distribution sums to %v", sum)
+	}
+	// c_gap cross-check against log space.
+	if rel := math.Abs(a.CGapLogSpace()-a.CGap) / math.Max(math.Abs(a.CGap), 1e-300); rel > 1e-8 {
+		t.Errorf("c_gap mismatch: %v vs %v", a.CGap, a.CGapLogSpace())
+	}
+}
+
+func TestBunSmallKFullCover(t *testing.T) {
+	p, err := NewBun(4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ComplementEmpty() {
+		t.Skip("Bun annulus no longer full-cover at k=4")
+	}
+	// Degenerate: c_gap = 1−2p exactly, realized ε = k·ε̃.
+	if math.Abs(p.CGap-(1-2*p.P)) > 1e-12 {
+		t.Errorf("degenerate c_gap = %v, want %v", p.CGap, 1-2*p.P)
+	}
+	wantEps := float64(p.K) * p.EpsTilde
+	if math.Abs(p.EpsActual-wantEps) > 1e-9 {
+		t.Errorf("degenerate realized eps = %v, want %v", p.EpsActual, wantEps)
+	}
+}
+
+func TestLargeKNumericalStability(t *testing.T) {
+	// k = 4096: all log-space quantities finite, distribution sums to 1.
+	p, err := NewFutureRand(4096, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{p.LogPMin, p.LogPMax, p.LogPOut, p.CGap, p.EpsActual} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite derived quantity %v", v)
+		}
+	}
+	sum := 0.0
+	for i := 0; i <= 4096; i++ {
+		sum += p.DistanceProb(i)
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("k=4096 distribution sums to %v", sum)
+	}
+	if p.EpsActual > 1 {
+		t.Errorf("privacy exceeded at k=4096: %v", p.EpsActual)
+	}
+}
+
+func TestMarginalPrefixAgainstBruteForce(t *testing.T) {
+	// Independent validation: enumerate all completions explicitly with
+	// exact big-free arithmetic for k = 10 and compare.
+	p, err := NewFutureRand(10, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sigma := 0; sigma <= 10; sigma += 2 {
+		for m1 := 0; m1 <= sigma; m1++ {
+			want := 0.0
+			for m2 := 0; m2 <= 10-sigma; m2++ {
+				cf, _ := binom.ChooseFloat(10-sigma, m2, 64).Float64()
+				want += cf * p.OutputProb(m1+m2)
+			}
+			got := p.MarginalPrefix(sigma, m1)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("MarginalPrefix(%d,%d) = %v, brute force %v", sigma, m1, got, want)
+			}
+		}
+	}
+}
+
+func TestPrefixMarginalConsistency(t *testing.T) {
+	// Chain rule: the σ-prefix marginals must be the σ+1 marginals summed
+	// over the next coordinate: MP(σ, m1) = MP(σ+1, m1) + MP(σ+1, m1+1).
+	p, err := NewFutureRand(12, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sigma := 0; sigma < 12; sigma++ {
+		for m1 := 0; m1 <= sigma; m1++ {
+			lhs := p.MarginalPrefix(sigma, m1)
+			rhs := p.MarginalPrefix(sigma+1, m1) + p.MarginalPrefix(sigma+1, m1+1)
+			if math.Abs(lhs-rhs) > 1e-12 {
+				t.Errorf("chain rule broken at sigma=%d m1=%d: %v vs %v", sigma, m1, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestEpsAtBoundary(t *testing.T) {
+	// ε exactly 1 is allowed (the paper's boundary), just above is not.
+	if _, err := NewFutureRand(4, 1.0); err != nil {
+		t.Errorf("eps=1 rejected: %v", err)
+	}
+	if _, err := NewFutureRand(4, math.Nextafter(1, 2)); err == nil {
+		t.Error("eps just above 1 accepted")
+	}
+	// Tiny ε still works and keeps c_gap positive.
+	p, err := NewFutureRand(4, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CGap <= 0 {
+		t.Error("tiny eps lost positivity")
+	}
+}
+
+func TestInMassMatchesDistanceProbSum(t *testing.T) {
+	p, err := NewFutureRand(64, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := p.LB; i <= p.UB; i++ {
+		// Inside the annulus DistanceProb is C(k,i)·g(i), exactly the
+		// R-mass the annulus keeps... but the resampled mass re-enters the
+		// complement, so InMass must equal the raw R mass, computed here
+		// independently in log space.
+		sum += math.Exp(binom.LogChoose(64, i) + p.LogG(i))
+	}
+	if math.Abs(sum-p.InMass) > 1e-9 {
+		t.Errorf("InMass %v, independent sum %v", p.InMass, sum)
+	}
+}

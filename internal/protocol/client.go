@@ -1,0 +1,180 @@
+// Package protocol implements the longitudinal data-collection protocol
+// of Section 4: the client algorithm Aclt (Algorithm 1), the server
+// algorithm Asvr (Algorithm 2), and the two baselines of Section 6 — the
+// Erlingsson et al. change-sampling protocol and the naive ε/d
+// budget-splitting protocol.
+package protocol
+
+import (
+	"fmt"
+
+	"rtf/internal/core"
+	"rtf/internal/dyadic"
+	"rtf/internal/probmath"
+	"rtf/internal/rng"
+	"rtf/internal/sparse"
+)
+
+// Report is a single perturbed partial sum sent to the server: user u,
+// with sampled order h, reports ω_u[j] = M^(j)(S_u(I_{h,j})) at time
+// t = j·2^h.
+type Report struct {
+	User  int
+	Order int  // the user's sampled order h_u
+	J     int  // dyadic index j within order h_u (1-based)
+	Bit   int8 // perturbed value ±1
+}
+
+// SampleOrder draws h_u uniformly from [0 .. log₂ d] (Algorithm 1, line 1).
+func SampleOrder(g *rng.RNG, d int) int {
+	return g.IntN(dyadic.NumOrders(d))
+}
+
+// Client is the client-side algorithm Aclt. Feed it one stream value per
+// time period with Observe; it emits a report exactly when 2^h divides t.
+type Client struct {
+	user    int
+	d       int
+	order   int
+	tracker *sparse.BoundaryTracker
+	inst    core.Instance
+	t       int
+
+	// Clipping state: when clip is true, the client freezes its effective
+	// stream after clipK changes so the sparsity contract holds even if
+	// the true stream exceeds the bound (a deployment necessity the paper
+	// assumes away). prevEff is the effective value at t−1; changes counts
+	// effective changes per Definition 3.1 (the implicit st[0] = 0).
+	clip    bool
+	clipK   int
+	prevEff uint8
+	changes int
+}
+
+// NewClient builds a client for user u over horizon d. The order h_u is
+// sampled from g, and the randomizer instance is initialized from the
+// factory (M.init). The factory's L must equal d/2^h for the sampled
+// order — use NewClientGroup or a per-order factory table; for a single
+// client, NewClientWithOrder is the primitive.
+func NewClient(user, d int, factories []core.Factory, g *rng.RNG) *Client {
+	h := SampleOrder(g, d)
+	return NewClientWithOrder(user, d, h, factories[h], g)
+}
+
+// NewClientWithOrder builds a client with a fixed (already sampled)
+// order h. The factory must be parameterized for sequences of length
+// L = d/2^h.
+func NewClientWithOrder(user, d, h int, f core.Factory, g *rng.RNG) *Client {
+	if h < 0 || h > dyadic.Log2(d) {
+		panic(fmt.Sprintf("protocol: order %d out of range for d=%d", h, d))
+	}
+	return &Client{
+		user:    user,
+		d:       d,
+		order:   h,
+		tracker: sparse.NewBoundaryTracker(h),
+		inst:    f.NewInstance(g),
+	}
+}
+
+// NewClippedClient is NewClient for streams that may exceed the k bound:
+// the client freezes its effective value after the k-th change, keeping
+// the randomizer's sparsity contract at the cost of bias for users who
+// change more than k times. Experiment E20 quantifies the trade-off of
+// choosing k too small versus too large.
+func NewClippedClient(user, d, k int, factories []core.Factory, g *rng.RNG) *Client {
+	if k < 1 {
+		panic("protocol: clipping bound must be >= 1")
+	}
+	c := NewClient(user, d, factories, g)
+	c.clip = true
+	c.clipK = k
+	return c
+}
+
+// Order returns the sampled order h_u, which the client reports to the
+// server in the clear (it is data-independent).
+func (c *Client) Order() int { return c.order }
+
+// User returns the client's user id.
+func (c *Client) User() int { return c.user }
+
+// Observe consumes st_u[t] for the next time period and returns the
+// report to send, if this is a reporting time for the client's order.
+func (c *Client) Observe(v uint8) (Report, bool) {
+	c.t++
+	if c.t > c.d {
+		panic("protocol: more observations than time periods")
+	}
+	if v > 1 {
+		panic("protocol: stream value must be 0/1")
+	}
+	if c.clip {
+		if v != c.prevEff {
+			if c.changes >= c.clipK {
+				v = c.prevEff // frozen: drop changes beyond the budget
+			} else {
+				c.changes++
+				c.prevEff = v
+			}
+		}
+	}
+	sum, ok := c.tracker.Observe(c.t, v)
+	if !ok {
+		return Report{}, false
+	}
+	j := c.t >> uint(c.order)
+	return Report{User: c.user, Order: c.order, J: j, Bit: c.inst.Perturb(sum)}, true
+}
+
+// FactoryTable builds one randomizer factory per order h ∈ [0..log₂ d],
+// with L = d/2^h, using the given constructor. All clients share the
+// table, so the expensive annulus computation happens once per order.
+func FactoryTable(d, k int, eps float64, mk func(l, k int, eps float64) (core.Factory, error)) ([]core.Factory, error) {
+	if !dyadic.IsPow2(d) {
+		return nil, fmt.Errorf("protocol: d=%d not a power of two", d)
+	}
+	out := make([]core.Factory, dyadic.NumOrders(d))
+	for h := range out {
+		f, err := mk(d>>uint(h), k, eps)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: order %d: %w", h, err)
+		}
+		out[h] = f
+	}
+	return out, nil
+}
+
+// FutureRandFactories returns the per-order factory table for the paper's
+// protocol. The sparsity bound k and budget ε are shared by all orders;
+// only the sequence length L varies, so all orders share one exact
+// annulus computation.
+func FutureRandFactories(d, k int, eps float64) ([]core.Factory, error) {
+	p, err := probmath.NewFutureRand(k, eps)
+	if err != nil {
+		return nil, err
+	}
+	return FactoryTable(d, k, eps, func(l, _ int, _ float64) (core.Factory, error) {
+		return core.NewFactoryFromParams(l, p, "futurerand")
+	})
+}
+
+// IndependentFactories returns the per-order table for the Example 4.2
+// randomizer.
+func IndependentFactories(d, k int, eps float64) ([]core.Factory, error) {
+	return FactoryTable(d, k, eps, func(l, k int, eps float64) (core.Factory, error) {
+		return core.NewIndependentFactory(l, k, eps)
+	})
+}
+
+// BunFactories returns the per-order table for the Bun et al. composed
+// randomizer made online, sharing one annulus computation.
+func BunFactories(d, k int, eps float64) ([]core.Factory, error) {
+	p, err := probmath.NewBun(k, eps)
+	if err != nil {
+		return nil, err
+	}
+	return FactoryTable(d, k, eps, func(l, _ int, _ float64) (core.Factory, error) {
+		return core.NewFactoryFromParams(l, p, "bun-composed")
+	})
+}

@@ -1,0 +1,75 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzDecoderRobust feeds arbitrary bytes to the decoder: it must return
+// messages or errors, never panic, and every successfully decoded report
+// must satisfy the wire invariants.
+func FuzzDecoderRobust(f *testing.F) {
+	f.Add([]byte{1, 0, 0})
+	f.Add([]byte{2, 0, 0, 1, 1})
+	f.Add([]byte{2, 255, 255, 255, 255, 15, 3, 42, 0})
+	f.Add([]byte{})
+	f.Add([]byte{99})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			m, err := dec.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+					return
+				}
+				return // malformed input: any descriptive error is fine
+			}
+			switch m.Type {
+			case MsgHello:
+				// ok
+			case MsgReport:
+				if m.Bit != 1 && m.Bit != -1 {
+					t.Fatalf("decoded report with bit %d", m.Bit)
+				}
+			default:
+				t.Fatalf("decoded unknown type %d without error", m.Type)
+			}
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip checks that any valid message survives the
+// wire format bit-exactly.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint8(0), uint32(1), true, true)
+	f.Add(uint32(1<<31), uint8(30), uint32(1<<30), false, false)
+	f.Fuzz(func(t *testing.T, user uint32, order uint8, j uint32, bit bool, hello bool) {
+		var m Msg
+		if hello {
+			m = Hello(int(user), int(order))
+		} else {
+			b := int8(1)
+			if !bit {
+				b = -1
+			}
+			m = Msg{Type: MsgReport, User: int(user), Order: int(order), J: int(j), Bit: b}
+		}
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		if err := enc.Encode(m); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewDecoder(&buf).Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != m {
+			t.Fatalf("round trip: got %+v, want %+v", got, m)
+		}
+	})
+}

@@ -1,0 +1,251 @@
+// Package transport provides the system substrate between clients and
+// the server: a compact varint wire format for the protocol's two message
+// types (the initial order announcement and per-period reports), a
+// concurrency-safe in-process collector, and a lossy-link simulator for
+// robustness experiments (E15).
+//
+// The paper's protocol is transport-agnostic; this package exists so the
+// repository exercises the client/server split as an actual distributed
+// system — message framing, concurrent ingestion, loss — rather than as
+// in-process function calls only.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"rtf/internal/protocol"
+	"rtf/internal/rng"
+)
+
+// MsgType discriminates wire messages.
+type MsgType byte
+
+// Message types.
+const (
+	MsgHello  MsgType = 1 // user announces its sampled order h_u
+	MsgReport MsgType = 2 // one perturbed partial sum
+)
+
+// Msg is a decoded wire message.
+type Msg struct {
+	Type  MsgType
+	User  int
+	Order int
+	J     int  // report only
+	Bit   int8 // report only, ±1
+}
+
+// Hello constructs an order-announcement message.
+func Hello(user, order int) Msg {
+	return Msg{Type: MsgHello, User: user, Order: order}
+}
+
+// FromReport converts a protocol report to a wire message.
+func FromReport(r protocol.Report) Msg {
+	return Msg{Type: MsgReport, User: r.User, Order: r.Order, J: r.J, Bit: r.Bit}
+}
+
+// Report converts a decoded message back to a protocol report. It panics
+// if the message is not a report.
+func (m Msg) Report() protocol.Report {
+	if m.Type != MsgReport {
+		panic("transport: not a report message")
+	}
+	return protocol.Report{User: m.User, Order: m.Order, J: m.J, Bit: m.Bit}
+}
+
+// Encoder writes messages to a stream in the varint wire format.
+// It is not safe for concurrent use.
+type Encoder struct {
+	w       *bufio.Writer
+	scratch []byte
+	n       int64
+}
+
+// NewEncoder wraps a writer.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriter(w), scratch: make([]byte, 0, 32)}
+}
+
+// Encode writes one message.
+func (e *Encoder) Encode(m Msg) error {
+	b := e.scratch[:0]
+	b = append(b, byte(m.Type))
+	b = binary.AppendUvarint(b, uint64(m.User))
+	switch m.Type {
+	case MsgHello:
+		b = binary.AppendUvarint(b, uint64(m.Order))
+	case MsgReport:
+		b = binary.AppendUvarint(b, uint64(m.Order))
+		b = binary.AppendUvarint(b, uint64(m.J))
+		switch m.Bit {
+		case 1:
+			b = append(b, 1)
+		case -1:
+			b = append(b, 0)
+		default:
+			return fmt.Errorf("transport: report bit %d not ±1", m.Bit)
+		}
+	default:
+		return fmt.Errorf("transport: unknown message type %d", m.Type)
+	}
+	n, err := e.w.Write(b)
+	e.n += int64(n)
+	return err
+}
+
+// Flush flushes buffered bytes to the underlying writer.
+func (e *Encoder) Flush() error { return e.w.Flush() }
+
+// BytesWritten returns the total encoded payload size so far (possibly
+// still buffered).
+func (e *Encoder) BytesWritten() int64 { return e.n }
+
+// Decoder reads messages from a stream.
+type Decoder struct {
+	r *bufio.Reader
+}
+
+// NewDecoder wraps a reader.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// Next decodes one message. It returns io.EOF cleanly at end of stream
+// and io.ErrUnexpectedEOF on a truncated message.
+func (d *Decoder) Next() (Msg, error) {
+	tb, err := d.r.ReadByte()
+	if err != nil {
+		return Msg{}, err // io.EOF passes through
+	}
+	m := Msg{Type: MsgType(tb)}
+	user, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return Msg{}, truncated(err)
+	}
+	m.User = int(user)
+	switch m.Type {
+	case MsgHello:
+		h, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		m.Order = int(h)
+	case MsgReport:
+		h, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		j, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		bb, err := d.r.ReadByte()
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		m.Order, m.J = int(h), int(j)
+		switch bb {
+		case 1:
+			m.Bit = 1
+		case 0:
+			m.Bit = -1
+		default:
+			return Msg{}, fmt.Errorf("transport: invalid bit byte %d", bb)
+		}
+	default:
+		return Msg{}, fmt.Errorf("transport: unknown message type %d", tb)
+	}
+	return m, nil
+}
+
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Collector is a concurrency-safe fan-in point: any number of client
+// goroutines Send messages; one consumer drains them in arrival order.
+type Collector struct {
+	mu     sync.Mutex
+	closed bool
+	msgs   []Msg
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Send appends a message. It returns an error after Close.
+func (c *Collector) Send(m Msg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("transport: collector closed")
+	}
+	c.msgs = append(c.msgs, m)
+	return nil
+}
+
+// Close stops accepting messages.
+func (c *Collector) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+}
+
+// Len returns the number of collected messages.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+// Drain invokes fn on every collected message and clears the buffer.
+func (c *Collector) Drain(fn func(Msg)) {
+	c.mu.Lock()
+	msgs := c.msgs
+	c.msgs = nil
+	c.mu.Unlock()
+	for _, m := range msgs {
+		fn(m)
+	}
+}
+
+// LossyLink drops each delivered message independently with probability
+// DropProb — the failure-injection half of experiment E15. It is not safe
+// for concurrent use; give each sender its own link (sharing the counts
+// through Stats if needed).
+type LossyLink struct {
+	DropProb  float64
+	g         *rng.RNG
+	delivered int
+	dropped   int
+}
+
+// NewLossyLink builds a link with the given drop probability in [0, 1].
+func NewLossyLink(dropProb float64, g *rng.RNG) *LossyLink {
+	if dropProb < 0 || dropProb > 1 {
+		panic(fmt.Sprintf("transport: drop probability %v outside [0,1]", dropProb))
+	}
+	return &LossyLink{DropProb: dropProb, g: g}
+}
+
+// Deliver reports whether the next message survives the link.
+func (l *LossyLink) Deliver() bool {
+	if l.g.Bernoulli(l.DropProb) {
+		l.dropped++
+		return false
+	}
+	l.delivered++
+	return true
+}
+
+// Stats returns (delivered, dropped) counts so far.
+func (l *LossyLink) Stats() (delivered, dropped int) { return l.delivered, l.dropped }

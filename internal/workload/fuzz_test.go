@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary text to the parser: it must either return a
+// workload that passes Validate or an error — never panic, never accept
+// an inconsistent dataset.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("2,8,2\n1 5\n\n")
+	f.Add("1,4,1\n3\n")
+	f.Add("")
+	f.Add("x")
+	f.Add("1,8,1\n9\n")
+	f.Add("0,8,0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		w, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("ReadCSV accepted invalid workload: %v", err)
+		}
+		// A parsed workload must round-trip.
+		var buf bytes.Buffer
+		if err := w.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N != w.N || back.D != w.D || back.K != w.K {
+			t.Fatal("round trip changed header")
+		}
+		// Truth must be stable under round trip.
+		a, b := w.Truth(), back.Truth()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("round trip changed truth")
+			}
+		}
+	})
+}

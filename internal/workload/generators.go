@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"fmt"
+
+	"rtf/internal/dyadic"
+	"rtf/internal/rng"
+)
+
+// Generator produces a synthetic workload from a seeded RNG. Generators
+// are pure descriptions: calling Generate twice with equal-seeded RNGs
+// yields identical workloads.
+type Generator interface {
+	// Generate builds the workload, drawing all randomness from g.
+	Generate(g *rng.RNG) (*Workload, error)
+	// Name identifies the generator in experiment output.
+	Name() string
+}
+
+func checkDims(n, d, k int) error {
+	if n < 1 {
+		return fmt.Errorf("workload: n=%d < 1", n)
+	}
+	if !dyadic.IsPow2(d) {
+		return fmt.Errorf("workload: d=%d not a power of two", d)
+	}
+	if k < 0 || k > d {
+		return fmt.Errorf("workload: k=%d outside [0..d=%d]", k, d)
+	}
+	return nil
+}
+
+// UniformGen gives each user a change count drawn uniformly from [0..K]
+// and change times drawn uniformly without replacement from [1..D]. This
+// is the neutral workload used by the scaling experiments E1–E4.
+type UniformGen struct {
+	N, D, K int
+}
+
+// Name implements Generator.
+func (u UniformGen) Name() string { return "uniform" }
+
+// Generate implements Generator.
+func (u UniformGen) Generate(g *rng.RNG) (*Workload, error) {
+	if err := checkDims(u.N, u.D, u.K); err != nil {
+		return nil, err
+	}
+	w := &Workload{N: u.N, D: u.D, K: u.K, Users: make([]UserStream, u.N)}
+	for i := range w.Users {
+		c := g.IntN(u.K + 1)
+		w.Users[i] = UserStream{ChangeTimes: oneBased(g.KSubset(u.D, c))}
+	}
+	return w, nil
+}
+
+// MaxChangesGen gives every user exactly K changes at uniform times: the
+// worst case for the sparsity bound, exercising full support (§5.2).
+type MaxChangesGen struct {
+	N, D, K int
+}
+
+// Name implements Generator.
+func (m MaxChangesGen) Name() string { return "max-changes" }
+
+// Generate implements Generator.
+func (m MaxChangesGen) Generate(g *rng.RNG) (*Workload, error) {
+	if err := checkDims(m.N, m.D, m.K); err != nil {
+		return nil, err
+	}
+	w := &Workload{N: m.N, D: m.D, K: m.K, Users: make([]UserStream, m.N)}
+	for i := range w.Users {
+		w.Users[i] = UserStream{ChangeTimes: oneBased(g.KSubset(m.D, m.K))}
+	}
+	return w, nil
+}
+
+// BurstyGen concentrates changes in a window [Start..End] (a breaking-news
+// event): each user changes 0..K times, with each change time drawn from
+// the window with probability InBurst and uniformly otherwise.
+type BurstyGen struct {
+	N, D, K    int
+	Start, End int     // event window, 1-based inclusive
+	InBurst    float64 // probability a change lands in the window
+}
+
+// Name implements Generator.
+func (b BurstyGen) Name() string { return "bursty" }
+
+// Generate implements Generator.
+func (b BurstyGen) Generate(g *rng.RNG) (*Workload, error) {
+	if err := checkDims(b.N, b.D, b.K); err != nil {
+		return nil, err
+	}
+	if b.Start < 1 || b.End > b.D || b.Start > b.End {
+		return nil, fmt.Errorf("workload: burst window [%d..%d] invalid for d=%d", b.Start, b.End, b.D)
+	}
+	if b.InBurst < 0 || b.InBurst > 1 {
+		return nil, fmt.Errorf("workload: InBurst=%v outside [0,1]", b.InBurst)
+	}
+	w := &Workload{N: b.N, D: b.D, K: b.K, Users: make([]UserStream, b.N)}
+	for i := range w.Users {
+		c := g.IntN(b.K + 1)
+		seen := make(map[int]bool, c)
+		times := make([]int, 0, c)
+		for len(times) < c {
+			var t int
+			if g.Bernoulli(b.InBurst) {
+				t = b.Start + g.IntN(b.End-b.Start+1)
+			} else {
+				t = 1 + g.IntN(b.D)
+			}
+			if !seen[t] {
+				seen[t] = true
+				times = append(times, t)
+			}
+		}
+		sortInts(times)
+		w.Users[i] = UserStream{ChangeTimes: times}
+	}
+	return w, nil
+}
+
+// ZipfActivityGen draws each user's change count from a Zipf law over
+// [0..K] (exponent S): a few hyper-active users, a long tail of static
+// ones — the telemetry-counter population of the introduction.
+type ZipfActivityGen struct {
+	N, D, K int
+	S       float64 // Zipf exponent over change counts
+}
+
+// Name implements Generator.
+func (z ZipfActivityGen) Name() string { return "zipf-activity" }
+
+// Generate implements Generator.
+func (z ZipfActivityGen) Generate(g *rng.RNG) (*Workload, error) {
+	if err := checkDims(z.N, z.D, z.K); err != nil {
+		return nil, err
+	}
+	zipf := g.NewZipf(z.K+1, z.S)
+	w := &Workload{N: z.N, D: z.D, K: z.K, Users: make([]UserStream, z.N)}
+	for i := range w.Users {
+		c := zipf.Sample() // 0 is most likely: most users never change
+		w.Users[i] = UserStream{ChangeTimes: oneBased(g.KSubset(z.D, c))}
+	}
+	return w, nil
+}
+
+// StepGen models a global trend: Fraction of the users flip 0→1 within
+// a jittered window around time T0 (one change each); everyone else is
+// static. The ground truth is a smoothed step — the shape the online
+// protocol must track promptly.
+type StepGen struct {
+	N, D     int
+	T0       int     // center of the step
+	Jitter   int     // each adopter flips at T0 + IntN(2·Jitter+1) − Jitter
+	Fraction float64 // fraction of users adopting
+}
+
+// Name implements Generator.
+func (s StepGen) Name() string { return "step" }
+
+// Generate implements Generator.
+func (s StepGen) Generate(g *rng.RNG) (*Workload, error) {
+	if err := checkDims(s.N, s.D, 1); err != nil {
+		return nil, err
+	}
+	if s.T0 < 1 || s.T0 > s.D {
+		return nil, fmt.Errorf("workload: step time %d outside [1..%d]", s.T0, s.D)
+	}
+	if s.Fraction < 0 || s.Fraction > 1 {
+		return nil, fmt.Errorf("workload: fraction %v outside [0,1]", s.Fraction)
+	}
+	if s.Jitter < 0 {
+		return nil, fmt.Errorf("workload: negative jitter %d", s.Jitter)
+	}
+	w := &Workload{N: s.N, D: s.D, K: 1, Users: make([]UserStream, s.N)}
+	for i := range w.Users {
+		if !g.Bernoulli(s.Fraction) {
+			continue
+		}
+		t := s.T0
+		if s.Jitter > 0 {
+			t += g.IntN(2*s.Jitter+1) - s.Jitter
+		}
+		if t < 1 {
+			t = 1
+		}
+		if t > s.D {
+			t = s.D
+		}
+		w.Users[i] = UserStream{ChangeTimes: []int{t}}
+	}
+	return w, nil
+}
+
+// AdversarialGen makes every user flip at the same K times: the
+// worst-case synchronized workload, where the true count swings by ±n in
+// a single period.
+type AdversarialGen struct {
+	N, D, K int
+}
+
+// Name implements Generator.
+func (a AdversarialGen) Name() string { return "adversarial" }
+
+// Generate implements Generator.
+func (a AdversarialGen) Generate(g *rng.RNG) (*Workload, error) {
+	if err := checkDims(a.N, a.D, a.K); err != nil {
+		return nil, err
+	}
+	times := oneBased(g.KSubset(a.D, a.K))
+	w := &Workload{N: a.N, D: a.D, K: a.K, Users: make([]UserStream, a.N)}
+	for i := range w.Users {
+		w.Users[i] = UserStream{ChangeTimes: append([]int(nil), times...)}
+	}
+	return w, nil
+}
+
+// PeriodicGen models habitual behaviour: each user toggles every Period
+// steps starting from a random phase, truncated at K changes.
+type PeriodicGen struct {
+	N, D, K int
+	Period  int
+}
+
+// Name implements Generator.
+func (p PeriodicGen) Name() string { return "periodic" }
+
+// Generate implements Generator.
+func (p PeriodicGen) Generate(g *rng.RNG) (*Workload, error) {
+	if err := checkDims(p.N, p.D, p.K); err != nil {
+		return nil, err
+	}
+	if p.Period < 1 {
+		return nil, fmt.Errorf("workload: period %d < 1", p.Period)
+	}
+	w := &Workload{N: p.N, D: p.D, K: p.K, Users: make([]UserStream, p.N)}
+	for i := range w.Users {
+		phase := 1 + g.IntN(p.Period)
+		var times []int
+		for t := phase; t <= p.D && len(times) < p.K; t += p.Period {
+			times = append(times, t)
+		}
+		w.Users[i] = UserStream{ChangeTimes: times}
+	}
+	return w, nil
+}
+
+// StaticGen produces users who never change (all zero streams), a
+// degenerate sanity workload: the truth is identically zero and all
+// estimator output is pure noise.
+type StaticGen struct {
+	N, D int
+}
+
+// Name implements Generator.
+func (s StaticGen) Name() string { return "static" }
+
+// Generate implements Generator.
+func (s StaticGen) Generate(g *rng.RNG) (*Workload, error) {
+	if err := checkDims(s.N, s.D, 0); err != nil {
+		return nil, err
+	}
+	return &Workload{N: s.N, D: s.D, K: 1, Users: make([]UserStream, s.N)}, nil
+}
+
+func oneBased(zero []int) []int {
+	for i := range zero {
+		zero[i]++
+	}
+	return zero
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rtf/internal/rng"
+)
+
+func TestUserStreamValueAt(t *testing.T) {
+	u := UserStream{ChangeTimes: []int{2, 5}}
+	want := []uint8{0, 1, 1, 1, 0, 0}
+	for tt := 1; tt <= 6; tt++ {
+		if got := u.ValueAt(tt); got != want[tt-1] {
+			t.Errorf("ValueAt(%d) = %d, want %d", tt, got, want[tt-1])
+		}
+	}
+	if u.NumChanges() != 2 {
+		t.Errorf("NumChanges = %d", u.NumChanges())
+	}
+}
+
+func TestUserStreamValuesMatchesValueAt(t *testing.T) {
+	g := rng.New(1, 2)
+	for trial := 0; trial < 100; trial++ {
+		d := 64
+		c := g.IntN(10)
+		times := g.KSubset(d, c)
+		for i := range times {
+			times[i]++
+		}
+		u := UserStream{ChangeTimes: times}
+		vals := u.Values(d)
+		for tt := 1; tt <= d; tt++ {
+			if vals[tt-1] != u.ValueAt(tt) {
+				t.Fatalf("Values[%d] = %d, ValueAt = %d", tt, vals[tt-1], u.ValueAt(tt))
+			}
+		}
+	}
+}
+
+func TestTruthMatchesBruteForce(t *testing.T) {
+	g := rng.New(3, 4)
+	gen := UniformGen{N: 200, D: 64, K: 6}
+	w, err := gen.Generate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := w.Truth()
+	for tt := 1; tt <= w.D; tt++ {
+		want := 0
+		for _, u := range w.Users {
+			want += int(u.ValueAt(tt))
+		}
+		if truth[tt-1] != want {
+			t.Fatalf("Truth[%d] = %d, brute force %d", tt, truth[tt-1], want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := &Workload{N: 2, D: 8, K: 2, Users: []UserStream{
+		{ChangeTimes: []int{1, 8}}, {},
+	}}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid workload rejected: %v", err)
+	}
+	cases := map[string]*Workload{
+		"bad d":       {N: 1, D: 6, K: 1, Users: []UserStream{{}}},
+		"wrong count": {N: 2, D: 8, K: 1, Users: []UserStream{{}}},
+		"too many":    {N: 1, D: 8, K: 1, Users: []UserStream{{ChangeTimes: []int{1, 2}}}},
+		"unsorted":    {N: 1, D: 8, K: 3, Users: []UserStream{{ChangeTimes: []int{5, 3}}}},
+		"duplicate":   {N: 1, D: 8, K: 3, Users: []UserStream{{ChangeTimes: []int{3, 3}}}},
+		"out of hi":   {N: 1, D: 8, K: 1, Users: []UserStream{{ChangeTimes: []int{9}}}},
+		"out of lo":   {N: 1, D: 8, K: 1, Users: []UserStream{{ChangeTimes: []int{0}}}},
+		"neg k":       {N: 1, D: 8, K: -1, Users: []UserStream{{}}},
+	}
+	for name, w := range cases {
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestGeneratorsProduceValidWorkloads(t *testing.T) {
+	g := rng.New(5, 6)
+	gens := []Generator{
+		UniformGen{N: 100, D: 64, K: 5},
+		MaxChangesGen{N: 100, D: 64, K: 5},
+		BurstyGen{N: 100, D: 64, K: 5, Start: 16, End: 31, InBurst: 0.8},
+		ZipfActivityGen{N: 100, D: 64, K: 5, S: 1.5},
+		StepGen{N: 100, D: 64, T0: 32, Jitter: 4, Fraction: 0.6},
+		AdversarialGen{N: 100, D: 64, K: 5},
+		PeriodicGen{N: 100, D: 64, K: 5, Period: 10},
+		StaticGen{N: 100, D: 64},
+	}
+	for _, gen := range gens {
+		w, err := gen.Generate(g.Split())
+		if err != nil {
+			t.Errorf("%s: %v", gen.Name(), err)
+			continue
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s produced invalid workload: %v", gen.Name(), err)
+		}
+		if gen.Name() == "" {
+			t.Error("empty generator name")
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	gen := UniformGen{N: 50, D: 32, K: 4}
+	w1, _ := gen.Generate(rng.New(7, 8))
+	w2, _ := gen.Generate(rng.New(7, 8))
+	for i := range w1.Users {
+		a, b := w1.Users[i].ChangeTimes, w2.Users[i].ChangeTimes
+		if len(a) != len(b) {
+			t.Fatal("same seed produced different workloads")
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatal("same seed produced different change times")
+			}
+		}
+	}
+}
+
+func TestMaxChangesGen(t *testing.T) {
+	w, err := MaxChangesGen{N: 50, D: 32, K: 4}.Generate(rng.New(9, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, us := range w.Users {
+		if us.NumChanges() != 4 {
+			t.Errorf("user %d has %d changes, want 4", u, us.NumChanges())
+		}
+	}
+	if w.MaxChanges() != 4 {
+		t.Errorf("MaxChanges = %d", w.MaxChanges())
+	}
+}
+
+func TestBurstyGenConcentration(t *testing.T) {
+	gen := BurstyGen{N: 500, D: 256, K: 4, Start: 100, End: 120, InBurst: 0.9}
+	w, err := gen.Generate(rng.New(11, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, total := 0, 0
+	for _, us := range w.Users {
+		for _, ct := range us.ChangeTimes {
+			total++
+			if ct >= 100 && ct <= 120 {
+				in++
+			}
+		}
+	}
+	// ≥ 90% aimed at an 8% window; allow collisions and background.
+	if frac := float64(in) / float64(total); frac < 0.7 {
+		t.Errorf("burst fraction %v, want > 0.7", frac)
+	}
+}
+
+func TestZipfActivityHeavyTail(t *testing.T) {
+	gen := ZipfActivityGen{N: 2000, D: 64, K: 8, S: 2}
+	w, err := gen.Generate(rng.New(13, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := 0
+	for _, us := range w.Users {
+		if us.NumChanges() == 0 {
+			zero++
+		}
+	}
+	// With s=2 the mode is 0 changes; most users should be static.
+	if zero < w.N/2 {
+		t.Errorf("only %d/%d static users under Zipf(2)", zero, w.N)
+	}
+}
+
+func TestStepGenShape(t *testing.T) {
+	gen := StepGen{N: 1000, D: 64, T0: 32, Jitter: 0, Fraction: 0.5}
+	w, err := gen.Generate(rng.New(15, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := w.Truth()
+	if truth[30] != 0 {
+		t.Errorf("pre-step truth = %d, want 0", truth[30])
+	}
+	adopters := truth[63]
+	if adopters < 400 || adopters > 600 {
+		t.Errorf("adopters = %d, want ≈ 500", adopters)
+	}
+	if truth[31] != adopters {
+		t.Errorf("step not sharp: truth[32]=%d, final=%d", truth[31], adopters)
+	}
+}
+
+func TestAdversarialAllSame(t *testing.T) {
+	w, err := AdversarialGen{N: 20, D: 32, K: 3}.Generate(rng.New(17, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := w.Users[0].ChangeTimes
+	for _, us := range w.Users {
+		for i := range first {
+			if us.ChangeTimes[i] != first[i] {
+				t.Fatal("adversarial users differ")
+			}
+		}
+	}
+	truth := w.Truth()
+	// Truth must jump between 0 and N at every change.
+	for _, a := range truth {
+		if a != 0 && a != 20 {
+			t.Errorf("adversarial truth %d not in {0,20}", a)
+		}
+	}
+}
+
+func TestPeriodicGen(t *testing.T) {
+	w, err := PeriodicGen{N: 10, D: 64, K: 3, Period: 10}.Generate(rng.New(19, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, us := range w.Users {
+		if us.NumChanges() > 3 {
+			t.Errorf("periodic user exceeded K: %d", us.NumChanges())
+		}
+		for i := 1; i < len(us.ChangeTimes); i++ {
+			if us.ChangeTimes[i]-us.ChangeTimes[i-1] != 10 {
+				t.Errorf("period broken: %v", us.ChangeTimes)
+			}
+		}
+	}
+}
+
+func TestStaticGen(t *testing.T) {
+	w, err := StaticGen{N: 10, D: 16}.Generate(rng.New(21, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range w.Truth() {
+		if a != 0 {
+			t.Errorf("static truth %d != 0", a)
+		}
+	}
+	if w.TotalChanges() != 0 {
+		t.Error("static workload has changes")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	g := rng.New(23, 24)
+	bad := []Generator{
+		UniformGen{N: 0, D: 64, K: 5},
+		UniformGen{N: 10, D: 63, K: 5},
+		UniformGen{N: 10, D: 64, K: 65},
+		UniformGen{N: 10, D: 64, K: -1},
+		BurstyGen{N: 10, D: 64, K: 5, Start: 0, End: 10, InBurst: 0.5},
+		BurstyGen{N: 10, D: 64, K: 5, Start: 20, End: 10, InBurst: 0.5},
+		BurstyGen{N: 10, D: 64, K: 5, Start: 1, End: 10, InBurst: 1.5},
+		StepGen{N: 10, D: 64, T0: 0, Fraction: 0.5},
+		StepGen{N: 10, D: 64, T0: 5, Fraction: 1.5},
+		StepGen{N: 10, D: 64, T0: 5, Jitter: -1, Fraction: 0.5},
+		PeriodicGen{N: 10, D: 64, K: 5, Period: 0},
+	}
+	for _, gen := range bad {
+		if _, err := gen.Generate(g); err == nil {
+			t.Errorf("%T %+v accepted", gen, gen)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	w, err := UniformGen{N: 40, D: 32, K: 5}.Generate(rng.New(25, 26))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != w.N || got.D != w.D || got.K != w.K {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range w.Users {
+		a, b := w.Users[i].ChangeTimes, got.Users[i].ChangeTimes
+		if len(a) != len(b) {
+			t.Fatalf("user %d length mismatch", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("user %d times differ", i)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "x,y\n",
+		"bad time":    "1,8,2\n1 z\n",
+		"invalid":     "1,8,1\n1 2\n", // two changes > k
+		"wrong count": "3,8,1\n1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestTotalChanges(t *testing.T) {
+	w := &Workload{N: 2, D: 8, K: 3, Users: []UserStream{
+		{ChangeTimes: []int{1, 2, 3}}, {ChangeTimes: []int{5}},
+	}}
+	if got := w.TotalChanges(); got != 4 {
+		t.Errorf("TotalChanges = %d", got)
+	}
+}

@@ -1,0 +1,62 @@
+package ldp
+
+import (
+	"errors"
+
+	"rtf/internal/hh"
+	"rtf/internal/rng"
+	"rtf/internal/stats"
+)
+
+// DomainChange sets a user's domain value at time T (1-based); the first
+// change is the initial assignment.
+type DomainChange = hh.ValueChange
+
+// DomainStream is one user's value history over a finite domain.
+type DomainStream = hh.DomainStream
+
+// DomainWorkload is a dataset of domain-valued user streams over [0..M).
+type DomainWorkload = hh.DomainWorkload
+
+// GenerateDomain builds a synthetic domain workload with Zipf-popular
+// items: n users over d periods, domain size m, at most k value changes
+// per user, Zipf exponent s.
+func GenerateDomain(n, d, m, k int, s float64, seed int64) (*DomainWorkload, error) {
+	return hh.ZipfDomainGen{N: n, D: d, M: m, K: k, S: s}.Generate(rng.NewFromSeed(seed))
+}
+
+// DomainResult reports per-item frequency tracking quality.
+type DomainResult struct {
+	// Estimates[x][t−1] estimates f(x, t), the number of users holding
+	// item x at time t.
+	Estimates [][]float64
+	// Truth[x][t−1] is the ground truth.
+	Truth [][]int
+	// MaxError is the worst error over all items and times.
+	MaxError float64
+}
+
+// TrackDomain runs the richer-domain extension (Section 1's adaptation):
+// each user samples one target item, tracks its indicator with the
+// Boolean FutureRand protocol, and the server scales per-item estimates
+// by m.
+func TrackDomain(w *DomainWorkload, opts Options) (*DomainResult, error) {
+	if w == nil {
+		return nil, errors.New("ldp: nil domain workload")
+	}
+	if opts.Protocol != "" && opts.Protocol != FutureRand {
+		return nil, errors.New("ldp: domain tracking supports the FutureRand protocol only")
+	}
+	est, err := hh.Tracker{Eps: opts.Epsilon, Fast: !opts.Exact}.Run(w, rng.NewFromSeed(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	truth := w.Truth()
+	worst := 0.0
+	for x := 0; x < w.M; x++ {
+		if e := stats.MaxAbsError(est[x], truth[x]); e > worst {
+			worst = e
+		}
+	}
+	return &DomainResult{Estimates: est, Truth: truth, MaxError: worst}, nil
+}

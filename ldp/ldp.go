@@ -1,0 +1,332 @@
+// Package ldp is the public API of the RTF library: locally differentially
+// private frequency estimation for longitudinal Boolean data, implementing
+// the PODS 2022 paper "Randomize the Future" (Ohrimenko, Wirth, Wu).
+//
+// Two levels of API are provided.
+//
+// The one-call level runs a complete protocol on a workload:
+//
+//	w, _ := workload.Generate(workload.Uniform{N: 50000, D: 1024, K: 8}, 1)
+//	res, err := ldp.Track(w, ldp.Options{Epsilon: 1})
+//	// res.Estimates[t−1] ≈ number of users with value 1 at time t
+//
+// The streaming level exposes the client and server of Algorithms 1–2
+// for embedding in a real deployment: each user runs a Client fed one
+// Boolean value per period and ships the emitted reports; the server
+// aggregates them and answers estimates online.
+package ldp
+
+import (
+	"errors"
+	"fmt"
+
+	"rtf/internal/dyadic"
+	"rtf/internal/probmath"
+	"rtf/internal/protocol"
+	"rtf/internal/rng"
+	"rtf/internal/sim"
+	"rtf/internal/stats"
+	"rtf/workload"
+)
+
+// Protocol selects which mechanism Track runs.
+type Protocol string
+
+// Available protocols.
+const (
+	// FutureRand is the paper's protocol (Theorem 4.1): error
+	// O((1/ε)·log d·√(k·n·log(d/β))).
+	FutureRand Protocol = "futurerand"
+	// Independent replaces the randomizer with Example 4.2's ε/k
+	// composition: error linear in k.
+	Independent Protocol = "independent"
+	// Bun uses the Bun–Nelson–Stemmer composition (Appendix A.2) made
+	// online: a √ln(k/ε) factor worse than FutureRand.
+	Bun Protocol = "bun"
+	// Erlingsson is the 2020 baseline: one sampled change, basic
+	// randomized response at ε/2, ×k estimator; error linear in k.
+	Erlingsson Protocol = "erlingsson"
+	// NaiveSplit repeats a one-shot randomized response with budget ε/d
+	// per period: error linear in d.
+	NaiveSplit Protocol = "naive-split"
+	// CentralBinary is the trusted-curator binary mechanism (Section 6
+	// related work), for central-vs-local comparisons.
+	CentralBinary Protocol = "central-binary"
+)
+
+// Options configures Track.
+type Options struct {
+	// Protocol defaults to FutureRand.
+	Protocol Protocol
+	// Epsilon is the per-user privacy budget over the entire stream;
+	// the paper assumes 0 < ε ≤ 1.
+	Epsilon float64
+	// Exact uses the per-user simulation engine instead of the
+	// distributionally-identical fast engine. Slower; mainly for audits.
+	Exact bool
+	// Workers shards the fast engine across goroutines (framework
+	// protocols only): 0 = serial, −1 = GOMAXPROCS, > 0 = that many.
+	// Results are reproducible for a fixed seed and worker count.
+	Workers int
+	// Consistency applies the offline least-squares post-processing on
+	// the dyadic tree (framework protocols only).
+	Consistency bool
+	// Beta is the failure probability used for Result.HoeffdingBound
+	// (default 0.05).
+	Beta float64
+	// Seed makes the run reproducible; runs with the same seed and
+	// inputs produce identical results.
+	Seed int64
+}
+
+// Result is the outcome of a tracked run.
+type Result struct {
+	// Estimates holds â[t] at index t−1.
+	Estimates []float64
+	// Truth holds the ground truth a[t] (available because Track runs on
+	// synthetic or recorded workloads).
+	Truth []int
+	// Error metrics of Estimates against Truth.
+	MaxError, MAE, RMSE float64
+	// HoeffdingBound is the Lemma 4.6 / Theorem 4.1 high-probability ℓ∞
+	// bound at failure probability Beta (FutureRand only; 0 otherwise).
+	HoeffdingBound float64
+	// Protocol that produced the result.
+	Protocol Protocol
+}
+
+func (o Options) system() (sim.System, error) {
+	p := o.Protocol
+	if p == "" {
+		p = FutureRand
+	}
+	switch p {
+	case FutureRand, Independent, Bun:
+		kind := map[Protocol]sim.RandomizerKind{
+			FutureRand:  sim.FutureRand,
+			Independent: sim.Independent,
+			Bun:         sim.Bun,
+		}[p]
+		if o.Workers != 0 && o.Exact {
+			return nil, errors.New("ldp: Workers requires the fast engine")
+		}
+		fw := sim.Framework{Kind: kind, Eps: o.Epsilon, Fast: !o.Exact, Workers: o.Workers}
+		if o.Consistency {
+			return sim.Consistent{Framework: fw}, nil
+		}
+		return fw, nil
+	case Erlingsson:
+		if o.Consistency {
+			return nil, errors.New("ldp: consistency post-processing applies to framework protocols only")
+		}
+		return sim.Erlingsson{Eps: o.Epsilon, Fast: !o.Exact}, nil
+	case NaiveSplit:
+		if o.Consistency {
+			return nil, errors.New("ldp: consistency post-processing applies to framework protocols only")
+		}
+		return sim.NaiveSplit{Eps: o.Epsilon, Fast: !o.Exact}, nil
+	case CentralBinary:
+		if o.Consistency {
+			return nil, errors.New("ldp: consistency post-processing applies to framework protocols only")
+		}
+		return sim.Central{Eps: o.Epsilon}, nil
+	default:
+		return nil, fmt.Errorf("ldp: unknown protocol %q", p)
+	}
+}
+
+// Track runs the selected protocol end to end on the workload and
+// reports estimates with error metrics.
+func Track(w *workload.Workload, opts Options) (*Result, error) {
+	if w == nil {
+		return nil, errors.New("ldp: nil workload")
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	sys, err := opts.system()
+	if err != nil {
+		return nil, err
+	}
+	g := rng.NewFromSeed(opts.Seed)
+	est, err := sys.Run(w, g)
+	if err != nil {
+		return nil, err
+	}
+	truth := w.Truth()
+	res := &Result{
+		Estimates: est,
+		Truth:     truth,
+		MaxError:  stats.MaxAbsError(est, truth),
+		MAE:       stats.MAE(est, truth),
+		RMSE:      stats.RMSE(est, truth),
+		Protocol:  opts.Protocol,
+	}
+	if res.Protocol == "" {
+		res.Protocol = FutureRand
+	}
+	if res.Protocol == FutureRand {
+		beta := opts.Beta
+		if beta == 0 {
+			beta = 0.05
+		}
+		if b, err := sim.TheoreticalBound(w.N, w.D, w.K, opts.Epsilon, beta); err == nil {
+			res.HoeffdingBound = b
+		}
+	}
+	return res, nil
+}
+
+// CGap returns the exact preservation gap of the FutureRand randomizer
+// at sparsity k and budget eps — the constant behind the protocol's
+// estimator and Theorem 4.4's Ω(ε/√k).
+func CGap(k int, eps float64) (float64, error) {
+	p, err := probmath.NewFutureRand(k, eps)
+	if err != nil {
+		return 0, err
+	}
+	return p.CGap, nil
+}
+
+// ErrorBound returns the Theorem 4.1 high-probability ℓ∞ error bound for
+// the FutureRand protocol, union-bounded over all d periods at failure
+// probability beta.
+func ErrorBound(n, d, k int, eps, beta float64) (float64, error) {
+	return sim.TheoreticalBound(n, d, k, eps, beta)
+}
+
+// ---------------------------------------------------------------------------
+// Streaming API (Algorithms 1 and 2).
+
+// Report is one perturbed partial sum shipped from a client to the
+// server. Bit is ±1.
+type Report struct {
+	User  int
+	Order int
+	J     int
+	Bit   int8
+}
+
+// Client is the client-side algorithm Aclt (Algorithm 1) for one user.
+type Client struct {
+	inner *protocol.Client
+}
+
+// NewClient creates a client for the given user over horizon d (a power
+// of two), sparsity bound k and budget eps, seeded deterministically.
+// The sampled order (safe to transmit in the clear) is available via
+// Order.
+func NewClient(user, d, k int, eps float64, seed int64) (*Client, error) {
+	if !dyadic.IsPow2(d) {
+		return nil, fmt.Errorf("ldp: d=%d is not a power of two", d)
+	}
+	factories, err := protocol.FutureRandFactories(d, k, eps)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{inner: protocol.NewClient(user, d, factories, rng.NewFromSeed(seed))}, nil
+}
+
+// NewClippedClient is NewClient for streams that may exceed the k bound:
+// the effective stream freezes after the k-th change, trading bias on
+// hyper-active users for an intact privacy and sparsity contract.
+func NewClippedClient(user, d, k int, eps float64, seed int64) (*Client, error) {
+	if !dyadic.IsPow2(d) {
+		return nil, fmt.Errorf("ldp: d=%d is not a power of two", d)
+	}
+	factories, err := protocol.FutureRandFactories(d, k, eps)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{inner: protocol.NewClippedClient(user, d, k, factories, rng.NewFromSeed(seed))}, nil
+}
+
+// Order returns the client's sampled order h_u.
+func (c *Client) Order() int { return c.inner.Order() }
+
+// Observe consumes the user's current Boolean value for the next time
+// period and returns a report to ship when this period is a reporting
+// time for the client's order.
+func (c *Client) Observe(value bool) (Report, bool) {
+	var v uint8
+	if value {
+		v = 1
+	}
+	r, ok := c.inner.Observe(v)
+	if !ok {
+		return Report{}, false
+	}
+	return Report{User: r.User, Order: r.Order, J: r.J, Bit: r.Bit}, true
+}
+
+// Server is the server-side algorithm Asvr (Algorithm 2).
+type Server struct {
+	inner *protocol.Server
+	d     int
+}
+
+// NewServer creates a server for horizon d, sparsity bound k and budget
+// eps (which must match the clients').
+func NewServer(d, k int, eps float64) (*Server, error) {
+	if !dyadic.IsPow2(d) {
+		return nil, fmt.Errorf("ldp: d=%d is not a power of two", d)
+	}
+	p, err := probmath.NewFutureRand(k, eps)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		inner: protocol.NewServer(d, protocol.EstimatorScale(d, p.CGap)),
+		d:     d,
+	}, nil
+}
+
+// Register records a user's announced order.
+func (s *Server) Register(order int) error {
+	if order < 0 || order > dyadic.Log2(s.d) {
+		return fmt.Errorf("ldp: order %d out of range [0..%d]", order, dyadic.Log2(s.d))
+	}
+	s.inner.Register(order)
+	return nil
+}
+
+// Ingest accumulates one client report.
+func (s *Server) Ingest(r Report) error {
+	if r.Bit != 1 && r.Bit != -1 {
+		return fmt.Errorf("ldp: report bit %d must be ±1", r.Bit)
+	}
+	if r.Order < 0 || r.Order > dyadic.Log2(s.d) {
+		return fmt.Errorf("ldp: report order %d out of range", r.Order)
+	}
+	if r.J < 1 || r.J > s.d>>uint(r.Order) {
+		return fmt.Errorf("ldp: report index %d out of range for order %d", r.J, r.Order)
+	}
+	s.inner.Ingest(protocol.Report{User: r.User, Order: r.Order, J: r.J, Bit: r.Bit})
+	return nil
+}
+
+// EstimateAt returns â[t] for t in [1..d], valid online once time t has
+// passed (all reports for C(t) arrive by time t).
+func (s *Server) EstimateAt(t int) (float64, error) {
+	if t < 1 || t > s.d {
+		return 0, fmt.Errorf("ldp: time %d out of range [1..%d]", t, s.d)
+	}
+	return s.inner.EstimateAt(t), nil
+}
+
+// Estimates returns the full series â[1..d].
+func (s *Server) Estimates() []float64 { return s.inner.EstimateSeries() }
+
+// EstimateChange returns an unbiased estimate of a[r] − a[l−1], the net
+// change over [l..r], using the direct dyadic cover of the range (at most
+// 2·⌈log₂(r−l+1)⌉ intervals — proportionally less noise for short
+// ranges than differencing two prefix estimates).
+func (s *Server) EstimateChange(l, r int) (float64, error) {
+	if l < 1 || r > s.d || l > r {
+		return 0, fmt.Errorf("ldp: range [%d..%d] invalid for d=%d", l, r, s.d)
+	}
+	return s.inner.EstimateChange(l, r), nil
+}
+
+// Users returns the number of registered users.
+func (s *Server) Users() int { return s.inner.Users() }

@@ -1,0 +1,145 @@
+// Package workload is the public API for generating and loading
+// longitudinal Boolean datasets: n user streams over d time periods,
+// each changing value at most k times. It wraps rtf/internal/workload
+// with a seed-based interface so downstream users never handle internal
+// RNG types.
+//
+// A quick start:
+//
+//	w, err := workload.Generate(workload.Uniform{N: 10000, D: 256, K: 4}, 1)
+//	truth := w.Truth()
+package workload
+
+import (
+	"fmt"
+	"io"
+
+	"rtf/internal/rng"
+	iw "rtf/internal/workload"
+)
+
+// Stream is one user's Boolean value sequence, encoded as the sorted
+// 1-based times at which the value flips (starting from the implicit 0
+// before time 1). It exposes ValueAt, Values and NumChanges.
+type Stream = iw.UserStream
+
+// Workload is a complete dataset; it exposes Truth, Validate,
+// MaxChanges, TotalChanges and WriteCSV.
+type Workload = iw.Workload
+
+// ReadCSV parses a workload in the WriteCSV format.
+func ReadCSV(r io.Reader) (*Workload, error) { return iw.ReadCSV(r) }
+
+// Spec describes a synthetic workload to generate. The concrete types in
+// this package (Uniform, MaxChanges, Bursty, ZipfActivity, Step,
+// Adversarial, Periodic, Static) implement it.
+type Spec interface {
+	// Name identifies the spec in experiment output.
+	Name() string
+
+	generator() iw.Generator
+}
+
+// Generate builds the workload described by the spec, deterministically
+// from the seed.
+func Generate(s Spec, seed int64) (*Workload, error) {
+	if s == nil {
+		return nil, fmt.Errorf("workload: nil spec")
+	}
+	return s.generator().Generate(rng.NewFromSeed(seed))
+}
+
+// Uniform gives each user a change count drawn uniformly from [0..K] at
+// uniform times — the neutral workload for scaling studies.
+type Uniform struct{ N, D, K int }
+
+// Name implements Spec.
+func (s Uniform) Name() string { return "uniform" }
+
+func (s Uniform) generator() iw.Generator { return iw.UniformGen{N: s.N, D: s.D, K: s.K} }
+
+// MaxChanges gives every user exactly K changes — the worst case for the
+// sparsity bound.
+type MaxChanges struct{ N, D, K int }
+
+// Name implements Spec.
+func (s MaxChanges) Name() string { return "max-changes" }
+
+func (s MaxChanges) generator() iw.Generator { return iw.MaxChangesGen{N: s.N, D: s.D, K: s.K} }
+
+// Bursty concentrates changes in the window [Start..End] with probability
+// InBurst — a breaking-news event.
+type Bursty struct {
+	N, D, K    int
+	Start, End int
+	InBurst    float64
+}
+
+// Name implements Spec.
+func (s Bursty) Name() string { return "bursty" }
+
+func (s Bursty) generator() iw.Generator {
+	return iw.BurstyGen{N: s.N, D: s.D, K: s.K, Start: s.Start, End: s.End, InBurst: s.InBurst}
+}
+
+// ZipfActivity draws each user's change count from a Zipf law with
+// exponent S — a few hyper-active users, a long static tail.
+type ZipfActivity struct {
+	N, D, K int
+	S       float64
+}
+
+// Name implements Spec.
+func (s ZipfActivity) Name() string { return "zipf-activity" }
+
+func (s ZipfActivity) generator() iw.Generator {
+	return iw.ZipfActivityGen{N: s.N, D: s.D, K: s.K, S: s.S}
+}
+
+// Step flips Fraction of the users 0→1 in a jittered window around T0 —
+// a global trend the online protocol must track promptly.
+type Step struct {
+	N, D     int
+	T0       int
+	Jitter   int
+	Fraction float64
+}
+
+// Name implements Spec.
+func (s Step) Name() string { return "step" }
+
+func (s Step) generator() iw.Generator {
+	return iw.StepGen{N: s.N, D: s.D, T0: s.T0, Jitter: s.Jitter, Fraction: s.Fraction}
+}
+
+// Adversarial makes every user flip at the same K times — worst-case
+// synchronized swings of ±n.
+type Adversarial struct{ N, D, K int }
+
+// Name implements Spec.
+func (s Adversarial) Name() string { return "adversarial" }
+
+func (s Adversarial) generator() iw.Generator { return iw.AdversarialGen{N: s.N, D: s.D, K: s.K} }
+
+// Periodic toggles each user every Period steps from a random phase,
+// truncated at K changes.
+type Periodic struct {
+	N, D, K int
+	Period  int
+}
+
+// Name implements Spec.
+func (s Periodic) Name() string { return "periodic" }
+
+func (s Periodic) generator() iw.Generator {
+	return iw.PeriodicGen{N: s.N, D: s.D, K: s.K, Period: s.Period}
+}
+
+// Static produces users who never change — estimator output is pure
+// noise around zero.
+type Static struct{ N, D int }
+
+// Name implements Spec.
+func (s Static) Name() string { return "static" }
+
+func (s Static) generator() iw.Generator { return iw.StaticGen{N: s.N, D: s.D} }

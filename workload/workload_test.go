@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGenerateAllSpecs(t *testing.T) {
+	specs := []Spec{
+		Uniform{N: 100, D: 64, K: 4},
+		MaxChanges{N: 100, D: 64, K: 4},
+		Bursty{N: 100, D: 64, K: 4, Start: 8, End: 24, InBurst: 0.7},
+		ZipfActivity{N: 100, D: 64, K: 4, S: 1.3},
+		Step{N: 100, D: 64, T0: 32, Jitter: 2, Fraction: 0.4},
+		Adversarial{N: 100, D: 64, K: 4},
+		Periodic{N: 100, D: 64, K: 4, Period: 12},
+		Static{N: 100, D: 64},
+	}
+	for _, s := range specs {
+		w, err := Generate(s, 7)
+		if err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+			continue
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: invalid workload: %v", s.Name(), err)
+		}
+		if s.Name() == "" {
+			t.Error("empty spec name")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Uniform{N: 50, D: 32, K: 3}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Uniform{N: 50, D: 32, K: 3}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Users {
+		at, bt := a.Users[i].ChangeTimes, b.Users[i].ChangeTimes
+		if len(at) != len(bt) {
+			t.Fatal("same seed gave different workloads")
+		}
+		for j := range at {
+			if at[j] != bt[j] {
+				t.Fatal("same seed gave different change times")
+			}
+		}
+	}
+	c, err := Generate(Uniform{N: 50, D: 32, K: 3}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Users {
+		if len(a.Users[i].ChangeTimes) != len(c.Users[i].ChangeTimes) {
+			same = false
+			break
+		}
+		for j := range a.Users[i].ChangeTimes {
+			if a.Users[i].ChangeTimes[j] != c.Users[i].ChangeTimes[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical workloads")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(nil, 1); err == nil {
+		t.Error("nil spec accepted")
+	}
+	if _, err := Generate(Uniform{N: 0, D: 64, K: 4}, 1); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestCSVRoundTripPublic(t *testing.T) {
+	w, err := Generate(Uniform{N: 20, D: 16, K: 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != w.N || got.D != w.D || got.K != w.K {
+		t.Error("round trip lost header")
+	}
+}
