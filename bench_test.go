@@ -1,8 +1,11 @@
 package rtf_test
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 	"testing"
 
 	"rtf/internal/bitvec"
@@ -263,6 +266,138 @@ func BenchmarkTransportRoundTrip(b *testing.B) {
 		if err := enc.Flush(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ingestion-service benchmarks: the single-message, single-shard path
+// versus sharded batched ingestion (the rtf-serve data path), at the
+// same total report count. The single path decodes one frame per report
+// and funnels everything through the mutex Collector into one serial
+// server; the batched path decodes batch frames on one goroutine per
+// stream and fans them into the lock-free sharded accumulator.
+
+const (
+	ingestBenchReports = 1 << 16
+	ingestBenchD       = 1024
+	ingestBenchBatch   = 256
+)
+
+// encodeIngestStreams pre-encodes the benchmark's report set as
+// `streams` independent wire streams, batched or single-message framed.
+func encodeIngestStreams(b *testing.B, streams int, batched bool) [][]byte {
+	b.Helper()
+	g := rng.New(21, 22)
+	out := make([][]byte, streams)
+	per := ingestBenchReports / streams
+	for s := 0; s < streams; s++ {
+		var buf bytes.Buffer
+		enc := transport.NewEncoder(&buf)
+		batch := make([]transport.Msg, 0, ingestBenchBatch)
+		for i := 0; i < per; i++ {
+			h := g.IntN(dyadic.NumOrders(ingestBenchD))
+			bit := int8(1)
+			if g.Bernoulli(0.5) {
+				bit = -1
+			}
+			m := transport.FromReport(protocol.Report{
+				User: s*per + i, Order: h, J: 1 + g.IntN(ingestBenchD>>uint(h)), Bit: bit,
+			})
+			if !batched {
+				if err := enc.Encode(m); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			batch = append(batch, m)
+			if len(batch) == ingestBenchBatch {
+				if err := enc.EncodeBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				batch = batch[:0]
+			}
+		}
+		if len(batch) > 0 {
+			if err := enc.EncodeBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := enc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		out[s] = buf.Bytes()
+	}
+	return out
+}
+
+// BenchmarkIngestSingleMessage is the baseline: one stream of
+// per-message frames, decoded serially, pushed one message at a time
+// through the mutex Collector and drained into a serial Server.
+func BenchmarkIngestSingleMessage(b *testing.B) {
+	streams := encodeIngestStreams(b, 1, false)
+	b.SetBytes(int64(len(streams[0])))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := protocol.NewServer(ingestBenchD, 100)
+		col := transport.NewCollector()
+		dec := transport.NewDecoder(bytes.NewReader(streams[0]))
+		for {
+			m, err := dec.Next()
+			if err != nil {
+				break
+			}
+			if err := col.Send(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		col.Drain(func(m transport.Msg) { srv.Ingest(m.Report()) })
+	}
+	b.ReportMetric(float64(ingestBenchReports)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+}
+
+// BenchmarkIngestBatchedSharded is the rtf-serve data path: per-stream
+// goroutines decode batch frames and fan them into the lock-free
+// sharded accumulator through the ShardedCollector. With GOMAXPROCS ≥
+// shards the streams decode in parallel; even single-threaded, batching
+// amortizes the per-message collector and dispatch overhead.
+func BenchmarkIngestBatchedSharded(b *testing.B) {
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	if counts[2] == counts[1] || counts[2] == counts[0] {
+		counts = counts[:2]
+	}
+	for _, shards := range counts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			streams := encodeIngestStreams(b, shards, true)
+			var total int64
+			for _, s := range streams {
+				total += int64(len(s))
+			}
+			b.SetBytes(total)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				col := transport.NewShardedCollector(protocol.NewSharded(ingestBenchD, 100, shards))
+				var wg sync.WaitGroup
+				for s := range streams {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						dec := transport.NewDecoder(bytes.NewReader(streams[s]))
+						for {
+							ms, err := dec.NextBatch()
+							if err != nil {
+								return
+							}
+							if err := col.SendBatch(s, ms); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(s)
+				}
+				wg.Wait()
+			}
+			b.ReportMetric(float64(ingestBenchReports)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+		})
 	}
 }
 

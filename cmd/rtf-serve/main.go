@@ -1,0 +1,96 @@
+// Command rtf-serve runs the sharded batch-ingest aggregation service:
+// a TCP server that accepts framed hello/report messages — single or
+// batched — from any number of client connections, accumulates them into
+// a lock-free sharded dyadic accumulator, and answers online estimate
+// queries (MsgQuery → MsgEstimate) from the live counters.
+//
+// The protocol parameters (-d, -k, -eps) must match the clients'; they
+// determine the estimator scale of Algorithm 2. Estimates served are
+// bit-for-bit identical to a serial in-process server fed the same
+// reports, regardless of sharding, batching or connection interleaving
+// (see cmd/rtf-sim's -drive mode, which checks exactly that).
+//
+// Examples:
+//
+//	rtf-serve -addr :7609 -d 1024 -k 8 -eps 1.0
+//	rtf-serve -addr :7609 -d 256 -k 4 -eps 0.5 -shards 16 -stats 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"rtf/internal/dyadic"
+	"rtf/internal/probmath"
+	"rtf/internal/protocol"
+	"rtf/internal/transport"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":7609", "TCP listen address")
+		d      = flag.Int("d", 1024, "time periods (power of two); must match clients")
+		k      = flag.Int("k", 8, "max changes per user; must match clients")
+		eps    = flag.Float64("eps", 1.0, "privacy budget (0 < eps <= 1); must match clients")
+		shards = flag.Int("shards", runtime.GOMAXPROCS(0), "accumulator shards (>= 1)")
+		stats  = flag.Duration("stats", 0, "print throughput every interval (0 = off)")
+	)
+	flag.Parse()
+
+	if !dyadic.IsPow2(*d) {
+		fatal(fmt.Errorf("d=%d is not a power of two", *d))
+	}
+	p, err := probmath.NewFutureRand(*k, *eps)
+	if err != nil {
+		fatal(err)
+	}
+	if *shards < 1 {
+		fatal(fmt.Errorf("shards=%d must be >= 1", *shards))
+	}
+	acc := protocol.NewSharded(*d, protocol.EstimatorScale(*d, p.CGap), *shards)
+	srv := transport.NewIngestServer(transport.NewShardedCollector(acc))
+	srv.ErrorLog = func(err error) { fmt.Fprintln(os.Stderr, "rtf-serve:", err) }
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "rtf-serve: shutting down")
+		srv.Close()
+	}()
+
+	if *stats > 0 {
+		go func() {
+			tick := time.NewTicker(*stats)
+			defer tick.Stop()
+			var lastReports int64
+			last := time.Now()
+			for range tick.C {
+				hellos, reports, batches := srv.Collector.Stats()
+				now := time.Now()
+				rate := float64(reports-lastReports) / now.Sub(last).Seconds()
+				fmt.Fprintf(os.Stderr, "rtf-serve: users=%d reports=%d batches=%d rate=%.0f reports/s\n",
+					hellos, reports, batches, rate)
+				lastReports, last = reports, now
+			}
+		}()
+	}
+
+	fmt.Fprintf(os.Stderr, "rtf-serve: listening on %s (d=%d k=%d eps=%v shards=%d)\n",
+		*addr, *d, *k, *eps, *shards)
+	if err := srv.ListenAndServe(*addr, nil); err != nil {
+		fatal(err)
+	}
+	hellos, reports, batches := srv.Collector.Stats()
+	fmt.Fprintf(os.Stderr, "rtf-serve: done: users=%d reports=%d batches=%d\n", hellos, reports, batches)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtf-serve:", err)
+	os.Exit(1)
+}

@@ -2,19 +2,33 @@
 // workload and reports error metrics, optionally dumping the estimate
 // series as CSV.
 //
+// With -drive it instead load-tests a running rtf-serve aggregation
+// service: per-user clients generate real randomized reports, ship them
+// over -conns parallel TCP connections in batches of -batch messages,
+// and the driver then queries every period's estimate back and checks it
+// is bit-for-bit identical to an in-process serial server fed the same
+// reports. The server must be started with the same -d, -k and -eps.
+//
 // Examples:
 //
 //	rtf-sim -n 50000 -d 1024 -k 8 -eps 1.0
 //	rtf-sim -protocol erlingsson -workload bursty -series
 //	rtf-sim -protocol futurerand -consistency -n 100000
+//	rtf-serve -addr :7609 -d 256 -k 4 &
+//	rtf-sim -drive localhost:7609 -n 10000 -d 256 -k 4 -conns 8 -batch 256
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"sync"
 	"time"
 
+	"rtf/internal/protocol"
+	"rtf/internal/rng"
+	"rtf/internal/transport"
 	"rtf/ldp"
 	"rtf/workload"
 )
@@ -33,12 +47,30 @@ func main() {
 		series  = flag.Bool("series", false, "print the t,truth,estimate series as CSV")
 		wlOut   = flag.String("write-workload", "", "write the generated workload as CSV to this file")
 		wlIn    = flag.String("read-workload", "", "read the workload from this CSV file instead of generating")
+		drive   = flag.String("drive", "", "load-test a running rtf-serve at this address instead of simulating (the server must be freshly started: the bit-for-bit check compares its cumulative state against this run alone)")
+		conns   = flag.Int("conns", 4, "parallel connections in -drive mode")
+		batch   = flag.Int("batch", 256, "messages per batch frame in -drive mode")
 	)
 	flag.Parse()
 
 	w, err := loadWorkload(*wlIn, *wl, *n, *d, *k, *seed)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *drive != "" {
+		// Drive mode generates reports with the futurerand client only;
+		// reject flags it would otherwise silently ignore.
+		if *proto != "futurerand" {
+			fatal(fmt.Errorf("-drive supports only -protocol futurerand (got %q)", *proto))
+		}
+		if *exact || *consist {
+			fatal(fmt.Errorf("-drive does not support -exact or -consistency"))
+		}
+		if err := runDrive(*drive, w, *k, *eps, *conns, *batch, *seed); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *wlOut != "" {
 		f, err := os.Create(*wlOut)
@@ -116,6 +148,195 @@ func loadWorkload(path, spec string, n, d, k int, seed int64) (*workload.Workloa
 		return nil, fmt.Errorf("unknown workload %q", spec)
 	}
 	return workload.Generate(s, seed)
+}
+
+// runDrive load-tests an rtf-serve instance: it generates every user's
+// reports with the real client algorithm (deterministic per-user seeds,
+// so the report set is independent of how users are spread over
+// connections), ships them as batch frames over conns parallel TCP
+// connections via the public ldp.BatchReporter, then queries all d
+// estimates back and verifies them bit-for-bit against an in-process
+// serial server fed the same reports.
+func runDrive(addr string, w *workload.Workload, k int, eps float64, conns, batch int, seed int64) error {
+	if conns < 1 {
+		return fmt.Errorf("conns=%d must be >= 1", conns)
+	}
+	kk := maxInt(k, 1)
+	factories, err := protocol.FutureRandFactories(w.D, kk, eps)
+	if err != nil {
+		return err
+	}
+	scale := protocol.EstimatorScale(w.D, factories[0].CGap())
+
+	start := time.Now()
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstE  error
+		shards  = make([]*protocol.Server, conns)
+		reports int64
+		bytes   int64
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstE == nil {
+			firstE = err
+		}
+		mu.Unlock()
+	}
+	per := (w.N + conns - 1) / conns
+	for c := 0; c < conns; c++ {
+		lo, hi := c*per, minInt((c+1)*per, w.N)
+		shards[c] = protocol.NewServer(w.D, scale)
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			local := shards[c]
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer conn.Close()
+			rep, err := ldp.NewBatchReporter(conn, batch)
+			if err != nil {
+				fail(err)
+				return
+			}
+			var sent int64
+			for u := lo; u < hi; u++ {
+				g := rng.NewFromSeed(seed + int64(u))
+				cl := protocol.NewClient(u, w.D, factories, g)
+				local.Register(cl.Order())
+				if err := rep.Hello(u, cl.Order()); err != nil {
+					fail(err)
+					return
+				}
+				vals := w.Users[u].Values(w.D)
+				for t := 1; t <= w.D; t++ {
+					r, ok := cl.Observe(vals[t-1])
+					if !ok {
+						continue
+					}
+					local.Ingest(r)
+					if err := rep.Report(ldp.Report{User: r.User, Order: r.Order, J: r.J, Bit: r.Bit}); err != nil {
+						fail(err)
+						return
+					}
+					sent++
+				}
+			}
+			if err := rep.Flush(); err != nil {
+				fail(err)
+				return
+			}
+			// Fence: a query response proves the server applied everything
+			// this connection sent before it.
+			enc := transport.NewEncoder(conn)
+			if err := enc.Encode(transport.Query(1)); err != nil {
+				fail(err)
+				return
+			}
+			if err := enc.Flush(); err != nil {
+				fail(err)
+				return
+			}
+			if _, err := transport.NewDecoder(conn).Next(); err != nil {
+				fail(fmt.Errorf("fence query: %w", err))
+				return
+			}
+			mu.Lock()
+			reports += sent
+			bytes += rep.BytesWritten()
+			mu.Unlock()
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	if firstE != nil {
+		return firstE
+	}
+	elapsed := time.Since(start)
+
+	// Serial reference: fold the per-connection servers (exact integer
+	// addition, so the result equals one server fed every report).
+	serial := protocol.NewServer(w.D, scale)
+	for _, s := range shards {
+		serial.Merge(s)
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	enc := transport.NewEncoder(conn)
+	dec := transport.NewDecoder(conn)
+	for t := 1; t <= w.D; t++ {
+		if err := enc.Encode(transport.Query(t)); err != nil {
+			return err
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		return err
+	}
+	mismatches := 0
+	est := make([]float64, w.D)
+	for t := 1; t <= w.D; t++ {
+		m, err := dec.Next()
+		if err != nil {
+			return err
+		}
+		if m.Type != transport.MsgEstimate || m.T != t {
+			return fmt.Errorf("unexpected query response %+v at t=%d", m, t)
+		}
+		est[t-1] = m.Value
+		if want := serial.EstimateAt(t); m.Value != want {
+			mismatches++
+			if mismatches <= 3 {
+				fmt.Fprintf(os.Stderr, "rtf-sim: t=%d server=%v serial=%v\n", t, m.Value, want)
+			}
+		}
+	}
+
+	fmt.Printf("drive addr=%s n=%d d=%d k=%d eps=%v conns=%d batch=%d seed=%d\n",
+		addr, w.N, w.D, w.K, eps, conns, batch, seed)
+	fmt.Printf("reports    %d (%d users)\n", reports, w.N)
+	fmt.Printf("wire bytes %d (%.1f B/report)\n", bytes, float64(bytes)/float64(maxInt64(reports, 1)))
+	fmt.Printf("elapsed    %v (%.0f reports/s)\n", elapsed.Round(time.Millisecond), float64(reports)/elapsed.Seconds())
+	truth := w.Truth()
+	var maxErr float64
+	for t := 1; t <= w.D; t++ {
+		if e := abs(est[t-1] - float64(truth[t-1])); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("max error  %.1f\n", maxErr)
+	if mismatches > 0 {
+		return fmt.Errorf("%d of %d estimates differ from the serial engine", mismatches, w.D)
+	}
+	fmt.Printf("estimates  bit-for-bit identical to the serial engine (%d periods)\n", w.D)
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func maxInt(a, b int) int {

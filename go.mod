@@ -1,0 +1,3 @@
+module rtf
+
+go 1.22

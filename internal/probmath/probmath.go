@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"sync"
 
 	"rtf/internal/binom"
 )
@@ -55,6 +56,7 @@ type Annulus struct {
 	LogPMin, LogPMax float64 // their natural logarithms (exact at any k)
 	EpsActual        float64 // realized LogPMax − LogPMin (≤ ε by Lemma 5.2 asymptotics)
 
+	cdfOnce       sync.Once
 	complementCDF []float64 // lazily built by ComplementDistCDF
 }
 
@@ -219,15 +221,19 @@ func (a *Annulus) ComplementEmpty() bool { return a.LB == 0 && a.UB == a.K }
 
 // ComplementDistCDF returns the cumulative distribution over distances
 // i ∈ [0..k] of a uniform sample from {−1,1}^k \ Ann(b): weights are
-// C(k,i) for i outside [LB..UB] and zero inside. The result is cached.
-// It panics if the complement is empty.
+// C(k,i) for i outside [LB..UB] and zero inside. The result is cached;
+// the build is guarded by a sync.Once so one Annulus can serve many
+// randomizer instances on concurrent ingestion shards. It panics if the
+// complement is empty.
 func (a *Annulus) ComplementDistCDF() []float64 {
-	if a.complementCDF != nil {
-		return a.complementCDF
-	}
 	if a.ComplementEmpty() {
 		panic("probmath: complement of annulus is empty")
 	}
+	a.cdfOnce.Do(a.buildComplementCDF)
+	return a.complementCDF
+}
+
+func (a *Annulus) buildComplementCDF() {
 	k := a.K
 	logs := make([]float64, 0, k+1)
 	idx := make([]int, 0, k+1)
@@ -251,7 +257,6 @@ func (a *Annulus) ComplementDistCDF() []float64 {
 	}
 	cdf[k] = 1 // guard rounding
 	a.complementCDF = cdf
-	return cdf
 }
 
 // MarginalPrefix returns the probability that the first sigma coordinates

@@ -1,8 +1,9 @@
 // Package protocol implements the longitudinal data-collection protocol
 // of Section 4: the client algorithm Aclt (Algorithm 1), the server
-// algorithm Asvr (Algorithm 2), and the two baselines of Section 6 — the
-// Erlingsson et al. change-sampling protocol and the naive ε/d
-// budget-splitting protocol.
+// algorithm Asvr (Algorithm 2) together with its lock-free Sharded
+// accumulator for concurrent ingestion, and the two baselines of
+// Section 6 — the Erlingsson et al. change-sampling protocol and the
+// naive ε/d budget-splitting protocol.
 package protocol
 
 import (

@@ -1,0 +1,165 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"rtf/internal/dyadic"
+)
+
+// Sharded is a lock-free sharded accumulator for Algorithm 2: the same
+// one-counter-per-dyadic-interval state as Server, split into shards so
+// that many ingestion goroutines can accumulate reports concurrently
+// without a mutex. All mutation is done with atomic adds, so any
+// goroutine may write to any shard; callers route by shard index (e.g.
+// connection id modulo NumShards) purely to keep hot counters on
+// distinct cache lines.
+//
+// Because ingestion only ever adds ±1 into int64 counters, addition is
+// exact, commutative and associative: estimates from a Sharded
+// accumulator are bit-for-bit identical to a serial Server fed the same
+// reports in any order. The parallel simulation engine and the
+// rtf-serve batch-ingest service are both built on this type.
+type Sharded struct {
+	d      int
+	scale  float64
+	tree   *dyadic.Tree
+	shards []accShard
+}
+
+// accShard is one shard's counters. The slices are allocated separately
+// per shard, so concurrent writers on different shards touch disjoint
+// cache lines.
+type accShard struct {
+	sums     []int64 // Σ of ±1 report bits, one per dyadic interval (atomic)
+	users    int64   // registered users (atomic)
+	perOrder []int64 // registered users per order (atomic)
+}
+
+// NewSharded builds a sharded accumulator for horizon d with the given
+// estimator scale and shard count (at least 1).
+func NewSharded(d int, scale float64, shards int) *Sharded {
+	if !dyadic.IsPow2(d) {
+		panic(fmt.Sprintf("protocol: d=%d not a power of two", d))
+	}
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		panic(fmt.Sprintf("protocol: invalid estimator scale %v", scale))
+	}
+	if shards < 1 {
+		panic(fmt.Sprintf("protocol: shard count %d < 1", shards))
+	}
+	tr := dyadic.NewTree(d)
+	sh := make([]accShard, shards)
+	for i := range sh {
+		sh[i] = accShard{
+			sums:     make([]int64, tr.Size()),
+			perOrder: make([]int64, dyadic.NumOrders(d)),
+		}
+	}
+	return &Sharded{d: d, scale: scale, tree: tr, shards: sh}
+}
+
+// NumShards returns the number of shards.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// D returns the horizon.
+func (s *Sharded) D() int { return s.d }
+
+// Scale returns the estimator scale.
+func (s *Sharded) Scale() float64 { return s.scale }
+
+// Tree returns the dyadic index used by this accumulator.
+func (s *Sharded) Tree() *dyadic.Tree { return s.tree }
+
+func (s *Sharded) shard(i int) *accShard {
+	return &s.shards[i%len(s.shards)]
+}
+
+// Register records a user's sampled order into the given shard.
+func (s *Sharded) Register(shard, order int) {
+	sh := s.shard(shard)
+	if order < 0 || order >= len(sh.perOrder) {
+		panic(fmt.Sprintf("protocol: order %d out of range", order))
+	}
+	atomic.AddInt64(&sh.users, 1)
+	atomic.AddInt64(&sh.perOrder[order], 1)
+}
+
+// Ingest accumulates one report into the given shard.
+func (s *Sharded) Ingest(shard int, r Report) {
+	if r.Bit != 1 && r.Bit != -1 {
+		panic(fmt.Sprintf("protocol: report bit %d not ±1", r.Bit))
+	}
+	flat := s.tree.FlatIndex(dyadic.Interval{Order: r.Order, Index: r.J})
+	atomic.AddInt64(&s.shard(shard).sums[flat], int64(r.Bit))
+}
+
+// IngestSum adds a pre-aggregated sum of ±1 bits for one interval into
+// the given shard.
+func (s *Sharded) IngestSum(shard int, iv dyadic.Interval, sum int64) {
+	atomic.AddInt64(&s.shard(shard).sums[s.tree.FlatIndex(iv)], sum)
+}
+
+// Users returns the number of registered users across all shards.
+func (s *Sharded) Users() int {
+	var n int64
+	for i := range s.shards {
+		n += atomic.LoadInt64(&s.shards[i].users)
+	}
+	return int(n)
+}
+
+// intervalSum folds one interval's counter across shards. Pure int64
+// addition, so the result is independent of shard assignment.
+func (s *Sharded) intervalSum(flat int) int64 {
+	var sum int64
+	for i := range s.shards {
+		sum += atomic.LoadInt64(&s.shards[i].sums[flat])
+	}
+	return sum
+}
+
+// EstimateAt returns â[t] via the dyadic decomposition C(t), reading the
+// live counters. It is safe to call concurrently with ingestion: each
+// counter is loaded atomically, and the per-interval totals are summed
+// in the same decomposition order as Server.EstimateAt, so a quiesced
+// Sharded accumulator agrees with the serial server bit for bit.
+func (s *Sharded) EstimateAt(t int) float64 {
+	var est float64
+	for _, iv := range dyadic.Decompose(t, s.d) {
+		est += s.scale * float64(s.intervalSum(s.tree.FlatIndex(iv)))
+	}
+	return est
+}
+
+// Snapshot folds the current shard state into a fresh serial Server,
+// from which the full estimate series, range estimates and consistency
+// post-processing are available. Counters are loaded atomically, but a
+// snapshot taken concurrently with ingestion is not a point-in-time cut
+// across intervals; quiesce ingestion first when exactness across the
+// whole tree matters.
+func (s *Sharded) Snapshot() *Server {
+	srv := NewServer(s.d, s.scale)
+	srv.MergeSharded(s)
+	return srv
+}
+
+// MergeSharded folds a sharded accumulator's state into s, the same way
+// Merge folds another serial server. Both must have the same horizon and
+// scale.
+func (s *Server) MergeSharded(o *Sharded) {
+	if o.d != s.d || o.scale != s.scale {
+		panic("protocol: merging incompatible servers")
+	}
+	for i := range o.shards {
+		sh := &o.shards[i]
+		for flat := range sh.sums {
+			s.sums[flat] += atomic.LoadInt64(&sh.sums[flat])
+		}
+		s.users += int(atomic.LoadInt64(&sh.users))
+		for h := range sh.perOrder {
+			s.perOrder[h] += int(atomic.LoadInt64(&sh.perOrder[h]))
+		}
+	}
+}

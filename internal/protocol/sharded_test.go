@@ -1,0 +1,118 @@
+package protocol
+
+import (
+	"sync"
+	"testing"
+
+	"rtf/internal/dyadic"
+	"rtf/internal/rng"
+)
+
+// randomReports builds a deterministic batch of valid reports over [d].
+func randomReports(g *rng.RNG, d, n int) []Report {
+	out := make([]Report, n)
+	for i := range out {
+		h := SampleOrder(g, d)
+		j := 1 + g.IntN(d>>uint(h))
+		bit := int8(1)
+		if g.Bernoulli(0.5) {
+			bit = -1
+		}
+		out[i] = Report{User: i, Order: h, J: j, Bit: bit}
+	}
+	return out
+}
+
+// TestShardedMatchesSerial checks that concurrent sharded ingestion is
+// bit-for-bit identical to a serial server fed the same reports.
+func TestShardedMatchesSerial(t *testing.T) {
+	const d, n, shards = 256, 20000, 8
+	g := rng.New(1, 2)
+	reports := randomReports(g, d, n)
+
+	serial := NewServer(d, 3.5)
+	for _, r := range reports {
+		serial.Ingest(r)
+	}
+	for h := 0; h < dyadic.NumOrders(d); h++ {
+		serial.Register(h)
+	}
+
+	acc := NewSharded(d, 3.5, shards)
+	var wg sync.WaitGroup
+	per := (n + shards - 1) / shards
+	for s := 0; s < shards; s++ {
+		lo, hi := s*per, min((s+1)*per, n)
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			for _, r := range reports[lo:hi] {
+				// Deliberately scatter across shards: correctness must not
+				// depend on shard assignment.
+				acc.Ingest(r.User, r)
+			}
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	for h := 0; h < dyadic.NumOrders(d); h++ {
+		acc.Register(h, h)
+	}
+
+	if got, want := acc.Users(), serial.Users(); got != want {
+		t.Fatalf("Users: got %d, want %d", got, want)
+	}
+	for tt := 1; tt <= d; tt++ {
+		if got, want := acc.EstimateAt(tt), serial.EstimateAt(tt); got != want {
+			t.Fatalf("EstimateAt(%d): got %v, want %v", tt, got, want)
+		}
+	}
+
+	snap := acc.Snapshot()
+	se, we := snap.EstimateSeries(), serial.EstimateSeries()
+	for i := range se {
+		if se[i] != we[i] {
+			t.Fatalf("series[%d]: got %v, want %v", i, se[i], we[i])
+		}
+	}
+	for h := 0; h < dyadic.NumOrders(d); h++ {
+		if snap.UsersAtOrder(h) != serial.UsersAtOrder(h) {
+			t.Fatalf("UsersAtOrder(%d): got %d, want %d", h, snap.UsersAtOrder(h), serial.UsersAtOrder(h))
+		}
+	}
+}
+
+// TestMergeShardedIntoNonEmpty checks that folding adds to, rather than
+// replaces, existing server state.
+func TestMergeShardedIntoNonEmpty(t *testing.T) {
+	const d = 16
+	iv := dyadic.Interval{Order: 1, Index: 3}
+	srv := NewServer(d, 2)
+	srv.IngestSum(iv, 5)
+	acc := NewSharded(d, 2, 4)
+	acc.IngestSum(2, iv, 7)
+	srv.MergeSharded(acc)
+	if got, want := srv.IntervalEstimate(iv), 2*float64(12); got != want {
+		t.Fatalf("merged estimate: got %v, want %v", got, want)
+	}
+}
+
+// TestShardedPanics checks argument validation.
+func TestShardedPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("d not pow2", func() { NewSharded(7, 1, 1) })
+	mustPanic("zero shards", func() { NewSharded(8, 1, 0) })
+	mustPanic("bad scale", func() { NewSharded(8, 0, 1) })
+	acc := NewSharded(8, 1, 2)
+	mustPanic("bad bit", func() { acc.Ingest(0, Report{Order: 0, J: 1, Bit: 0}) })
+	mustPanic("bad order", func() { acc.Register(0, 99) })
+	srv := NewServer(16, 1)
+	mustPanic("incompatible merge", func() { srv.MergeSharded(acc) })
+}

@@ -13,11 +13,11 @@ import (
 
 // runFrameworkFastParallel is the sharded variant of runFrameworkFast:
 // users are split into contiguous shards, each processed by a worker
-// with its own server accumulator and a scheduling-independent derived
-// RNG stream, then merged. Results are deterministic for a fixed seed
-// regardless of worker count or interleaving (each shard's randomness
-// depends only on its index), and distributionally identical to the
-// serial engines.
+// accumulating into its own shard of a protocol.Sharded with a
+// scheduling-independent derived RNG stream, then folded into srv.
+// Results are deterministic for a fixed seed regardless of worker count
+// or interleaving (each shard's randomness depends only on its index),
+// and distributionally identical to the serial engines.
 func runFrameworkFastParallel(w *workload.Workload, factories []core.Factory, srv *protocol.Server, g *rng.RNG, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -27,11 +27,8 @@ func runFrameworkFastParallel(w *workload.Workload, factories []core.Factory, sr
 	}
 	tree := srv.Tree()
 
-	type shardResult struct {
-		srv     *protocol.Server
-		nonzero []int
-	}
-	results := make([]shardResult, workers)
+	acc := protocol.NewSharded(srv.D(), srv.Scale(), workers)
+	nonzeroByShard := make([][]int, workers)
 	var wg sync.WaitGroup
 	per := (w.N + workers - 1) / workers
 	for s := 0; s < workers; s++ {
@@ -43,31 +40,30 @@ func runFrameworkFastParallel(w *workload.Workload, factories []core.Factory, sr
 		wg.Add(1)
 		go func(s, lo, hi int) {
 			defer wg.Done()
-			local := protocol.NewServer(srv.D(), srv.Scale())
 			nonzero := make([]int, tree.Size())
 			gg := g.Derive(uint64(s))
 			for u := lo; u < hi; u++ {
 				us := w.Users[u]
 				h := protocol.SampleOrder(gg, w.D)
-				local.Register(h)
+				acc.Register(s, h)
 				if us.NumChanges() == 0 {
 					continue
 				}
 				inst := factories[h].NewInstance(gg)
 				for _, nz := range nonzeroPartialSums(us, h) {
-					local.Ingest(protocol.Report{User: u, Order: h, J: nz.j, Bit: inst.Perturb(nz.sign)})
+					acc.Ingest(s, protocol.Report{User: u, Order: h, J: nz.j, Bit: inst.Perturb(nz.sign)})
 					nonzero[tree.FlatIndex(dyadic.Interval{Order: h, Index: nz.j})]++
 				}
 			}
-			results[s] = shardResult{srv: local, nonzero: nonzero}
+			nonzeroByShard[s] = nonzero
 		}(s, lo, hi)
 	}
 	wg.Wait()
 
+	srv.MergeSharded(acc)
 	total := make([]int, tree.Size())
-	for _, r := range results {
-		srv.Merge(r.srv)
-		for i, c := range r.nonzero {
+	for _, nonzero := range nonzeroByShard {
+		for i, c := range nonzero {
 			total[i] += c
 		}
 	}

@@ -1,0 +1,305 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"rtf/internal/protocol"
+	"rtf/internal/rng"
+)
+
+func testBatch(n int) []Msg {
+	g := rng.New(3, 9)
+	ms := make([]Msg, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			ms = append(ms, Hello(i, g.IntN(9)))
+		default:
+			bit := int8(1)
+			if g.Bernoulli(0.5) {
+				bit = -1
+			}
+			ms = append(ms, FromReport(protocol.Report{User: i, Order: g.IntN(9), J: 1 + g.IntN(16), Bit: bit}))
+		}
+	}
+	return ms
+}
+
+// TestBatchRoundTrip checks that batch frames survive the wire exactly,
+// via both the batch-granular and the unbatching decode paths.
+func TestBatchRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1000} {
+		ms := testBatch(n)
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		if err := enc.EncodeBatch(ms); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(Query(5)); err != nil { // frame after the batch
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Batch-granular path.
+		dec := NewDecoder(bytes.NewReader(buf.Bytes()))
+		got, err := dec.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			// An empty batch yields the next frame instead.
+			if len(got) != 1 || got[0] != Query(5) {
+				t.Fatalf("empty batch: got %+v", got)
+			}
+			continue
+		}
+		if len(got) != n {
+			t.Fatalf("batch len: got %d, want %d", len(got), n)
+		}
+		for i := range got {
+			if got[i] != ms[i] {
+				t.Fatalf("msg %d: got %+v, want %+v", i, got[i], ms[i])
+			}
+		}
+		if q, err := dec.NextBatch(); err != nil || len(q) != 1 || q[0] != Query(5) {
+			t.Fatalf("trailing query: got %+v, %v", q, err)
+		}
+		if _, err := dec.NextBatch(); !errors.Is(err, io.EOF) {
+			t.Fatalf("expected EOF, got %v", err)
+		}
+
+		// Unbatching path.
+		dec = NewDecoder(bytes.NewReader(buf.Bytes()))
+		for i := 0; i < n; i++ {
+			m, err := dec.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m != ms[i] {
+				t.Fatalf("Next %d: got %+v, want %+v", i, m, ms[i])
+			}
+		}
+		if m, err := dec.Next(); err != nil || m != Query(5) {
+			t.Fatalf("trailing query via Next: got %+v, %v", m, err)
+		}
+	}
+}
+
+// TestBatchMixedConsumption interleaves Next and NextBatch over one
+// batch frame: NextBatch must return only the unconsumed tail.
+func TestBatchMixedConsumption(t *testing.T) {
+	ms := testBatch(10)
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.EncodeBatch(ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(&buf)
+	for i := 0; i < 4; i++ {
+		m, err := dec.Next()
+		if err != nil || m != ms[i] {
+			t.Fatalf("Next %d: got %+v, %v", i, m, err)
+		}
+	}
+	tail, err := dec.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 6 {
+		t.Fatalf("tail len: got %d, want 6", len(tail))
+	}
+	for i, m := range tail {
+		if m != ms[4+i] {
+			t.Fatalf("tail %d: got %+v, want %+v", i, m, ms[4+i])
+		}
+	}
+}
+
+// TestEmptyBatchFlood checks that a long run of empty batch frames is
+// skipped iteratively: decoding must neither recurse (stack growth) nor
+// return phantom messages.
+func TestEmptyBatchFlood(t *testing.T) {
+	const floods = 200000 // enough to overflow a stack if skipping recursed
+	var buf bytes.Buffer
+	for i := 0; i < floods; i++ {
+		buf.Write([]byte{byte(MsgBatch), 0})
+	}
+	enc := NewEncoder(&buf)
+	if err := enc.Encode(Query(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	dec := NewDecoder(bytes.NewReader(data))
+	if m, err := dec.Next(); err != nil || m != Query(9) {
+		t.Fatalf("Next through flood: got %+v, %v", m, err)
+	}
+	dec = NewDecoder(bytes.NewReader(data))
+	if ms, err := dec.NextBatch(); err != nil || len(ms) != 1 || ms[0] != Query(9) {
+		t.Fatalf("NextBatch through flood: got %+v, %v", ms, err)
+	}
+}
+
+// TestPendingBufferReleased checks that the decoder does not pin a
+// maximal batch's decode buffer for the lifetime of the connection.
+func TestPendingBufferReleased(t *testing.T) {
+	big := testBatch(maxRetainedBatch + 1)
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.EncodeBatch(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncodeBatch(big[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(&buf)
+	if ms, err := dec.NextBatch(); err != nil || len(ms) != len(big) {
+		t.Fatalf("big batch: got %d msgs, %v", len(ms), err)
+	}
+	ms, err := dec.NextBatch()
+	if err != nil || len(ms) != 4 {
+		t.Fatalf("small batch: got %d msgs, %v", len(ms), err)
+	}
+	if cap(dec.pending) > maxRetainedBatch {
+		t.Fatalf("pending capacity %d retained past the %d cap", cap(dec.pending), maxRetainedBatch)
+	}
+}
+
+// TestQueryEstimateRoundTrip checks the query/response scalar frames.
+func TestQueryEstimateRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	want := []Msg{Query(1), Estimate(1, 3.25), Query(1024), Estimate(1024, -0.0), Estimate(7, 123456789.5)}
+	for _, m := range want {
+		if err := enc.Encode(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(&buf)
+	for i, w := range want {
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Fatalf("msg %d: got %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+// TestBatchTruncated checks that every strict prefix of a batch frame
+// fails with a clean error rather than a panic or a silent short read.
+func TestBatchTruncated(t *testing.T) {
+	ms := testBatch(5)
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.EncodeBatch(ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		dec := NewDecoder(bytes.NewReader(full[:cut]))
+		_, err := dec.NextBatch()
+		if err == nil {
+			t.Fatalf("cut %d: expected error", cut)
+		}
+		if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d: expected EOF-class error, got %v", cut, err)
+		}
+	}
+}
+
+// TestBatchCorrupt checks rejection of structurally invalid batches.
+func TestBatchCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"nested batch":     {byte(MsgBatch), 1, byte(MsgBatch), 0},
+		"huge length":      append([]byte{byte(MsgBatch)}, 0xff, 0xff, 0xff, 0xff, 0x7f),
+		"bad inner type":   {byte(MsgBatch), 1, 99, 0},
+		"bad inner bit":    {byte(MsgBatch), 1, byte(MsgReport), 0, 0, 1, 7},
+		"bad scalar type":  {42},
+		"estimate cut off": {byte(MsgEstimate), 3, 1, 2, 3},
+	}
+	for name, data := range cases {
+		dec := NewDecoder(bytes.NewReader(data))
+		if _, err := dec.NextBatch(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestEncodeBatchRejects checks encoder-side validation.
+func TestEncodeBatchRejects(t *testing.T) {
+	enc := NewEncoder(io.Discard)
+	if err := enc.EncodeBatch([]Msg{{Type: MsgBatch}}); err == nil {
+		t.Error("nested batch: expected error")
+	}
+	if err := enc.EncodeBatch([]Msg{{Type: MsgReport, Bit: 0, J: 1}}); err == nil {
+		t.Error("bad bit: expected error")
+	}
+	if err := enc.EncodeBatch(make([]Msg, MaxBatchLen+1)); err == nil {
+		t.Error("oversized batch: expected error")
+	}
+}
+
+// TestShardedCollector checks validation and accumulation through the
+// collector, against a serial server.
+func TestShardedCollector(t *testing.T) {
+	const d = 64
+	acc := protocol.NewSharded(d, 2.5, 4)
+	c := NewShardedCollector(acc)
+
+	serial := protocol.NewServer(d, 2.5)
+	ms := []Msg{
+		Hello(0, 3),
+		FromReport(protocol.Report{User: 0, Order: 3, J: 2, Bit: 1}),
+		FromReport(protocol.Report{User: 1, Order: 0, J: 64, Bit: -1}),
+	}
+	if err := c.SendBatch(7, ms); err != nil {
+		t.Fatal(err)
+	}
+	serial.Register(3)
+	serial.Ingest(protocol.Report{User: 0, Order: 3, J: 2, Bit: 1})
+	serial.Ingest(protocol.Report{User: 1, Order: 0, J: 64, Bit: -1})
+	for tt := 1; tt <= d; tt++ {
+		if got, want := acc.EstimateAt(tt), serial.EstimateAt(tt); got != want {
+			t.Fatalf("EstimateAt(%d): got %v, want %v", tt, got, want)
+		}
+	}
+	hellos, reports, batches := c.Stats()
+	if hellos != 1 || reports != 2 || batches != 1 {
+		t.Fatalf("stats: got %d/%d/%d", hellos, reports, batches)
+	}
+
+	for name, m := range map[string]Msg{
+		"hello order":  Hello(0, 7),
+		"report order": FromReport(protocol.Report{Order: 9, J: 1, Bit: 1}),
+		"report j":     FromReport(protocol.Report{Order: 0, J: 65, Bit: 1}),
+		"report j=0":   FromReport(protocol.Report{Order: 0, J: 0, Bit: 1}),
+		"bit":          {Type: MsgReport, J: 1},
+		"query":        Query(3),
+	} {
+		if err := c.Send(0, m); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

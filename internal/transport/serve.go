@@ -1,0 +1,181 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// IngestServer is the network half of the batch-ingest aggregation
+// service: it accepts any number of TCP (or other net.Listener)
+// connections, decodes framed messages and batches from each, fans them
+// into a ShardedCollector, and answers MsgQuery frames with MsgEstimate
+// responses computed from the live accumulator. Each connection is
+// served by its own goroutine and routed to shard (connection id mod
+// NumShards), so ingestion scales with cores while estimates remain
+// bit-for-bit identical to a serial server fed the same reports.
+type IngestServer struct {
+	Collector *ShardedCollector
+
+	// ErrorLog, when non-nil, receives per-connection decode/validation
+	// failures (which close that connection but not the server).
+	ErrorLog func(err error)
+
+	mu       sync.Mutex
+	listener net.Listener // set by ListenAndServe so Close can unblock it
+	conns    map[net.Conn]struct{}
+	closed   bool
+	nextID   int
+	wg       sync.WaitGroup
+}
+
+// NewIngestServer builds a server over the given collector.
+func NewIngestServer(c *ShardedCollector) *IngestServer {
+	return &IngestServer{Collector: c, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on l until Close is called (or the listener
+// fails) and then waits for in-flight connections to drain. The caller
+// retains ownership of l only until Serve returns; Close closes it.
+func (s *IngestServer) Serve(l net.Listener) error {
+	defer s.wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return nil
+		}
+		id := s.connID()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			if err := s.serveConn(id, conn); err != nil && s.ErrorLog != nil {
+				s.ErrorLog(fmt.Errorf("transport: conn %d: %w", id, err))
+			}
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves. The chosen address (useful
+// with ":0") is sent on ready, if non-nil, once the listener is up.
+func (s *IngestServer) ListenAndServe(addr string, ready chan<- net.Addr) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("transport: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	if ready != nil {
+		ready <- l.Addr()
+	}
+	return s.Serve(l)
+}
+
+// serveConn runs the decode loop for one connection: hello/report
+// messages and batches go to the collector under this connection's
+// shard; queries are answered immediately with the live estimate.
+func (s *IngestServer) serveConn(id int, conn net.Conn) error {
+	dec := NewDecoder(conn)
+	enc := NewEncoder(conn)
+	acc := s.Collector.Acc()
+	for {
+		ms, err := dec.NextBatch()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil // clean client close or server shutdown
+			}
+			return err
+		}
+		// Ingest contiguous runs of hello/report messages as whole
+		// batches; answer queries in stream order between them.
+		run := 0
+		for i, m := range ms {
+			if m.Type != MsgQuery {
+				continue
+			}
+			if i > run {
+				if err := s.Collector.SendBatch(id, ms[run:i]); err != nil {
+					return err
+				}
+			}
+			run = i + 1
+			if m.T < 1 || m.T > acc.D() {
+				return fmt.Errorf("query time %d out of range [1..%d]", m.T, acc.D())
+			}
+			if err := enc.Encode(Estimate(m.T, acc.EstimateAt(m.T))); err != nil {
+				return err
+			}
+			if err := enc.Flush(); err != nil {
+				return err
+			}
+		}
+		if run < len(ms) {
+			if err := s.Collector.SendBatch(id, ms[run:]); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Close stops accepting connections, closes the listener and all live
+// connections, and unblocks Serve.
+func (s *IngestServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	s.listener = nil
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if l != nil {
+		return l.Close()
+	}
+	return nil
+}
+
+func (s *IngestServer) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *IngestServer) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *IngestServer) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+func (s *IngestServer) connID() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	return id
+}

@@ -1,13 +1,17 @@
 // Package transport provides the system substrate between clients and
-// the server: a compact varint wire format for the protocol's two message
-// types (the initial order announcement and per-period reports), a
-// concurrency-safe in-process collector, and a lossy-link simulator for
-// robustness experiments (E15).
+// the server: a compact varint wire format for the protocol's messages
+// (order announcements, per-period reports, batch frames carrying many
+// of either, and estimate query/response pairs), a concurrency-safe
+// in-process Collector, a lock-free ShardedCollector that fans decoded
+// batches into a protocol.Sharded accumulator, a TCP IngestServer that
+// serves batched ingestion and online estimate queries (the engine
+// behind cmd/rtf-serve), and a lossy-link simulator for robustness
+// experiments (E15).
 //
 // The paper's protocol is transport-agnostic; this package exists so the
 // repository exercises the client/server split as an actual distributed
-// system — message framing, concurrent ingestion, loss — rather than as
-// in-process function calls only.
+// system — message framing, batching, concurrent sharded ingestion,
+// loss — rather than as in-process function calls only.
 package transport
 
 import (
@@ -16,8 +20,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sync"
+	"sync/atomic"
 
+	"rtf/internal/dyadic"
 	"rtf/internal/protocol"
 	"rtf/internal/rng"
 )
@@ -27,22 +34,43 @@ type MsgType byte
 
 // Message types.
 const (
-	MsgHello  MsgType = 1 // user announces its sampled order h_u
-	MsgReport MsgType = 2 // one perturbed partial sum
+	MsgHello    MsgType = 1 // user announces its sampled order h_u
+	MsgReport   MsgType = 2 // one perturbed partial sum
+	MsgBatch    MsgType = 3 // frame carrying many hello/report messages
+	MsgQuery    MsgType = 4 // client asks for the online estimate â[t]
+	MsgEstimate MsgType = 5 // server answers a query
 )
 
-// Msg is a decoded wire message.
+// MaxBatchLen bounds the declared length of a batch frame, so a corrupt
+// or adversarial length prefix cannot force a huge allocation.
+const MaxBatchLen = 1 << 20
+
+// Msg is a decoded scalar wire message. Batch frames are handled at the
+// Encoder/Decoder level (EncodeBatch, NextBatch); Msg stays a flat value
+// type so it can be compared and copied freely.
 type Msg struct {
 	Type  MsgType
 	User  int
 	Order int
-	J     int  // report only
-	Bit   int8 // report only, ±1
+	J     int     // report only
+	Bit   int8    // report only, ±1
+	T     int     // query/estimate only: time period
+	Value float64 // estimate only: â[t]
 }
 
 // Hello constructs an order-announcement message.
 func Hello(user, order int) Msg {
 	return Msg{Type: MsgHello, User: user, Order: order}
+}
+
+// Query constructs an estimate request for time t.
+func Query(t int) Msg {
+	return Msg{Type: MsgQuery, T: t}
+}
+
+// Estimate constructs a query response.
+func Estimate(t int, value float64) Msg {
+	return Msg{Type: MsgEstimate, T: t, Value: value}
 }
 
 // FromReport converts a protocol report to a wire message.
@@ -72,15 +100,26 @@ func NewEncoder(w io.Writer) *Encoder {
 	return &Encoder{w: bufio.NewWriter(w), scratch: make([]byte, 0, 32)}
 }
 
-// Encode writes one message.
+// Encode writes one scalar message.
 func (e *Encoder) Encode(m Msg) error {
-	b := e.scratch[:0]
+	b, err := appendMsg(e.scratch[:0], m)
+	if err != nil {
+		return err
+	}
+	n, err := e.w.Write(b)
+	e.n += int64(n)
+	return err
+}
+
+// appendMsg appends the scalar wire encoding of m to b.
+func appendMsg(b []byte, m Msg) ([]byte, error) {
 	b = append(b, byte(m.Type))
-	b = binary.AppendUvarint(b, uint64(m.User))
 	switch m.Type {
 	case MsgHello:
+		b = binary.AppendUvarint(b, uint64(m.User))
 		b = binary.AppendUvarint(b, uint64(m.Order))
 	case MsgReport:
+		b = binary.AppendUvarint(b, uint64(m.User))
 		b = binary.AppendUvarint(b, uint64(m.Order))
 		b = binary.AppendUvarint(b, uint64(m.J))
 		switch m.Bit {
@@ -89,11 +128,41 @@ func (e *Encoder) Encode(m Msg) error {
 		case -1:
 			b = append(b, 0)
 		default:
-			return fmt.Errorf("transport: report bit %d not ±1", m.Bit)
+			return nil, fmt.Errorf("transport: report bit %d not ±1", m.Bit)
 		}
+	case MsgQuery:
+		b = binary.AppendUvarint(b, uint64(m.T))
+	case MsgEstimate:
+		b = binary.AppendUvarint(b, uint64(m.T))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Value))
 	default:
-		return fmt.Errorf("transport: unknown message type %d", m.Type)
+		return nil, fmt.Errorf("transport: unknown message type %d", m.Type)
 	}
+	return b, nil
+}
+
+// EncodeBatch writes one batch frame carrying all the given hello and
+// report messages: the MsgBatch type byte, a uvarint count, then each
+// message in its scalar encoding. Compared with per-message frames a
+// batch costs the same bytes plus a two-to-four-byte header, but lets
+// the receiver amortize dispatch over the whole batch.
+func (e *Encoder) EncodeBatch(ms []Msg) error {
+	if len(ms) > MaxBatchLen {
+		return fmt.Errorf("transport: batch of %d messages exceeds limit %d", len(ms), MaxBatchLen)
+	}
+	b := e.scratch[:0]
+	b = append(b, byte(MsgBatch))
+	b = binary.AppendUvarint(b, uint64(len(ms)))
+	var err error
+	for _, m := range ms {
+		if m.Type == MsgBatch {
+			return errors.New("transport: nested batch")
+		}
+		if b, err = appendMsg(b, m); err != nil {
+			return err
+		}
+	}
+	e.scratch = b[:0] // keep the grown buffer for the next batch
 	n, err := e.w.Write(b)
 	e.n += int64(n)
 	return err
@@ -109,6 +178,11 @@ func (e *Encoder) BytesWritten() int64 { return e.n }
 // Decoder reads messages from a stream.
 type Decoder struct {
 	r *bufio.Reader
+
+	// pending holds the unread tail of the last batch frame, so Next can
+	// transparently unbatch; NextBatch reuses the same backing array.
+	pending []Msg
+	next    int
 }
 
 // NewDecoder wraps a reader.
@@ -116,27 +190,227 @@ func NewDecoder(r io.Reader) *Decoder {
 	return &Decoder{r: bufio.NewReader(r)}
 }
 
-// Next decodes one message. It returns io.EOF cleanly at end of stream
-// and io.ErrUnexpectedEOF on a truncated message.
+// Next decodes one scalar message. Batch frames are unbatched
+// transparently: the frame's messages are returned one per call. Next
+// returns io.EOF cleanly at end of stream and io.ErrUnexpectedEOF on a
+// truncated message. Empty batch frames are skipped iteratively, so a
+// stream of them cannot grow the stack.
 func (d *Decoder) Next() (Msg, error) {
+	for {
+		if d.next < len(d.pending) {
+			m := d.pending[d.next]
+			d.next++
+			return m, nil
+		}
+		m, err := d.scalarOrBatch()
+		if err != nil {
+			return Msg{}, err
+		}
+		if m.Type != MsgBatch {
+			return m, nil
+		}
+		// Batch decoded into d.pending (possibly empty): loop to pop it.
+	}
+}
+
+// NextBatch decodes one frame: a batch frame yields all its messages, a
+// scalar frame yields a one-element slice. The returned slice is only
+// valid until the next Decoder call. Any messages still pending from a
+// partially Next-consumed batch are returned first. Empty batch frames
+// are skipped.
+func (d *Decoder) NextBatch() ([]Msg, error) {
+	for {
+		if d.next < len(d.pending) {
+			ms := d.pending[d.next:]
+			d.next = len(d.pending)
+			return ms, nil
+		}
+		m, err := d.scalarOrBatch()
+		if err != nil {
+			return nil, err
+		}
+		if m.Type != MsgBatch {
+			d.pending = append(d.pending[:0], m)
+			d.next = 0
+		}
+		// Loop: the refilled d.pending (empty for an empty batch) is
+		// served by the branch above.
+	}
+}
+
+// maxRetainedBatch caps the capacity of the pending buffer a Decoder
+// keeps between frames: one maximal batch (MaxBatchLen messages, tens
+// of megabytes decoded) must not stay pinned for the connection's
+// lifetime.
+const maxRetainedBatch = 1 << 12
+
+// scalarOrBatch decodes the next frame. For a batch frame it fills
+// d.pending with the inner messages and returns a Msg with Type
+// MsgBatch; otherwise it returns the scalar message.
+func (d *Decoder) scalarOrBatch() (Msg, error) {
+	if cap(d.pending) > maxRetainedBatch {
+		d.pending = nil // release an oversized buffer from a past batch
+	}
 	tb, err := d.r.ReadByte()
 	if err != nil {
 		return Msg{}, err // io.EOF passes through
 	}
-	m := Msg{Type: MsgType(tb)}
-	user, err := binary.ReadUvarint(d.r)
+	if MsgType(tb) != MsgBatch {
+		return d.scalarBody(MsgType(tb))
+	}
+	n, err := binary.ReadUvarint(d.r)
 	if err != nil {
 		return Msg{}, truncated(err)
 	}
-	m.User = int(user)
+	if n > MaxBatchLen {
+		return Msg{}, fmt.Errorf("transport: batch length %d exceeds limit %d", n, MaxBatchLen)
+	}
+	d.pending = d.pending[:0]
+	d.next = 0
+	for i := uint64(0); i < n; i++ {
+		// Fast path: when a full message's worth of bytes is already
+		// buffered, decode it straight from the buffered window (one Peek
+		// + one Discard instead of a virtual call per byte). Never block
+		// for more than is needed: with fewer bytes buffered, fall back
+		// to the byte-at-a-time path, which reads exactly one message —
+		// crucial when the peer is waiting for a response mid-stream.
+		if d.r.Buffered() >= maxScalarWire {
+			win, _ := d.r.Peek(maxScalarWire)
+			m, consumed, err := decodeScalar(win)
+			if err != nil {
+				if errors.Is(err, errShortMsg) {
+					// 32 bytes cover every valid message; short here means
+					// an overlong varint.
+					err = errors.New("transport: malformed message in batch")
+				}
+				return Msg{}, err
+			}
+			d.r.Discard(consumed)
+			d.pending = append(d.pending, m)
+			continue
+		}
+		tb, err := d.r.ReadByte()
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		if MsgType(tb) == MsgBatch {
+			return Msg{}, errors.New("transport: nested batch")
+		}
+		m, err := d.scalarBody(MsgType(tb))
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		d.pending = append(d.pending, m)
+	}
+	return Msg{Type: MsgBatch}, nil
+}
+
+// maxScalarWire is the largest wire size of a scalar message: a report
+// with three maximal 10-byte uvarints, plus the type and bit bytes.
+const maxScalarWire = 32
+
+// errShortMsg reports that a slice decode ran out of bytes.
+var errShortMsg = errors.New("transport: short message")
+
+// decodeScalar decodes one scalar message from the front of b, returning
+// the number of bytes consumed. It returns errShortMsg when b ends
+// mid-message.
+func decodeScalar(b []byte) (Msg, int, error) {
+	if len(b) == 0 {
+		return Msg{}, 0, errShortMsg
+	}
+	m := Msg{Type: MsgType(b[0])}
+	off := 1
+	uvarint := func() (uint64, bool) {
+		v, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return 0, false
+		}
+		off += n
+		return v, true
+	}
 	switch m.Type {
 	case MsgHello:
+		user, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		h, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		m.User, m.Order = int(user), int(h)
+	case MsgReport:
+		user, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		h, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		j, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		if off >= len(b) {
+			return Msg{}, 0, errShortMsg
+		}
+		m.User, m.Order, m.J = int(user), int(h), int(j)
+		switch b[off] {
+		case 1:
+			m.Bit = 1
+		case 0:
+			m.Bit = -1
+		default:
+			return Msg{}, 0, fmt.Errorf("transport: invalid bit byte %d", b[off])
+		}
+		off++
+	case MsgQuery:
+		t, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		m.T = int(t)
+	case MsgEstimate:
+		t, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		if off+8 > len(b) {
+			return Msg{}, 0, errShortMsg
+		}
+		m.T = int(t)
+		m.Value = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	case MsgBatch:
+		return Msg{}, 0, errors.New("transport: nested batch")
+	default:
+		return Msg{}, 0, fmt.Errorf("transport: unknown message type %d", b[0])
+	}
+	return m, off, nil
+}
+
+// scalarBody decodes the body of a scalar message whose type byte has
+// already been consumed.
+func (d *Decoder) scalarBody(typ MsgType) (Msg, error) {
+	m := Msg{Type: typ}
+	switch typ {
+	case MsgHello:
+		user, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
 		h, err := binary.ReadUvarint(d.r)
 		if err != nil {
 			return Msg{}, truncated(err)
 		}
-		m.Order = int(h)
+		m.User, m.Order = int(user), int(h)
 	case MsgReport:
+		user, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
 		h, err := binary.ReadUvarint(d.r)
 		if err != nil {
 			return Msg{}, truncated(err)
@@ -149,7 +423,7 @@ func (d *Decoder) Next() (Msg, error) {
 		if err != nil {
 			return Msg{}, truncated(err)
 		}
-		m.Order, m.J = int(h), int(j)
+		m.User, m.Order, m.J = int(user), int(h), int(j)
 		switch bb {
 		case 1:
 			m.Bit = 1
@@ -158,8 +432,25 @@ func (d *Decoder) Next() (Msg, error) {
 		default:
 			return Msg{}, fmt.Errorf("transport: invalid bit byte %d", bb)
 		}
+	case MsgQuery:
+		t, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		m.T = int(t)
+	case MsgEstimate:
+		t, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		var raw [8]byte
+		if _, err := io.ReadFull(d.r, raw[:]); err != nil {
+			return Msg{}, truncated(err)
+		}
+		m.T = int(t)
+		m.Value = math.Float64frombits(binary.LittleEndian.Uint64(raw[:]))
 	default:
-		return Msg{}, fmt.Errorf("transport: unknown message type %d", tb)
+		return Msg{}, fmt.Errorf("transport: unknown message type %d", typ)
 	}
 	return m, nil
 }
@@ -216,6 +507,103 @@ func (c *Collector) Drain(fn func(Msg)) {
 	for _, m := range msgs {
 		fn(m)
 	}
+}
+
+// ShardedCollector is the concurrent fan-in point of the batch-ingest
+// service: any number of connection goroutines push decoded messages or
+// whole batches, and the collector validates them and applies them to a
+// lock-free protocol.Sharded accumulator. The shard argument is a
+// routing hint (typically the connection id) that spreads hot counters
+// across cache lines; correctness does not depend on it, because the
+// accumulator's addition is exact and commutative.
+type ShardedCollector struct {
+	acc      *protocol.Sharded
+	maxOrder int
+	reports  atomic.Int64
+	hellos   atomic.Int64
+	batches  atomic.Int64
+}
+
+// NewShardedCollector builds a collector over the given accumulator.
+func NewShardedCollector(acc *protocol.Sharded) *ShardedCollector {
+	return &ShardedCollector{acc: acc, maxOrder: dyadic.Log2(acc.D())}
+}
+
+// Acc returns the underlying accumulator (for estimate queries).
+func (c *ShardedCollector) Acc() *protocol.Sharded { return c.acc }
+
+// Send validates one hello or report message and applies it to the
+// accumulator via the given shard. It is safe for concurrent use.
+func (c *ShardedCollector) Send(shard int, m Msg) error {
+	switch m.Type {
+	case MsgHello:
+		if m.Order < 0 || m.Order > c.maxOrder {
+			return fmt.Errorf("transport: hello order %d out of range [0..%d]", m.Order, c.maxOrder)
+		}
+		c.acc.Register(shard, m.Order)
+		c.hellos.Add(1)
+	case MsgReport:
+		if m.Bit != 1 && m.Bit != -1 {
+			return fmt.Errorf("transport: report bit %d not ±1", m.Bit)
+		}
+		if m.Order < 0 || m.Order > c.maxOrder {
+			return fmt.Errorf("transport: report order %d out of range [0..%d]", m.Order, c.maxOrder)
+		}
+		if m.J < 1 || m.J > c.acc.D()>>uint(m.Order) {
+			return fmt.Errorf("transport: report index %d out of range for order %d", m.J, m.Order)
+		}
+		c.acc.Ingest(shard, m.Report())
+		c.reports.Add(1)
+	default:
+		return fmt.Errorf("transport: collector cannot ingest message type %d", m.Type)
+	}
+	return nil
+}
+
+// SendBatch applies a decoded batch to the accumulator via the given
+// shard, amortizing the stats counters over the whole batch (the
+// per-message work is then one validation plus one atomic add). On a
+// validation error the batch is applied up to the failing message and
+// the error returned.
+func (c *ShardedCollector) SendBatch(shard int, ms []Msg) error {
+	var hellos, reports int64
+	defer func() {
+		if hellos > 0 {
+			c.hellos.Add(hellos)
+		}
+		c.reports.Add(reports)
+		c.batches.Add(1)
+	}()
+	for _, m := range ms {
+		switch m.Type {
+		case MsgReport:
+			if m.Bit != 1 && m.Bit != -1 {
+				return fmt.Errorf("transport: report bit %d not ±1", m.Bit)
+			}
+			if m.Order < 0 || m.Order > c.maxOrder {
+				return fmt.Errorf("transport: report order %d out of range [0..%d]", m.Order, c.maxOrder)
+			}
+			if m.J < 1 || m.J > c.acc.D()>>uint(m.Order) {
+				return fmt.Errorf("transport: report index %d out of range for order %d", m.J, m.Order)
+			}
+			c.acc.Ingest(shard, m.Report())
+			reports++
+		case MsgHello:
+			if m.Order < 0 || m.Order > c.maxOrder {
+				return fmt.Errorf("transport: hello order %d out of range [0..%d]", m.Order, c.maxOrder)
+			}
+			c.acc.Register(shard, m.Order)
+			hellos++
+		default:
+			return fmt.Errorf("transport: collector cannot ingest message type %d", m.Type)
+		}
+	}
+	return nil
+}
+
+// Stats returns the number of hellos, reports and batches ingested.
+func (c *ShardedCollector) Stats() (hellos, reports, batches int64) {
+	return c.hellos.Load(), c.reports.Load(), c.batches.Load()
 }
 
 // LossyLink drops each delivered message independently with probability

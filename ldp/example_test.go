@@ -1,6 +1,7 @@
 package ldp_test
 
 import (
+	"bytes"
 	"fmt"
 
 	"rtf/ldp"
@@ -48,6 +49,52 @@ func ExampleClient() {
 				}
 			}
 		}
+	}
+	fmt.Println("users:", srv.Users())
+	fmt.Println("estimates:", len(srv.Estimates()))
+	// Output:
+	// users: 100
+	// estimates: 8
+}
+
+// The batch transport: clients queue their randomized reports into a
+// BatchReporter, which ships compact batch frames to any io.Writer — a
+// buffer here, a TCP connection to an rtf-serve aggregation service in
+// a deployment. The server re-ingests the frames with IngestFrom;
+// batching never changes the estimates.
+func ExampleBatchReporter() {
+	const d, k = 8, 1
+	var wire bytes.Buffer
+	rep, err := ldp.NewBatchReporter(&wire, 32)
+	if err != nil {
+		panic(err)
+	}
+	for u := 0; u < 100; u++ {
+		c, err := ldp.NewClient(u, d, k, 1.0, int64(u))
+		if err != nil {
+			panic(err)
+		}
+		if err := rep.Hello(u, c.Order()); err != nil {
+			panic(err)
+		}
+		for t := 1; t <= d; t++ {
+			if r, ok := c.Observe(true); ok {
+				if err := rep.Report(r); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	if err := rep.Flush(); err != nil {
+		panic(err)
+	}
+
+	srv, err := ldp.NewServer(d, k, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	if err := srv.IngestFrom(&wire); err != nil {
+		panic(err)
 	}
 	fmt.Println("users:", srv.Users())
 	fmt.Println("estimates:", len(srv.Estimates()))
