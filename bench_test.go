@@ -19,6 +19,7 @@ import (
 	"rtf/internal/sim"
 	"rtf/internal/transport"
 	"rtf/internal/workload"
+	"rtf/ldp"
 )
 
 // ---------------------------------------------------------------------------
@@ -399,6 +400,51 @@ func BenchmarkIngestBatchedSharded(b *testing.B) {
 			b.ReportMetric(float64(ingestBenchReports)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
 		})
 	}
+}
+
+// BenchmarkAnswerChangeVsDiffPoints compares the two ways to estimate a
+// range change through the unified query API: one Answer(Change) over
+// the direct dyadic cover versus differencing two Answer(Point) prefix
+// estimates. The cover touches fewer intervals (and, per experiment
+// E21, carries less noise on short ranges).
+func BenchmarkAnswerChangeVsDiffPoints(b *testing.B) {
+	const d = 4096
+	srv, err := ldp.NewServer(d, ldp.WithSparsity(8), ldp.WithEpsilon(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := rng.New(23, 24)
+	for i := 0; i < 1<<16; i++ {
+		h := g.IntN(dyadic.NumOrders(d))
+		bit := int8(1)
+		if g.Bernoulli(0.5) {
+			bit = -1
+		}
+		if err := srv.Ingest(ldp.Report{User: i, Order: h, J: 1 + g.IntN(d>>uint(h)), Bit: bit}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const l, r = 1500, 1563 // width 64, unaligned
+	b.Run("change", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.Answer(ldp.ChangeQuery(l, r)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("diff-points", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hi, err := srv.Answer(ldp.PointQuery(r))
+			if err != nil {
+				b.Fatal(err)
+			}
+			lo, err := srv.Answer(ldp.PointQuery(l - 1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = hi.Value - lo.Value
+		}
+	})
 }
 
 type writableBuffer struct{ n int }

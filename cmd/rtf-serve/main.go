@@ -1,19 +1,24 @@
-// Command rtf-serve runs the sharded batch-ingest aggregation service:
-// a TCP server that accepts framed hello/report messages — single or
-// batched — from any number of client connections, accumulates them into
-// a lock-free sharded dyadic accumulator, and answers online estimate
-// queries (MsgQuery → MsgEstimate) from the live counters.
+// Command rtf-serve runs the sharded batch-ingest aggregation service
+// for any registered mechanism whose server state is the dyadic
+// accumulator (futurerand, independent, bun, erlingsson): a TCP server
+// that accepts framed hello/report messages — single or batched — from
+// any number of client connections, accumulates them into a lock-free
+// sharded accumulator, and answers online queries from the live
+// counters. Both the v1 point query (MsgQuery → MsgEstimate) and the
+// versioned v2 frames (MsgQueryV2 → MsgAnswer: point, change, series,
+// window) are served.
 //
-// The protocol parameters (-d, -k, -eps) must match the clients'; they
-// determine the estimator scale of Algorithm 2. Estimates served are
-// bit-for-bit identical to a serial in-process server fed the same
-// reports, regardless of sharding, batching or connection interleaving
-// (see cmd/rtf-sim's -drive mode, which checks exactly that).
+// The protocol parameters (-mechanism, -d, -k, -eps) must match the
+// clients'; they determine the estimator scale of Algorithm 2.
+// Estimates served are bit-for-bit identical to a serial in-process
+// server fed the same reports, regardless of sharding, batching or
+// connection interleaving (see cmd/rtf-sim's -drive mode, which checks
+// exactly that for every query shape).
 //
 // Examples:
 //
 //	rtf-serve -addr :7609 -d 1024 -k 8 -eps 1.0
-//	rtf-serve -addr :7609 -d 256 -k 4 -eps 0.5 -shards 16 -stats 5s
+//	rtf-serve -addr :7609 -mechanism erlingsson -d 256 -k 4 -eps 0.5 -shards 16 -stats 5s
 package main
 
 import (
@@ -26,14 +31,15 @@ import (
 	"time"
 
 	"rtf/internal/dyadic"
-	"rtf/internal/probmath"
 	"rtf/internal/protocol"
 	"rtf/internal/transport"
+	"rtf/ldp"
 )
 
 func main() {
 	var (
 		addr   = flag.String("addr", ":7609", "TCP listen address")
+		mech   = flag.String("mechanism", "futurerand", "mechanism to host (must have the sharded capability); must match clients")
 		d      = flag.Int("d", 1024, "time periods (power of two); must match clients")
 		k      = flag.Int("k", 8, "max changes per user; must match clients")
 		eps    = flag.Float64("eps", 1.0, "privacy budget (0 < eps <= 1); must match clients")
@@ -45,14 +51,21 @@ func main() {
 	if !dyadic.IsPow2(*d) {
 		fatal(fmt.Errorf("d=%d is not a power of two", *d))
 	}
-	p, err := probmath.NewFutureRand(*k, *eps)
+	m, ok := ldp.Lookup(ldp.Protocol(*mech))
+	if !ok {
+		fatal(fmt.Errorf("unknown mechanism %q; registered: %s", *mech, hostable()))
+	}
+	if !m.Caps.Sharded {
+		fatal(fmt.Errorf("mechanism %q cannot be hosted on the sharded accumulator; hostable: %s", *mech, hostable()))
+	}
+	scale, err := m.EstimatorScale(ldp.Params{D: *d, K: *k, Eps: *eps})
 	if err != nil {
 		fatal(err)
 	}
 	if *shards < 1 {
 		fatal(fmt.Errorf("shards=%d must be >= 1", *shards))
 	}
-	acc := protocol.NewSharded(*d, protocol.EstimatorScale(*d, p.CGap), *shards)
+	acc := protocol.NewSharded(*d, scale, *shards)
 	srv := transport.NewIngestServer(transport.NewShardedCollector(acc))
 	srv.ErrorLog = func(err error) { fmt.Fprintln(os.Stderr, "rtf-serve:", err) }
 
@@ -81,13 +94,28 @@ func main() {
 		}()
 	}
 
-	fmt.Fprintf(os.Stderr, "rtf-serve: listening on %s (d=%d k=%d eps=%v shards=%d)\n",
-		*addr, *d, *k, *eps, *shards)
+	fmt.Fprintf(os.Stderr, "rtf-serve: listening on %s (mechanism=%s d=%d k=%d eps=%v shards=%d)\n",
+		*addr, *mech, *d, *k, *eps, *shards)
 	if err := srv.ListenAndServe(*addr, nil); err != nil {
 		fatal(err)
 	}
 	hellos, reports, batches := srv.Collector.Stats()
 	fmt.Fprintf(os.Stderr, "rtf-serve: done: users=%d reports=%d batches=%d\n", hellos, reports, batches)
+}
+
+// hostable lists the registered mechanisms rtf-serve can host.
+func hostable() string {
+	out := ""
+	for _, m := range ldp.Mechanisms() {
+		if !m.Caps.Sharded {
+			continue
+		}
+		if out != "" {
+			out += ", "
+		}
+		out += string(m.Protocol)
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -3,11 +3,15 @@
 // series as CSV.
 //
 // With -drive it instead load-tests a running rtf-serve aggregation
-// service: per-user clients generate real randomized reports, ship them
-// over -conns parallel TCP connections in batches of -batch messages,
-// and the driver then queries every period's estimate back and checks it
-// is bit-for-bit identical to an in-process serial server fed the same
-// reports. The server must be started with the same -d, -k and -eps.
+// service: per-user clients of the selected mechanism (any mechanism
+// rtf-serve can host: futurerand, independent, bun, erlingsson)
+// generate real randomized reports, ship them over -conns parallel TCP
+// connections in batches of -batch messages, and the driver then
+// queries the server through every query shape — v1 point queries plus
+// versioned point, change, series and window frames — and checks each
+// answer is bit-for-bit identical to an in-process server fed the same
+// reports. The server must be started with the same -mechanism, -d, -k
+// and -eps.
 //
 // Examples:
 //
@@ -16,6 +20,8 @@
 //	rtf-sim -protocol futurerand -consistency -n 100000
 //	rtf-serve -addr :7609 -d 256 -k 4 &
 //	rtf-sim -drive localhost:7609 -n 10000 -d 256 -k 4 -conns 8 -batch 256
+//	rtf-serve -addr :7609 -mechanism erlingsson -d 256 -k 4 &
+//	rtf-sim -drive localhost:7609 -protocol erlingsson -n 10000 -d 256 -k 4
 package main
 
 import (
@@ -26,8 +32,6 @@ import (
 	"sync"
 	"time"
 
-	"rtf/internal/protocol"
-	"rtf/internal/rng"
 	"rtf/internal/transport"
 	"rtf/ldp"
 	"rtf/workload"
@@ -59,15 +63,14 @@ func main() {
 	}
 
 	if *drive != "" {
-		// Drive mode generates reports with the futurerand client only;
-		// reject flags it would otherwise silently ignore.
-		if *proto != "futurerand" {
-			fatal(fmt.Errorf("-drive supports only -protocol futurerand (got %q)", *proto))
+		mech := ldp.Protocol(*proto)
+		if m, ok := ldp.Lookup(mech); !ok || !m.Caps.Sharded {
+			fatal(fmt.Errorf("-drive needs a mechanism rtf-serve can host (sharded capability), got %q", *proto))
 		}
 		if *exact || *consist {
 			fatal(fmt.Errorf("-drive does not support -exact or -consistency"))
 		}
-		if err := runDrive(*drive, w, *k, *eps, *conns, *batch, *seed); err != nil {
+		if err := runDrive(*drive, w, mech, *k, *eps, *conns, *batch, *seed); err != nil {
 			fatal(err)
 		}
 		return
@@ -150,30 +153,33 @@ func loadWorkload(path, spec string, n, d, k int, seed int64) (*workload.Workloa
 	return workload.Generate(s, seed)
 }
 
-// runDrive load-tests an rtf-serve instance: it generates every user's
-// reports with the real client algorithm (deterministic per-user seeds,
-// so the report set is independent of how users are spread over
-// connections), ships them as batch frames over conns parallel TCP
-// connections via the public ldp.BatchReporter, then queries all d
-// estimates back and verifies them bit-for-bit against an in-process
-// serial server fed the same reports.
-func runDrive(addr string, w *workload.Workload, k int, eps float64, conns, batch int, seed int64) error {
+// runDrive load-tests an rtf-serve instance hosting the given mechanism:
+// it generates every user's reports with the real client algorithm
+// (deterministic per-user seeds, so the report set is independent of how
+// users are spread over connections), ships them as batch frames over
+// conns parallel TCP connections via the public ldp.BatchReporter, then
+// queries the server through every query shape and verifies each answer
+// bit-for-bit against an in-process ldp.Server fed the same reports.
+func runDrive(addr string, w *workload.Workload, mech ldp.Protocol, k int, eps float64, conns, batch int, seed int64) error {
 	if conns < 1 {
 		return fmt.Errorf("conns=%d must be >= 1", conns)
 	}
 	kk := maxInt(k, 1)
-	factories, err := protocol.FutureRandFactories(w.D, kk, eps)
+	opts := []ldp.Option{ldp.WithMechanism(mech), ldp.WithSparsity(kk), ldp.WithEpsilon(eps)}
+	factory, err := ldp.NewClientFactory(w.D, opts...)
 	if err != nil {
 		return err
 	}
-	scale := protocol.EstimatorScale(w.D, factories[0].CGap())
+	ref, err := ldp.NewServer(w.D, opts...)
+	if err != nil {
+		return err
+	}
 
 	start := time.Now()
 	var (
 		wg      sync.WaitGroup
-		mu      sync.Mutex
+		mu      sync.Mutex // guards ref, firstE and the counters
 		firstE  error
-		shards  = make([]*protocol.Server, conns)
 		reports int64
 		bytes   int64
 	)
@@ -187,11 +193,9 @@ func runDrive(addr string, w *workload.Workload, k int, eps float64, conns, batc
 	per := (w.N + conns - 1) / conns
 	for c := 0; c < conns; c++ {
 		lo, hi := c*per, minInt((c+1)*per, w.N)
-		shards[c] = protocol.NewServer(w.D, scale)
 		wg.Add(1)
-		go func(c, lo, hi int) {
+		go func(lo, hi int) {
 			defer wg.Done()
-			local := shards[c]
 			conn, err := net.Dial("tcp", addr)
 			if err != nil {
 				fail(err)
@@ -204,26 +208,48 @@ func runDrive(addr string, w *workload.Workload, k int, eps float64, conns, batc
 				return
 			}
 			var sent int64
+			// One user's reports are buffered locally and folded into the
+			// in-process reference under one lock per user: counter
+			// ingestion is commutative integer addition, so the estimates
+			// equal live ingestion, without per-report lock traffic on the
+			// send loop or retaining the whole report set in memory.
+			local := make([]ldp.Report, 0, w.D)
 			for u := lo; u < hi; u++ {
-				g := rng.NewFromSeed(seed + int64(u))
-				cl := protocol.NewClient(u, w.D, factories, g)
-				local.Register(cl.Order())
+				cl, err := factory.NewClient(u, seed+int64(u))
+				if err != nil {
+					fail(err)
+					return
+				}
 				if err := rep.Hello(u, cl.Order()); err != nil {
 					fail(err)
 					return
 				}
+				local = local[:0]
 				vals := w.Users[u].Values(w.D)
 				for t := 1; t <= w.D; t++ {
-					r, ok := cl.Observe(vals[t-1])
+					r, ok := cl.Observe(vals[t-1] == 1)
 					if !ok {
 						continue
 					}
-					local.Ingest(r)
-					if err := rep.Report(ldp.Report{User: r.User, Order: r.Order, J: r.J, Bit: r.Bit}); err != nil {
+					local = append(local, r)
+					if err := rep.Report(r); err != nil {
 						fail(err)
 						return
 					}
 					sent++
+				}
+				mu.Lock()
+				err = ref.Register(cl.Order())
+				for _, r := range local {
+					if err != nil {
+						break
+					}
+					err = ref.Ingest(r)
+				}
+				mu.Unlock()
+				if err != nil {
+					fail(err)
+					return
 				}
 			}
 			if err := rep.Flush(); err != nil {
@@ -249,20 +275,13 @@ func runDrive(addr string, w *workload.Workload, k int, eps float64, conns, batc
 			reports += sent
 			bytes += rep.BytesWritten()
 			mu.Unlock()
-		}(c, lo, hi)
+		}(lo, hi)
 	}
 	wg.Wait()
 	if firstE != nil {
 		return firstE
 	}
 	elapsed := time.Since(start)
-
-	// Serial reference: fold the per-connection servers (exact integer
-	// addition, so the result equals one server fed every report).
-	serial := protocol.NewServer(w.D, scale)
-	for _, s := range shards {
-		serial.Merge(s)
-	}
 
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -271,6 +290,8 @@ func runDrive(addr string, w *workload.Workload, k int, eps float64, conns, batc
 	defer conn.Close()
 	enc := transport.NewEncoder(conn)
 	dec := transport.NewDecoder(conn)
+
+	// Point estimates for every period through the v1 protocol.
 	for t := 1; t <= w.D; t++ {
 		if err := enc.Encode(transport.Query(t)); err != nil {
 			return err
@@ -290,16 +311,59 @@ func runDrive(addr string, w *workload.Workload, k int, eps float64, conns, batc
 			return fmt.Errorf("unexpected query response %+v at t=%d", m, t)
 		}
 		est[t-1] = m.Value
-		if want := serial.EstimateAt(t); m.Value != want {
+		want, err := ref.EstimateAt(t)
+		if err != nil {
+			return err
+		}
+		if m.Value != want {
 			mismatches++
 			if mismatches <= 3 {
-				fmt.Fprintf(os.Stderr, "rtf-sim: t=%d server=%v serial=%v\n", t, m.Value, want)
+				fmt.Fprintf(os.Stderr, "rtf-sim: t=%d server=%v in-process=%v\n", t, m.Value, want)
 			}
 		}
 	}
+	if mismatches > 0 {
+		return fmt.Errorf("%d of %d point estimates differ from the in-process engine", mismatches, w.D)
+	}
 
-	fmt.Printf("drive addr=%s n=%d d=%d k=%d eps=%v conns=%d batch=%d seed=%d\n",
-		addr, w.N, w.D, w.K, eps, conns, batch, seed)
+	// The versioned query shapes: point, change, series, window — each
+	// checked bit-for-bit against the in-process Server.Answer.
+	v2 := []ldp.Query{
+		ldp.PointQuery(1),
+		ldp.PointQuery(w.D),
+		ldp.ChangeQuery(1, w.D),
+		ldp.ChangeQuery(w.D/4+1, w.D/2),
+		ldp.SeriesQuery(),
+		ldp.WindowQuery(1, w.D),
+		ldp.WindowQuery(w.D/2, w.D/2+1),
+	}
+	checked := 0
+	for _, q := range v2 {
+		got, err := queryV2(enc, dec, q)
+		if err != nil {
+			return fmt.Errorf("%s query: %w", q.Kind, err)
+		}
+		want, err := ref.Answer(q)
+		if err != nil {
+			return err
+		}
+		wantVals := want.Series
+		if q.Kind == ldp.Point || q.Kind == ldp.Change {
+			wantVals = []float64{want.Value}
+		}
+		if len(got) != len(wantVals) {
+			return fmt.Errorf("%s query: %d values, want %d", q.Kind, len(got), len(wantVals))
+		}
+		for i := range got {
+			if got[i] != wantVals[i] {
+				return fmt.Errorf("%s query value %d: server=%v in-process=%v", q.Kind, i, got[i], wantVals[i])
+			}
+			checked++
+		}
+	}
+
+	fmt.Printf("drive addr=%s mechanism=%s n=%d d=%d k=%d eps=%v conns=%d batch=%d seed=%d\n",
+		addr, mech, w.N, w.D, w.K, eps, conns, batch, seed)
 	fmt.Printf("reports    %d (%d users)\n", reports, w.N)
 	fmt.Printf("wire bytes %d (%.1f B/report)\n", bytes, float64(bytes)/float64(maxInt64(reports, 1)))
 	fmt.Printf("elapsed    %v (%.0f reports/s)\n", elapsed.Round(time.Millisecond), float64(reports)/elapsed.Seconds())
@@ -311,11 +375,30 @@ func runDrive(addr string, w *workload.Workload, k int, eps float64, conns, batc
 		}
 	}
 	fmt.Printf("max error  %.1f\n", maxErr)
-	if mismatches > 0 {
-		return fmt.Errorf("%d of %d estimates differ from the serial engine", mismatches, w.D)
-	}
-	fmt.Printf("estimates  bit-for-bit identical to the serial engine (%d periods)\n", w.D)
+	fmt.Printf("estimates  bit-for-bit identical to the in-process engine (%d point + %d v2 values)\n", w.D, checked)
 	return nil
+}
+
+// queryV2 sends one versioned query and decodes the answer values.
+func queryV2(enc *transport.Encoder, dec *transport.Decoder, q ldp.Query) ([]float64, error) {
+	l, r := q.L, q.R
+	if q.Kind == ldp.Point {
+		l, r = q.T, q.T
+	}
+	if err := enc.Encode(transport.QueryV2(transport.QueryKind(q.Kind), l, r)); err != nil {
+		return nil, err
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	a, err := dec.ReadAnswer()
+	if err != nil {
+		return nil, err
+	}
+	if a.Kind != transport.QueryKind(q.Kind) {
+		return nil, fmt.Errorf("answer kind %s for %s query", a.Kind, q.Kind)
+	}
+	return a.Values, nil
 }
 
 func abs(x float64) float64 {

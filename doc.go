@@ -3,13 +3,16 @@
 // Estimation Protocol for Longitudinal Data" (Ohrimenko, Wirth, Wu;
 // PODS 2022).
 //
-// The public API lives in rtf/ldp (protocol: one-call tracking, streaming
-// client/server, batch transport, domain extension) and rtf/workload
-// (synthetic dataset generation and CSV IO). The implementation,
-// baselines, evaluation harness and verifiers live under rtf/internal;
-// the experiments E1–E20 are runnable via cmd/rtf-experiments, the
-// sharded batch-ingest aggregation service via cmd/rtf-serve (load-
-// tested by cmd/rtf-sim -drive), and bench_test.go in this directory
+// The public API lives in rtf/ldp (the Mechanism registry over every
+// protocol of the paper, one-call tracking, mechanism-agnostic streaming
+// client/server with a unified Query/Answer entry point, batch
+// transport, domain extension) and rtf/workload (synthetic dataset
+// generation and CSV IO). The implementation, baselines, evaluation
+// harness and verifiers live under rtf/internal; the experiments E1–E21
+// are runnable via cmd/rtf-experiments, the sharded batch-ingest
+// aggregation service via cmd/rtf-serve (hosting any registered dyadic
+// mechanism, load-tested across every query shape by cmd/rtf-sim
+// -drive), and bench_test.go in this directory
 // carries one benchmark per experiment plus micro-benchmarks of every
 // hot path, including the batched-versus-single-message ingestion
 // comparison.

@@ -21,17 +21,20 @@ func main() {
 	}
 	fmt.Printf("n=%d users, d=%d periods, k=%d changes each, eps=1\n\n", w.N, w.D, w.K)
 
+	// Every registered mechanism competes, and each one whose registry
+	// capabilities include consistency post-processing also gets a
+	// smoothed run. Adding a protocol to the registry adds its rows here.
 	type run struct {
 		label string
 		opts  ldp.Options
 	}
-	runs := []run{
-		{"futurerand (this paper)", ldp.Options{Protocol: ldp.FutureRand, Epsilon: 1}},
-		{"futurerand + consistency", ldp.Options{Protocol: ldp.FutureRand, Epsilon: 1, Consistency: true}},
-		{"erlingsson et al. 2020", ldp.Options{Protocol: ldp.Erlingsson, Epsilon: 1}},
-		{"independent eps/k (Ex 4.2)", ldp.Options{Protocol: ldp.Independent, Epsilon: 1}},
-		{"bun et al. composition", ldp.Options{Protocol: ldp.Bun, Epsilon: 1}},
-		{"central binary (trusted)", ldp.Options{Protocol: ldp.CentralBinary, Epsilon: 1}},
+	var runs []run
+	for _, m := range ldp.Mechanisms() {
+		runs = append(runs, run{string(m.Protocol), ldp.Options{Protocol: m.Protocol, Epsilon: 1}})
+		if m.Caps.Consistency {
+			runs = append(runs, run{string(m.Protocol) + " + consistency",
+				ldp.Options{Protocol: m.Protocol, Epsilon: 1, Consistency: true}})
+		}
 	}
 	fmt.Println("protocol                      max error   RMSE")
 	for _, r := range runs {

@@ -33,16 +33,21 @@ func main() {
 	}
 	truth := w.Truth()
 
-	srv, err := ldp.NewServer(periods, maxK, eps)
+	srv, err := ldp.NewServer(periods, ldp.WithSparsity(maxK), ldp.WithEpsilon(eps))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Device registration: each client announces its sampled order (this
-	// is data-independent and safe in the clear).
+	// is data-independent and safe in the clear). The factory shares the
+	// one-time parameter computation across the whole fleet.
+	factory, err := ldp.NewClientFactory(periods, ldp.WithSparsity(maxK), ldp.WithEpsilon(eps))
+	if err != nil {
+		log.Fatal(err)
+	}
 	clients := make([]*ldp.Client, devices)
 	for u := range clients {
-		c, err := ldp.NewClient(u, periods, maxK, eps, int64(u))
+		c, err := factory.NewClient(u, int64(u))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -165,6 +165,9 @@ func NewNaiveSplitServer(d int, eps float64) *NaiveSplitServer {
 // Register counts a participating user.
 func (s *NaiveSplitServer) Register() { s.users++ }
 
+// Users returns the number of registered users.
+func (s *NaiveSplitServer) Users() int { return s.users }
+
 // Ingest accumulates one report.
 func (s *NaiveSplitServer) Ingest(r NaiveReport) {
 	if r.T < 1 || r.T > s.d {

@@ -101,8 +101,19 @@ func (s *Server) EstimateAt(t int) float64 {
 // structure: â[t] = â[t − 2^h] + Ŝ(I_{h, t/2^h}) where 2^h is the lowest
 // set bit of t.
 func (s *Server) EstimateSeries() []float64 {
-	out := make([]float64, s.d)
-	for t := 1; t <= s.d; t++ {
+	return s.EstimateSeriesTo(s.d)
+}
+
+// EstimateSeriesTo returns â[1..r]. The prefix recurrence at t only
+// reads earlier entries, so the truncated series is bit-for-bit a
+// prefix of EstimateSeries — window queries use it to pay O(r) instead
+// of O(d).
+func (s *Server) EstimateSeriesTo(r int) []float64 {
+	if r < 1 || r > s.d {
+		panic(fmt.Sprintf("protocol: series bound %d out of range [1..%d]", r, s.d))
+	}
+	out := make([]float64, r)
+	for t := 1; t <= r; t++ {
 		low := t & (-t)
 		h := dyadic.Log2(low)
 		est := s.scale * float64(s.sums[s.tree.FlatIndex(dyadic.Interval{Order: h, Index: t >> uint(h)})])

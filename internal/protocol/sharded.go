@@ -133,6 +133,45 @@ func (s *Sharded) EstimateAt(t int) float64 {
 	return est
 }
 
+// EstimateSeries returns â[1..d] from the live counters, with the same
+// prefix recurrence and float addition order as Server.EstimateSeries,
+// so a quiesced accumulator agrees with the serial server bit for bit.
+func (s *Sharded) EstimateSeries() []float64 {
+	return s.EstimateSeriesTo(s.d)
+}
+
+// EstimateSeriesTo returns â[1..r]. The prefix recurrence at t only
+// reads earlier entries, so the truncated series is bit-for-bit a
+// prefix of EstimateSeries at a fraction of the cross-shard folds —
+// the window-query path of the ingest server relies on this.
+func (s *Sharded) EstimateSeriesTo(r int) []float64 {
+	if r < 1 || r > s.d {
+		panic(fmt.Sprintf("protocol: series bound %d out of range [1..%d]", r, s.d))
+	}
+	out := make([]float64, r)
+	for t := 1; t <= r; t++ {
+		low := t & (-t)
+		h := dyadic.Log2(low)
+		est := s.scale * float64(s.intervalSum(s.tree.FlatIndex(dyadic.Interval{Order: h, Index: t >> uint(h)})))
+		if prev := t - low; prev > 0 {
+			est += out[prev-1]
+		}
+		out[t-1] = est
+	}
+	return out
+}
+
+// EstimateChange returns the unbiased estimate of a[r] − a[l−1] over the
+// direct dyadic cover of [l..r], mirroring Server.EstimateChange on the
+// live counters.
+func (s *Sharded) EstimateChange(l, r int) float64 {
+	var est float64
+	for _, iv := range dyadic.DecomposeRange(l, r, s.d) {
+		est += s.scale * float64(s.intervalSum(s.tree.FlatIndex(iv)))
+	}
+	return est
+}
+
 // Snapshot folds the current shard state into a fresh serial Server,
 // from which the full estimate series, range estimates and consistency
 // post-processing are available. Counters are loaded atomically, but a

@@ -81,6 +81,46 @@ func TestShardedMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestShardedQueryMethodsMatchSerial checks the live series and range
+// estimates against the serial server, bit for bit — the invariant the
+// v2 query path of rtf-serve relies on.
+func TestShardedQueryMethodsMatchSerial(t *testing.T) {
+	const d, n, shards = 128, 10000, 4
+	g := rng.New(3, 4)
+	reports := randomReports(g, d, n)
+
+	serial := NewServer(d, 2.25)
+	acc := NewSharded(d, 2.25, shards)
+	for i, r := range reports {
+		serial.Ingest(r)
+		acc.Ingest(i, r)
+	}
+
+	se, we := acc.EstimateSeries(), serial.EstimateSeries()
+	for i := range we {
+		if se[i] != we[i] {
+			t.Fatalf("series[%d]: got %v, want %v", i, se[i], we[i])
+		}
+	}
+	ranges := [][2]int{{1, 1}, {1, d}, {5, 12}, {d / 2, d/2 + 1}, {17, 90}}
+	for _, lr := range ranges {
+		if got, want := acc.EstimateChange(lr[0], lr[1]), serial.EstimateChange(lr[0], lr[1]); got != want {
+			t.Fatalf("EstimateChange(%d,%d): got %v, want %v", lr[0], lr[1], got, want)
+		}
+	}
+	for _, r := range []int{1, 7, d / 2, d} {
+		to := acc.EstimateSeriesTo(r)
+		if len(to) != r {
+			t.Fatalf("EstimateSeriesTo(%d): length %d", r, len(to))
+		}
+		for i := range to {
+			if to[i] != we[i] {
+				t.Fatalf("EstimateSeriesTo(%d)[%d]: got %v, want %v", r, i, to[i], we[i])
+			}
+		}
+	}
+}
+
 // TestMergeShardedIntoNonEmpty checks that folding adds to, rather than
 // replaces, existing server state.
 func TestMergeShardedIntoNonEmpty(t *testing.T) {

@@ -62,7 +62,11 @@ func (k RandomizerKind) String() string {
 	}
 }
 
-func (k RandomizerKind) factories(d, kk int, eps float64) ([]core.Factory, error) {
+// Factories returns the per-order factory table for the kind — the
+// client-side half shared by every user (including the one-time exact
+// annulus computation). The ldp mechanism registry and the simulation
+// engines both build clients from this table.
+func (k RandomizerKind) Factories(d, kk int, eps float64) ([]core.Factory, error) {
 	switch k {
 	case FutureRand:
 		return protocol.FutureRandFactories(d, kk, eps)
@@ -73,6 +77,40 @@ func (k RandomizerKind) factories(d, kk int, eps float64) ([]core.Factory, error
 	default:
 		return nil, fmt.Errorf("sim: unknown randomizer kind %d", int(k))
 	}
+}
+
+// Scale returns the kind's estimator scale (Algorithm 2, line 5) without
+// building the full factory table: (1+log₂ d)/c_gap with the kind's
+// preservation gap at sparsity kk and budget eps.
+func (k RandomizerKind) Scale(d, kk int, eps float64) (float64, error) {
+	var cgap float64
+	switch k {
+	case FutureRand:
+		p, err := probmath.NewFutureRand(kk, eps)
+		if err != nil {
+			return 0, err
+		}
+		cgap = p.CGap
+	case Independent:
+		// CGapIndependent assumes validated inputs; mirror the factory's
+		// parameter checks.
+		if kk < 1 {
+			return 0, fmt.Errorf("sim: sparsity bound %d < 1", kk)
+		}
+		if !(eps > 0) {
+			return 0, fmt.Errorf("sim: epsilon %v must be positive", eps)
+		}
+		cgap = probmath.CGapIndependent(kk, eps)
+	case Bun:
+		p, err := probmath.NewBun(kk, eps)
+		if err != nil {
+			return 0, err
+		}
+		cgap = p.CGap
+	default:
+		return 0, fmt.Errorf("sim: unknown randomizer kind %d", int(k))
+	}
+	return protocol.EstimatorScale(d, cgap), nil
 }
 
 // Framework is the paper's protocol with a selectable randomizer.
@@ -110,7 +148,7 @@ func (f Framework) RunServer(w *workload.Workload, g *rng.RNG) (*protocol.Server
 		return nil, err
 	}
 	k := max(w.K, 1)
-	factories, err := f.Kind.factories(w.D, k, f.Eps)
+	factories, err := f.Kind.Factories(w.D, k, f.Eps)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"rtf/internal/protocol"
 )
 
 // IngestServer is the network half of the batch-ingest aggregation
@@ -105,7 +107,7 @@ func (s *IngestServer) serveConn(id int, conn net.Conn) error {
 		// batches; answer queries in stream order between them.
 		run := 0
 		for i, m := range ms {
-			if m.Type != MsgQuery {
+			if m.Type != MsgQuery && m.Type != MsgQueryV2 {
 				continue
 			}
 			if i > run {
@@ -114,11 +116,22 @@ func (s *IngestServer) serveConn(id int, conn net.Conn) error {
 				}
 			}
 			run = i + 1
-			if m.T < 1 || m.T > acc.D() {
-				return fmt.Errorf("query time %d out of range [1..%d]", m.T, acc.D())
-			}
-			if err := enc.Encode(Estimate(m.T, acc.EstimateAt(m.T))); err != nil {
-				return err
+			switch m.Type {
+			case MsgQuery:
+				if m.T < 1 || m.T > acc.D() {
+					return fmt.Errorf("query time %d out of range [1..%d]", m.T, acc.D())
+				}
+				if err := enc.Encode(Estimate(m.T, acc.EstimateAt(m.T))); err != nil {
+					return err
+				}
+			case MsgQueryV2:
+				ans, err := AnswerQuery(acc, m)
+				if err != nil {
+					return err
+				}
+				if err := enc.EncodeAnswer(ans); err != nil {
+					return err
+				}
 			}
 			if err := enc.Flush(); err != nil {
 				return err
@@ -130,6 +143,41 @@ func (s *IngestServer) serveConn(id int, conn net.Conn) error {
 			}
 		}
 	}
+}
+
+// AnswerQuery computes the answer to a v2 query frame from the live
+// accumulator. The estimates are bit-for-bit identical to a serial
+// protocol.Server fed the same reports: point and change queries sum the
+// same dyadic decomposition in the same order, and series and window
+// queries use the same prefix recurrence.
+func AnswerQuery(acc *protocol.Sharded, m Msg) (AnswerFrame, error) {
+	if m.Type != MsgQueryV2 {
+		return AnswerFrame{}, fmt.Errorf("transport: message type %d is not a v2 query", m.Type)
+	}
+	d := acc.D()
+	a := AnswerFrame{Kind: m.Kind, L: m.L, R: m.R}
+	switch m.Kind {
+	case QueryPoint:
+		if m.L < 1 || m.L > d {
+			return AnswerFrame{}, fmt.Errorf("transport: point query time %d out of range [1..%d]", m.L, d)
+		}
+		a.Values = []float64{acc.EstimateAt(m.L)}
+	case QueryChange:
+		if m.L < 1 || m.R > d || m.L > m.R {
+			return AnswerFrame{}, fmt.Errorf("transport: change query range [%d..%d] invalid for d=%d", m.L, m.R, d)
+		}
+		a.Values = []float64{acc.EstimateChange(m.L, m.R)}
+	case QuerySeries:
+		a.Values = acc.EstimateSeries()
+	case QueryWindow:
+		if m.L < 1 || m.R > d || m.L > m.R {
+			return AnswerFrame{}, fmt.Errorf("transport: window query range [%d..%d] invalid for d=%d", m.L, m.R, d)
+		}
+		a.Values = acc.EstimateSeriesTo(m.R)[m.L-1:]
+	default:
+		return AnswerFrame{}, fmt.Errorf("transport: unknown query kind %d", byte(m.Kind))
+	}
+	return a, nil
 }
 
 // Close stops accepting connections, closes the listener and all live

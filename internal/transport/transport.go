@@ -37,13 +37,52 @@ const (
 	MsgHello    MsgType = 1 // user announces its sampled order h_u
 	MsgReport   MsgType = 2 // one perturbed partial sum
 	MsgBatch    MsgType = 3 // frame carrying many hello/report messages
-	MsgQuery    MsgType = 4 // client asks for the online estimate â[t]
-	MsgEstimate MsgType = 5 // server answers a query
+	MsgQuery    MsgType = 4 // v1: client asks for the online estimate â[t]
+	MsgEstimate MsgType = 5 // v1: server answers a point query
+	MsgQueryV2  MsgType = 6 // versioned query frame: kind + range
+	MsgAnswer   MsgType = 7 // versioned answer frame: kind + range + values
 )
+
+// QueryKind discriminates the shapes of a versioned (v2) query. The
+// values are the wire encoding and mirror the public ldp query kinds.
+type QueryKind byte
+
+// Query kinds.
+const (
+	QueryPoint  QueryKind = 1 // â[t]             (L = t)
+	QueryChange QueryKind = 2 // â[R] − â[L−1]    over [L..R]
+	QuerySeries QueryKind = 3 // â[1..d]
+	QueryWindow QueryKind = 4 // â[L..R], one value per period
+)
+
+// String names the kind for error messages.
+func (k QueryKind) String() string {
+	switch k {
+	case QueryPoint:
+		return "point"
+	case QueryChange:
+		return "change"
+	case QuerySeries:
+		return "series"
+	case QueryWindow:
+		return "window"
+	default:
+		return fmt.Sprintf("kind(%d)", byte(k))
+	}
+}
+
+// queryWireVersion is the current version byte of MsgQueryV2 and
+// MsgAnswer frames. Decoders reject frames from a newer protocol
+// revision instead of misparsing them.
+const queryWireVersion = 1
 
 // MaxBatchLen bounds the declared length of a batch frame, so a corrupt
 // or adversarial length prefix cannot force a huge allocation.
 const MaxBatchLen = 1 << 20
+
+// MaxAnswerLen bounds the declared value count of an answer frame, for
+// the same reason.
+const MaxAnswerLen = 1 << 20
 
 // Msg is a decoded scalar wire message. Batch frames are handled at the
 // Encoder/Decoder level (EncodeBatch, NextBatch); Msg stays a flat value
@@ -52,10 +91,12 @@ type Msg struct {
 	Type  MsgType
 	User  int
 	Order int
-	J     int     // report only
-	Bit   int8    // report only, ±1
-	T     int     // query/estimate only: time period
-	Value float64 // estimate only: â[t]
+	J     int       // report only
+	Bit   int8      // report only, ±1
+	T     int       // v1 query/estimate only: time period
+	Value float64   // v1 estimate only: â[t]
+	Kind  QueryKind // v2 query only
+	L, R  int       // v2 query only: range (point queries use L = t)
 }
 
 // Hello constructs an order-announcement message.
@@ -63,9 +104,16 @@ func Hello(user, order int) Msg {
 	return Msg{Type: MsgHello, User: user, Order: order}
 }
 
-// Query constructs an estimate request for time t.
+// Query constructs a v1 point-estimate request for time t.
 func Query(t int) Msg {
 	return Msg{Type: MsgQuery, T: t}
+}
+
+// QueryV2 constructs a versioned query frame. Point and series queries
+// use l for the time (series ignores both bounds); change and window
+// queries ask about the range [l..r].
+func QueryV2(kind QueryKind, l, r int) Msg {
+	return Msg{Type: MsgQueryV2, Kind: kind, L: l, R: r}
 }
 
 // Estimate constructs a query response.
@@ -116,9 +164,15 @@ func appendMsg(b []byte, m Msg) ([]byte, error) {
 	b = append(b, byte(m.Type))
 	switch m.Type {
 	case MsgHello:
+		if m.User < 0 {
+			return nil, fmt.Errorf("transport: negative user id %d", m.User)
+		}
 		b = binary.AppendUvarint(b, uint64(m.User))
 		b = binary.AppendUvarint(b, uint64(m.Order))
 	case MsgReport:
+		if m.User < 0 {
+			return nil, fmt.Errorf("transport: negative user id %d", m.User)
+		}
 		b = binary.AppendUvarint(b, uint64(m.User))
 		b = binary.AppendUvarint(b, uint64(m.Order))
 		b = binary.AppendUvarint(b, uint64(m.J))
@@ -135,6 +189,13 @@ func appendMsg(b []byte, m Msg) ([]byte, error) {
 	case MsgEstimate:
 		b = binary.AppendUvarint(b, uint64(m.T))
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Value))
+	case MsgQueryV2:
+		if m.L < 0 || m.R < 0 {
+			return nil, fmt.Errorf("transport: negative query bound [%d..%d]", m.L, m.R)
+		}
+		b = append(b, queryWireVersion, byte(m.Kind))
+		b = binary.AppendUvarint(b, uint64(m.L))
+		b = binary.AppendUvarint(b, uint64(m.R))
 	default:
 		return nil, fmt.Errorf("transport: unknown message type %d", m.Type)
 	}
@@ -339,6 +400,9 @@ func decodeScalar(b []byte) (Msg, int, error) {
 		if !ok {
 			return Msg{}, 0, errShortMsg
 		}
+		if user > math.MaxInt {
+			return Msg{}, 0, fmt.Errorf("transport: user id %d overflows", user)
+		}
 		m.User, m.Order = int(user), int(h)
 	case MsgReport:
 		user, ok := uvarint()
@@ -355,6 +419,9 @@ func decodeScalar(b []byte) (Msg, int, error) {
 		}
 		if off >= len(b) {
 			return Msg{}, 0, errShortMsg
+		}
+		if user > math.MaxInt {
+			return Msg{}, 0, fmt.Errorf("transport: user id %d overflows", user)
 		}
 		m.User, m.Order, m.J = int(user), int(h), int(j)
 		switch b[off] {
@@ -383,8 +450,31 @@ func decodeScalar(b []byte) (Msg, int, error) {
 		m.T = int(t)
 		m.Value = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
 		off += 8
+	case MsgQueryV2:
+		if off+2 > len(b) {
+			return Msg{}, 0, errShortMsg
+		}
+		if b[off] != queryWireVersion {
+			return Msg{}, 0, fmt.Errorf("transport: unsupported query version %d", b[off])
+		}
+		m.Kind = QueryKind(b[off+1])
+		off += 2
+		l, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		r, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		if l > math.MaxInt || r > math.MaxInt {
+			return Msg{}, 0, fmt.Errorf("transport: query bound overflows")
+		}
+		m.L, m.R = int(l), int(r)
 	case MsgBatch:
 		return Msg{}, 0, errors.New("transport: nested batch")
+	case MsgAnswer:
+		return Msg{}, 0, errors.New("transport: answer frame outside ReadAnswer")
 	default:
 		return Msg{}, 0, fmt.Errorf("transport: unknown message type %d", b[0])
 	}
@@ -405,6 +495,9 @@ func (d *Decoder) scalarBody(typ MsgType) (Msg, error) {
 		if err != nil {
 			return Msg{}, truncated(err)
 		}
+		if user > math.MaxInt {
+			return Msg{}, fmt.Errorf("transport: user id %d overflows", user)
+		}
 		m.User, m.Order = int(user), int(h)
 	case MsgReport:
 		user, err := binary.ReadUvarint(d.r)
@@ -422,6 +515,9 @@ func (d *Decoder) scalarBody(typ MsgType) (Msg, error) {
 		bb, err := d.r.ReadByte()
 		if err != nil {
 			return Msg{}, truncated(err)
+		}
+		if user > math.MaxInt {
+			return Msg{}, fmt.Errorf("transport: user id %d overflows", user)
 		}
 		m.User, m.Order, m.J = int(user), int(h), int(j)
 		switch bb {
@@ -449,6 +545,32 @@ func (d *Decoder) scalarBody(typ MsgType) (Msg, error) {
 		}
 		m.T = int(t)
 		m.Value = math.Float64frombits(binary.LittleEndian.Uint64(raw[:]))
+	case MsgQueryV2:
+		ver, err := d.r.ReadByte()
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		if ver != queryWireVersion {
+			return Msg{}, fmt.Errorf("transport: unsupported query version %d", ver)
+		}
+		kind, err := d.r.ReadByte()
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		l, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		r, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		if l > math.MaxInt || r > math.MaxInt {
+			return Msg{}, fmt.Errorf("transport: query bound overflows")
+		}
+		m.Kind, m.L, m.R = QueryKind(kind), int(l), int(r)
+	case MsgAnswer:
+		return Msg{}, errors.New("transport: answer frame outside ReadAnswer")
 	default:
 		return Msg{}, fmt.Errorf("transport: unknown message type %d", typ)
 	}
@@ -460,6 +582,96 @@ func truncated(err error) error {
 		return io.ErrUnexpectedEOF
 	}
 	return err
+}
+
+// AnswerFrame is the server's response to a v2 query: the echoed query
+// shape plus one value per requested quantity (one for point and change
+// queries, a whole series for series and window queries). It is
+// variable-length, so it travels outside Msg via EncodeAnswer and
+// ReadAnswer.
+type AnswerFrame struct {
+	Kind   QueryKind
+	L, R   int
+	Values []float64
+}
+
+// EncodeAnswer writes one MsgAnswer frame.
+func (e *Encoder) EncodeAnswer(a AnswerFrame) error {
+	if len(a.Values) > MaxAnswerLen {
+		return fmt.Errorf("transport: answer of %d values exceeds limit %d", len(a.Values), MaxAnswerLen)
+	}
+	if a.L < 0 || a.R < 0 {
+		return fmt.Errorf("transport: negative answer bound [%d..%d]", a.L, a.R)
+	}
+	b := e.scratch[:0]
+	b = append(b, byte(MsgAnswer), queryWireVersion, byte(a.Kind))
+	b = binary.AppendUvarint(b, uint64(a.L))
+	b = binary.AppendUvarint(b, uint64(a.R))
+	b = binary.AppendUvarint(b, uint64(len(a.Values)))
+	for _, v := range a.Values {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	e.scratch = b[:0] // keep the grown buffer for the next frame
+	n, err := e.w.Write(b)
+	e.n += int64(n)
+	return err
+}
+
+// ReadAnswer decodes one MsgAnswer frame. It must be called when an
+// answer is the next frame on the stream — after sending a v2 query —
+// and fails on any other frame type.
+func (d *Decoder) ReadAnswer() (AnswerFrame, error) {
+	if d.next < len(d.pending) {
+		return AnswerFrame{}, errors.New("transport: answer frame inside batch")
+	}
+	tb, err := d.r.ReadByte()
+	if err != nil {
+		return AnswerFrame{}, err // io.EOF passes through
+	}
+	if MsgType(tb) != MsgAnswer {
+		return AnswerFrame{}, fmt.Errorf("transport: expected answer frame, got message type %d", tb)
+	}
+	ver, err := d.r.ReadByte()
+	if err != nil {
+		return AnswerFrame{}, truncated(err)
+	}
+	if ver != queryWireVersion {
+		return AnswerFrame{}, fmt.Errorf("transport: unsupported answer version %d", ver)
+	}
+	kind, err := d.r.ReadByte()
+	if err != nil {
+		return AnswerFrame{}, truncated(err)
+	}
+	l, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return AnswerFrame{}, truncated(err)
+	}
+	r, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return AnswerFrame{}, truncated(err)
+	}
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return AnswerFrame{}, truncated(err)
+	}
+	if l > math.MaxInt || r > math.MaxInt {
+		return AnswerFrame{}, fmt.Errorf("transport: answer bound overflows")
+	}
+	if n > MaxAnswerLen {
+		return AnswerFrame{}, fmt.Errorf("transport: answer length %d exceeds limit %d", n, MaxAnswerLen)
+	}
+	a := AnswerFrame{Kind: QueryKind(kind), L: int(l), R: int(r)}
+	if n > 0 {
+		a.Values = make([]float64, n)
+	}
+	var raw [8]byte
+	for i := range a.Values {
+		if _, err := io.ReadFull(d.r, raw[:]); err != nil {
+			return AnswerFrame{}, truncated(err)
+		}
+		a.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[:]))
+	}
+	return a, nil
 }
 
 // Collector is a concurrency-safe fan-in point: any number of client
@@ -537,12 +749,18 @@ func (c *ShardedCollector) Acc() *protocol.Sharded { return c.acc }
 func (c *ShardedCollector) Send(shard int, m Msg) error {
 	switch m.Type {
 	case MsgHello:
+		if m.User < 0 {
+			return fmt.Errorf("transport: negative user id %d", m.User)
+		}
 		if m.Order < 0 || m.Order > c.maxOrder {
 			return fmt.Errorf("transport: hello order %d out of range [0..%d]", m.Order, c.maxOrder)
 		}
 		c.acc.Register(shard, m.Order)
 		c.hellos.Add(1)
 	case MsgReport:
+		if m.User < 0 {
+			return fmt.Errorf("transport: negative user id %d", m.User)
+		}
 		if m.Bit != 1 && m.Bit != -1 {
 			return fmt.Errorf("transport: report bit %d not ±1", m.Bit)
 		}
@@ -577,6 +795,9 @@ func (c *ShardedCollector) SendBatch(shard int, ms []Msg) error {
 	for _, m := range ms {
 		switch m.Type {
 		case MsgReport:
+			if m.User < 0 {
+				return fmt.Errorf("transport: negative user id %d", m.User)
+			}
 			if m.Bit != 1 && m.Bit != -1 {
 				return fmt.Errorf("transport: report bit %d not ±1", m.Bit)
 			}
@@ -589,6 +810,9 @@ func (c *ShardedCollector) SendBatch(shard int, ms []Msg) error {
 			c.acc.Ingest(shard, m.Report())
 			reports++
 		case MsgHello:
+			if m.User < 0 {
+				return fmt.Errorf("transport: negative user id %d", m.User)
+			}
 			if m.Order < 0 || m.Order > c.maxOrder {
 				return fmt.Errorf("transport: hello order %d out of range [0..%d]", m.Order, c.maxOrder)
 			}

@@ -13,11 +13,11 @@ import (
 // bit-for-bit identical to one fed the same reports directly.
 func TestBatchRoundTripMatchesDirect(t *testing.T) {
 	const d, k, users = 32, 2, 200
-	direct, err := ldp.NewServer(d, k, 1.0)
+	direct, err := ldp.NewServer(d, ldp.WithSparsity(k))
 	if err != nil {
 		t.Fatal(err)
 	}
-	batched, err := ldp.NewServer(d, k, 1.0)
+	batched, err := ldp.NewServer(d, ldp.WithSparsity(k))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +28,7 @@ func TestBatchRoundTripMatchesDirect(t *testing.T) {
 		t.Fatal(err)
 	}
 	for u := 0; u < users; u++ {
-		c, err := ldp.NewClient(u, d, k, 1.0, int64(u))
+		c, err := ldp.NewClient(u, d, ldp.WithSparsity(k), ldp.WithSeed(int64(u)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +95,7 @@ func TestBatchReporterValidation(t *testing.T) {
 // TestIngestFromRejects checks that corrupt streams and out-of-protocol
 // messages are rejected with descriptive errors.
 func TestIngestFromRejects(t *testing.T) {
-	srv, err := ldp.NewServer(16, 1, 1.0)
+	srv, err := ldp.NewServer(16)
 	if err != nil {
 		t.Fatal(err)
 	}

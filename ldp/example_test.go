@@ -27,15 +27,16 @@ func ExampleTrack() {
 }
 
 // The streaming API: one client per user, one server; reports flow one
-// period at a time and estimates are available online.
+// period at a time and estimates are available online. Mechanism and
+// parameters are functional options; the default is FutureRand.
 func ExampleClient() {
-	const d, k = 8, 1
-	srv, err := ldp.NewServer(d, k, 1.0)
+	const d = 8
+	srv, err := ldp.NewServer(d, ldp.WithEpsilon(1))
 	if err != nil {
 		panic(err)
 	}
 	for u := 0; u < 100; u++ {
-		c, err := ldp.NewClient(u, d, k, 1.0, int64(u))
+		c, err := ldp.NewClient(u, d, ldp.WithEpsilon(1), ldp.WithSeed(int64(u)))
 		if err != nil {
 			panic(err)
 		}
@@ -63,14 +64,18 @@ func ExampleClient() {
 // a deployment. The server re-ingests the frames with IngestFrom;
 // batching never changes the estimates.
 func ExampleBatchReporter() {
-	const d, k = 8, 1
+	const d = 8
 	var wire bytes.Buffer
 	rep, err := ldp.NewBatchReporter(&wire, 32)
 	if err != nil {
 		panic(err)
 	}
+	factory, err := ldp.NewClientFactory(d)
+	if err != nil {
+		panic(err)
+	}
 	for u := 0; u < 100; u++ {
-		c, err := ldp.NewClient(u, d, k, 1.0, int64(u))
+		c, err := factory.NewClient(u, int64(u))
 		if err != nil {
 			panic(err)
 		}
@@ -89,7 +94,7 @@ func ExampleBatchReporter() {
 		panic(err)
 	}
 
-	srv, err := ldp.NewServer(d, k, 1.0)
+	srv, err := ldp.NewServer(d)
 	if err != nil {
 		panic(err)
 	}
@@ -101,6 +106,60 @@ func ExampleBatchReporter() {
 	// Output:
 	// users: 100
 	// estimates: 8
+}
+
+// Any registered mechanism runs behind the same streaming API: here the
+// Erlingsson et al. baseline streams reports into a server that answers
+// the unified query shapes — a point estimate, the net change over a
+// window, and a sub-series — through one Answer entry point.
+func ExampleServer_Answer() {
+	const d, k, n = 16, 2, 4000
+	opts := []ldp.Option{ldp.WithMechanism(ldp.Erlingsson), ldp.WithSparsity(k), ldp.WithEpsilon(1)}
+	srv, err := ldp.NewServer(d, opts...)
+	if err != nil {
+		panic(err)
+	}
+	factory, err := ldp.NewClientFactory(d, opts...)
+	if err != nil {
+		panic(err)
+	}
+	for u := 0; u < n; u++ {
+		c, err := factory.NewClient(u, int64(u))
+		if err != nil {
+			panic(err)
+		}
+		if err := srv.Register(c.Order()); err != nil {
+			panic(err)
+		}
+		for t := 1; t <= d; t++ {
+			if rep, ok := c.Observe(t > d/2); ok { // everyone flips on at t=9
+				if err := srv.Ingest(rep); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	point, err := srv.Answer(ldp.PointQuery(d))
+	if err != nil {
+		panic(err)
+	}
+	change, err := srv.Answer(ldp.ChangeQuery(d/2+1, d))
+	if err != nil {
+		panic(err)
+	}
+	window, err := srv.Answer(ldp.WindowQuery(1, d/2))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mechanism: %s\n", srv.Mechanism())
+	fmt.Printf("final count ≈ n: %v\n", point.Value > 0.5*n && point.Value < 1.5*n)
+	fmt.Printf("change ≈ n: %v\n", change.Value > 0.5*n && change.Value < 1.5*n)
+	fmt.Printf("window length: %d\n", len(window.Series))
+	// Output:
+	// mechanism: erlingsson
+	// final count ≈ n: true
+	// change ≈ n: true
+	// window length: 8
 }
 
 // CGap exposes the exact preservation constant behind Theorem 4.4: it

@@ -2,7 +2,9 @@
 // private frequency estimation for longitudinal Boolean data, implementing
 // the PODS 2022 paper "Randomize the Future" (Ohrimenko, Wirth, Wu).
 //
-// Two levels of API are provided.
+// Every protocol in the paper — FutureRand and the baselines it is
+// compared against — is a Mechanism in a registry (Register, Lookup,
+// Mechanisms), and three levels of API dispatch through it.
 //
 // The one-call level runs a complete protocol on a workload:
 //
@@ -10,29 +12,34 @@
 //	res, err := ldp.Track(w, ldp.Options{Epsilon: 1})
 //	// res.Estimates[t−1] ≈ number of users with value 1 at time t
 //
-// The streaming level exposes the client and server of Algorithms 1–2
-// for embedding in a real deployment: each user runs a Client fed one
-// Boolean value per period and ships the emitted reports; the server
-// aggregates them and answers estimates online.
+// The streaming level exposes the client/server split of Algorithms 1–2
+// for any mechanism: each user runs a Client fed one Boolean value per
+// period and ships the emitted reports; the server aggregates them and
+// answers online.
+//
+//	srv, _ := ldp.NewServer(d, ldp.WithEpsilon(1), ldp.WithMechanism(ldp.Erlingsson))
+//	c, _ := ldp.NewClient(user, d, ldp.WithEpsilon(1), ldp.WithMechanism(ldp.Erlingsson))
+//
+// The query level asks one entry point — Server.Answer — for any of the
+// four query shapes (Point, Change, Series, Window), uniformly across
+// mechanisms; the same queries travel over TCP to an rtf-serve instance
+// as versioned wire frames.
 package ldp
 
 import (
 	"errors"
 	"fmt"
 
-	"rtf/internal/dyadic"
 	"rtf/internal/probmath"
-	"rtf/internal/protocol"
-	"rtf/internal/rng"
 	"rtf/internal/sim"
 	"rtf/internal/stats"
 	"rtf/workload"
 )
 
-// Protocol selects which mechanism Track runs.
+// Protocol selects which mechanism runs; it is the registry key.
 type Protocol string
 
-// Available protocols.
+// Built-in protocols.
 const (
 	// FutureRand is the paper's protocol (Theorem 4.1): error
 	// O((1/ε)·log d·√(k·n·log(d/β))).
@@ -88,55 +95,18 @@ type Result struct {
 	Truth []int
 	// Error metrics of Estimates against Truth.
 	MaxError, MAE, RMSE float64
-	// HoeffdingBound is the Lemma 4.6 / Theorem 4.1 high-probability ℓ∞
-	// bound at failure probability Beta (FutureRand only; 0 otherwise).
+	// HoeffdingBound is the mechanism's high-probability ℓ∞ bound at
+	// failure probability Beta, for mechanisms that declare one
+	// (Lemma 4.6 / Theorem 4.1 for FutureRand; 0 otherwise).
 	HoeffdingBound float64
 	// Protocol that produced the result.
 	Protocol Protocol
 }
 
-func (o Options) system() (sim.System, error) {
-	p := o.Protocol
-	if p == "" {
-		p = FutureRand
-	}
-	switch p {
-	case FutureRand, Independent, Bun:
-		kind := map[Protocol]sim.RandomizerKind{
-			FutureRand:  sim.FutureRand,
-			Independent: sim.Independent,
-			Bun:         sim.Bun,
-		}[p]
-		if o.Workers != 0 && o.Exact {
-			return nil, errors.New("ldp: Workers requires the fast engine")
-		}
-		fw := sim.Framework{Kind: kind, Eps: o.Epsilon, Fast: !o.Exact, Workers: o.Workers}
-		if o.Consistency {
-			return sim.Consistent{Framework: fw}, nil
-		}
-		return fw, nil
-	case Erlingsson:
-		if o.Consistency {
-			return nil, errors.New("ldp: consistency post-processing applies to framework protocols only")
-		}
-		return sim.Erlingsson{Eps: o.Epsilon, Fast: !o.Exact}, nil
-	case NaiveSplit:
-		if o.Consistency {
-			return nil, errors.New("ldp: consistency post-processing applies to framework protocols only")
-		}
-		return sim.NaiveSplit{Eps: o.Epsilon, Fast: !o.Exact}, nil
-	case CentralBinary:
-		if o.Consistency {
-			return nil, errors.New("ldp: consistency post-processing applies to framework protocols only")
-		}
-		return sim.Central{Eps: o.Epsilon}, nil
-	default:
-		return nil, fmt.Errorf("ldp: unknown protocol %q", p)
-	}
-}
-
-// Track runs the selected protocol end to end on the workload and
-// reports estimates with error metrics.
+// Track runs the selected mechanism end to end on the workload and
+// reports estimates with error metrics. It is a thin shim over the
+// registry: the protocol resolves to a registered Mechanism whose batch
+// System does the work.
 func Track(w *workload.Workload, opts Options) (*Result, error) {
 	if w == nil {
 		return nil, errors.New("ldp: nil workload")
@@ -144,12 +114,20 @@ func Track(w *workload.Workload, opts Options) (*Result, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	sys, err := opts.system()
+	proto := opts.Protocol
+	if proto == "" {
+		proto = FutureRand
+	}
+	opts.Protocol = proto
+	m, err := lookupErr(proto)
 	if err != nil {
 		return nil, err
 	}
-	g := rng.NewFromSeed(opts.Seed)
-	est, err := sys.Run(w, g)
+	sys, err := m.System(opts)
+	if err != nil {
+		return nil, err
+	}
+	est, err := sys.Run(w, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -160,17 +138,14 @@ func Track(w *workload.Workload, opts Options) (*Result, error) {
 		MaxError:  stats.MaxAbsError(est, truth),
 		MAE:       stats.MAE(est, truth),
 		RMSE:      stats.RMSE(est, truth),
-		Protocol:  opts.Protocol,
+		Protocol:  proto,
 	}
-	if res.Protocol == "" {
-		res.Protocol = FutureRand
-	}
-	if res.Protocol == FutureRand {
+	if m.Caps.ErrorBound {
 		beta := opts.Beta
 		if beta == 0 {
 			beta = 0.05
 		}
-		if b, err := sim.TheoreticalBound(w.N, w.D, w.K, opts.Epsilon, beta); err == nil {
+		if b, err := m.ErrorBound(w.N, w.D, w.K, opts.Epsilon, beta); err == nil {
 			res.HoeffdingBound = b
 		}
 	}
@@ -196,10 +171,11 @@ func ErrorBound(n, d, k int, eps, beta float64) (float64, error) {
 }
 
 // ---------------------------------------------------------------------------
-// Streaming API (Algorithms 1 and 2).
+// Streaming API (Algorithms 1 and 2), mechanism-agnostic.
 
-// Report is one perturbed partial sum shipped from a client to the
-// server. Bit is ±1.
+// Report is one report shipped from a client to the server. For dyadic
+// mechanisms it is a perturbed partial sum at interval (Order, J); the
+// per-period baselines use Order 0 with J as the time period. Bit is ±1.
 type Report struct {
 	User  int
 	Order int
@@ -207,126 +183,209 @@ type Report struct {
 	Bit   int8
 }
 
-// Client is the client-side algorithm Aclt (Algorithm 1) for one user.
+// Option configures the streaming constructors (NewClient, NewServer,
+// NewClientFactory).
+type Option func(*config)
+
+type config struct {
+	mech Protocol
+	k    int
+	eps  float64
+	seed int64
+	clip bool
+}
+
+func newConfig(opts []Option) config {
+	cfg := config{mech: FutureRand, k: 1, eps: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+func (c config) params(d int) Params {
+	return Params{D: d, K: c.k, Eps: c.eps, Clip: c.clip, Seed: c.seed}
+}
+
+// WithMechanism selects the protocol (default FutureRand). Clients and
+// server must agree.
+func WithMechanism(p Protocol) Option { return func(c *config) { c.mech = p } }
+
+// WithEpsilon sets the per-user privacy budget (default 1).
+func WithEpsilon(eps float64) Option { return func(c *config) { c.eps = eps } }
+
+// WithSparsity sets the per-user bound k on value changes (default 1).
+func WithSparsity(k int) Option { return func(c *config) { c.k = k } }
+
+// WithSeed seeds the constructed object's randomness (a client's
+// randomizer; the central mechanism's server-side noise). Default 0.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithClipping freezes a client's effective stream after the k-th
+// change, keeping the sparsity contract on streams that exceed the
+// bound (framework mechanisms only).
+func WithClipping() Option { return func(c *config) { c.clip = true } }
+
+// Client is the client-side half of the streaming protocol for one
+// user, for whatever mechanism it was built with.
 type Client struct {
-	inner *protocol.Client
+	eng ClientEngine
 }
 
 // NewClient creates a client for the given user over horizon d (a power
-// of two), sparsity bound k and budget eps, seeded deterministically.
-// The sampled order (safe to transmit in the clear) is available via
-// Order.
-func NewClient(user, d, k int, eps float64, seed int64) (*Client, error) {
-	if !dyadic.IsPow2(d) {
-		return nil, fmt.Errorf("ldp: d=%d is not a power of two", d)
-	}
-	factories, err := protocol.FutureRandFactories(d, k, eps)
+// of two). Mechanism, sparsity and budget come from options. The
+// client's randomness is seeded by mixing WithSeed with the user id, so
+// distinct users get independent randomness even when every client is
+// built with the same option list, and distinct (seed, user) pairs do
+// not collide by simple arithmetic; use ClientFactory.NewClient for
+// explicit per-user seed control. The announced order (safe to transmit
+// in the clear) is available via Order.
+func NewClient(user, d int, opts ...Option) (*Client, error) {
+	cfg := newConfig(opts)
+	f, err := newClientFactory(d, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{inner: protocol.NewClient(user, d, factories, rng.NewFromSeed(seed))}, nil
+	// SplitMix-style golden-ratio mixing keeps user-id seeding disjoint
+	// from plain WithSeed values.
+	return f.NewClient(user, cfg.seed^(int64(user)*-0x61c8864680b583eb))
 }
 
-// NewClippedClient is NewClient for streams that may exceed the k bound:
-// the effective stream freezes after the k-th change, trading bias on
-// hyper-active users for an intact privacy and sparsity contract.
-func NewClippedClient(user, d, k int, eps float64, seed int64) (*Client, error) {
-	if !dyadic.IsPow2(d) {
-		return nil, fmt.Errorf("ldp: d=%d is not a power of two", d)
-	}
-	factories, err := protocol.FutureRandFactories(d, k, eps)
+// NewClippedClient is NewClient with WithClipping: the effective stream
+// freezes after the k-th change, trading bias on hyper-active users for
+// an intact privacy and sparsity contract.
+func NewClippedClient(user, d int, opts ...Option) (*Client, error) {
+	return NewClient(user, d, append(append([]Option{}, opts...), WithClipping())...)
+}
+
+// ClientFactory stamps out per-user clients that share the mechanism's
+// parameter tables — for FutureRand, the one-time exact annulus
+// computation — so constructing a million clients costs the expensive
+// setup once.
+type ClientFactory struct {
+	build ClientBuilder
+	mech  Protocol
+}
+
+// NewClientFactory builds a factory for horizon d with the given
+// options (WithSeed is ignored here; seeds are per client).
+func NewClientFactory(d int, opts ...Option) (*ClientFactory, error) {
+	return newClientFactory(d, newConfig(opts))
+}
+
+func newClientFactory(d int, cfg config) (*ClientFactory, error) {
+	m, err := lookupErr(cfg.mech)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{inner: protocol.NewClippedClient(user, d, k, factories, rng.NewFromSeed(seed))}, nil
+	if !m.Caps.Streaming {
+		return nil, fmt.Errorf("ldp: mechanism %q does not support streaming", cfg.mech)
+	}
+	build, err := m.Clients(cfg.params(d))
+	if err != nil {
+		return nil, err
+	}
+	return &ClientFactory{build: build, mech: cfg.mech}, nil
 }
 
-// Order returns the client's sampled order h_u.
-func (c *Client) Order() int { return c.inner.Order() }
+// Mechanism returns the factory's protocol.
+func (f *ClientFactory) Mechanism() Protocol { return f.mech }
+
+// NewClient builds the client for one user, seeded deterministically.
+func (f *ClientFactory) NewClient(user int, seed int64) (*Client, error) {
+	eng, err := f.build(user, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{eng: eng}, nil
+}
+
+// Order returns the client's announced order h_u (0 for mechanisms
+// without order sampling).
+func (c *Client) Order() int { return c.eng.Order() }
 
 // Observe consumes the user's current Boolean value for the next time
 // period and returns a report to ship when this period is a reporting
-// time for the client's order.
+// time for the client.
 func (c *Client) Observe(value bool) (Report, bool) {
-	var v uint8
-	if value {
-		v = 1
-	}
-	r, ok := c.inner.Observe(v)
-	if !ok {
-		return Report{}, false
-	}
-	return Report{User: r.User, Order: r.Order, J: r.J, Bit: r.Bit}, true
+	return c.eng.Observe(value)
 }
 
-// Server is the server-side algorithm Asvr (Algorithm 2).
+// Server is the server-side half of the streaming protocol, for
+// whatever mechanism it was built with. All mechanisms answer the same
+// queries through Answer (and the EstimateAt/Estimates/EstimateChange
+// shims).
 type Server struct {
-	inner *protocol.Server
-	d     int
+	eng  ServerEngine
+	d    int
+	mech Protocol
 }
 
-// NewServer creates a server for horizon d, sparsity bound k and budget
-// eps (which must match the clients').
-func NewServer(d, k int, eps float64) (*Server, error) {
-	if !dyadic.IsPow2(d) {
-		return nil, fmt.Errorf("ldp: d=%d is not a power of two", d)
-	}
-	p, err := probmath.NewFutureRand(k, eps)
+// NewServer creates a server for horizon d (a power of two). Mechanism,
+// sparsity and budget come from options and must match the clients'.
+func NewServer(d int, opts ...Option) (*Server, error) {
+	cfg := newConfig(opts)
+	m, err := lookupErr(cfg.mech)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
-		inner: protocol.NewServer(d, protocol.EstimatorScale(d, p.CGap)),
-		d:     d,
-	}, nil
+	if !m.Caps.Streaming {
+		return nil, fmt.Errorf("ldp: mechanism %q does not support streaming", cfg.mech)
+	}
+	eng, err := m.Server(cfg.params(d))
+	if err != nil {
+		return nil, err
+	}
+	return &Server{eng: eng, d: d, mech: cfg.mech}, nil
 }
+
+// Mechanism returns the server's protocol.
+func (s *Server) Mechanism() Protocol { return s.mech }
 
 // Register records a user's announced order.
 func (s *Server) Register(order int) error {
-	if order < 0 || order > dyadic.Log2(s.d) {
-		return fmt.Errorf("ldp: order %d out of range [0..%d]", order, dyadic.Log2(s.d))
-	}
-	s.inner.Register(order)
-	return nil
+	return s.eng.Register(order)
 }
 
-// Ingest accumulates one client report.
+// Ingest accumulates one client report. Reports with out-of-range
+// fields — including negative user ids — are rejected at this boundary.
 func (s *Server) Ingest(r Report) error {
+	if r.User < 0 {
+		return fmt.Errorf("ldp: negative user id %d", r.User)
+	}
 	if r.Bit != 1 && r.Bit != -1 {
 		return fmt.Errorf("ldp: report bit %d must be ±1", r.Bit)
 	}
-	if r.Order < 0 || r.Order > dyadic.Log2(s.d) {
-		return fmt.Errorf("ldp: report order %d out of range", r.Order)
-	}
-	if r.J < 1 || r.J > s.d>>uint(r.Order) {
-		return fmt.Errorf("ldp: report index %d out of range for order %d", r.J, r.Order)
-	}
-	s.inner.Ingest(protocol.Report{User: r.User, Order: r.Order, J: r.J, Bit: r.Bit})
-	return nil
+	return s.eng.Ingest(r)
 }
 
 // EstimateAt returns â[t] for t in [1..d], valid online once time t has
-// passed (all reports for C(t) arrive by time t).
+// passed (all reports for times ≤ t arrive by time t). It is shorthand
+// for Answer(PointQuery(t)).
 func (s *Server) EstimateAt(t int) (float64, error) {
-	if t < 1 || t > s.d {
-		return 0, fmt.Errorf("ldp: time %d out of range [1..%d]", t, s.d)
+	a, err := s.Answer(PointQuery(t))
+	if err != nil {
+		return 0, err
 	}
-	return s.inner.EstimateAt(t), nil
+	return a.Value, nil
 }
 
-// Estimates returns the full series â[1..d].
-func (s *Server) Estimates() []float64 { return s.inner.EstimateSeries() }
+// Estimates returns the full series â[1..d]; shorthand for
+// Answer(SeriesQuery()).
+func (s *Server) Estimates() []float64 { return s.eng.EstimateSeries() }
 
 // EstimateChange returns an unbiased estimate of a[r] − a[l−1], the net
-// change over [l..r], using the direct dyadic cover of the range (at most
-// 2·⌈log₂(r−l+1)⌉ intervals — proportionally less noise for short
-// ranges than differencing two prefix estimates).
+// change over [l..r]; shorthand for Answer(ChangeQuery(l, r)). Dyadic
+// mechanisms cover the range directly (at most 2·⌈log₂(r−l+1)⌉
+// intervals — proportionally less noise for short ranges than
+// differencing two prefix estimates).
 func (s *Server) EstimateChange(l, r int) (float64, error) {
-	if l < 1 || r > s.d || l > r {
-		return 0, fmt.Errorf("ldp: range [%d..%d] invalid for d=%d", l, r, s.d)
+	a, err := s.Answer(ChangeQuery(l, r))
+	if err != nil {
+		return 0, err
 	}
-	return s.inner.EstimateChange(l, r), nil
+	return a.Value, nil
 }
 
 // Users returns the number of registered users.
-func (s *Server) Users() int { return s.inner.Users() }
+func (s *Server) Users() int { return s.eng.Users() }

@@ -148,12 +148,12 @@ func TestStreamingClientServerEndToEnd(t *testing.T) {
 	// Run the public streaming API manually and check the estimates are
 	// sane on an all-ones workload.
 	const n, d, k = 400, 16, 1
-	srv, err := NewServer(d, k, 1.0)
+	srv, err := NewServer(d, WithSparsity(k), WithEpsilon(1.0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for u := 0; u < n; u++ {
-		c, err := NewClient(u, d, k, 1.0, int64(u))
+		c, err := NewClient(u, d, WithSparsity(k), WithEpsilon(1.0), WithSeed(int64(u)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -190,16 +190,16 @@ func TestStreamingClientServerEndToEnd(t *testing.T) {
 }
 
 func TestStreamingValidation(t *testing.T) {
-	if _, err := NewClient(0, 6, 1, 1.0, 1); err == nil {
+	if _, err := NewClient(0, 6); err == nil {
 		t.Error("non-power-of-two d accepted")
 	}
-	if _, err := NewClient(0, 8, 0, 1.0, 1); err == nil {
+	if _, err := NewClient(0, 8, WithSparsity(0)); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := NewServer(6, 1, 1.0); err == nil {
+	if _, err := NewServer(6); err == nil {
 		t.Error("server bad d accepted")
 	}
-	srv, err := NewServer(8, 1, 1.0)
+	srv, err := NewServer(8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestStreamingValidation(t *testing.T) {
 }
 
 func TestClippedClientPublic(t *testing.T) {
-	c, err := NewClippedClient(0, 8, 1, 1.0, 3)
+	c, err := NewClippedClient(0, 8, WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,16 +239,16 @@ func TestClippedClientPublic(t *testing.T) {
 	if want := 8 >> uint(c.Order()); reports != want {
 		t.Errorf("%d reports, want %d", reports, want)
 	}
-	if _, err := NewClippedClient(0, 6, 1, 1.0, 3); err == nil {
+	if _, err := NewClippedClient(0, 6); err == nil {
 		t.Error("bad d accepted")
 	}
-	if _, err := NewClippedClient(0, 8, 0, 1.0, 3); err == nil {
+	if _, err := NewClippedClient(0, 8, WithSparsity(0)); err == nil {
 		t.Error("k=0 accepted")
 	}
 }
 
 func TestEstimateChangePublic(t *testing.T) {
-	srv, err := NewServer(16, 1, 1.0)
+	srv, err := NewServer(16)
 	if err != nil {
 		t.Fatal(err)
 	}

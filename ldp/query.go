@@ -1,0 +1,101 @@
+package ldp
+
+import "fmt"
+
+// QueryKind discriminates the shapes a Server can be asked about. The
+// numeric values match the transport wire encoding (transport.QueryKind).
+type QueryKind int
+
+// Query kinds.
+const (
+	// Point asks for â[t], the estimated count at one time.
+	Point QueryKind = iota + 1
+	// Change asks for an unbiased estimate of a[R] − a[L−1], the net
+	// change over [L..R], from the direct dyadic cover of the range
+	// (proportionally less noise than differencing two point
+	// estimates on mechanisms with dyadic structure).
+	Change
+	// Series asks for the full series â[1..d].
+	Series
+	// Window asks for â[L..R], one estimate per period in the range.
+	Window
+)
+
+// String names the kind for error messages and tables.
+func (k QueryKind) String() string {
+	switch k {
+	case Point:
+		return "point"
+	case Change:
+		return "change"
+	case Series:
+		return "series"
+	case Window:
+		return "window"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Query is one request against a Server, answered online by any
+// registered mechanism through Server.Answer. Construct queries with
+// PointQuery, ChangeQuery, SeriesQuery and WindowQuery.
+type Query struct {
+	Kind QueryKind
+	// T is the time of a Point query.
+	T int
+	// L, R bound the range of a Change or Window query (1-based,
+	// inclusive).
+	L, R int
+}
+
+// PointQuery asks for â[t].
+func PointQuery(t int) Query { return Query{Kind: Point, T: t} }
+
+// ChangeQuery asks for the net change over [l..r].
+func ChangeQuery(l, r int) Query { return Query{Kind: Change, L: l, R: r} }
+
+// SeriesQuery asks for the full series â[1..d].
+func SeriesQuery() Query { return Query{Kind: Series} }
+
+// WindowQuery asks for the per-period estimates â[l..r].
+func WindowQuery(l, r int) Query { return Query{Kind: Window, L: l, R: r} }
+
+// Answer is the result of a query: scalar kinds (Point, Change) fill
+// Value; vector kinds (Series, Window) fill Series.
+type Answer struct {
+	// Query echoes the request.
+	Query Query
+	// Value is the scalar answer of a Point or Change query.
+	Value float64
+	// Series is the vector answer of a Series or Window query.
+	Series []float64
+}
+
+// Answer is the unified query entry point: one call answers any query
+// shape for whatever mechanism the server was built with. Estimates are
+// valid online once the latest time they touch has passed (all reports
+// for that time arrived).
+func (s *Server) Answer(q Query) (Answer, error) {
+	switch q.Kind {
+	case Point:
+		if q.T < 1 || q.T > s.d {
+			return Answer{}, fmt.Errorf("ldp: time %d out of range [1..%d]", q.T, s.d)
+		}
+		return Answer{Query: q, Value: s.eng.EstimateAt(q.T)}, nil
+	case Change:
+		if q.L < 1 || q.R > s.d || q.L > q.R {
+			return Answer{}, fmt.Errorf("ldp: range [%d..%d] invalid for d=%d", q.L, q.R, s.d)
+		}
+		return Answer{Query: q, Value: s.eng.EstimateChange(q.L, q.R)}, nil
+	case Series:
+		return Answer{Query: q, Series: s.eng.EstimateSeries()}, nil
+	case Window:
+		if q.L < 1 || q.R > s.d || q.L > q.R {
+			return Answer{}, fmt.Errorf("ldp: range [%d..%d] invalid for d=%d", q.L, q.R, s.d)
+		}
+		return Answer{Query: q, Series: s.eng.EstimateSeriesTo(q.R)[q.L-1:]}, nil
+	default:
+		return Answer{}, fmt.Errorf("ldp: unknown query kind %d", int(q.Kind))
+	}
+}
