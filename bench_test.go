@@ -13,6 +13,7 @@ import (
 	"rtf/internal/core"
 	"rtf/internal/dyadic"
 	"rtf/internal/eval"
+	"rtf/internal/persist"
 	"rtf/internal/probmath"
 	"rtf/internal/protocol"
 	"rtf/internal/rng"
@@ -400,6 +401,53 @@ func BenchmarkIngestBatchedSharded(b *testing.B) {
 			b.ReportMetric(float64(ingestBenchReports)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
 		})
 	}
+}
+
+// BenchmarkIngestDurableWAL measures the write-ahead-logging overhead
+// on the rtf-serve data path: the same batched sharded ingestion as
+// BenchmarkIngestBatchedSharded, but every batch is journaled through a
+// DurableCollector (no fsync — the kill -9 durability level) before it
+// is applied.
+func BenchmarkIngestDurableWAL(b *testing.B) {
+	const shards = 4
+	streams := encodeIngestStreams(b, shards, true)
+	var total int64
+	for _, s := range streams {
+		total += int64(len(s))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		col, _, err := transport.OpenDurable(protocol.NewSharded(ingestBenchD, 100, shards), dir,
+			persist.Meta{Mechanism: "bench", D: ingestBenchD, K: 8, Eps: 1, Scale: 100}, transport.DurableOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for s := range streams {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				dec := transport.NewDecoder(bytes.NewReader(streams[s]))
+				for {
+					ms, err := dec.NextBatch()
+					if err != nil {
+						return
+					}
+					if err := col.SendBatch(s, ms); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		col.Close()
+	}
+	b.ReportMetric(float64(ingestBenchReports)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
 }
 
 // BenchmarkAnswerChangeVsDiffPoints compares the two ways to estimate a

@@ -8,22 +8,32 @@
 // versioned v2 frames (MsgQueryV2 → MsgAnswer: point, change, series,
 // window) are served.
 //
+// With -data-dir the service is durable: every ingested frame is
+// appended to a write-ahead log before it is applied, periodic
+// snapshots (-snapshot-every) supersede and compact the log, and on
+// boot the previous state is recovered from the newest snapshot plus a
+// WAL replay — answers after recovery are bit-for-bit those of an
+// uninterrupted server. SIGINT/SIGTERM shut down gracefully: the
+// listener closes, in-flight connections drain (up to -grace), a final
+// snapshot is flushed, and the process exits 0. A second signal forces
+// immediate exit.
+//
 // The protocol parameters (-mechanism, -d, -k, -eps) must match the
-// clients'; they determine the estimator scale of Algorithm 2.
-// Estimates served are bit-for-bit identical to a serial in-process
-// server fed the same reports, regardless of sharding, batching or
-// connection interleaving (see cmd/rtf-sim's -drive mode, which checks
-// exactly that for every query shape).
+// clients'; they determine the estimator scale of Algorithm 2 and are
+// recorded in every snapshot, so a data directory written under
+// different parameters is rejected at boot rather than misread.
 //
 // Examples:
 //
 //	rtf-serve -addr :7609 -d 1024 -k 8 -eps 1.0
 //	rtf-serve -addr :7609 -mechanism erlingsson -d 256 -k 4 -eps 0.5 -shards 16 -stats 5s
+//	rtf-serve -addr :7609 -d 1024 -k 8 -data-dir /var/lib/rtf -snapshot-every 30s -fsync
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
@@ -31,6 +41,7 @@ import (
 	"time"
 
 	"rtf/internal/dyadic"
+	"rtf/internal/persist"
 	"rtf/internal/protocol"
 	"rtf/internal/transport"
 	"rtf/ldp"
@@ -38,13 +49,18 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":7609", "TCP listen address")
-		mech   = flag.String("mechanism", "futurerand", "mechanism to host (must have the sharded capability); must match clients")
-		d      = flag.Int("d", 1024, "time periods (power of two); must match clients")
-		k      = flag.Int("k", 8, "max changes per user; must match clients")
-		eps    = flag.Float64("eps", 1.0, "privacy budget (0 < eps <= 1); must match clients")
-		shards = flag.Int("shards", runtime.GOMAXPROCS(0), "accumulator shards (>= 1)")
-		stats  = flag.Duration("stats", 0, "print throughput every interval (0 = off)")
+		addr    = flag.String("addr", ":7609", "TCP listen address")
+		mech    = flag.String("mechanism", "futurerand", "mechanism to host (must have the sharded capability); must match clients")
+		d       = flag.Int("d", 1024, "time periods (power of two); must match clients")
+		k       = flag.Int("k", 8, "max changes per user; must match clients")
+		eps     = flag.Float64("eps", 1.0, "privacy budget (0 < eps <= 1); must match clients")
+		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "accumulator shards (>= 1)")
+		stats   = flag.Duration("stats", 0, "print throughput every interval (0 = off)")
+		dataDir = flag.String("data-dir", "", "persist state here (snapshot + write-ahead log); empty = in-memory only")
+		snapEvy = flag.Duration("snapshot-every", time.Minute, "periodic snapshot interval with -data-dir (0 = final snapshot only)")
+		fsync   = flag.Bool("fsync", false, "fsync the WAL after every append (survive power loss, not just crashes)")
+		tornOK  = flag.Bool("tolerate-torn-tail", false, "boot through a torn final WAL record (the artifact of a power loss mid-append) by truncating it; off = fail with a descriptive error so the operator decides")
+		grace   = flag.Duration("grace", 10*time.Second, "how long a shutdown signal lets in-flight connections drain")
 	)
 	flag.Parse()
 
@@ -66,16 +82,58 @@ func main() {
 		fatal(fmt.Errorf("shards=%d must be >= 1", *shards))
 	}
 	acc := protocol.NewSharded(*d, scale, *shards)
-	srv := transport.NewIngestServer(transport.NewShardedCollector(acc))
+
+	var collector transport.BatchCollector
+	var durable *transport.DurableCollector
+	if *dataDir != "" {
+		meta := persist.Meta{Mechanism: *mech, D: *d, K: *k, Eps: *eps, Scale: scale}
+		dc, rec, err := transport.OpenDurable(acc, *dataDir, meta, transport.DurableOptions{Fsync: *fsync, TolerateTornTail: *tornOK})
+		if err != nil {
+			fatal(err)
+		}
+		durable = dc
+		collector = dc
+		if rec.SnapshotCursor > 0 || rec.Replayed > 0 {
+			fmt.Fprintf(os.Stderr, "rtf-serve: recovered from %s: snapshot cursor %d + %d WAL records (%d users, %d reports replayed; %d users total)\n",
+				*dataDir, rec.SnapshotCursor, rec.Replayed, rec.Hellos, rec.Reports, acc.Users())
+		}
+	} else {
+		collector = transport.NewShardedCollector(acc)
+	}
+	srv := transport.NewIngestServer(collector)
 	srv.ErrorLog = func(err error) { fmt.Fprintln(os.Stderr, "rtf-serve:", err) }
 
-	sig := make(chan os.Signal, 1)
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-sig
-		fmt.Fprintln(os.Stderr, "rtf-serve: shutting down")
-		srv.Close()
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "rtf-serve: %v: draining connections (grace %v; signal again to force)\n", s, *grace)
+		go func() {
+			<-sig
+			fmt.Fprintln(os.Stderr, "rtf-serve: second signal: exiting immediately")
+			os.Exit(1)
+		}()
+		close(stop)
+		srv.Shutdown(*grace)
 	}()
+
+	if durable != nil && *snapEvy > 0 {
+		go func() {
+			tick := time.NewTicker(*snapEvy)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if _, err := durable.Snapshot(); err != nil {
+						fmt.Fprintln(os.Stderr, "rtf-serve: snapshot:", err)
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
 
 	if *stats > 0 {
 		go func() {
@@ -94,10 +152,32 @@ func main() {
 		}()
 	}
 
-	fmt.Fprintf(os.Stderr, "rtf-serve: listening on %s (mechanism=%s d=%d k=%d eps=%v shards=%d)\n",
-		*addr, *mech, *d, *k, *eps, *shards)
-	if err := srv.ListenAndServe(*addr, nil); err != nil {
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr, ready) }()
+	select {
+	case a := <-ready:
+		fmt.Fprintf(os.Stderr, "rtf-serve: listening on %s (mechanism=%s d=%d k=%d eps=%v shards=%d durable=%v)\n",
+			a, *mech, *d, *k, *eps, *shards, durable != nil)
+	case err := <-errc:
 		fatal(err)
+	}
+	if err := <-errc; err != nil {
+		fatal(err)
+	}
+
+	// The serve loop has returned and every connection goroutine has
+	// exited: the accumulator is quiescent. Flush the final snapshot so
+	// a clean shutdown restarts without any WAL replay.
+	if durable != nil {
+		if cursor, err := durable.Snapshot(); err != nil {
+			fatal(err)
+		} else {
+			fmt.Fprintf(os.Stderr, "rtf-serve: final snapshot at cursor %d\n", cursor)
+		}
+		if err := durable.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	hellos, reports, batches := srv.Collector.Stats()
 	fmt.Fprintf(os.Stderr, "rtf-serve: done: users=%d reports=%d batches=%d\n", hellos, reports, batches)

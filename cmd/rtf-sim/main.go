@@ -13,6 +13,15 @@
 // reports. The server must be started with the same -mechanism, -d, -k
 // and -eps.
 //
+// With -recover it runs the crash-recovery acceptance test end to end:
+// it spawns its own rtf-serve (found via -serve-bin, next to this
+// binary, or on $PATH) with a fresh data directory, ingests half the
+// users, kill -9s the server mid-ingest, restarts it from its snapshot
+// and write-ahead log, and verifies — before and after ingesting the
+// remaining half — that Point, Change, Series and Window answers are
+// bit-for-bit identical to an uninterrupted in-process engine. The
+// restarted server is finally SIGTERMed and must drain and exit 0.
+//
 // Examples:
 //
 //	rtf-sim -n 50000 -d 1024 -k 8 -eps 1.0
@@ -20,16 +29,20 @@
 //	rtf-sim -protocol futurerand -consistency -n 100000
 //	rtf-serve -addr :7609 -d 256 -k 4 &
 //	rtf-sim -drive localhost:7609 -n 10000 -d 256 -k 4 -conns 8 -batch 256
-//	rtf-serve -addr :7609 -mechanism erlingsson -d 256 -k 4 &
-//	rtf-sim -drive localhost:7609 -protocol erlingsson -n 10000 -d 256 -k 4
+//	rtf-sim -recover -n 4000 -d 256 -k 4 -conns 4
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"rtf/internal/transport"
@@ -39,21 +52,23 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 10000, "number of users")
-		d       = flag.Int("d", 256, "time periods (power of two)")
-		k       = flag.Int("k", 4, "max changes per user")
-		eps     = flag.Float64("eps", 1.0, "privacy budget (0 < eps <= 1)")
-		proto   = flag.String("protocol", "futurerand", "protocol: futurerand|independent|bun|erlingsson|naive-split|central-binary")
-		wl      = flag.String("workload", "uniform", "workload: uniform|max-changes|bursty|zipf|step|adversarial|periodic|static")
-		seed    = flag.Int64("seed", 1, "random seed")
-		exact   = flag.Bool("exact", false, "use the exact per-user engine")
-		consist = flag.Bool("consistency", false, "apply consistency post-processing")
-		series  = flag.Bool("series", false, "print the t,truth,estimate series as CSV")
-		wlOut   = flag.String("write-workload", "", "write the generated workload as CSV to this file")
-		wlIn    = flag.String("read-workload", "", "read the workload from this CSV file instead of generating")
-		drive   = flag.String("drive", "", "load-test a running rtf-serve at this address instead of simulating (the server must be freshly started: the bit-for-bit check compares its cumulative state against this run alone)")
-		conns   = flag.Int("conns", 4, "parallel connections in -drive mode")
-		batch   = flag.Int("batch", 256, "messages per batch frame in -drive mode")
+		n        = flag.Int("n", 10000, "number of users")
+		d        = flag.Int("d", 256, "time periods (power of two)")
+		k        = flag.Int("k", 4, "max changes per user")
+		eps      = flag.Float64("eps", 1.0, "privacy budget (0 < eps <= 1)")
+		proto    = flag.String("protocol", "futurerand", "protocol: futurerand|independent|bun|erlingsson|naive-split|central-binary")
+		wl       = flag.String("workload", "uniform", "workload: uniform|max-changes|bursty|zipf|step|adversarial|periodic|static")
+		seed     = flag.Int64("seed", 1, "random seed")
+		exact    = flag.Bool("exact", false, "use the exact per-user engine")
+		consist  = flag.Bool("consistency", false, "apply consistency post-processing")
+		series   = flag.Bool("series", false, "print the t,truth,estimate series as CSV")
+		wlOut    = flag.String("write-workload", "", "write the generated workload as CSV to this file")
+		wlIn     = flag.String("read-workload", "", "read the workload from this CSV file instead of generating")
+		drive    = flag.String("drive", "", "load-test a running rtf-serve at this address instead of simulating (the server must be freshly started: the bit-for-bit check compares its cumulative state against this run alone)")
+		conns    = flag.Int("conns", 4, "parallel connections in -drive/-recover mode")
+		batch    = flag.Int("batch", 256, "messages per batch frame in -drive/-recover mode")
+		recovery = flag.Bool("recover", false, "run the kill/restart/recover test: spawn rtf-serve with a data dir, kill -9 it mid-ingest, restart, verify bit-for-bit recovery")
+		serveBin = flag.String("serve-bin", "", "rtf-serve binary for -recover (default: next to this binary, then $PATH)")
 	)
 	flag.Parse()
 
@@ -62,15 +77,30 @@ func main() {
 		fatal(err)
 	}
 
-	if *drive != "" {
+	if *drive != "" || *recovery {
+		if *drive != "" && *recovery {
+			fatal(fmt.Errorf("-drive and -recover are mutually exclusive (-recover spawns its own server)"))
+		}
 		mech := ldp.Protocol(*proto)
-		if m, ok := ldp.Lookup(mech); !ok || !m.Caps.Sharded {
-			fatal(fmt.Errorf("-drive needs a mechanism rtf-serve can host (sharded capability), got %q", *proto))
+		m, ok := ldp.Lookup(mech)
+		if !ok || !m.Caps.Sharded {
+			fatal(fmt.Errorf("server modes need a mechanism rtf-serve can host (sharded capability), got %q", *proto))
 		}
 		if *exact || *consist {
-			fatal(fmt.Errorf("-drive does not support -exact or -consistency"))
+			fatal(fmt.Errorf("-drive/-recover do not support -exact or -consistency"))
 		}
-		if err := runDrive(*drive, w, mech, *k, *eps, *conns, *batch, *seed); err != nil {
+		st, err := newDriver(w, mech, *k, *eps, *conns, *batch, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *recovery {
+			if !m.Caps.Durable {
+				fatal(fmt.Errorf("-recover needs a durable mechanism, got %q", *proto))
+			}
+			if err := runRecover(st, *serveBin, *proto, *d, *k, *eps); err != nil {
+				fatal(err)
+			}
+		} else if err := runDrive(st, *drive); err != nil {
 			fatal(err)
 		}
 		return
@@ -153,46 +183,67 @@ func loadWorkload(path, spec string, n, d, k int, seed int64) (*workload.Workloa
 	return workload.Generate(s, seed)
 }
 
-// runDrive load-tests an rtf-serve instance hosting the given mechanism:
-// it generates every user's reports with the real client algorithm
-// (deterministic per-user seeds, so the report set is independent of how
-// users are spread over connections), ships them as batch frames over
-// conns parallel TCP connections via the public ldp.BatchReporter, then
-// queries the server through every query shape and verifies each answer
-// bit-for-bit against an in-process ldp.Server fed the same reports.
-func runDrive(addr string, w *workload.Workload, mech ldp.Protocol, k int, eps float64, conns, batch int, seed int64) error {
+// driver holds the state shared by the server-driving modes: the
+// workload, the per-user client factory (deterministic per-user seeds,
+// so the report set is independent of how users are spread over
+// connections and over phases), and the cumulative in-process reference
+// server every answer is checked against bit-for-bit.
+type driver struct {
+	w       *workload.Workload
+	mech    ldp.Protocol
+	factory *ldp.ClientFactory
+	ref     *ldp.Server
+	eps     float64
+	conns   int
+	batch   int
+	seed    int64
+
+	mu      sync.Mutex // guards ref and the counters
+	reports int64
+	bytes   int64
+}
+
+func newDriver(w *workload.Workload, mech ldp.Protocol, k int, eps float64, conns, batch int, seed int64) (*driver, error) {
 	if conns < 1 {
-		return fmt.Errorf("conns=%d must be >= 1", conns)
+		return nil, fmt.Errorf("conns=%d must be >= 1", conns)
 	}
 	kk := maxInt(k, 1)
 	opts := []ldp.Option{ldp.WithMechanism(mech), ldp.WithSparsity(kk), ldp.WithEpsilon(eps)}
 	factory, err := ldp.NewClientFactory(w.D, opts...)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ref, err := ldp.NewServer(w.D, opts...)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	return &driver{w: w, mech: mech, factory: factory, ref: ref, eps: eps, conns: conns, batch: batch, seed: seed}, nil
+}
 
-	start := time.Now()
+// sendUsers generates and ships the reports of users [lo, hi) to the
+// server at addr over the driver's parallel connections, folding the
+// same reports into the in-process reference. Each connection ends with
+// a fence query, so when sendUsers returns the server has applied — and
+// a durable server has journaled — everything sent.
+func (st *driver) sendUsers(addr string, lo, hi int) error {
 	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex // guards ref, firstE and the counters
-		firstE  error
-		reports int64
-		bytes   int64
+		wg     sync.WaitGroup
+		firstE error
 	)
 	fail := func(err error) {
-		mu.Lock()
+		st.mu.Lock()
 		if firstE == nil {
 			firstE = err
 		}
-		mu.Unlock()
+		st.mu.Unlock()
 	}
-	per := (w.N + conns - 1) / conns
-	for c := 0; c < conns; c++ {
-		lo, hi := c*per, minInt((c+1)*per, w.N)
+	span := hi - lo
+	per := (span + st.conns - 1) / st.conns
+	for c := 0; c < st.conns; c++ {
+		clo, chi := lo+c*per, minInt(lo+(c+1)*per, hi)
+		if clo >= chi {
+			continue
+		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
@@ -202,7 +253,7 @@ func runDrive(addr string, w *workload.Workload, mech ldp.Protocol, k int, eps f
 				return
 			}
 			defer conn.Close()
-			rep, err := ldp.NewBatchReporter(conn, batch)
+			rep, err := ldp.NewBatchReporter(conn, st.batch)
 			if err != nil {
 				fail(err)
 				return
@@ -213,9 +264,9 @@ func runDrive(addr string, w *workload.Workload, mech ldp.Protocol, k int, eps f
 			// ingestion is commutative integer addition, so the estimates
 			// equal live ingestion, without per-report lock traffic on the
 			// send loop or retaining the whole report set in memory.
-			local := make([]ldp.Report, 0, w.D)
+			local := make([]ldp.Report, 0, st.w.D)
 			for u := lo; u < hi; u++ {
-				cl, err := factory.NewClient(u, seed+int64(u))
+				cl, err := st.factory.NewClient(u, st.seed+int64(u))
 				if err != nil {
 					fail(err)
 					return
@@ -225,8 +276,8 @@ func runDrive(addr string, w *workload.Workload, mech ldp.Protocol, k int, eps f
 					return
 				}
 				local = local[:0]
-				vals := w.Users[u].Values(w.D)
-				for t := 1; t <= w.D; t++ {
+				vals := st.w.Users[u].Values(st.w.D)
+				for t := 1; t <= st.w.D; t++ {
 					r, ok := cl.Observe(vals[t-1] == 1)
 					if !ok {
 						continue
@@ -238,15 +289,15 @@ func runDrive(addr string, w *workload.Workload, mech ldp.Protocol, k int, eps f
 					}
 					sent++
 				}
-				mu.Lock()
-				err = ref.Register(cl.Order())
+				st.mu.Lock()
+				err = st.ref.Register(cl.Order())
 				for _, r := range local {
 					if err != nil {
 						break
 					}
-					err = ref.Ingest(r)
+					err = st.ref.Ingest(r)
 				}
-				mu.Unlock()
+				st.mu.Unlock()
 				if err != nil {
 					fail(err)
 					return
@@ -271,49 +322,54 @@ func runDrive(addr string, w *workload.Workload, mech ldp.Protocol, k int, eps f
 				fail(fmt.Errorf("fence query: %w", err))
 				return
 			}
-			mu.Lock()
-			reports += sent
-			bytes += rep.BytesWritten()
-			mu.Unlock()
-		}(lo, hi)
+			st.mu.Lock()
+			st.reports += sent
+			st.bytes += rep.BytesWritten()
+			st.mu.Unlock()
+		}(clo, chi)
 	}
 	wg.Wait()
-	if firstE != nil {
-		return firstE
-	}
-	elapsed := time.Since(start)
+	return firstE
+}
 
+// verify queries the server at addr through every query shape — v1
+// point estimates for every period plus versioned point, change, series
+// and window frames — and checks each answer bit-for-bit against the
+// in-process reference. It returns the point-estimate series and the
+// number of v2 values checked.
+func (st *driver) verify(addr string) ([]float64, int, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	defer conn.Close()
 	enc := transport.NewEncoder(conn)
 	dec := transport.NewDecoder(conn)
+	w := st.w
 
 	// Point estimates for every period through the v1 protocol.
 	for t := 1; t <= w.D; t++ {
 		if err := enc.Encode(transport.Query(t)); err != nil {
-			return err
+			return nil, 0, err
 		}
 	}
 	if err := enc.Flush(); err != nil {
-		return err
+		return nil, 0, err
 	}
 	mismatches := 0
 	est := make([]float64, w.D)
 	for t := 1; t <= w.D; t++ {
 		m, err := dec.Next()
 		if err != nil {
-			return err
+			return nil, 0, err
 		}
 		if m.Type != transport.MsgEstimate || m.T != t {
-			return fmt.Errorf("unexpected query response %+v at t=%d", m, t)
+			return nil, 0, fmt.Errorf("unexpected query response %+v at t=%d", m, t)
 		}
 		est[t-1] = m.Value
-		want, err := ref.EstimateAt(t)
+		want, err := st.ref.EstimateAt(t)
 		if err != nil {
-			return err
+			return nil, 0, err
 		}
 		if m.Value != want {
 			mismatches++
@@ -323,7 +379,7 @@ func runDrive(addr string, w *workload.Workload, mech ldp.Protocol, k int, eps f
 		}
 	}
 	if mismatches > 0 {
-		return fmt.Errorf("%d of %d point estimates differ from the in-process engine", mismatches, w.D)
+		return nil, 0, fmt.Errorf("%d of %d point estimates differ from the in-process engine", mismatches, w.D)
 	}
 
 	// The versioned query shapes: point, change, series, window — each
@@ -341,42 +397,288 @@ func runDrive(addr string, w *workload.Workload, mech ldp.Protocol, k int, eps f
 	for _, q := range v2 {
 		got, err := queryV2(enc, dec, q)
 		if err != nil {
-			return fmt.Errorf("%s query: %w", q.Kind, err)
+			return nil, 0, fmt.Errorf("%s query: %w", q.Kind, err)
 		}
-		want, err := ref.Answer(q)
+		want, err := st.ref.Answer(q)
 		if err != nil {
-			return err
+			return nil, 0, err
 		}
 		wantVals := want.Series
 		if q.Kind == ldp.Point || q.Kind == ldp.Change {
 			wantVals = []float64{want.Value}
 		}
 		if len(got) != len(wantVals) {
-			return fmt.Errorf("%s query: %d values, want %d", q.Kind, len(got), len(wantVals))
+			return nil, 0, fmt.Errorf("%s query: %d values, want %d", q.Kind, len(got), len(wantVals))
 		}
 		for i := range got {
 			if got[i] != wantVals[i] {
-				return fmt.Errorf("%s query value %d: server=%v in-process=%v", q.Kind, i, got[i], wantVals[i])
+				return nil, 0, fmt.Errorf("%s query value %d: server=%v in-process=%v", q.Kind, i, got[i], wantVals[i])
 			}
 			checked++
 		}
 	}
+	return est, checked, nil
+}
 
+// runDrive load-tests an rtf-serve instance hosting the driver's
+// mechanism: every user's reports are shipped, then every query shape
+// is verified bit-for-bit against the in-process engine.
+func runDrive(st *driver, addr string) error {
+	start := time.Now()
+	if err := st.sendUsers(addr, 0, st.w.N); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	est, checked, err := st.verify(addr)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("drive addr=%s mechanism=%s n=%d d=%d k=%d eps=%v conns=%d batch=%d seed=%d\n",
-		addr, mech, w.N, w.D, w.K, eps, conns, batch, seed)
-	fmt.Printf("reports    %d (%d users)\n", reports, w.N)
-	fmt.Printf("wire bytes %d (%.1f B/report)\n", bytes, float64(bytes)/float64(maxInt64(reports, 1)))
-	fmt.Printf("elapsed    %v (%.0f reports/s)\n", elapsed.Round(time.Millisecond), float64(reports)/elapsed.Seconds())
-	truth := w.Truth()
+		addr, st.mech, st.w.N, st.w.D, st.w.K, st.eps, st.conns, st.batch, st.seed)
+	printDriveStats(st, est, checked, elapsed)
+	return nil
+}
+
+// printDriveStats reports throughput and accuracy for a drive run.
+func printDriveStats(st *driver, est []float64, checked int, elapsed time.Duration) {
+	fmt.Printf("reports    %d (%d users)\n", st.reports, st.w.N)
+	fmt.Printf("wire bytes %d (%.1f B/report)\n", st.bytes, float64(st.bytes)/float64(maxInt64(st.reports, 1)))
+	fmt.Printf("elapsed    %v (%.0f reports/s)\n", elapsed.Round(time.Millisecond), float64(st.reports)/elapsed.Seconds())
+	truth := st.w.Truth()
 	var maxErr float64
-	for t := 1; t <= w.D; t++ {
+	for t := 1; t <= st.w.D; t++ {
 		if e := abs(est[t-1] - float64(truth[t-1])); e > maxErr {
 			maxErr = e
 		}
 	}
 	fmt.Printf("max error  %.1f\n", maxErr)
-	fmt.Printf("estimates  bit-for-bit identical to the in-process engine (%d point + %d v2 values)\n", w.D, checked)
+	fmt.Printf("estimates  bit-for-bit identical to the in-process engine (%d point + %d v2 values)\n", st.w.D, checked)
+}
+
+// runRecover is the crash-recovery acceptance test: spawn rtf-serve
+// with a fresh data directory, ingest half the users, kill -9 the
+// process, restart it on the same directory, and verify all four query
+// shapes answer bit-for-bit like the uninterrupted in-process engine —
+// immediately after recovery and again after the remaining users.
+func runRecover(st *driver, serveBin, mech string, d, k int, eps float64) error {
+	bin, err := findServeBin(serveBin)
+	if err != nil {
+		return fmt.Errorf("finding rtf-serve (-serve-bin): %w", err)
+	}
+	tmp, err := os.MkdirTemp("", "rtf-recover-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	dataDir := filepath.Join(tmp, "data")
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-mechanism", mech,
+		"-d", fmt.Sprint(d),
+		"-k", fmt.Sprint(k),
+		"-eps", fmt.Sprint(eps),
+		"-data-dir", dataDir,
+		"-fsync",
+		"-snapshot-every", "300ms", // exercise snapshot+WAL interplay mid-run
+		"-grace", "10s",
+	}
+	start := time.Now()
+	proc, addr, err := startServe(bin, args)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if proc != nil {
+			proc.kill()
+		}
+	}()
+
+	// Phase 1 lands in two chunks with a pause in between, long enough
+	// for a periodic snapshot to fire: the kill then tests real mixed
+	// recovery — restore the snapshot, replay the WAL records after its
+	// cursor — not just a replay of the whole log.
+	half := st.w.N / 2
+	fmt.Printf("recover    phase 1: %d users -> %s (data %s)\n", half, addr, dataDir)
+	if err := st.sendUsers(addr, 0, half/2); err != nil {
+		return err
+	}
+	time.Sleep(700 * time.Millisecond) // > -snapshot-every: let a snapshot cover the prefix
+	if err := st.sendUsers(addr, half/2, half); err != nil {
+		return err
+	}
+	if _, _, err := st.verify(addr); err != nil {
+		return fmt.Errorf("pre-crash verification: %w", err)
+	}
+
+	// The kill must land mid-ingest — while frames are actively being
+	// journaled and applied — not on a quiescent server. A doomed
+	// connection streams hello batches for phantom users until the
+	// process dies under it. Hellos hit the WAL and the user counters
+	// but never the interval sums, so however many of them survive the
+	// crash, every estimate the verifications below check stays exactly
+	// the in-process engine's. (Unfenced *reports* could not be used
+	// here: the driver cannot know which of them became durable.)
+	doomed := make(chan struct{})
+	go func() {
+		defer close(doomed)
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		enc := transport.NewEncoder(conn)
+		batch := make([]transport.Msg, 64)
+		for u := 0; ; u++ {
+			for i := range batch {
+				batch[i] = transport.Hello(1_000_000+u*len(batch)+i, 0)
+			}
+			if err := enc.EncodeBatch(batch); err != nil {
+				return
+			}
+			if err := enc.Flush(); err != nil {
+				return // the kill severed the connection: done
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the doomed stream get going
+	fmt.Printf("recover    kill -9 pid %d mid-ingest\n", proc.cmd.Process.Pid)
+	if err := proc.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	proc.wait() // "signal: killed" is the expected outcome
+	proc = nil
+	<-doomed
+
+	proc2, addr2, err := startServe(bin, args)
+	if err != nil {
+		return fmt.Errorf("restarting after kill: %w", err)
+	}
+	defer func() {
+		if proc2 != nil {
+			proc2.kill()
+		}
+	}()
+	if _, checked, err := st.verify(addr2); err != nil {
+		return fmt.Errorf("post-recovery verification: %w", err)
+	} else {
+		fmt.Printf("recover    restarted at %s: %d point + %d v2 values bit-for-bit after snapshot+WAL recovery\n",
+			addr2, st.w.D, checked)
+	}
+
+	fmt.Printf("recover    phase 2: %d users -> %s\n", st.w.N-half, addr2)
+	if err := st.sendUsers(addr2, half, st.w.N); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	est, checked, err := st.verify(addr2)
+	if err != nil {
+		return fmt.Errorf("final verification: %w", err)
+	}
+
+	// Graceful shutdown: SIGTERM must drain, flush a final snapshot,
+	// and exit 0.
+	if err := proc2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := proc2.wait(); err != nil {
+		return fmt.Errorf("rtf-serve did not exit 0 on SIGTERM: %w", err)
+	}
+	proc2 = nil
+
+	fmt.Printf("recover mechanism=%s n=%d d=%d k=%d eps=%v conns=%d batch=%d seed=%d\n",
+		st.mech, st.w.N, st.w.D, st.w.K, eps, st.conns, st.batch, st.seed)
+	printDriveStats(st, est, checked, elapsed)
+	fmt.Println("recover    kill -9 + restart recovered bit-for-bit; SIGTERM drained and exited 0")
 	return nil
+}
+
+// findServeBin resolves the rtf-serve binary: the explicit flag, a
+// sibling of this executable, then $PATH.
+func findServeBin(explicit string) (string, error) {
+	if explicit != "" {
+		return explicit, nil
+	}
+	if exe, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(exe), "rtf-serve")
+		if fi, err := os.Stat(cand); err == nil && !fi.IsDir() {
+			return cand, nil
+		}
+	}
+	return exec.LookPath("rtf-serve")
+}
+
+// serveProc is a spawned rtf-serve: the process plus the goroutine
+// relaying its stderr. wait must be used instead of cmd.Wait so the
+// relay finishes reading the pipe first (os/exec forbids Wait while a
+// pipe read is in flight — it would drop the tail of the child's log).
+type serveProc struct {
+	cmd      *exec.Cmd
+	scanDone chan struct{}
+}
+
+// wait waits for the stderr relay to hit EOF, then reaps the process.
+func (p *serveProc) wait() error {
+	<-p.scanDone
+	return p.cmd.Wait()
+}
+
+// kill SIGKILLs the process and reaps it; for use on error paths.
+func (p *serveProc) kill() {
+	p.cmd.Process.Kill()
+	p.wait()
+}
+
+// startServe launches rtf-serve and waits for its "listening on"
+// stderr line to learn the bound address (the test uses port 0). The
+// rest of the child's stderr keeps streaming through, prefixed.
+func startServe(bin string, args []string) (*serveProc, string, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stdout
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	p := &serveProc{cmd: cmd, scanDone: make(chan struct{})}
+	addrCh := make(chan string, 1)
+	go func() {
+		defer close(p.scanDone)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(os.Stderr, "  [rtf-serve]", line)
+			if a, ok := parseListenAddr(line); ok {
+				select {
+				case addrCh <- a:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case a := <-addrCh:
+		return p, a, nil
+	case <-time.After(15 * time.Second):
+		p.kill()
+		return nil, "", fmt.Errorf("rtf-serve did not report a listen address within 15s")
+	}
+}
+
+// parseListenAddr extracts the address from a "listening on ADDR ..."
+// log line.
+func parseListenAddr(line string) (string, bool) {
+	const tag = "listening on "
+	i := strings.Index(line, tag)
+	if i < 0 {
+		return "", false
+	}
+	rest := line[i+len(tag):]
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	return rest, rest != ""
 }
 
 // queryV2 sends one versioned query and decodes the answer values.

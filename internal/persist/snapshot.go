@@ -1,0 +1,240 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Snapshot is one durable cut of server state: the mechanism metadata
+// it was taken under, an opaque state payload (the serialized dyadic
+// accumulator), and the WAL cursor — the last sequence number whose
+// record is reflected in the state. Recovery restores the state and
+// replays only WAL records after the cursor.
+type Snapshot struct {
+	Cursor uint64
+	Meta   Meta
+	State  []byte
+}
+
+// EncodeSnapshot returns the versioned, checksummed snapshot file
+// image: an 8-byte magic+version header, a CRC-32/IEEE of the payload,
+// and the payload (cursor, meta, state).
+func EncodeSnapshot(s *Snapshot) []byte {
+	payload := make([]byte, 0, 64+len(s.State))
+	payload = binary.AppendUvarint(payload, s.Cursor)
+	payload = appendMeta(payload, s.Meta)
+	payload = binary.AppendUvarint(payload, uint64(len(s.State)))
+	payload = append(payload, s.State...)
+
+	out := make([]byte, 0, headerLen+4+len(payload))
+	out = append(out, snapMagic...)
+	out = append(out, snapVersion)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// DecodeSnapshot parses a snapshot file image, failing with a
+// descriptive error — never a panic — on short input, bad magic,
+// version mismatch, checksum mismatch, or malformed payload fields.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < headerLen+4 {
+		return nil, fmt.Errorf("persist: snapshot too short (%d bytes)", len(b))
+	}
+	if string(b[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("persist: not a snapshot file (bad magic)")
+	}
+	if v := b[len(snapMagic)]; v != snapVersion {
+		return nil, fmt.Errorf("persist: unsupported snapshot version %d (this build reads version %d)", v, snapVersion)
+	}
+	sum := binary.LittleEndian.Uint32(b[headerLen : headerLen+4])
+	payload := b[headerLen+4:]
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("persist: snapshot checksum mismatch (stored %08x, computed %08x)", sum, got)
+	}
+	r := payloadReader{b: payload}
+	s := &Snapshot{}
+	s.Cursor = r.uvarint("cursor")
+	nameLen := r.uvarint("mechanism name length")
+	if r.err == nil && nameLen > 1<<10 {
+		return nil, fmt.Errorf("persist: snapshot mechanism name of %d bytes is implausible", nameLen)
+	}
+	s.Meta.Mechanism = string(r.bytes(int(nameLen), "mechanism name"))
+	s.Meta.D = int(r.uvarint("d"))
+	s.Meta.K = int(r.uvarint("k"))
+	s.Meta.Eps = math.Float64frombits(r.u64("eps"))
+	s.Meta.Scale = math.Float64frombits(r.u64("scale"))
+	stateLen := r.uvarint("state length")
+	if r.err == nil && stateLen > MaxStateLen {
+		return nil, fmt.Errorf("persist: snapshot state of %d bytes exceeds limit %d", stateLen, MaxStateLen)
+	}
+	s.State = append([]byte(nil), r.bytes(int(stateLen), "state")...)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b[r.off:]) != 0 {
+		return nil, fmt.Errorf("persist: %d trailing bytes after snapshot payload", len(r.b[r.off:]))
+	}
+	return s, nil
+}
+
+// payloadReader walks a payload buffer, recording the first decode
+// error instead of panicking on short input.
+type payloadReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *payloadReader) uvarint(field string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("persist: snapshot payload truncated at %s", field)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *payloadReader) u64(field string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.err = fmt.Errorf("persist: snapshot payload truncated at %s", field)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *payloadReader) bytes(n int, field string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.err = fmt.Errorf("persist: snapshot payload truncated at %s", field)
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// WriteSnapshot durably writes s into dir as snap-<cursor>.rtfs: the
+// image goes to a temporary file, is optionally fsynced, and is renamed
+// into place, so a crash mid-write never leaves a half-written snapshot
+// under the final name.
+func WriteSnapshot(dir string, s *Snapshot, fsync bool) error {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return err
+	}
+	img := EncodeSnapshot(s)
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(img); err != nil {
+		tmp.Close()
+		return err
+	}
+	if fsync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), snapPath(dir, s.Cursor)); err != nil {
+		return err
+	}
+	if fsync {
+		syncDir(dir)
+	}
+	return nil
+}
+
+// LoadLatestSnapshot loads the snapshot with the highest cursor. It
+// returns found=false on a directory with no snapshots. A corrupt
+// newest snapshot is a hard error rather than a silent fallback to an
+// older one: compaction may already have deleted the WAL records an
+// older snapshot would need, so falling back could silently lose data.
+func LoadLatestSnapshot(dir string) (*Snapshot, bool, error) {
+	seqs, err := listSeqs(dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(seqs) == 0 {
+		return nil, false, nil
+	}
+	cursor := seqs[len(seqs)-1]
+	path := snapPath(dir, cursor)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	s, err := DecodeSnapshot(b)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w (in %s)", err, path)
+	}
+	if s.Cursor != cursor {
+		return nil, false, fmt.Errorf("persist: %s: snapshot cursor %d does not match its file name", path, s.Cursor)
+	}
+	return s, true, nil
+}
+
+// CleanTemp removes stale snap-*.tmp files — the debris a crash during
+// WriteSnapshot leaves behind (the temp file is renamed into place on
+// success, so anything still named .tmp is dead). Call it at boot,
+// before any writer is live.
+func CleanTemp(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, ".tmp") {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CompactSnapshots removes all but the keep newest snapshot files.
+func CompactSnapshots(dir string, keep int) error {
+	seqs, err := listSeqs(dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return err
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	removed := false
+	for i := 0; i < len(seqs)-keep; i++ {
+		if err := os.Remove(snapPath(dir, seqs[i])); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		removed = true
+	}
+	if removed {
+		syncDir(dir)
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"rtf/internal/persist"
+	"rtf/internal/protocol"
+)
+
+// BatchCollector is the fan-in point an IngestServer feeds: the plain
+// in-memory ShardedCollector, or the DurableCollector that journals
+// every frame to a write-ahead log first.
+type BatchCollector interface {
+	// Acc returns the underlying accumulator (for estimate queries).
+	Acc() *protocol.Sharded
+	// Send validates and ingests one hello or report message.
+	Send(shard int, m Msg) error
+	// SendBatch validates and ingests a whole decoded batch atomically.
+	SendBatch(shard int, ms []Msg) error
+	// Stats returns the number of hellos, reports and batches ingested.
+	Stats() (hellos, reports, batches int64)
+}
+
+// DurableOptions configures OpenDurable.
+type DurableOptions struct {
+	// Fsync syncs the WAL after every append and snapshot writes before
+	// rename. Off, a kill -9 still loses nothing (records are written
+	// whole and live in the page cache); on, state also survives power
+	// loss, at one fsync per ingested frame.
+	Fsync bool
+	// SegmentBytes overrides the WAL rotation threshold (default 4 MiB).
+	SegmentBytes int64
+	// TolerateTornTail lets recovery truncate a torn final WAL record
+	// (the artifact of a crash mid-append) instead of failing. Off by
+	// default: a torn tail then fails recovery with a descriptive error
+	// so the operator decides.
+	TolerateTornTail bool
+}
+
+// RecoveryStats reports what OpenDurable reconstructed at boot.
+type RecoveryStats struct {
+	// SnapshotCursor is the cursor of the snapshot that was restored
+	// (0 when no snapshot existed).
+	SnapshotCursor uint64
+	// Replayed is the number of WAL records applied after the snapshot.
+	Replayed int
+	// Hellos and Reports count the messages applied by the WAL replay
+	// (the snapshot's contribution is already folded into the counters
+	// and is not re-counted here).
+	Hellos, Reports int64
+}
+
+// DurableCollector wraps a ShardedCollector with the persistence
+// subsystem: every frame is validated, journaled to the write-ahead
+// log, and only then applied, so an acknowledged frame survives a
+// crash. Snapshot cuts a consistent point-in-time copy of the
+// accumulator with its WAL cursor and compacts the log behind it.
+type DurableCollector struct {
+	inner *ShardedCollector
+	wal   *persist.WAL
+	dir   string
+	meta  persist.Meta
+	fsync bool
+
+	// mu orders journal+apply pairs against snapshot cuts: ingestion
+	// holds it shared around the append-then-apply sequence, Snapshot
+	// holds it exclusively while reading the cursor and folding the
+	// counters, so a snapshot's cursor covers exactly the applied
+	// prefix of the log.
+	mu sync.RWMutex
+
+	scratch sync.Pool // *[]byte buffers for frame re-encoding
+}
+
+// OpenDurable recovers the accumulator's durable state from dir (newest
+// snapshot, then WAL replay past its cursor) and returns a collector
+// that journals all further ingestion there. The accumulator must be
+// freshly constructed; meta must describe the hosting configuration and
+// is checked against the snapshot's, so a data directory written under
+// different parameters is rejected rather than misinterpreted.
+func OpenDurable(acc *protocol.Sharded, dir string, meta persist.Meta, o DurableOptions) (*DurableCollector, RecoveryStats, error) {
+	var stats RecoveryStats
+	inner := NewShardedCollector(acc)
+
+	if err := persist.CleanTemp(dir); err != nil {
+		return nil, stats, fmt.Errorf("transport: cleaning stale snapshot temp files: %w", err)
+	}
+	snap, found, err := persist.LoadLatestSnapshot(dir)
+	if err != nil {
+		return nil, stats, fmt.Errorf("transport: loading snapshot: %w", err)
+	}
+	after := uint64(0)
+	if found {
+		if err := snap.Meta.Check(meta); err != nil {
+			return nil, stats, err
+		}
+		if err := acc.RestoreState(snap.State); err != nil {
+			return nil, stats, fmt.Errorf("transport: restoring snapshot state: %w", err)
+		}
+		after = snap.Cursor
+		stats.SnapshotCursor = snap.Cursor
+	}
+
+	last, n, err := persist.ReplayWAL(dir, persist.ReplayOptions{After: after, TolerateTornTail: o.TolerateTornTail},
+		func(seq uint64, payload []byte) error {
+			dec := NewDecoder(bytes.NewReader(payload))
+			for {
+				ms, err := dec.NextBatch()
+				if errors.Is(err, io.EOF) {
+					return nil
+				}
+				if err != nil {
+					return fmt.Errorf("decoding record %d: %w", seq, err)
+				}
+				if err := inner.SendBatch(0, ms); err != nil {
+					return fmt.Errorf("applying record %d: %w", seq, err)
+				}
+			}
+		})
+	if err != nil {
+		return nil, stats, fmt.Errorf("transport: WAL replay: %w", err)
+	}
+	stats.Replayed = n
+	stats.Hellos, stats.Reports, _ = inner.Stats()
+
+	minSeq := after
+	if last > minSeq {
+		minSeq = last
+	}
+	wal, err := persist.OpenWAL(dir, persist.WALOptions{
+		SegmentBytes: o.SegmentBytes,
+		Fsync:        o.Fsync,
+		MinSeq:       minSeq,
+	})
+	if err != nil {
+		return nil, stats, fmt.Errorf("transport: opening WAL: %w", err)
+	}
+	return &DurableCollector{inner: inner, wal: wal, dir: dir, meta: meta, fsync: o.Fsync}, stats, nil
+}
+
+// Acc returns the underlying accumulator (for estimate queries).
+func (c *DurableCollector) Acc() *protocol.Sharded { return c.inner.Acc() }
+
+// Stats returns the number of hellos, reports and batches ingested,
+// including those recovered at boot.
+func (c *DurableCollector) Stats() (hellos, reports, batches int64) { return c.inner.Stats() }
+
+// Send journals and ingests one hello or report message.
+func (c *DurableCollector) Send(shard int, m Msg) error {
+	return c.SendBatch(shard, []Msg{m})
+}
+
+// SendBatch validates the batch, appends its wire encoding to the
+// write-ahead log, and applies it to the accumulator — in that order,
+// so any batch a query response can reflect is already durable. On a
+// validation or journaling error nothing is applied.
+func (c *DurableCollector) SendBatch(shard int, ms []Msg) error {
+	for i := range ms {
+		if err := c.inner.validate(ms[i]); err != nil {
+			return err
+		}
+	}
+	bp, _ := c.scratch.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
+	}
+	payload, err := appendBatch((*bp)[:0], ms)
+	if err != nil {
+		return err
+	}
+	*bp = payload[:0]
+	defer c.scratch.Put(bp)
+
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, err := c.wal.Append(payload); err != nil {
+		return err
+	}
+	c.inner.applyBatch(shard, ms)
+	return nil
+}
+
+// Snapshot writes a durable snapshot of the current accumulator state
+// and compacts the WAL segments (and older snapshots) it supersedes. It
+// returns the snapshot's cursor. Ingestion is paused only while the
+// counters are folded, not while the file is written.
+func (c *DurableCollector) Snapshot() (uint64, error) {
+	c.mu.Lock()
+	cursor := c.wal.LastSeq()
+	state := c.inner.Acc().MarshalState()
+	c.mu.Unlock()
+
+	snap := &persist.Snapshot{Cursor: cursor, Meta: c.meta, State: state}
+	if err := persist.WriteSnapshot(c.dir, snap, c.fsync); err != nil {
+		return cursor, fmt.Errorf("transport: writing snapshot: %w", err)
+	}
+	if err := c.wal.Compact(cursor); err != nil {
+		return cursor, fmt.Errorf("transport: compacting WAL: %w", err)
+	}
+	if err := persist.CompactSnapshots(c.dir, 2); err != nil {
+		return cursor, fmt.Errorf("transport: compacting snapshots: %w", err)
+	}
+	return cursor, nil
+}
+
+// Close closes the write-ahead log. It does not snapshot; callers that
+// want a final cut call Snapshot first.
+func (c *DurableCollector) Close() error { return c.wal.Close() }

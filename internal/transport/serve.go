@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"rtf/internal/protocol"
 )
@@ -19,7 +20,7 @@ import (
 // NumShards), so ingestion scales with cores while estimates remain
 // bit-for-bit identical to a serial server fed the same reports.
 type IngestServer struct {
-	Collector *ShardedCollector
+	Collector BatchCollector
 
 	// ErrorLog, when non-nil, receives per-connection decode/validation
 	// failures (which close that connection but not the server).
@@ -33,8 +34,10 @@ type IngestServer struct {
 	wg       sync.WaitGroup
 }
 
-// NewIngestServer builds a server over the given collector.
-func NewIngestServer(c *ShardedCollector) *IngestServer {
+// NewIngestServer builds a server over the given collector — a plain
+// ShardedCollector for in-memory serving, or a DurableCollector for a
+// restartable service.
+func NewIngestServer(c BatchCollector) *IngestServer {
 	return &IngestServer{Collector: c, conns: make(map[net.Conn]struct{})}
 }
 
@@ -178,6 +181,42 @@ func AnswerQuery(acc *protocol.Sharded, m Msg) (AnswerFrame, error) {
 		return AnswerFrame{}, fmt.Errorf("transport: unknown query kind %d", byte(m.Kind))
 	}
 	return a, nil
+}
+
+// Shutdown drains the server gracefully: it stops accepting new
+// connections and closes the listener, then gives in-flight connections
+// up to grace to finish their streams (clients see the listener gone
+// and close when done) before force-closing whatever remains. It
+// returns once every connection goroutine has exited, so the collector
+// is quiescent — safe to snapshot — when Shutdown returns.
+func (s *IngestServer) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	s.listener = nil
+	s.mu.Unlock()
+	var lerr error
+	if l != nil {
+		lerr = l.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(grace)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	return lerr
 }
 
 // Close stops accepting connections, closes the listener and all live

@@ -202,26 +202,36 @@ func appendMsg(b []byte, m Msg) ([]byte, error) {
 	return b, nil
 }
 
-// EncodeBatch writes one batch frame carrying all the given hello and
+// appendBatch appends one batch frame carrying all the given hello and
 // report messages: the MsgBatch type byte, a uvarint count, then each
-// message in its scalar encoding. Compared with per-message frames a
-// batch costs the same bytes plus a two-to-four-byte header, but lets
-// the receiver amortize dispatch over the whole batch.
-func (e *Encoder) EncodeBatch(ms []Msg) error {
+// message in its scalar encoding. The write-ahead log journals exactly
+// these bytes, so recovery replays through the ordinary decoder.
+func appendBatch(b []byte, ms []Msg) ([]byte, error) {
 	if len(ms) > MaxBatchLen {
-		return fmt.Errorf("transport: batch of %d messages exceeds limit %d", len(ms), MaxBatchLen)
+		return nil, fmt.Errorf("transport: batch of %d messages exceeds limit %d", len(ms), MaxBatchLen)
 	}
-	b := e.scratch[:0]
 	b = append(b, byte(MsgBatch))
 	b = binary.AppendUvarint(b, uint64(len(ms)))
 	var err error
 	for _, m := range ms {
 		if m.Type == MsgBatch {
-			return errors.New("transport: nested batch")
+			return nil, errors.New("transport: nested batch")
 		}
 		if b, err = appendMsg(b, m); err != nil {
-			return err
+			return nil, err
 		}
+	}
+	return b, nil
+}
+
+// EncodeBatch writes one batch frame (see appendBatch). Compared with
+// per-message frames a batch costs the same bytes plus a two-to-four-
+// byte header, but lets the receiver amortize dispatch over the whole
+// batch.
+func (e *Encoder) EncodeBatch(ms []Msg) error {
+	b, err := appendBatch(e.scratch[:0], ms)
+	if err != nil {
+		return err
 	}
 	e.scratch = b[:0] // keep the grown buffer for the next batch
 	n, err := e.w.Write(b)
@@ -744,9 +754,11 @@ func NewShardedCollector(acc *protocol.Sharded) *ShardedCollector {
 // Acc returns the underlying accumulator (for estimate queries).
 func (c *ShardedCollector) Acc() *protocol.Sharded { return c.acc }
 
-// Send validates one hello or report message and applies it to the
-// accumulator via the given shard. It is safe for concurrent use.
-func (c *ShardedCollector) Send(shard int, m Msg) error {
+// validate checks one hello or report message against the accumulator's
+// parameters without side effects. The durable collector validates a
+// whole batch this way before journaling it, so nothing invalid ever
+// reaches the write-ahead log.
+func (c *ShardedCollector) validate(m Msg) error {
 	switch m.Type {
 	case MsgHello:
 		if m.User < 0 {
@@ -755,8 +767,6 @@ func (c *ShardedCollector) Send(shard int, m Msg) error {
 		if m.Order < 0 || m.Order > c.maxOrder {
 			return fmt.Errorf("transport: hello order %d out of range [0..%d]", m.Order, c.maxOrder)
 		}
-		c.acc.Register(shard, m.Order)
-		c.hellos.Add(1)
 	case MsgReport:
 		if m.User < 0 {
 			return fmt.Errorf("transport: negative user id %d", m.User)
@@ -770,59 +780,65 @@ func (c *ShardedCollector) Send(shard int, m Msg) error {
 		if m.J < 1 || m.J > c.acc.D()>>uint(m.Order) {
 			return fmt.Errorf("transport: report index %d out of range for order %d", m.J, m.Order)
 		}
-		c.acc.Ingest(shard, m.Report())
-		c.reports.Add(1)
 	default:
 		return fmt.Errorf("transport: collector cannot ingest message type %d", m.Type)
 	}
 	return nil
 }
 
+// apply accumulates one validated message; callers must have run
+// validate first.
+func (c *ShardedCollector) apply(shard int, m Msg, hellos, reports *int64) {
+	if m.Type == MsgHello {
+		c.acc.Register(shard, m.Order)
+		*hellos++
+	} else {
+		c.acc.Ingest(shard, m.Report())
+		*reports++
+	}
+}
+
+// Send validates one hello or report message and applies it to the
+// accumulator via the given shard. It is safe for concurrent use.
+func (c *ShardedCollector) Send(shard int, m Msg) error {
+	if err := c.validate(m); err != nil {
+		return err
+	}
+	var hellos, reports int64
+	c.apply(shard, m, &hellos, &reports)
+	if hellos > 0 {
+		c.hellos.Add(hellos)
+	}
+	c.reports.Add(reports)
+	return nil
+}
+
 // SendBatch applies a decoded batch to the accumulator via the given
 // shard, amortizing the stats counters over the whole batch (the
-// per-message work is then one validation plus one atomic add). On a
-// validation error the batch is applied up to the failing message and
-// the error returned.
+// per-message work is then one validation plus one atomic add). The
+// batch is atomic: it is validated in full first, and on error nothing
+// is applied.
 func (c *ShardedCollector) SendBatch(shard int, ms []Msg) error {
-	var hellos, reports int64
-	defer func() {
-		if hellos > 0 {
-			c.hellos.Add(hellos)
-		}
-		c.reports.Add(reports)
-		c.batches.Add(1)
-	}()
-	for _, m := range ms {
-		switch m.Type {
-		case MsgReport:
-			if m.User < 0 {
-				return fmt.Errorf("transport: negative user id %d", m.User)
-			}
-			if m.Bit != 1 && m.Bit != -1 {
-				return fmt.Errorf("transport: report bit %d not ±1", m.Bit)
-			}
-			if m.Order < 0 || m.Order > c.maxOrder {
-				return fmt.Errorf("transport: report order %d out of range [0..%d]", m.Order, c.maxOrder)
-			}
-			if m.J < 1 || m.J > c.acc.D()>>uint(m.Order) {
-				return fmt.Errorf("transport: report index %d out of range for order %d", m.J, m.Order)
-			}
-			c.acc.Ingest(shard, m.Report())
-			reports++
-		case MsgHello:
-			if m.User < 0 {
-				return fmt.Errorf("transport: negative user id %d", m.User)
-			}
-			if m.Order < 0 || m.Order > c.maxOrder {
-				return fmt.Errorf("transport: hello order %d out of range [0..%d]", m.Order, c.maxOrder)
-			}
-			c.acc.Register(shard, m.Order)
-			hellos++
-		default:
-			return fmt.Errorf("transport: collector cannot ingest message type %d", m.Type)
+	for i := range ms {
+		if err := c.validate(ms[i]); err != nil {
+			return err
 		}
 	}
+	c.applyBatch(shard, ms)
 	return nil
+}
+
+// applyBatch accumulates a fully validated batch.
+func (c *ShardedCollector) applyBatch(shard int, ms []Msg) {
+	var hellos, reports int64
+	for i := range ms {
+		c.apply(shard, ms[i], &hellos, &reports)
+	}
+	if hellos > 0 {
+		c.hellos.Add(hellos)
+	}
+	c.reports.Add(reports)
+	c.batches.Add(1)
 }
 
 // Stats returns the number of hellos, reports and batches ingested.

@@ -1,8 +1,11 @@
 package ldp
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"math"
 
 	"rtf/internal/dyadic"
 	"rtf/internal/protocol"
@@ -20,7 +23,7 @@ func init() {
 	MustRegister(Mechanism{
 		Protocol:    FutureRand,
 		Description: "the paper's protocol (Theorem 4.1): error O((1/ε)·log d·√(k·n·log(d/β)))",
-		Caps:        Capabilities{Streaming: true, Consistency: true, ErrorBound: true, Sharded: true},
+		Caps:        Capabilities{Streaming: true, Consistency: true, ErrorBound: true, Sharded: true, Durable: true},
 		Clients:     frameworkClients(sim.FutureRand),
 		Server:      frameworkServer(sim.FutureRand),
 		System:      frameworkSystem(sim.FutureRand),
@@ -32,7 +35,7 @@ func init() {
 	MustRegister(Mechanism{
 		Protocol:    Independent,
 		Description: "Example 4.2's ε/k composition: error linear in k",
-		Caps:        Capabilities{Streaming: true, Consistency: true, Sharded: true},
+		Caps:        Capabilities{Streaming: true, Consistency: true, Sharded: true, Durable: true},
 		Clients:     frameworkClients(sim.Independent),
 		Server:      frameworkServer(sim.Independent),
 		System:      frameworkSystem(sim.Independent),
@@ -43,7 +46,7 @@ func init() {
 	MustRegister(Mechanism{
 		Protocol:    Bun,
 		Description: "the Bun–Nelson–Stemmer composition made online: √ln(k/ε) worse than FutureRand",
-		Caps:        Capabilities{Streaming: true, Consistency: true, Sharded: true},
+		Caps:        Capabilities{Streaming: true, Consistency: true, Sharded: true, Durable: true},
 		Clients:     frameworkClients(sim.Bun),
 		Server:      frameworkServer(sim.Bun),
 		System:      frameworkSystem(sim.Bun),
@@ -54,7 +57,7 @@ func init() {
 	MustRegister(Mechanism{
 		Protocol:    Erlingsson,
 		Description: "the 2020 change-sampling baseline: one kept change, RR at ε/2, ×k estimator",
-		Caps:        Capabilities{Streaming: true, Sharded: true},
+		Caps:        Capabilities{Streaming: true, Sharded: true, Durable: true},
 		Clients:     erlingssonClients,
 		Server:      erlingssonServer,
 		System: baselineSystem(func(o Options) sim.System {
@@ -65,7 +68,7 @@ func init() {
 	MustRegister(Mechanism{
 		Protocol:    NaiveSplit,
 		Description: "a fresh randomized response per period at budget ε/d: error linear in d",
-		Caps:        Capabilities{Streaming: true},
+		Caps:        Capabilities{Streaming: true, Durable: true},
 		Clients:     naiveClients,
 		Server:      naiveServer,
 		System: baselineSystem(func(o Options) sim.System {
@@ -75,7 +78,7 @@ func init() {
 	MustRegister(Mechanism{
 		Protocol:    CentralBinary,
 		Description: "the trusted-curator binary mechanism (Section 6), for central-vs-local comparisons",
-		Caps:        Capabilities{Streaming: true},
+		Caps:        Capabilities{Streaming: true, Durable: true},
 		Clients:     centralClients,
 		Server:      centralServer,
 		System: baselineSystem(func(o Options) sim.System {
@@ -314,6 +317,14 @@ func (e *dyadicEngine) Ingest(r Report) error {
 	return nil
 }
 
+// MarshalState implements Snapshotter via the dyadic accumulator's
+// shared state encoding.
+func (e *dyadicEngine) MarshalState() ([]byte, error) { return e.inner.MarshalState(), nil }
+
+// RestoreState implements Restorer; the payload's horizon and scale
+// must match this engine's.
+func (e *dyadicEngine) RestoreState(state []byte) error { return e.inner.RestoreState(state) }
+
 func (e *dyadicEngine) EstimateAt(t int) float64         { return e.inner.EstimateAt(t) }
 func (e *dyadicEngine) EstimateSeries() []float64        { return e.inner.EstimateSeries() }
 func (e *dyadicEngine) EstimateSeriesTo(r int) []float64 { return e.inner.EstimateSeriesTo(r) }
@@ -391,6 +402,13 @@ func (e *naiveEngine) Ingest(r Report) error {
 	e.inner.Ingest(protocol.NaiveReport{User: r.User, T: r.J, Bit: r.Bit})
 	return nil
 }
+
+// MarshalState implements Snapshotter over the per-period sums.
+func (e *naiveEngine) MarshalState() ([]byte, error) { return e.inner.MarshalState(), nil }
+
+// RestoreState implements Restorer; the payload's horizon and c_gap
+// (which pins the per-report budget ε/d) must match this engine's.
+func (e *naiveEngine) RestoreState(state []byte) error { return e.inner.RestoreState(state) }
 
 func (e *naiveEngine) EstimateAt(t int) float64  { return e.inner.EstimateAt(t) }
 func (e *naiveEngine) EstimateSeries() []float64 { return e.inner.EstimateSeries() }
@@ -517,3 +535,88 @@ func (e *centralEngine) EstimateChange(l, r int) float64 {
 }
 
 func (e *centralEngine) Users() int { return e.users }
+
+// centralStateVersion versions the central engine's snapshot payload:
+// the exact per-period sums and the user count. The per-node noise is
+// not serialized — it is a pure function of the construction parameters
+// (seed, d, k, eps), so an engine rebuilt with the same WithSeed
+// options regenerates it and restored answers stay bit-for-bit. A
+// checksum of the noise table travels with the state, so restoring into
+// an engine built under different parameters (any of which change the
+// noise) fails instead of silently answering differently.
+const centralStateVersion = 1
+
+// noiseChecksum fingerprints the engine's fixed per-node noise draws.
+func (e *centralEngine) noiseChecksum() uint32 {
+	crc := crc32.NewIEEE()
+	var raw [8]byte
+	for _, v := range e.noise {
+		binary.LittleEndian.PutUint64(raw[:], math.Float64bits(v))
+		crc.Write(raw[:])
+	}
+	return crc.Sum32()
+}
+
+// MarshalState implements Snapshotter.
+func (e *centralEngine) MarshalState() ([]byte, error) {
+	b := make([]byte, 0, 16+10*len(e.sums))
+	b = append(b, centralStateVersion)
+	b = binary.AppendUvarint(b, uint64(e.d))
+	b = binary.LittleEndian.AppendUint32(b, e.noiseChecksum())
+	b = binary.AppendVarint(b, int64(e.users))
+	for _, v := range e.sums {
+		b = binary.AppendVarint(b, v)
+	}
+	return b, nil
+}
+
+// RestoreState implements Restorer; the payload's horizon must match.
+func (e *centralEngine) RestoreState(state []byte) error {
+	if len(state) < 1 {
+		return errors.New("ldp: central state truncated at version")
+	}
+	if state[0] != centralStateVersion {
+		return fmt.Errorf("ldp: unsupported central state version %d (this build reads version %d)", state[0], centralStateVersion)
+	}
+	off := 1
+	d, n := binary.Uvarint(state[off:])
+	if n <= 0 {
+		return errors.New("ldp: central state truncated at horizon")
+	}
+	off += n
+	if int(d) != e.d {
+		return fmt.Errorf("ldp: central state has horizon d=%d, engine has d=%d", d, e.d)
+	}
+	if off+4 > len(state) {
+		return errors.New("ldp: central state truncated at noise checksum")
+	}
+	if sum := binary.LittleEndian.Uint32(state[off:]); sum != e.noiseChecksum() {
+		return fmt.Errorf("ldp: central state was snapshotted under different parameters (noise checksum %08x, engine has %08x): seed, epsilon and sparsity must all match", sum, e.noiseChecksum())
+	}
+	off += 4
+	users, n := binary.Varint(state[off:])
+	if n <= 0 {
+		return errors.New("ldp: central state truncated at user count")
+	}
+	if users < 0 {
+		return fmt.Errorf("ldp: central state has negative user count %d", users)
+	}
+	off += n
+	sums := make([]int64, e.d)
+	for t := range sums {
+		v, n := binary.Varint(state[off:])
+		if n <= 0 {
+			return fmt.Errorf("ldp: central state truncated at period %d", t+1)
+		}
+		off += n
+		sums[t] = v
+	}
+	if off != len(state) {
+		return fmt.Errorf("ldp: %d trailing bytes after central state", len(state)-off)
+	}
+	e.users += int(users)
+	for t, v := range sums {
+		e.sums[t] += v
+	}
+	return nil
+}

@@ -27,6 +27,10 @@ type Capabilities struct {
 	// accumulator, so rtf-serve can host it on the lock-free sharded
 	// ingestion path and answer queries from live counters.
 	Sharded bool
+	// Durable: the mechanism's server engine implements Snapshotter and
+	// Restorer, so its state survives restarts via the persistence
+	// subsystem (snapshot + write-ahead log).
+	Durable bool
 }
 
 // Params carries the protocol parameters shared by a mechanism's
@@ -132,6 +136,9 @@ func Register(m Mechanism) error {
 	}
 	if m.Caps.Sharded && m.EstimatorScale == nil {
 		return fmt.Errorf("ldp: sharded mechanism %q missing estimator scale", m.Protocol)
+	}
+	if m.Caps.Durable && !m.Caps.Streaming {
+		return fmt.Errorf("ldp: durable mechanism %q must be streaming (durability snapshots server engines)", m.Protocol)
 	}
 	if m.Caps.ErrorBound && m.ErrorBound == nil {
 		return fmt.Errorf("ldp: mechanism %q declares an error bound but provides none", m.Protocol)
