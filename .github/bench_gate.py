@@ -4,7 +4,7 @@
 Reads two `go test -bench` outputs (merge-base and PR head, each run
 with -count=6), compares per-benchmark median ns/op, writes the
 comparison as a JSON artifact, and exits non-zero when any gated
-benchmark (BenchmarkIngest*/BenchmarkAnswer*) slows down by more than
+benchmark (BenchmarkIngest*/BenchmarkAnswer*/BenchmarkCluster*) slows down by more than
 the threshold. Benchmarks present on only one side (added or removed by
 the PR) are reported but never gate.
 
@@ -16,7 +16,7 @@ import re
 import statistics
 import sys
 
-GATED = re.compile(r"^Benchmark(Ingest|Answer)")
+GATED = re.compile(r"^Benchmark(Ingest|Answer|Cluster)")
 # "BenchmarkFoo/sub-8   	     123	   9876 ns/op	..." — the -N
 # GOMAXPROCS suffix is stripped so the name is stable across runners.
 LINE = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+)\s+ns/op")

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"net"
 	"runtime"
 	"sync"
 	"testing"
 
 	"rtf/internal/bitvec"
+	"rtf/internal/cluster"
 	"rtf/internal/consistency"
 	"rtf/internal/core"
 	"rtf/internal/dyadic"
@@ -493,6 +495,150 @@ func BenchmarkAnswerChangeVsDiffPoints(b *testing.B) {
 			_ = hi.Value - lo.Value
 		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Cluster benchmarks: the scatter/gather gateway over in-process
+// rtf-serve backends, so the scaling claim of the multi-node deployment
+// is measured, not asserted. Ingest measures partition-and-forward
+// throughput end to end over loopback TCP; the Answer benchmarks
+// measure the full scatter/gather round trip (fetch every backend's raw
+// sums, fold, estimate), which is the cluster's per-query price.
+
+// clusterBench is a gateway over n in-process backends on loopback.
+type clusterBench struct {
+	gw       *cluster.Gateway
+	addr     string
+	backends []*transport.IngestServer
+	done     []chan error
+}
+
+func startClusterBench(b *testing.B, n, d int, scale float64) *clusterBench {
+	b.Helper()
+	cb := &clusterBench{}
+	var addrs []string
+	for i := 0; i < n; i++ {
+		srv := transport.NewIngestServer(transport.NewShardedCollector(protocol.NewSharded(d, scale, 2)))
+		ready := make(chan net.Addr, 1)
+		done := make(chan error, 1)
+		go func() { done <- srv.ListenAndServe("127.0.0.1:0", ready) }()
+		addrs = append(addrs, (<-ready).String())
+		cb.backends = append(cb.backends, srv)
+		cb.done = append(cb.done, done)
+	}
+	client, err := transport.NewClusterClient(addrs, transport.ClusterOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cb.gw = cluster.New(d, scale, client)
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- cb.gw.ListenAndServe("127.0.0.1:0", ready) }()
+	cb.addr = (<-ready).String()
+	cb.done = append(cb.done, done)
+	b.Cleanup(func() {
+		cb.gw.Close()
+		for _, srv := range cb.backends {
+			srv.Close()
+		}
+		for _, done := range cb.done {
+			if err := <-done; err != nil {
+				b.Error(err)
+			}
+		}
+	})
+	return cb
+}
+
+// BenchmarkClusterIngest measures batched ingestion through the gateway
+// over three backends: decode, whole-batch validation, user mod N
+// partitioning, re-batching and forwarding, fenced at the end so every
+// report is applied before the clock stops.
+func BenchmarkClusterIngest(b *testing.B) {
+	const conns = 4
+	cb := startClusterBench(b, 3, ingestBenchD, 100)
+	streams := encodeIngestStreams(b, conns, true)
+	var total int64
+	for _, s := range streams {
+		total += int64(len(s))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for s := range streams {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", cb.addr)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer conn.Close()
+				if _, err := conn.Write(streams[s]); err != nil {
+					b.Error(err)
+					return
+				}
+				enc := transport.NewEncoder(conn)
+				if err := enc.Encode(transport.Query(1)); err != nil { // fence
+					b.Error(err)
+					return
+				}
+				if err := enc.Flush(); err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := transport.NewDecoder(conn).Next(); err != nil {
+					b.Error(err)
+				}
+			}(s)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(ingestBenchReports)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+}
+
+// benchClusterAnswer measures one query shape's full scatter/gather
+// round trip through the gateway.
+func benchClusterAnswer(b *testing.B, q transport.Msg) {
+	cb := startClusterBench(b, 3, ingestBenchD, 100)
+	streams := encodeIngestStreams(b, 1, true)
+	conn, err := net.Dial("tcp", cb.addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(streams[0]); err != nil {
+		b.Fatal(err)
+	}
+	enc := transport.NewEncoder(conn)
+	dec := transport.NewDecoder(conn)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Encode(q); err != nil {
+			b.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dec.ReadAnswer(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterAnswerPoint is the cheapest query over the most
+// expensive transport: one point estimate still gathers every backend's
+// full raw sums.
+func BenchmarkClusterAnswerPoint(b *testing.B) {
+	benchClusterAnswer(b, transport.QueryV2(transport.QueryPoint, ingestBenchD/2, ingestBenchD/2))
+}
+
+// BenchmarkClusterAnswerSeries amortizes the same gather over the full
+// d-period series.
+func BenchmarkClusterAnswerSeries(b *testing.B) {
+	benchClusterAnswer(b, transport.QueryV2(transport.QuerySeries, 0, 0))
 }
 
 type writableBuffer struct{ n int }

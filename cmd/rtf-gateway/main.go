@@ -1,0 +1,136 @@
+// Command rtf-gateway fronts N rtf-serve backends as one aggregation
+// service: it speaks the same wire protocol as rtf-serve (batched
+// hello/report ingestion, v1 point queries, versioned v2 queries, raw-
+// sums requests), hash-partitions ingested users across the backends by
+// user id mod N, and answers every query by scatter/gather — it fetches
+// each backend's raw per-interval bit sums and folds them into a fresh
+// serial accumulator before estimating.
+//
+// Because the fold merges raw integer sums (not scaled float answers)
+// and the estimator is a fixed linear function of them, a gateway
+// answer is bit-for-bit identical to a single rtf-serve instance fed
+// every backend's reports. A dead backend stalls queries — the gateway
+// re-dials with exponential backoff and retries — rather than failing
+// them, so a backend restarting from its snapshot+WAL rejoins
+// transparently.
+//
+// The protocol parameters (-mechanism, -d, -k, -eps) must match the
+// backends' and the clients'; the mechanism must have the clustered
+// capability (its server state merges exactly across machines).
+//
+// Examples:
+//
+//	rtf-serve -addr :7610 -d 1024 -k 8 &
+//	rtf-serve -addr :7611 -d 1024 -k 8 &
+//	rtf-serve -addr :7612 -d 1024 -k 8 -data-dir /var/lib/rtf &
+//	rtf-gateway -addr :7609 -backends localhost:7610,localhost:7611,localhost:7612 -d 1024 -k 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rtf/internal/cluster"
+	"rtf/internal/dyadic"
+	"rtf/internal/transport"
+	"rtf/ldp"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7609", "TCP listen address")
+		backends = flag.String("backends", "", "comma-separated rtf-serve backend addresses; the order is the partition map (user mod N) and must match every other gateway")
+		mech     = flag.String("mechanism", "futurerand", "mechanism the backends host (must have the clustered capability); must match backends and clients")
+		d        = flag.Int("d", 1024, "time periods (power of two); must match backends and clients")
+		k        = flag.Int("k", 8, "max changes per user; must match backends and clients")
+		eps      = flag.Float64("eps", 1.0, "privacy budget (0 < eps <= 1); must match backends and clients")
+		attempts = flag.Int("dial-attempts", 10, "re-dial attempts per backend operation (exponential backoff between attempts)")
+		pool     = flag.Int("pool", 4, "idle connections pooled per backend")
+		grace    = flag.Duration("grace", 10*time.Second, "how long a shutdown signal lets in-flight connections drain")
+	)
+	flag.Parse()
+
+	if !dyadic.IsPow2(*d) {
+		fatal(fmt.Errorf("d=%d is not a power of two", *d))
+	}
+	m, ok := ldp.Lookup(ldp.Protocol(*mech))
+	if !ok {
+		fatal(fmt.Errorf("unknown mechanism %q; clustered mechanisms: %s", *mech, clustered()))
+	}
+	if !m.Caps.Clustered {
+		fatal(fmt.Errorf("mechanism %q cannot be clustered (its server state does not merge across machines); clustered mechanisms: %s", *mech, clustered()))
+	}
+	scale, err := m.EstimatorScale(ldp.Params{D: *d, K: *k, Eps: *eps})
+	if err != nil {
+		fatal(err)
+	}
+	var addrs []string
+	for _, a := range strings.Split(*backends, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	client, err := transport.NewClusterClient(addrs, transport.ClusterOptions{
+		DialAttempts: *attempts,
+		PoolSize:     *pool,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	gw := cluster.New(*d, scale, client)
+	gw.ErrorLog = func(err error) { fmt.Fprintln(os.Stderr, "rtf-gateway:", err) }
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "rtf-gateway: %v: draining connections (grace %v; signal again to force)\n", s, *grace)
+		go func() {
+			<-sig
+			fmt.Fprintln(os.Stderr, "rtf-gateway: second signal: exiting immediately")
+			os.Exit(1)
+		}()
+		gw.Shutdown(*grace)
+	}()
+
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- gw.ListenAndServe(*addr, ready) }()
+	select {
+	case a := <-ready:
+		fmt.Fprintf(os.Stderr, "rtf-gateway: listening on %s (mechanism=%s d=%d k=%d eps=%v backends=%d: %s)\n",
+			a, *mech, *d, *k, *eps, len(addrs), strings.Join(addrs, ","))
+	case err := <-errc:
+		fatal(err)
+	}
+	if err := <-errc; err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "rtf-gateway: done")
+}
+
+// clustered lists the registered mechanisms a gateway can front.
+func clustered() string {
+	out := ""
+	for _, m := range ldp.Mechanisms() {
+		if !m.Caps.Clustered {
+			continue
+		}
+		if out != "" {
+			out += ", "
+		}
+		out += string(m.Protocol)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtf-gateway:", err)
+	os.Exit(1)
+}

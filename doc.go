@@ -26,4 +26,16 @@
 // as if uninterrupted — reports are spent privacy budget and can never
 // be re-requested from users. cmd/rtf-sim -recover exercises the whole
 // cycle, kill -9 included.
+//
+// The service also scales out: cmd/rtf-gateway (rtf/internal/cluster)
+// fronts N rtf-serve backends as one service, hash-partitioning users
+// across them (user id mod N) and answering every query shape by
+// scatter/gather — each backend ships its raw per-interval integer
+// sums (a SumsFrame on the wire), and the gateway folds them into a
+// fresh accumulator before estimating. Because the dyadic state is
+// additive in exact integers and the estimator is a fixed linear
+// function of them, gateway answers are bit-for-bit those of a single
+// serial server fed every report; a dead backend stalls (re-dial with
+// backoff) rather than fails, and cmd/rtf-sim -cluster proves recovery
+// end to end by kill -9ing the durable backend mid-ingest.
 package rtf

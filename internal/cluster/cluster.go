@@ -1,0 +1,475 @@
+// Package cluster implements horizontal scale-out of the aggregation
+// service: a Gateway speaks the same wire protocol as rtf-serve on its
+// front, hash-partitions ingested users across N rtf-serve backends
+// (user id mod N) on its back, and answers every query shape by
+// scatter/gather — it fetches each backend's raw per-interval bit sums
+// (MsgSums → SumsFrame) and folds them into a fresh protocol.Server
+// before estimating.
+//
+// Merging raw integer sums, not scaled float answers, is what keeps the
+// cluster exact: the dyadic accumulator is additive (Σ over backends of
+// per-interval int64 sums equals the single-server sums), and the
+// estimator is a fixed linear function of those integers evaluated in a
+// fixed order, so a gateway answer is bit-for-bit the answer of one
+// serial server fed every backend's reports. Averaging or summing the
+// backends' float estimates would instead pick up order-dependent
+// rounding.
+//
+// Failure semantics mirror a single rtf-serve. Forwarded ingest
+// batches are acknowledged only by a later query on the same client
+// connection (the fence); traffic fenced before a backend crash is
+// recovered by that backend's snapshot+WAL. A backend connection that
+// fails while the session has *unfenced* forwards on it fails the
+// whole client connection — the forwards are indeterminate (maybe
+// applied, maybe lost with the crash), and a surviving connection
+// whose fence succeeds would falsely certify them; the client learns
+// exactly what it learns when a single server dies under it, and
+// re-sends per its own bookkeeping. Only operations with nothing
+// unfenced at stake — dials, and sums fetches on a clean session —
+// retry a dead backend with exponential backoff
+// (transport.ClusterOptions), so a restarting backend stalls queries
+// rather than failing them.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"rtf/internal/dyadic"
+	"rtf/internal/protocol"
+	"rtf/internal/transport"
+)
+
+// Gateway fronts a partitioned set of rtf-serve backends with the
+// rtf-serve wire protocol: batched hello/report ingestion, v1 point
+// queries, versioned v2 queries, and raw-sums requests (so gateways
+// stack: a gateway is itself a valid backend). Every backend must be
+// started with the same mechanism parameters (d, scale) as the gateway.
+type Gateway struct {
+	client *transport.ClusterClient
+	d      int
+	scale  float64
+
+	// ErrorLog, when non-nil, receives per-connection decode/validation
+	// failures (which close that connection but not the gateway).
+	ErrorLog func(err error)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New builds a gateway for horizon d and estimator scale over the given
+// cluster client.
+func New(d int, scale float64, client *transport.ClusterClient) *Gateway {
+	if !dyadic.IsPow2(d) {
+		panic(fmt.Sprintf("cluster: d=%d not a power of two", d))
+	}
+	return &Gateway{
+		client: client,
+		d:      d,
+		scale:  scale,
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Client returns the gateway's cluster client.
+func (g *Gateway) Client() *transport.ClusterClient { return g.client }
+
+// Serve accepts connections on l until Close is called (or the
+// listener fails) and then waits for in-flight connections to drain.
+func (g *Gateway) Serve(l net.Listener) error {
+	defer g.wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if g.isClosed() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if !g.track(conn) {
+			conn.Close()
+			return nil
+		}
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			defer g.untrack(conn)
+			if err := g.serveConn(conn); err != nil && g.ErrorLog != nil {
+				g.ErrorLog(fmt.Errorf("cluster: %w", err))
+			}
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves. The chosen address (useful
+// with ":0") is sent on ready, if non-nil, once the listener is up.
+func (g *Gateway) ListenAndServe(addr string, ready chan<- net.Addr) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		l.Close()
+		return errors.New("cluster: gateway closed")
+	}
+	g.listener = l
+	g.mu.Unlock()
+	if ready != nil {
+		ready <- l.Addr()
+	}
+	return g.Serve(l)
+}
+
+// session is the per-client-connection state: one leased backend
+// connection per partition, acquired lazily. Using one connection per
+// backend for the whole session makes the backend's in-order frame
+// handling a fence: a sums fetch (or query) sees everything this
+// session forwarded before it.
+type session struct {
+	g      *Gateway
+	leases []*transport.BackendConn
+	// bufs are reused per-backend partition buffers.
+	bufs [][]transport.Msg
+	// unfenced[i] records that the current lease on backend i carries
+	// forwards not yet covered by a successful fetch. Losing such a
+	// lease makes those forwards indeterminate, so the session must
+	// fail rather than silently re-dial and certify them with a fence.
+	unfenced []bool
+}
+
+func (s *session) lease(i int) (*transport.BackendConn, error) {
+	if s.leases[i] == nil {
+		bc, err := s.g.client.Lease(i)
+		if err != nil {
+			return nil, err
+		}
+		s.leases[i] = bc
+	}
+	return s.leases[i], nil
+}
+
+// drop closes and forgets a lease that saw an error.
+func (s *session) drop(i int) {
+	if s.leases[i] != nil {
+		s.g.client.Release(i, s.leases[i], false)
+		s.leases[i] = nil
+	}
+}
+
+// close releases every lease; healthy connections return to the pool.
+func (s *session) close(healthy bool) {
+	for i, bc := range s.leases {
+		if bc != nil {
+			s.g.client.Release(i, bc, healthy)
+			s.leases[i] = nil
+		}
+	}
+}
+
+// fetchAttempts bounds how many fresh connections a clean sums fetch
+// tries per backend; each attempt behind the first re-dials with the
+// cluster client's full backoff schedule.
+const fetchAttempts = 3
+
+// forward partitions one run of validated hello/report messages by
+// user mod N and ships each non-empty sub-batch to its backend. Dial
+// failures retry with backoff inside Lease, but once a sub-batch has
+// been written a connection failure fails the session: the sub-batch
+// (and any earlier unfenced forwards on that lease) may or may not
+// have been applied, and only the client — which sees its connection
+// die, exactly as when a single server crashes — can decide what to
+// re-send. A batch is only guaranteed applied once a later fence or
+// query round-trips on the same session.
+func (s *session) forward(ms []transport.Msg) error {
+	for i := range s.bufs {
+		s.bufs[i] = s.bufs[i][:0]
+	}
+	for _, m := range ms {
+		i := s.g.client.Route(m.User)
+		s.bufs[i] = append(s.bufs[i], m)
+	}
+	for i := range s.bufs {
+		if len(s.bufs[i]) == 0 {
+			continue
+		}
+		bc, err := s.lease(i)
+		if err != nil {
+			return fmt.Errorf("forwarding to backend %d: %w", i, err)
+		}
+		err = bc.SendBatch(s.bufs[i])
+		if err == nil {
+			err = bc.Flush()
+		}
+		if err != nil {
+			s.drop(i)
+			return fmt.Errorf("backend %d connection failed with unacknowledged forwards: %w", i, err)
+		}
+		s.unfenced[i] = true
+	}
+	return nil
+}
+
+// gather is the scatter/gather core: it fetches every backend's raw
+// sums in parallel (each fetch fencing this session's prior forwards on
+// that backend) and folds them into a fresh serial protocol.Server. The
+// returned server answers any query shape bit-for-bit like a single
+// server fed all the backends' reports.
+//
+// A fetch that fails on a lease carrying unfenced forwards fails the
+// session: retrying on a fresh connection would answer — and so fence —
+// a query whose preceding forwards may have died with the backend.
+// With nothing unfenced the fetch is read-only and idempotent, so it
+// retries across fresh connections (dials back off inside Lease),
+// riding out a backend restart.
+func (s *session) gather() (*protocol.Server, []transport.SumsFrame, error) {
+	n := s.g.client.N()
+	frames := make([]transport.SumsFrame, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var lastErr error
+			for attempt := 0; attempt < fetchAttempts; attempt++ {
+				bc, err := s.lease(i)
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				f, err := bc.FetchSums()
+				if err != nil {
+					s.drop(i)
+					if s.unfenced[i] {
+						errs[i] = fmt.Errorf("backend %d connection failed with unacknowledged forwards: %w", i, err)
+						return
+					}
+					lastErr = err
+					continue
+				}
+				frames[i] = f
+				s.unfenced[i] = false // everything forwarded on this lease is applied
+				return
+			}
+			errs[i] = fmt.Errorf("fetching sums from backend %d: %w", i, lastErr)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	srv := protocol.NewServer(s.g.d, s.g.scale)
+	for i := range frames {
+		if err := frames[i].MergeInto(srv); err != nil {
+			return nil, nil, fmt.Errorf("merging sums from backend %d: %w", i, err)
+		}
+	}
+	return srv, frames, nil
+}
+
+// mergeFrames folds the gathered per-backend frames into one cluster-
+// wide SumsFrame, so a gateway can itself answer MsgSums (and stack
+// under another gateway).
+func (g *Gateway) mergeFrames(frames []transport.SumsFrame) transport.SumsFrame {
+	out := transport.SumsFrame{
+		D:        g.d,
+		Scale:    g.scale,
+		PerOrder: make([]int64, dyadic.NumOrders(g.d)),
+		Sums:     make([]int64, dyadic.TotalIntervals(g.d)),
+	}
+	for _, f := range frames {
+		out.Users += f.Users
+		for h, v := range f.PerOrder {
+			out.PerOrder[h] += v
+		}
+		for i, v := range f.Sums {
+			out.Sums[i] += v
+		}
+	}
+	return out
+}
+
+// serveConn runs the decode loop for one client connection: ingest runs
+// are partitioned and forwarded, queries are answered by scatter/gather.
+func (g *Gateway) serveConn(conn net.Conn) error {
+	dec := transport.NewDecoder(conn)
+	enc := transport.NewEncoder(conn)
+	s := &session{
+		g:        g,
+		leases:   make([]*transport.BackendConn, g.client.N()),
+		bufs:     make([][]transport.Msg, g.client.N()),
+		unfenced: make([]bool, g.client.N()),
+	}
+	healthy := false
+	defer func() { s.close(healthy) }()
+	err := g.serveFrames(s, dec, enc)
+	if err == nil {
+		healthy = true
+	}
+	return err
+}
+
+func (g *Gateway) serveFrames(s *session, dec *transport.Decoder, enc *transport.Encoder) error {
+	for {
+		ms, err := dec.NextBatch()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil // clean client close or gateway shutdown
+			}
+			return err
+		}
+		// Atomic batches, as on a single server: validate every frame
+		// before forwarding or answering anything.
+		for _, m := range ms {
+			switch m.Type {
+			case transport.MsgQuery:
+				if m.T < 1 || m.T > g.d {
+					return fmt.Errorf("query time %d out of range [1..%d]", m.T, g.d)
+				}
+			case transport.MsgQueryV2:
+				if err := transport.ValidateQuery(g.d, m); err != nil {
+					return err
+				}
+			case transport.MsgSums:
+				// No parameters to validate.
+			default:
+				// The identical checks the backend collector runs, so a
+				// batch the gateway accepts cannot be rejected downstream
+				// mid-forward.
+				if err := transport.ValidateIngest(g.d, m); err != nil {
+					return err
+				}
+			}
+		}
+		run := 0
+		for i, m := range ms {
+			if m.Type != transport.MsgQuery && m.Type != transport.MsgQueryV2 && m.Type != transport.MsgSums {
+				continue
+			}
+			if i > run {
+				if err := s.forward(ms[run:i]); err != nil {
+					return err
+				}
+			}
+			run = i + 1
+			srv, frames, err := s.gather()
+			if err != nil {
+				return err
+			}
+			switch m.Type {
+			case transport.MsgQuery:
+				if err := enc.Encode(transport.Estimate(m.T, srv.EstimateAt(m.T))); err != nil {
+					return err
+				}
+			case transport.MsgQueryV2:
+				ans, err := transport.AnswerQuery(srv, m)
+				if err != nil {
+					return err
+				}
+				if err := enc.EncodeAnswer(ans); err != nil {
+					return err
+				}
+			case transport.MsgSums:
+				if err := enc.EncodeSums(g.mergeFrames(frames)); err != nil {
+					return err
+				}
+			}
+			if err := enc.Flush(); err != nil {
+				return err
+			}
+		}
+		if run < len(ms) {
+			if err := s.forward(ms[run:]); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Shutdown drains the gateway gracefully: it stops accepting new
+// connections and closes the listener, then gives in-flight client
+// connections up to grace to finish before force-closing whatever
+// remains.
+func (g *Gateway) Shutdown(grace time.Duration) error {
+	g.mu.Lock()
+	g.closed = true
+	l := g.listener
+	g.listener = nil
+	g.mu.Unlock()
+	var lerr error
+	if l != nil {
+		lerr = l.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		g.wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(grace)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		g.mu.Lock()
+		for conn := range g.conns {
+			conn.Close()
+		}
+		g.mu.Unlock()
+		<-done
+	}
+	g.client.Close()
+	return lerr
+}
+
+// Close stops accepting connections, closes the listener and all live
+// client connections, and unblocks Serve.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	g.closed = true
+	l := g.listener
+	g.listener = nil
+	for conn := range g.conns {
+		conn.Close()
+	}
+	g.mu.Unlock()
+	g.client.Close()
+	if l != nil {
+		return l.Close()
+	}
+	return nil
+}
+
+func (g *Gateway) isClosed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.closed
+}
+
+func (g *Gateway) track(conn net.Conn) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return false
+	}
+	g.conns[conn] = struct{}{}
+	return true
+}
+
+func (g *Gateway) untrack(conn net.Conn) {
+	g.mu.Lock()
+	delete(g.conns, conn)
+	g.mu.Unlock()
+	conn.Close()
+}

@@ -1,0 +1,503 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rtf/internal/dyadic"
+	"rtf/internal/protocol"
+	"rtf/internal/rng"
+	"rtf/internal/transport"
+)
+
+// testBackend is one in-process rtf-serve: an IngestServer over a
+// sharded accumulator, listening on a loopback port.
+type testBackend struct {
+	srv  *transport.IngestServer
+	acc  *protocol.Sharded
+	addr string
+	done chan error
+}
+
+func startBackend(t *testing.T, d int, scale float64) *testBackend {
+	t.Helper()
+	acc := protocol.NewSharded(d, scale, 2)
+	srv := transport.NewIngestServer(transport.NewShardedCollector(acc))
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0", ready) }()
+	return &testBackend{srv: srv, acc: acc, addr: (<-ready).String(), done: done}
+}
+
+func (b *testBackend) stop(t *testing.T) {
+	t.Helper()
+	if err := b.srv.Close(); err != nil {
+		t.Error(err)
+	}
+	if err := <-b.done; err != nil {
+		t.Error(err)
+	}
+}
+
+// startGateway fronts the backends with an in-process gateway.
+func startGateway(t *testing.T, d int, scale float64, addrs []string, opts transport.ClusterOptions) (*Gateway, string, chan error) {
+	t.Helper()
+	client, err := transport.NewClusterClient(addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := New(d, scale, client)
+	gw.ErrorLog = func(err error) { t.Log("gateway:", err) }
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- gw.ListenAndServe("127.0.0.1:0", ready) }()
+	return gw, (<-ready).String(), done
+}
+
+// clusterMsgs builds a deterministic mixed stream of hellos and reports
+// spanning users [0, users).
+func clusterMsgs(seed uint64, d, users, perUser int) []transport.Msg {
+	g := rng.New(seed, 77)
+	orders := dyadic.NumOrders(d)
+	ms := make([]transport.Msg, 0, users*(perUser+1))
+	for u := 0; u < users; u++ {
+		ms = append(ms, transport.Hello(u, g.IntN(orders)))
+		for i := 0; i < perUser; i++ {
+			h := g.IntN(orders)
+			bit := int8(1)
+			if g.Bernoulli(0.5) {
+				bit = -1
+			}
+			ms = append(ms, transport.FromReport(protocol.Report{
+				User: u, Order: h, J: 1 + g.IntN(d>>uint(h)), Bit: bit,
+			}))
+		}
+	}
+	return ms
+}
+
+// TestGatewayScatterGather drives mixed ingestion and all four query
+// shapes through a gateway over three backends and checks every answer
+// bit-for-bit against a serial server fed the same messages, plus that
+// users really were partitioned user mod N.
+func TestGatewayScatterGather(t *testing.T) {
+	const (
+		d     = 64
+		scale = 3.25
+		users = 300
+	)
+	var backends []*testBackend
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		b := startBackend(t, d, scale)
+		backends = append(backends, b)
+		addrs = append(addrs, b.addr)
+		defer b.stop(t)
+	}
+	gw, gwAddr, gwDone := startGateway(t, d, scale, addrs, transport.ClusterOptions{})
+
+	ms := clusterMsgs(1, d, users, 20)
+	serial := protocol.NewServer(d, scale)
+	for _, m := range ms {
+		if m.Type == transport.MsgHello {
+			serial.Register(m.Order)
+		} else {
+			serial.Ingest(m.Report())
+		}
+	}
+
+	conn, err := net.Dial("tcp", gwAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := transport.NewEncoder(conn)
+	dec := transport.NewDecoder(conn)
+	const batch = 97
+	for lo := 0; lo < len(ms); lo += batch {
+		hi := min(lo+batch, len(ms))
+		if err := enc.EncodeBatch(ms[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// v1 point queries for every period.
+	for tt := 1; tt <= d; tt++ {
+		if err := enc.Encode(transport.Query(tt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for tt := 1; tt <= d; tt++ {
+		m, err := dec.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type != transport.MsgEstimate || m.T != tt {
+			t.Fatalf("bad v1 response %+v at t=%d", m, tt)
+		}
+		if want := serial.EstimateAt(tt); m.Value != want {
+			t.Fatalf("v1 estimate at %d: gateway %v, serial %v", tt, m.Value, want)
+		}
+	}
+	// The four v2 shapes.
+	checks := []struct {
+		q    transport.Msg
+		want []float64
+	}{
+		{transport.QueryV2(transport.QueryPoint, 17, 17), []float64{serial.EstimateAt(17)}},
+		{transport.QueryV2(transport.QueryChange, 5, 40), []float64{serial.EstimateChange(5, 40)}},
+		{transport.QueryV2(transport.QuerySeries, 0, 0), serial.EstimateSeries()},
+		{transport.QueryV2(transport.QueryWindow, 9, 24), serial.EstimateSeries()[8:24]},
+	}
+	for _, c := range checks {
+		if err := enc.Encode(c.q); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		a, err := dec.ReadAnswer()
+		if err != nil {
+			t.Fatalf("%s: %v", c.q.Kind, err)
+		}
+		if len(a.Values) != len(c.want) {
+			t.Fatalf("%s: %d values, want %d", c.q.Kind, len(a.Values), len(c.want))
+		}
+		for i := range c.want {
+			if a.Values[i] != c.want[i] {
+				t.Fatalf("%s value %d: gateway %v, serial %v", c.q.Kind, i, a.Values[i], c.want[i])
+			}
+		}
+	}
+
+	// Partitioning: backend i holds exactly the users with id ≡ i mod 3.
+	for i, b := range backends {
+		want := 0
+		for u := 0; u < users; u++ {
+			if u%3 == i {
+				want++
+			}
+		}
+		if got := b.acc.Users(); got != want {
+			t.Errorf("backend %d: %d users, want %d", i, got, want)
+		}
+	}
+
+	conn.Close()
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-gwDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatewayBatchAtomicity checks the gateway-level atomic-batch
+// guarantee: a batch of [reports…, malformed query, reports…] forwards
+// nothing at all — no backend sees any of it.
+func TestGatewayBatchAtomicity(t *testing.T) {
+	const d, scale = 32, 2.0
+	var addrs []string
+	var backends []*testBackend
+	for i := 0; i < 3; i++ {
+		b := startBackend(t, d, scale)
+		backends = append(backends, b)
+		addrs = append(addrs, b.addr)
+		defer b.stop(t)
+	}
+	gw, gwAddr, gwDone := startGateway(t, d, scale, addrs, transport.ClusterOptions{})
+
+	conn, err := net.Dial("tcp", gwAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := transport.NewEncoder(conn)
+	ms := []transport.Msg{
+		transport.Hello(0, 1),
+		transport.FromReport(protocol.Report{User: 1, Order: 0, J: 3, Bit: 1}),
+		transport.QueryV2(transport.QueryWindow, 5, d+9), // out of range
+		transport.FromReport(protocol.Report{User: 2, Order: 0, J: 4, Bit: 1}),
+	}
+	if err := enc.EncodeBatch(ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The gateway must drop the connection without forwarding anything.
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("expected the gateway to close the connection")
+	}
+	for i, b := range backends {
+		hellos, reports, _ := b.srv.Collector.Stats()
+		if hellos != 0 || reports != 0 {
+			t.Errorf("backend %d saw %d hellos, %d reports from an invalid batch", i, hellos, reports)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-gwDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatewayBackendRestart kills one backend's listener mid-session
+// and restarts a fresh server on the same address and accumulator: the
+// gateway's pooled connections are dead, so the next query exercises
+// the drop/re-dial/retry path and must still answer exactly.
+func TestGatewayBackendRestart(t *testing.T) {
+	const d, scale = 32, 1.5
+	var addrs []string
+	var backends []*testBackend
+	for i := 0; i < 3; i++ {
+		b := startBackend(t, d, scale)
+		backends = append(backends, b)
+		addrs = append(addrs, b.addr)
+		defer func(b *testBackend) { b.srv.Close() }(b)
+	}
+	gw, gwAddr, gwDone := startGateway(t, d, scale, addrs, transport.ClusterOptions{
+		DialAttempts: 20,
+		BackoffBase:  10 * time.Millisecond,
+		BackoffMax:   100 * time.Millisecond,
+	})
+
+	conn, err := net.Dial("tcp", gwAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := transport.NewEncoder(conn)
+	dec := transport.NewDecoder(conn)
+	ms := clusterMsgs(3, d, 60, 5)
+	if err := enc.EncodeBatch(ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(transport.Query(1)); err != nil { // fence
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Next(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill backend 1 and restart it on the same address with the same
+	// accumulator (standing in for a durable recovery).
+	backends[1].srv.Close()
+	<-backends[1].done
+	var restarted *transport.IngestServer
+	var rdone chan error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		restarted = transport.NewIngestServer(transport.NewShardedCollector(backends[1].acc))
+		ready := make(chan net.Addr, 1)
+		rdone = make(chan error, 1)
+		go func() { rdone <- restarted.ListenAndServe(addrs[1], ready) }()
+		select {
+		case <-ready:
+		case err := <-rdone:
+			if time.Now().After(deadline) {
+				t.Fatalf("rebinding %s: %v", addrs[1], err)
+			}
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		break
+	}
+	defer func() {
+		restarted.Close()
+		<-rdone
+	}()
+
+	serial := protocol.NewServer(d, scale)
+	for _, m := range ms {
+		if m.Type == transport.MsgHello {
+			serial.Register(m.Order)
+		} else {
+			serial.Ingest(m.Report())
+		}
+	}
+	if err := enc.Encode(transport.QueryV2(transport.QuerySeries, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := dec.ReadAnswer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.EstimateSeries()
+	for i := range want {
+		if a.Values[i] != want[i] {
+			t.Fatalf("series value %d after restart: gateway %v, serial %v", i, a.Values[i], want[i])
+		}
+	}
+	conn.Close()
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-gwDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatewayStacked checks that a gateway answers MsgSums itself, so
+// gateways stack: a two-level tree must answer exactly like one flat
+// serial server.
+func TestGatewayStacked(t *testing.T) {
+	const d, scale = 16, 2.5
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		b := startBackend(t, d, scale)
+		addrs = append(addrs, b.addr)
+		defer b.stop(t)
+	}
+	inner, innerAddr, innerDone := startGateway(t, d, scale, addrs, transport.ClusterOptions{})
+	outer, outerAddr, outerDone := startGateway(t, d, scale, []string{innerAddr}, transport.ClusterOptions{})
+
+	ms := clusterMsgs(9, d, 40, 4)
+	serial := protocol.NewServer(d, scale)
+	for _, m := range ms {
+		if m.Type == transport.MsgHello {
+			serial.Register(m.Order)
+		} else {
+			serial.Ingest(m.Report())
+		}
+	}
+	conn, err := net.Dial("tcp", outerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := transport.NewEncoder(conn)
+	dec := transport.NewDecoder(conn)
+	if err := enc.EncodeBatch(ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(transport.QueryV2(transport.QuerySeries, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := dec.ReadAnswer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.EstimateSeries()
+	for i := range want {
+		if a.Values[i] != want[i] {
+			t.Fatalf("stacked series value %d: got %v, want %v", i, a.Values[i], want[i])
+		}
+	}
+	conn.Close()
+	if err := outer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-outerDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-innerDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatewayConcurrentSessions runs several client sessions at once —
+// interleaved ingestion from all of them — and checks the final fold is
+// exact (integer addition is commutative across sessions and backends).
+func TestGatewayConcurrentSessions(t *testing.T) {
+	const d, scale, sessions = 32, 1.25, 4
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		b := startBackend(t, d, scale)
+		addrs = append(addrs, b.addr)
+		defer b.stop(t)
+	}
+	gw, gwAddr, gwDone := startGateway(t, d, scale, addrs, transport.ClusterOptions{})
+
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", gwAddr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			enc := transport.NewEncoder(conn)
+			dec := transport.NewDecoder(conn)
+			ms := clusterMsgs(uint64(100+s), d, 50, 8)
+			if err := enc.EncodeBatch(ms); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := enc.Encode(transport.Query(1)); err != nil { // fence
+				t.Error(err)
+				return
+			}
+			if err := enc.Flush(); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := dec.Next(); err != nil {
+				t.Error(err)
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	serial := protocol.NewServer(d, scale)
+	for s := 0; s < sessions; s++ {
+		for _, m := range clusterMsgs(uint64(100+s), d, 50, 8) {
+			if m.Type == transport.MsgHello {
+				serial.Register(m.Order)
+			} else {
+				serial.Ingest(m.Report())
+			}
+		}
+	}
+	conn, err := net.Dial("tcp", gwAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := transport.NewEncoder(conn)
+	dec := transport.NewDecoder(conn)
+	if err := enc.Encode(transport.QueryV2(transport.QuerySeries, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := dec.ReadAnswer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.EstimateSeries()
+	for i := range want {
+		if a.Values[i] != want[i] {
+			t.Fatalf("series value %d: gateway %v, serial %v", i, a.Values[i], want[i])
+		}
+	}
+	conn.Close()
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-gwDone; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -159,6 +159,39 @@ func (s *Server) Merge(o *Server) {
 	}
 }
 
+// MergeRaw folds raw accumulator state — a user count, per-order user
+// counts and per-interval bit sums as produced by Sharded.Fold, possibly
+// shipped from another machine — into s. Because the estimator is a
+// fixed linear function of these integers, merging the raw sums of N
+// partitioned servers reproduces one serial server fed all their reports
+// bit for bit; this is the gather half of the cluster gateway. It fails,
+// without modifying the server, on mismatched lengths or negative
+// counts.
+func (s *Server) MergeRaw(users int64, perOrder, sums []int64) error {
+	if users < 0 {
+		return fmt.Errorf("protocol: merging negative user count %d", users)
+	}
+	if len(perOrder) != len(s.perOrder) {
+		return fmt.Errorf("protocol: merging %d per-order counts into a server with %d orders", len(perOrder), len(s.perOrder))
+	}
+	if len(sums) != len(s.sums) {
+		return fmt.Errorf("protocol: merging %d interval sums into a server with %d intervals", len(sums), len(s.sums))
+	}
+	for h, c := range perOrder {
+		if c < 0 {
+			return fmt.Errorf("protocol: merging negative count %d at order %d", c, h)
+		}
+	}
+	for i, v := range sums {
+		s.sums[i] += v
+	}
+	s.users += int(users)
+	for h, c := range perOrder {
+		s.perOrder[h] += int(c)
+	}
+	return nil
+}
+
 // Scale returns the estimator scale.
 func (s *Server) Scale() float64 { return s.scale }
 

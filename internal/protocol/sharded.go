@@ -172,6 +172,31 @@ func (s *Sharded) EstimateChange(l, r int) float64 {
 	return est
 }
 
+// Fold returns the accumulator's raw state summed across shards: the
+// registered-user count, the per-order user counts, and the per-interval
+// bit sums (flat tree order). Counters are loaded atomically, but a fold
+// taken concurrently with ingestion is not a point-in-time cut across
+// intervals; quiesce (or fence) ingestion first when exactness matters.
+// These are the exact integers a cluster gateway ships between nodes:
+// because the estimator is a fixed linear function of them, merging raw
+// sums across machines reproduces a single serial server bit for bit,
+// which merging scaled float answers would not.
+func (s *Sharded) Fold() (users int64, perOrder, sums []int64) {
+	perOrder = make([]int64, len(s.shards[0].perOrder))
+	sums = make([]int64, len(s.shards[0].sums))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		users += atomic.LoadInt64(&sh.users)
+		for h := range sh.perOrder {
+			perOrder[h] += atomic.LoadInt64(&sh.perOrder[h])
+		}
+		for f := range sh.sums {
+			sums[f] += atomic.LoadInt64(&sh.sums[f])
+		}
+	}
+	return users, perOrder, sums
+}
+
 // Snapshot folds the current shard state into a fresh serial Server,
 // from which the full estimate series, range estimates and consistency
 // post-processing are available. Counters are loaded atomically, but a

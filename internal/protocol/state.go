@@ -137,19 +137,7 @@ func (s *Server) RestoreState(b []byte) error {
 // The encoding is identical to Server.MarshalState on the folded state,
 // so snapshots restore interchangeably into either type.
 func (s *Sharded) MarshalState() []byte {
-	perOrder := make([]int64, len(s.shards[0].perOrder))
-	sums := make([]int64, len(s.shards[0].sums))
-	var users int64
-	for i := range s.shards {
-		sh := &s.shards[i]
-		users += atomic.LoadInt64(&sh.users)
-		for h := range sh.perOrder {
-			perOrder[h] += atomic.LoadInt64(&sh.perOrder[h])
-		}
-		for f := range sh.sums {
-			sums[f] += atomic.LoadInt64(&sh.sums[f])
-		}
-	}
+	users, perOrder, sums := s.Fold()
 	return appendDyadicState(make([]byte, 0, 16+10*len(sums)), s.d, s.scale, users, perOrder, sums)
 }
 

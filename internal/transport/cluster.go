@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// This file is the client side of the scatter/gather cluster: a
+// ClusterClient owns the addresses of N rtf-serve backends, routes
+// users to backends by user id modulo N, pools connections per backend,
+// and re-dials a dead backend with exponential backoff. The gateway
+// (internal/cluster) leases one connection per backend for the lifetime
+// of each client session, so the backend's in-order frame handling
+// makes a sums fetch on the same connection a fence for everything the
+// session forwarded before it.
+
+// ClusterOptions configures a ClusterClient. The zero value is usable:
+// every field has a sensible default.
+type ClusterOptions struct {
+	// DialTimeout bounds one dial attempt (default 2s).
+	DialTimeout time.Duration
+	// DialAttempts is how many times Lease tries to reach a backend
+	// before giving up (default 10). With the default backoff schedule
+	// the attempts span roughly nine seconds — enough to ride out a
+	// backend restart.
+	DialAttempts int
+	// BackoffBase is the sleep after the first failed attempt (default
+	// 50ms); it doubles per attempt up to BackoffMax (default 2s).
+	BackoffBase time.Duration
+	// BackoffMax caps the per-attempt backoff sleep (default 2s).
+	BackoffMax time.Duration
+	// PoolSize is the per-backend idle-connection pool capacity
+	// (default 4). Leases beyond it dial fresh connections; releases
+	// beyond it close the connection instead of pooling it.
+	PoolSize int
+}
+
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.DialAttempts <= 0 {
+		o.DialAttempts = 10
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 4
+	}
+	return o
+}
+
+// BackendConn is one framed connection to a backend: the net.Conn plus
+// its encoder/decoder pair. It is not safe for concurrent use; a leased
+// connection belongs to one session until released.
+type BackendConn struct {
+	conn net.Conn
+	enc  *Encoder
+	dec  *Decoder
+}
+
+// SendBatch writes one batch frame (buffered until Flush).
+func (b *BackendConn) SendBatch(ms []Msg) error { return b.enc.EncodeBatch(ms) }
+
+// Flush flushes buffered frames to the backend.
+func (b *BackendConn) Flush() error { return b.enc.Flush() }
+
+// FetchSums round-trips a raw-sums request: everything sent earlier on
+// this connection is applied before the response is cut (the backend
+// handles frames in order), so the fetch doubles as a fence.
+func (b *BackendConn) FetchSums() (SumsFrame, error) {
+	if err := b.enc.Encode(Sums()); err != nil {
+		return SumsFrame{}, err
+	}
+	if err := b.enc.Flush(); err != nil {
+		return SumsFrame{}, err
+	}
+	return b.dec.ReadSums()
+}
+
+// Fence round-trips a trivial point query, proving the backend applied
+// everything sent earlier on this connection.
+func (b *BackendConn) Fence() error {
+	if err := b.enc.Encode(Query(1)); err != nil {
+		return err
+	}
+	if err := b.enc.Flush(); err != nil {
+		return err
+	}
+	m, err := b.dec.Next()
+	if err != nil {
+		return err
+	}
+	if m.Type != MsgEstimate {
+		return fmt.Errorf("transport: fence answered with message type %d", m.Type)
+	}
+	return nil
+}
+
+// Close closes the underlying connection.
+func (b *BackendConn) Close() error { return b.conn.Close() }
+
+// ClusterClient connects to a fixed set of rtf-serve backends, routing
+// each user to backend (user mod N). Lease/Release manage per-backend
+// pooled connections; Lease re-dials a dead backend with exponential
+// backoff, so a crashed-and-recovering backend stalls its callers
+// instead of failing them. It is safe for concurrent use.
+type ClusterClient struct {
+	addrs []string
+	opts  ClusterOptions
+	idle  []chan *BackendConn
+}
+
+// NewClusterClient builds a client over the given backend addresses.
+// The address order is the partition map (user mod N routes to
+// addrs[user mod N]) and must be identical on every gateway.
+func NewClusterClient(addrs []string, opts ClusterOptions) (*ClusterClient, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("transport: cluster with no backends")
+	}
+	o := opts.withDefaults()
+	idle := make([]chan *BackendConn, len(addrs))
+	for i := range idle {
+		idle[i] = make(chan *BackendConn, o.PoolSize)
+	}
+	return &ClusterClient{addrs: append([]string(nil), addrs...), opts: o, idle: idle}, nil
+}
+
+// N returns the number of backends.
+func (c *ClusterClient) N() int { return len(c.addrs) }
+
+// Addr returns the address of backend i.
+func (c *ClusterClient) Addr(i int) string { return c.addrs[i] }
+
+// Route returns the backend responsible for a user: user mod N.
+// Callers validate user ≥ 0 before routing.
+func (c *ClusterClient) Route(user int) int { return user % len(c.addrs) }
+
+// Lease hands out a connection to backend i: a pooled idle connection
+// when one is available, otherwise a fresh dial with exponential
+// backoff across DialAttempts. The caller owns the connection until
+// Release.
+func (c *ClusterClient) Lease(i int) (*BackendConn, error) {
+	select {
+	case bc := <-c.idle[i]:
+		return bc, nil
+	default:
+	}
+	backoff := c.opts.BackoffBase
+	var lastErr error
+	for attempt := 0; attempt < c.opts.DialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > c.opts.BackoffMax {
+				backoff = c.opts.BackoffMax
+			}
+		}
+		conn, err := net.DialTimeout("tcp", c.addrs[i], c.opts.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return &BackendConn{conn: conn, enc: NewEncoder(conn), dec: NewDecoder(conn)}, nil
+	}
+	return nil, fmt.Errorf("transport: backend %d (%s) unreachable after %d attempts: %w",
+		i, c.addrs[i], c.opts.DialAttempts, lastErr)
+}
+
+// Release returns a leased connection. A healthy connection goes back
+// to the pool (or is closed when the pool is full); an unhealthy one —
+// any connection that saw an error — is closed, and the backend's whole
+// idle pool is discarded with it: an error usually means the backend
+// process died (crash, kill -9), taking every pooled connection with
+// it, and retry attempts must reach a fresh dial — which waits out a
+// restart via backoff — rather than burn on dead pooled connections.
+func (c *ClusterClient) Release(i int, bc *BackendConn, healthy bool) {
+	if bc == nil {
+		return
+	}
+	if healthy {
+		select {
+		case c.idle[i] <- bc:
+			return
+		default:
+		}
+		bc.Close()
+		return
+	}
+	bc.Close()
+	for {
+		select {
+		case idle := <-c.idle[i]:
+			idle.Close()
+		default:
+			return
+		}
+	}
+}
+
+// Close closes every pooled idle connection. Leased connections are
+// closed by their holders via Release.
+func (c *ClusterClient) Close() {
+	for i := range c.idle {
+		for {
+			select {
+			case bc := <-c.idle[i]:
+				bc.Close()
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+}

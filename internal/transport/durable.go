@@ -21,6 +21,11 @@ type BatchCollector interface {
 	Send(shard int, m Msg) error
 	// SendBatch validates and ingests a whole decoded batch atomically.
 	SendBatch(shard int, ms []Msg) error
+	// Validate checks one hello or report message against the
+	// accumulator's parameters without side effects; the ingest server
+	// pre-validates whole batches this way so an invalid message later
+	// in a batch cannot leave an applied (or journaled) prefix behind.
+	Validate(m Msg) error
 	// Stats returns the number of hellos, reports and batches ingested.
 	Stats() (hellos, reports, batches int64)
 }
@@ -153,6 +158,9 @@ func (c *DurableCollector) Stats() (hellos, reports, batches int64) { return c.i
 func (c *DurableCollector) Send(shard int, m Msg) error {
 	return c.SendBatch(shard, []Msg{m})
 }
+
+// Validate checks one message without journaling or applying anything.
+func (c *DurableCollector) Validate(m Msg) error { return c.inner.validate(m) }
 
 // SendBatch validates the batch, appends its wire encoding to the
 // write-ahead log, and applies it to the accumulator — in that order,

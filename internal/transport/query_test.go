@@ -195,6 +195,72 @@ func TestAnswerQueryMatchesSerial(t *testing.T) {
 	}
 }
 
+// reusingEstimator is an Estimator whose series methods hand out the
+// same internal buffer every call — the engine shape the window-query
+// path must defend against by cloning.
+type reusingEstimator struct {
+	d   int
+	buf []float64
+}
+
+func (e *reusingEstimator) D() int                          { return e.d }
+func (e *reusingEstimator) EstimateAt(t int) float64        { return float64(t) }
+func (e *reusingEstimator) EstimateChange(l, r int) float64 { return float64(r - l) }
+func (e *reusingEstimator) EstimateSeries() []float64       { return e.EstimateSeriesTo(e.d) }
+func (e *reusingEstimator) EstimateSeriesTo(r int) []float64 {
+	if e.buf == nil {
+		e.buf = make([]float64, e.d)
+	}
+	for t := 1; t <= r; t++ {
+		e.buf[t-1] = float64(t)
+	}
+	return e.buf[:r]
+}
+
+// TestAnswerQueryWindowNoAliasing is the regression test for the
+// window-answer aliasing bug: the answer used to be a view into the
+// engine's full [1..R] series, so an engine reusing an internal buffer
+// (or a caller mutating the answer) corrupted other answers. The window
+// answer must be exactly R−L+1 elements with its own backing array.
+func TestAnswerQueryWindowNoAliasing(t *testing.T) {
+	est := &reusingEstimator{d: 32}
+	const l, r = 5, 12
+	a, err := AnswerQuery(est, QueryV2(QueryWindow, l, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Values) != r-l+1 || cap(a.Values) != r-l+1 {
+		t.Fatalf("window answer len=%d cap=%d, want %d/%d", len(a.Values), cap(a.Values), r-l+1, r-l+1)
+	}
+	// A second query through the same engine reuses its buffer; the
+	// first answer must not change. Series answers get the same
+	// ownership guarantee.
+	first := append([]float64(nil), a.Values...)
+	series, err := AnswerQuery(est, QueryV2(QuerySeries, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstSeries := append([]float64(nil), series.Values...)
+	for i := range est.buf {
+		est.buf[i] = -999 // simulate the engine scribbling on its buffer
+	}
+	for i := range first {
+		if a.Values[i] != first[i] {
+			t.Fatalf("window answer value %d changed from %v to %v after the engine reused its buffer", i, first[i], a.Values[i])
+		}
+	}
+	for i := range firstSeries {
+		if series.Values[i] != firstSeries[i] {
+			t.Fatalf("series answer value %d changed from %v to %v after the engine reused its buffer", i, firstSeries[i], series.Values[i])
+		}
+	}
+	// And mutating the answer must not reach the engine's state.
+	a.Values[0] = 1e9
+	if got := est.EstimateSeriesTo(r)[l-1]; got == 1e9 {
+		t.Fatal("mutating the answer reached the engine's buffer")
+	}
+}
+
 // TestIngestServerAnswersV2 drives v2 queries over real TCP.
 func TestIngestServerAnswersV2(t *testing.T) {
 	const d = 32

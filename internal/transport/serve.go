@@ -7,8 +7,6 @@ import (
 	"net"
 	"sync"
 	"time"
-
-	"rtf/internal/protocol"
 )
 
 // IngestServer is the network half of the batch-ingest aggregation
@@ -93,7 +91,14 @@ func (s *IngestServer) ListenAndServe(addr string, ready chan<- net.Addr) error 
 
 // serveConn runs the decode loop for one connection: hello/report
 // messages and batches go to the collector under this connection's
-// shard; queries are answered immediately with the live estimate.
+// shard; queries (and raw-sums requests from a cluster gateway) are
+// answered immediately from the live accumulator.
+//
+// Batches are atomic: every frame in a decoded batch — ingest messages
+// through the collector's validate-only path, query frames through
+// ValidateQuery — is validated before anything is applied, so a batch
+// of [reports…, malformed query, reports…] applies (and, under a
+// DurableCollector, journals) nothing at all rather than a prefix.
 func (s *IngestServer) serveConn(id int, conn net.Conn) error {
 	dec := NewDecoder(conn)
 	enc := NewEncoder(conn)
@@ -106,11 +111,29 @@ func (s *IngestServer) serveConn(id int, conn net.Conn) error {
 			}
 			return err
 		}
+		for _, m := range ms {
+			switch m.Type {
+			case MsgQuery:
+				if m.T < 1 || m.T > acc.D() {
+					return fmt.Errorf("query time %d out of range [1..%d]", m.T, acc.D())
+				}
+			case MsgQueryV2:
+				if err := ValidateQuery(acc.D(), m); err != nil {
+					return err
+				}
+			case MsgSums:
+				// No parameters to validate.
+			default:
+				if err := s.Collector.Validate(m); err != nil {
+					return err
+				}
+			}
+		}
 		// Ingest contiguous runs of hello/report messages as whole
 		// batches; answer queries in stream order between them.
 		run := 0
 		for i, m := range ms {
-			if m.Type != MsgQuery && m.Type != MsgQueryV2 {
+			if m.Type != MsgQuery && m.Type != MsgQueryV2 && m.Type != MsgSums {
 				continue
 			}
 			if i > run {
@@ -121,9 +144,6 @@ func (s *IngestServer) serveConn(id int, conn net.Conn) error {
 			run = i + 1
 			switch m.Type {
 			case MsgQuery:
-				if m.T < 1 || m.T > acc.D() {
-					return fmt.Errorf("query time %d out of range [1..%d]", m.T, acc.D())
-				}
 				if err := enc.Encode(Estimate(m.T, acc.EstimateAt(m.T))); err != nil {
 					return err
 				}
@@ -133,6 +153,10 @@ func (s *IngestServer) serveConn(id int, conn net.Conn) error {
 					return err
 				}
 				if err := enc.EncodeAnswer(ans); err != nil {
+					return err
+				}
+			case MsgSums:
+				if err := enc.EncodeSums(SumsFromSharded(acc)); err != nil {
 					return err
 				}
 			}
@@ -148,37 +172,69 @@ func (s *IngestServer) serveConn(id int, conn net.Conn) error {
 	}
 }
 
+// Estimator is the read side of a dyadic accumulator: both the
+// lock-free protocol.Sharded (the live ingest path) and the serial
+// protocol.Server (the gateway's fold of cluster-wide raw sums) satisfy
+// it, so AnswerQuery serves either.
+type Estimator interface {
+	D() int
+	EstimateAt(t int) float64
+	EstimateChange(l, r int) float64
+	EstimateSeries() []float64
+	EstimateSeriesTo(r int) []float64
+}
+
+// ValidateQuery is the validate-only path of AnswerQuery: it
+// range-checks a v2 query frame against horizon d without touching any
+// accumulator. The ingest server runs it over a whole batch before
+// applying anything, keeping batches atomic.
+func ValidateQuery(d int, m Msg) error {
+	if m.Type != MsgQueryV2 {
+		return fmt.Errorf("transport: message type %d is not a v2 query", m.Type)
+	}
+	switch m.Kind {
+	case QueryPoint:
+		if m.L < 1 || m.L > d {
+			return fmt.Errorf("transport: point query time %d out of range [1..%d]", m.L, d)
+		}
+	case QueryChange:
+		if m.L < 1 || m.R > d || m.L > m.R {
+			return fmt.Errorf("transport: change query range [%d..%d] invalid for d=%d", m.L, m.R, d)
+		}
+	case QuerySeries:
+		// No bounds.
+	case QueryWindow:
+		if m.L < 1 || m.R > d || m.L > m.R {
+			return fmt.Errorf("transport: window query range [%d..%d] invalid for d=%d", m.L, m.R, d)
+		}
+	default:
+		return fmt.Errorf("transport: unknown query kind %d", byte(m.Kind))
+	}
+	return nil
+}
+
 // AnswerQuery computes the answer to a v2 query frame from the live
 // accumulator. The estimates are bit-for-bit identical to a serial
 // protocol.Server fed the same reports: point and change queries sum the
 // same dyadic decomposition in the same order, and series and window
-// queries use the same prefix recurrence.
-func AnswerQuery(acc *protocol.Sharded, m Msg) (AnswerFrame, error) {
-	if m.Type != MsgQueryV2 {
-		return AnswerFrame{}, fmt.Errorf("transport: message type %d is not a v2 query", m.Type)
+// queries use the same prefix recurrence. The returned values are owned
+// by the caller: series and window answers are fresh copies (windows
+// clipped to exactly R−L+1 elements), never a view into an engine's
+// backing array that a buffer-reusing engine could scribble over.
+func AnswerQuery(est Estimator, m Msg) (AnswerFrame, error) {
+	if err := ValidateQuery(est.D(), m); err != nil {
+		return AnswerFrame{}, err
 	}
-	d := acc.D()
 	a := AnswerFrame{Kind: m.Kind, L: m.L, R: m.R}
 	switch m.Kind {
 	case QueryPoint:
-		if m.L < 1 || m.L > d {
-			return AnswerFrame{}, fmt.Errorf("transport: point query time %d out of range [1..%d]", m.L, d)
-		}
-		a.Values = []float64{acc.EstimateAt(m.L)}
+		a.Values = []float64{est.EstimateAt(m.L)}
 	case QueryChange:
-		if m.L < 1 || m.R > d || m.L > m.R {
-			return AnswerFrame{}, fmt.Errorf("transport: change query range [%d..%d] invalid for d=%d", m.L, m.R, d)
-		}
-		a.Values = []float64{acc.EstimateChange(m.L, m.R)}
+		a.Values = []float64{est.EstimateChange(m.L, m.R)}
 	case QuerySeries:
-		a.Values = acc.EstimateSeries()
+		a.Values = append([]float64(nil), est.EstimateSeries()...)
 	case QueryWindow:
-		if m.L < 1 || m.R > d || m.L > m.R {
-			return AnswerFrame{}, fmt.Errorf("transport: window query range [%d..%d] invalid for d=%d", m.L, m.R, d)
-		}
-		a.Values = acc.EstimateSeriesTo(m.R)[m.L-1:]
-	default:
-		return AnswerFrame{}, fmt.Errorf("transport: unknown query kind %d", byte(m.Kind))
+		a.Values = append(make([]float64, 0, m.R-m.L+1), est.EstimateSeriesTo(m.R)[m.L-1:]...)
 	}
 	return a, nil
 }

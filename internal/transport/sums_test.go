@@ -1,0 +1,379 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+
+	"rtf/internal/dyadic"
+	"rtf/internal/protocol"
+	"rtf/internal/rng"
+)
+
+// testSumsFrame builds a valid frame for horizon d with deterministic
+// contents.
+func testSumsFrame(d int, scale float64, seed uint64) SumsFrame {
+	g := rng.New(seed, 13)
+	f := SumsFrame{
+		D:        d,
+		Scale:    scale,
+		Users:    int64(g.IntN(1000)),
+		PerOrder: make([]int64, dyadic.NumOrders(d)),
+		Sums:     make([]int64, dyadic.TotalIntervals(d)),
+	}
+	for h := range f.PerOrder {
+		f.PerOrder[h] = int64(g.IntN(100))
+	}
+	for i := range f.Sums {
+		f.Sums[i] = int64(g.IntN(2001)) - 1000 // sums go negative
+	}
+	return f
+}
+
+// encodeSumsBytes encodes one frame, panicking on error (the callers
+// pass known-valid frames).
+func encodeSumsBytes(f SumsFrame) []byte {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.EncodeSums(f); err != nil {
+		panic(err)
+	}
+	if err := enc.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func framesEqual(a, b SumsFrame) bool {
+	if a.D != b.D || a.Scale != b.Scale || a.Users != b.Users ||
+		len(a.PerOrder) != len(b.PerOrder) || len(a.Sums) != len(b.Sums) {
+		return false
+	}
+	for i := range a.PerOrder {
+		if a.PerOrder[i] != b.PerOrder[i] {
+			return false
+		}
+	}
+	for i := range a.Sums {
+		if a.Sums[i] != b.Sums[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSumsRoundTrip checks frames of several horizons survive the wire
+// bit-exactly, back to back on one stream.
+func TestSumsRoundTrip(t *testing.T) {
+	frames := []SumsFrame{
+		testSumsFrame(1, 0.5, 1),
+		testSumsFrame(16, 2.25, 2),
+		testSumsFrame(1024, 100, 3),
+		{D: 4, Scale: 1, PerOrder: make([]int64, 3), Sums: make([]int64, 7)}, // all zero
+	}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, f := range frames {
+		if err := enc.EncodeSums(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(&buf)
+	for i, want := range frames {
+		got, err := dec.ReadSums()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !framesEqual(got, want) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := dec.ReadSums(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+// TestSumsMergeMatchesSerial checks the whole scatter/gather identity
+// in miniature: reports split across two accumulators, shipped as sums
+// frames, merged into one server — estimates bit-for-bit equal to a
+// serial server fed everything.
+func TestSumsMergeMatchesSerial(t *testing.T) {
+	const d, scale = 64, 2.5
+	accs := []*protocol.Sharded{
+		protocol.NewSharded(d, scale, 2),
+		protocol.NewSharded(d, scale, 3),
+	}
+	serial := protocol.NewServer(d, scale)
+	g := rng.New(5, 6)
+	for i := 0; i < 4000; i++ {
+		h := g.IntN(dyadic.NumOrders(d))
+		r := protocol.Report{User: i, Order: h, J: 1 + g.IntN(d>>uint(h)), Bit: 1}
+		if g.Bernoulli(0.5) {
+			r.Bit = -1
+		}
+		accs[i%2].Ingest(i, r)
+		serial.Ingest(r)
+		if i%7 == 0 {
+			accs[i%2].Register(i, h)
+			serial.Register(h)
+		}
+	}
+	merged := protocol.NewServer(d, scale)
+	for _, acc := range accs {
+		// Through the wire, not just in process.
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		if err := enc.EncodeSums(SumsFromSharded(acc)); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewDecoder(&buf).ReadSums()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.MergeInto(merged); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := merged.Users(), serial.Users(); got != want {
+		t.Fatalf("merged users %d, want %d", got, want)
+	}
+	gotS, wantS := merged.EstimateSeries(), serial.EstimateSeries()
+	for i := range wantS {
+		if gotS[i] != wantS[i] {
+			t.Fatalf("series value %d: merged %v, serial %v", i, gotS[i], wantS[i])
+		}
+	}
+	for tt := 1; tt <= d; tt++ {
+		if merged.EstimateAt(tt) != serial.EstimateAt(tt) {
+			t.Fatalf("estimate at %d differs", tt)
+		}
+	}
+	if merged.EstimateChange(5, 40) != serial.EstimateChange(5, 40) {
+		t.Fatal("change estimate differs")
+	}
+}
+
+// TestSumsMergeMismatch checks MergeInto refuses a mismatched server.
+func TestSumsMergeMismatch(t *testing.T) {
+	f := testSumsFrame(16, 2, 7)
+	if err := f.MergeInto(protocol.NewServer(32, 2)); err == nil {
+		t.Error("merged into a server with the wrong horizon")
+	}
+	if err := f.MergeInto(protocol.NewServer(16, 3)); err == nil {
+		t.Error("merged into a server with the wrong scale")
+	}
+	if err := f.MergeInto(protocol.NewServer(16, 2)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSumsEncodeValidation checks the encoder rejects malformed frames.
+func TestSumsEncodeValidation(t *testing.T) {
+	enc := NewEncoder(&bytes.Buffer{})
+	good := testSumsFrame(16, 2, 9)
+	for name, f := range map[string]func(SumsFrame) SumsFrame{
+		"horizon not a power of two": func(f SumsFrame) SumsFrame { f.D = 17; return f },
+		"horizon over the limit":     func(f SumsFrame) SumsFrame { f.D = MaxSumsD * 2; return f },
+		"negative user count":        func(f SumsFrame) SumsFrame { f.Users = -1; return f },
+		"short per-order counts":     func(f SumsFrame) SumsFrame { f.PerOrder = f.PerOrder[:2]; return f },
+		"short interval sums":        func(f SumsFrame) SumsFrame { f.Sums = f.Sums[:5]; return f },
+	} {
+		if err := enc.EncodeSums(f(good)); err == nil {
+			t.Errorf("encoder accepted a frame with %s", name)
+		}
+	}
+	if err := enc.EncodeSums(good); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSumsDecodeTruncated checks every proper prefix of a valid frame
+// fails with a descriptive error, never a panic or a bogus frame.
+func TestSumsDecodeTruncated(t *testing.T) {
+	wire := encodeSumsBytes(testSumsFrame(16, 2.5, 11))
+	for cut := 0; cut < len(wire); cut++ {
+		_, err := NewDecoder(bytes.NewReader(wire[:cut])).ReadSums()
+		if err == nil {
+			t.Fatalf("truncation at %d of %d decoded successfully", cut, len(wire))
+		}
+	}
+}
+
+// TestSumsDecodeCorrupt checks targeted corruptions are rejected.
+func TestSumsDecodeCorrupt(t *testing.T) {
+	wire := encodeSumsBytes(testSumsFrame(16, 2.5, 12))
+	corrupt := func(mutate func(b []byte)) error {
+		b := append([]byte(nil), wire...)
+		mutate(b)
+		_, err := NewDecoder(bytes.NewReader(b)).ReadSums()
+		return err
+	}
+	if err := corrupt(func(b []byte) { b[0] = byte(MsgAnswer) }); err == nil {
+		t.Error("accepted a non-sums frame type")
+	}
+	if err := corrupt(func(b []byte) { b[1] = 99 }); err == nil {
+		t.Error("accepted an unknown version")
+	}
+	if err := corrupt(func(b []byte) { b[2] = 17 }); err == nil {
+		t.Error("accepted a non-power-of-two horizon")
+	}
+	// A huge declared horizon must be rejected before allocation.
+	huge := append([]byte{byte(MsgSumsFrame), queryWireVersion}, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01)
+	if _, err := NewDecoder(bytes.NewReader(huge)).ReadSums(); err == nil {
+		t.Error("accepted an overflowing horizon")
+	}
+	// Negative user count on the wire.
+	neg := []byte{byte(MsgSumsFrame), queryWireVersion, 1, 0, 0, 0, 0, 0, 0, 0, 0, 1 /* varint -1 */}
+	if _, err := NewDecoder(bytes.NewReader(neg)).ReadSums(); err == nil {
+		t.Error("accepted a negative user count")
+	}
+}
+
+// TestIngestServerAnswersSums checks the raw-sums path over real TCP:
+// standalone requests and one embedded in a batch (where it fences the
+// reports before it), with the response matching the live accumulator.
+func TestIngestServerAnswersSums(t *testing.T) {
+	const d, scale = 32, 2.0
+	acc := protocol.NewSharded(d, scale, 2)
+	srv := NewIngestServer(NewShardedCollector(acc))
+	srv.ErrorLog = func(err error) { t.Error(err) }
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0", ready) }()
+	addr := (<-ready).String()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := NewEncoder(conn)
+	dec := NewDecoder(conn)
+	// A batch mixing ingestion and a sums request: the response must
+	// reflect the messages before it in the batch.
+	ms := []Msg{
+		Hello(1, 3),
+		FromReport(protocol.Report{User: 1, Order: 0, J: 5, Bit: 1}),
+		FromReport(protocol.Report{User: 1, Order: 1, J: 2, Bit: -1}),
+		Sums(),
+	}
+	if err := enc.EncodeBatch(ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := dec.ReadSums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.D != d || f.Scale != scale || f.Users != 1 {
+		t.Fatalf("bad frame header %+v", f)
+	}
+	if f.PerOrder[3] != 1 {
+		t.Fatalf("per-order counts %v, want order 3 = 1", f.PerOrder)
+	}
+	want := protocol.NewServer(d, scale)
+	want.Register(3)
+	want.Ingest(protocol.Report{User: 1, Order: 0, J: 5, Bit: 1})
+	want.Ingest(protocol.Report{User: 1, Order: 1, J: 2, Bit: -1})
+	merged := protocol.NewServer(d, scale)
+	if err := f.MergeInto(merged); err != nil {
+		t.Fatal(err)
+	}
+	for tt := 1; tt <= d; tt++ {
+		if merged.EstimateAt(tt) != want.EstimateAt(tt) {
+			t.Fatalf("estimate at %d differs after merge", tt)
+		}
+	}
+	// A standalone request on the same stream.
+	if err := enc.Encode(Sums()); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if f2, err := dec.ReadSums(); err != nil {
+		t.Fatal(err)
+	} else if !framesEqual(f, f2) {
+		t.Fatal("standalone sums differ from in-batch sums")
+	}
+	conn.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzSumsDecode feeds arbitrary bytes to ReadSums: it must return a
+// frame or a descriptive error, never panic, and any successfully
+// decoded frame must satisfy the structural invariants.
+func FuzzSumsDecode(f *testing.F) {
+	f.Add(encodeSumsBytes(testSumsFrame(16, 2.5, 21)))
+	f.Add(encodeSumsBytes(testSumsFrame(1, 1, 22)))
+	f.Add([]byte{byte(MsgSumsFrame), queryWireVersion, 16})
+	f.Add([]byte{byte(MsgSumsFrame), 99})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := NewDecoder(bytes.NewReader(data)).ReadSums()
+		if err != nil {
+			return // EOF or any descriptive error is fine
+		}
+		if !dyadic.IsPow2(frame.D) || frame.D > MaxSumsD {
+			t.Fatalf("decoded invalid horizon %d", frame.D)
+		}
+		if frame.Users < 0 {
+			t.Fatalf("decoded negative user count %d", frame.Users)
+		}
+		if len(frame.PerOrder) != dyadic.NumOrders(frame.D) {
+			t.Fatalf("decoded %d per-order counts for d=%d", len(frame.PerOrder), frame.D)
+		}
+		if len(frame.Sums) != dyadic.TotalIntervals(frame.D) {
+			t.Fatalf("decoded %d interval sums for d=%d", len(frame.Sums), frame.D)
+		}
+		for h, c := range frame.PerOrder {
+			if c < 0 {
+				t.Fatalf("decoded negative count %d at order %d", c, h)
+			}
+		}
+	})
+}
+
+// FuzzSumsRoundTrip checks any structurally valid frame survives the
+// wire bit-exactly.
+func FuzzSumsRoundTrip(f *testing.F) {
+	f.Add(uint8(4), 2.5, uint64(1))
+	f.Add(uint8(0), 1.0, uint64(99))
+	f.Add(uint8(10), 100.0, uint64(12345))
+	f.Fuzz(func(t *testing.T, logd uint8, scale float64, seed uint64) {
+		d := 1 << (logd % 11)
+		want := testSumsFrame(d, scale, seed)
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		if err := enc.EncodeSums(want); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewDecoder(&buf).ReadSums()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// NaN scales round-trip by bits but compare unequal; skip the
+		// equality check for them.
+		if want.Scale == want.Scale && !framesEqual(got, want) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	})
+}

@@ -34,13 +34,15 @@ type MsgType byte
 
 // Message types.
 const (
-	MsgHello    MsgType = 1 // user announces its sampled order h_u
-	MsgReport   MsgType = 2 // one perturbed partial sum
-	MsgBatch    MsgType = 3 // frame carrying many hello/report messages
-	MsgQuery    MsgType = 4 // v1: client asks for the online estimate â[t]
-	MsgEstimate MsgType = 5 // v1: server answers a point query
-	MsgQueryV2  MsgType = 6 // versioned query frame: kind + range
-	MsgAnswer   MsgType = 7 // versioned answer frame: kind + range + values
+	MsgHello     MsgType = 1 // user announces its sampled order h_u
+	MsgReport    MsgType = 2 // one perturbed partial sum
+	MsgBatch     MsgType = 3 // frame carrying many hello/report messages
+	MsgQuery     MsgType = 4 // v1: client asks for the online estimate â[t]
+	MsgEstimate  MsgType = 5 // v1: server answers a point query
+	MsgQueryV2   MsgType = 6 // versioned query frame: kind + range
+	MsgAnswer    MsgType = 7 // versioned answer frame: kind + range + values
+	MsgSums      MsgType = 8 // cluster gateway asks for the raw interval sums
+	MsgSumsFrame MsgType = 9 // response: raw accumulator state (SumsFrame)
 )
 
 // QueryKind discriminates the shapes of a versioned (v2) query. The
@@ -114,6 +116,13 @@ func Query(t int) Msg {
 // queries ask about the range [l..r].
 func QueryV2(kind QueryKind, l, r int) Msg {
 	return Msg{Type: MsgQueryV2, Kind: kind, L: l, R: r}
+}
+
+// Sums constructs a raw-sums request: the server answers with one
+// SumsFrame carrying its live accumulator state. The cluster gateway
+// scatters this to every backend and merges the responses.
+func Sums() Msg {
+	return Msg{Type: MsgSums}
 }
 
 // Estimate constructs a query response.
@@ -196,6 +205,8 @@ func appendMsg(b []byte, m Msg) ([]byte, error) {
 		b = append(b, queryWireVersion, byte(m.Kind))
 		b = binary.AppendUvarint(b, uint64(m.L))
 		b = binary.AppendUvarint(b, uint64(m.R))
+	case MsgSums:
+		b = append(b, queryWireVersion)
 	default:
 		return nil, fmt.Errorf("transport: unknown message type %d", m.Type)
 	}
@@ -481,10 +492,20 @@ func decodeScalar(b []byte) (Msg, int, error) {
 			return Msg{}, 0, fmt.Errorf("transport: query bound overflows")
 		}
 		m.L, m.R = int(l), int(r)
+	case MsgSums:
+		if off >= len(b) {
+			return Msg{}, 0, errShortMsg
+		}
+		if b[off] != queryWireVersion {
+			return Msg{}, 0, fmt.Errorf("transport: unsupported sums-request version %d", b[off])
+		}
+		off++
 	case MsgBatch:
 		return Msg{}, 0, errors.New("transport: nested batch")
 	case MsgAnswer:
 		return Msg{}, 0, errors.New("transport: answer frame outside ReadAnswer")
+	case MsgSumsFrame:
+		return Msg{}, 0, errors.New("transport: sums frame outside ReadSums")
 	default:
 		return Msg{}, 0, fmt.Errorf("transport: unknown message type %d", b[0])
 	}
@@ -579,8 +600,18 @@ func (d *Decoder) scalarBody(typ MsgType) (Msg, error) {
 			return Msg{}, fmt.Errorf("transport: query bound overflows")
 		}
 		m.Kind, m.L, m.R = QueryKind(kind), int(l), int(r)
+	case MsgSums:
+		ver, err := d.r.ReadByte()
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		if ver != queryWireVersion {
+			return Msg{}, fmt.Errorf("transport: unsupported sums-request version %d", ver)
+		}
 	case MsgAnswer:
 		return Msg{}, errors.New("transport: answer frame outside ReadAnswer")
+	case MsgSumsFrame:
+		return Msg{}, errors.New("transport: sums frame outside ReadSums")
 	default:
 		return Msg{}, fmt.Errorf("transport: unknown message type %d", typ)
 	}
@@ -739,33 +770,35 @@ func (c *Collector) Drain(fn func(Msg)) {
 // across cache lines; correctness does not depend on it, because the
 // accumulator's addition is exact and commutative.
 type ShardedCollector struct {
-	acc      *protocol.Sharded
-	maxOrder int
-	reports  atomic.Int64
-	hellos   atomic.Int64
-	batches  atomic.Int64
+	acc     *protocol.Sharded
+	reports atomic.Int64
+	hellos  atomic.Int64
+	batches atomic.Int64
 }
 
 // NewShardedCollector builds a collector over the given accumulator.
 func NewShardedCollector(acc *protocol.Sharded) *ShardedCollector {
-	return &ShardedCollector{acc: acc, maxOrder: dyadic.Log2(acc.D())}
+	return &ShardedCollector{acc: acc}
 }
 
 // Acc returns the underlying accumulator (for estimate queries).
 func (c *ShardedCollector) Acc() *protocol.Sharded { return c.acc }
 
-// validate checks one hello or report message against the accumulator's
-// parameters without side effects. The durable collector validates a
-// whole batch this way before journaling it, so nothing invalid ever
-// reaches the write-ahead log.
-func (c *ShardedCollector) validate(m Msg) error {
+// ValidateIngest range-checks one hello or report message against the
+// dyadic-accumulator parameters for horizon d. It is the single source
+// of ingest validation: the collectors run it before applying (or
+// journaling) anything, and the cluster gateway runs the identical
+// checks before forwarding, so a batch the gateway accepts cannot be
+// rejected downstream by a backend.
+func ValidateIngest(d int, m Msg) error {
+	maxOrder := dyadic.Log2(d)
 	switch m.Type {
 	case MsgHello:
 		if m.User < 0 {
 			return fmt.Errorf("transport: negative user id %d", m.User)
 		}
-		if m.Order < 0 || m.Order > c.maxOrder {
-			return fmt.Errorf("transport: hello order %d out of range [0..%d]", m.Order, c.maxOrder)
+		if m.Order < 0 || m.Order > maxOrder {
+			return fmt.Errorf("transport: hello order %d out of range [0..%d]", m.Order, maxOrder)
 		}
 	case MsgReport:
 		if m.User < 0 {
@@ -774,16 +807,24 @@ func (c *ShardedCollector) validate(m Msg) error {
 		if m.Bit != 1 && m.Bit != -1 {
 			return fmt.Errorf("transport: report bit %d not ±1", m.Bit)
 		}
-		if m.Order < 0 || m.Order > c.maxOrder {
-			return fmt.Errorf("transport: report order %d out of range [0..%d]", m.Order, c.maxOrder)
+		if m.Order < 0 || m.Order > maxOrder {
+			return fmt.Errorf("transport: report order %d out of range [0..%d]", m.Order, maxOrder)
 		}
-		if m.J < 1 || m.J > c.acc.D()>>uint(m.Order) {
+		if m.J < 1 || m.J > d>>uint(m.Order) {
 			return fmt.Errorf("transport: report index %d out of range for order %d", m.J, m.Order)
 		}
 	default:
 		return fmt.Errorf("transport: collector cannot ingest message type %d", m.Type)
 	}
 	return nil
+}
+
+// validate checks one hello or report message against the accumulator's
+// parameters without side effects. The durable collector validates a
+// whole batch this way before journaling it, so nothing invalid ever
+// reaches the write-ahead log.
+func (c *ShardedCollector) validate(m Msg) error {
+	return ValidateIngest(c.acc.D(), m)
 }
 
 // apply accumulates one validated message; callers must have run
@@ -797,6 +838,10 @@ func (c *ShardedCollector) apply(shard int, m Msg, hellos, reports *int64) {
 		*reports++
 	}
 }
+
+// Validate checks one hello or report message against the accumulator's
+// parameters without side effects — the validate-only half of Send.
+func (c *ShardedCollector) Validate(m Msg) error { return c.validate(m) }
 
 // Send validates one hello or report message and applies it to the
 // accumulator via the given shard. It is safe for concurrent use.

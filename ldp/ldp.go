@@ -371,8 +371,11 @@ func (s *Server) EstimateAt(t int) (float64, error) {
 }
 
 // Estimates returns the full series â[1..d]; shorthand for
-// Answer(SeriesQuery()).
-func (s *Server) Estimates() []float64 { return s.eng.EstimateSeries() }
+// Answer(SeriesQuery()). The caller owns the returned slice.
+func (s *Server) Estimates() []float64 {
+	a, _ := s.Answer(SeriesQuery()) // a series query has no bounds to fail
+	return a.Series
+}
 
 // EstimateChange returns an unbiased estimate of a[r] − a[l−1], the net
 // change over [l..r]; shorthand for Answer(ChangeQuery(l, r)). Dyadic

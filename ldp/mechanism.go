@@ -31,6 +31,12 @@ type Capabilities struct {
 	// Restorer, so its state survives restarts via the persistence
 	// subsystem (snapshot + write-ahead log).
 	Durable bool
+	// Clustered: the mechanism's server state is additive integer
+	// counters (the dyadic accumulator), so partial states from N
+	// partitioned rtf-serve backends merge — as raw sums, not scaled
+	// floats — into answers bit-for-bit identical to one serial server.
+	// rtf-gateway hosts only clustered mechanisms. Implies Sharded.
+	Clustered bool
 }
 
 // Params carries the protocol parameters shared by a mechanism's
@@ -136,6 +142,9 @@ func Register(m Mechanism) error {
 	}
 	if m.Caps.Sharded && m.EstimatorScale == nil {
 		return fmt.Errorf("ldp: sharded mechanism %q missing estimator scale", m.Protocol)
+	}
+	if m.Caps.Clustered && !m.Caps.Sharded {
+		return fmt.Errorf("ldp: clustered mechanism %q must be sharded (the gateway scatters over rtf-serve backends)", m.Protocol)
 	}
 	if m.Caps.Durable && !m.Caps.Streaming {
 		return fmt.Errorf("ldp: durable mechanism %q must be streaming (durability snapshots server engines)", m.Protocol)

@@ -89,12 +89,18 @@ func (s *Server) Answer(q Query) (Answer, error) {
 		}
 		return Answer{Query: q, Value: s.eng.EstimateChange(q.L, q.R)}, nil
 	case Series:
-		return Answer{Query: q, Series: s.eng.EstimateSeries()}, nil
+		// Fresh copy for the same reason as Window below: the engine may
+		// reuse an internal buffer across queries.
+		return Answer{Query: q, Series: append([]float64(nil), s.eng.EstimateSeries()...)}, nil
 	case Window:
 		if q.L < 1 || q.R > s.d || q.L > q.R {
 			return Answer{}, fmt.Errorf("ldp: range [%d..%d] invalid for d=%d", q.L, q.R, s.d)
 		}
-		return Answer{Query: q, Series: s.eng.EstimateSeriesTo(q.R)[q.L-1:]}, nil
+		// Clip to exactly R−L+1 fresh elements: slicing the engine's
+		// series would alias (and pin) its full [1..R] backing array,
+		// and an engine reusing an internal buffer would then corrupt
+		// this answer on the next query.
+		return Answer{Query: q, Series: append(make([]float64, 0, q.R-q.L+1), s.eng.EstimateSeriesTo(q.R)[q.L-1:]...)}, nil
 	default:
 		return Answer{}, fmt.Errorf("ldp: unknown query kind %d", int(q.Kind))
 	}
