@@ -15,6 +15,7 @@ import (
 	"rtf/internal/core"
 	"rtf/internal/dyadic"
 	"rtf/internal/eval"
+	"rtf/internal/hh"
 	"rtf/internal/persist"
 	"rtf/internal/probmath"
 	"rtf/internal/protocol"
@@ -672,5 +673,116 @@ func BenchmarkBinomialHalf(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.BinomialHalf(100000)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Domain-valued tracking benchmarks: the item-tagged ingest path and the
+// top-k heavy-hitter query, both registered with the CI regression gate.
+
+const domainBenchM = 16
+
+// encodeDomainStreams pre-encodes item-tagged batch streams spanning
+// ingestBenchReports domain reports split over the given stream count.
+func encodeDomainStreams(b *testing.B, streams int) [][]byte {
+	b.Helper()
+	out := make([][]byte, streams)
+	per := ingestBenchReports / streams
+	for s := 0; s < streams; s++ {
+		g := rng.New(uint64(s)+31, 8)
+		var buf bytes.Buffer
+		enc := transport.NewEncoder(&buf)
+		batch := make([]transport.Msg, 0, ingestBenchBatch)
+		for i := 0; i < per; i++ {
+			item := g.IntN(domainBenchM)
+			h := g.IntN(dyadic.NumOrders(ingestBenchD))
+			bit := int8(1)
+			if g.Bernoulli(0.5) {
+				bit = -1
+			}
+			batch = append(batch, transport.FromDomainReport(item, protocol.Report{
+				User: s*per + i, Order: h, J: 1 + g.IntN(ingestBenchD>>uint(h)), Bit: bit,
+			}))
+			if len(batch) == ingestBenchBatch {
+				if err := enc.EncodeBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				batch = batch[:0]
+			}
+		}
+		if len(batch) > 0 {
+			if err := enc.EncodeBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := enc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		out[s] = buf.Bytes()
+	}
+	return out
+}
+
+// BenchmarkDomainIngest is the rtf-serve -m data path: per-stream
+// goroutines decode item-tagged batch frames and fan them into the
+// per-item sharded accumulators through the DomainCollector.
+func BenchmarkDomainIngest(b *testing.B) {
+	const shards = 4
+	streams := encodeDomainStreams(b, shards)
+	var total int64
+	for _, s := range streams {
+		total += int64(len(s))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := transport.NewDomainCollector(hh.NewDomainServer(ingestBenchD, domainBenchM, 100, shards))
+		var wg sync.WaitGroup
+		for s := range streams {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				dec := transport.NewDecoder(bytes.NewReader(streams[s]))
+				for {
+					ms, err := dec.NextBatch()
+					if err != nil {
+						return
+					}
+					if err := col.SendBatch(s, ms); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(ingestBenchReports)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+}
+
+// BenchmarkAnswerTopK measures the top-k heavy-hitter query on a
+// populated domain server: m per-item point estimates (each a dyadic
+// decomposition over the live counters) plus the sort.
+func BenchmarkAnswerTopK(b *testing.B) {
+	ds := hh.NewDomainServer(ingestBenchD, domainBenchM, 100, 2)
+	col := transport.NewDomainCollector(ds)
+	for _, stream := range encodeDomainStreams(b, 2) {
+		dec := transport.NewDecoder(bytes.NewReader(stream))
+		for {
+			ms, err := dec.NextBatch()
+			if err != nil {
+				break
+			}
+			if err := col.SendBatch(0, ms); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	q := transport.DomainQuery(transport.QueryTopK, 0, ingestBenchD/2, 0, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transport.AnswerDomainQuery(ds, q); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -14,7 +14,13 @@
 // them, so a backend restarting from its snapshot+WAL rejoins
 // transparently.
 //
-// The protocol parameters (-mechanism, -d, -k, -eps) must match the
+// With -m the gateway fronts domain-mode backends (rtf-serve -m): it
+// partitions item-tagged ingest the same way and answers the item-
+// scoped query shapes — point-item, series-item, top-k — by fetching
+// every backend's per-item raw sums, with the same bit-for-bit
+// exactness argument.
+//
+// The protocol parameters (-mechanism, -d, -k, -m, -eps) must match the
 // backends' and the clients'; the mechanism must have the clustered
 // capability (its server state merges exactly across machines).
 //
@@ -49,6 +55,7 @@ func main() {
 		mech     = flag.String("mechanism", "futurerand", "mechanism the backends host (must have the clustered capability); must match backends and clients")
 		d        = flag.Int("d", 1024, "time periods (power of two); must match backends and clients")
 		k        = flag.Int("k", 8, "max changes per user; must match backends and clients")
+		m        = flag.Int("m", 0, "domain size for domain-valued tracking (0 = Boolean protocol); must match backends and clients")
 		eps      = flag.Float64("eps", 1.0, "privacy budget (0 < eps <= 1); must match backends and clients")
 		attempts = flag.Int("dial-attempts", 10, "re-dial attempts per backend operation (exponential backoff between attempts)")
 		pool     = flag.Int("pool", 4, "idle connections pooled per backend")
@@ -59,14 +66,22 @@ func main() {
 	if !dyadic.IsPow2(*d) {
 		fatal(fmt.Errorf("d=%d is not a power of two", *d))
 	}
-	m, ok := ldp.Lookup(ldp.Protocol(*mech))
+	mc, ok := ldp.Lookup(ldp.Protocol(*mech))
 	if !ok {
 		fatal(fmt.Errorf("unknown mechanism %q; clustered mechanisms: %s", *mech, clustered()))
 	}
-	if !m.Caps.Clustered {
+	if !mc.Caps.Clustered {
 		fatal(fmt.Errorf("mechanism %q cannot be clustered (its server state does not merge across machines); clustered mechanisms: %s", *mech, clustered()))
 	}
-	scale, err := m.EstimatorScale(ldp.Params{D: *d, K: *k, Eps: *eps})
+	if *m > 0 {
+		if *m < 2 || *m > transport.MaxDomainM {
+			fatal(fmt.Errorf("m=%d outside [2..%d]", *m, transport.MaxDomainM))
+		}
+		if !mc.Caps.Domain {
+			fatal(fmt.Errorf("mechanism %q cannot host domain tracking", *mech))
+		}
+	}
+	scale, err := mc.EstimatorScale(ldp.Params{D: *d, K: *k, Eps: *eps})
 	if err != nil {
 		fatal(err)
 	}
@@ -83,7 +98,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	gw := cluster.New(*d, scale, client)
+	var gw *cluster.Gateway
+	if *m > 0 {
+		gw = cluster.NewDomain(*d, *m, scale, client)
+	} else {
+		gw = cluster.New(*d, scale, client)
+	}
 	gw.ErrorLog = func(err error) { fmt.Fprintln(os.Stderr, "rtf-gateway:", err) }
 
 	sig := make(chan os.Signal, 2)
@@ -104,8 +124,8 @@ func main() {
 	go func() { errc <- gw.ListenAndServe(*addr, ready) }()
 	select {
 	case a := <-ready:
-		fmt.Fprintf(os.Stderr, "rtf-gateway: listening on %s (mechanism=%s d=%d k=%d eps=%v backends=%d: %s)\n",
-			a, *mech, *d, *k, *eps, len(addrs), strings.Join(addrs, ","))
+		fmt.Fprintf(os.Stderr, "rtf-gateway: listening on %s (mechanism=%s d=%d k=%d m=%d eps=%v backends=%d: %s)\n",
+			a, *mech, *d, *k, *m, *eps, len(addrs), strings.Join(addrs, ","))
 	case err := <-errc:
 		fatal(err)
 	}

@@ -8,6 +8,14 @@
 // versioned v2 frames (MsgQueryV2 → MsgAnswer: point, change, series,
 // window) are served.
 //
+// With -m the service hosts the richer-domain extension instead: it
+// accepts item-tagged frames (MsgDomainHello, MsgDomainReport) from
+// domain clients, runs one dyadic accumulator per item with estimates
+// scaled by m, and answers the item-scoped query shapes — point-item,
+// series-item and top-k heavy hitters (MsgDomainQuery → MsgDomainAnswer)
+// — plus per-item raw-sums requests from a cluster gateway
+// (MsgDomainSums). A server hosts exactly one of the two modes.
+//
 // With -data-dir the service is durable: every ingested frame is
 // appended to a write-ahead log before it is applied, periodic
 // snapshots (-snapshot-every) supersede and compact the log, and on
@@ -18,7 +26,7 @@
 // snapshot is flushed, and the process exits 0. A second signal forces
 // immediate exit.
 //
-// The protocol parameters (-mechanism, -d, -k, -eps) must match the
+// The protocol parameters (-mechanism, -d, -k, -m, -eps) must match the
 // clients'; they determine the estimator scale of Algorithm 2 and are
 // recorded in every snapshot, so a data directory written under
 // different parameters is rejected at boot rather than misread.
@@ -28,6 +36,7 @@
 //	rtf-serve -addr :7609 -d 1024 -k 8 -eps 1.0
 //	rtf-serve -addr :7609 -mechanism erlingsson -d 256 -k 4 -eps 0.5 -shards 16 -stats 5s
 //	rtf-serve -addr :7609 -d 1024 -k 8 -data-dir /var/lib/rtf -snapshot-every 30s -fsync
+//	rtf-serve -addr :7609 -d 256 -k 4 -m 64  # domain-valued tracking over 64 items
 package main
 
 import (
@@ -41,6 +50,7 @@ import (
 	"time"
 
 	"rtf/internal/dyadic"
+	"rtf/internal/hh"
 	"rtf/internal/persist"
 	"rtf/internal/protocol"
 	"rtf/internal/transport"
@@ -53,6 +63,7 @@ func main() {
 		mech    = flag.String("mechanism", "futurerand", "mechanism to host (must have the sharded capability); must match clients")
 		d       = flag.Int("d", 1024, "time periods (power of two); must match clients")
 		k       = flag.Int("k", 8, "max changes per user; must match clients")
+		m       = flag.Int("m", 0, "domain size for domain-valued tracking (0 = Boolean protocol); must match clients")
 		eps     = flag.Float64("eps", 1.0, "privacy budget (0 < eps <= 1); must match clients")
 		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "accumulator shards (>= 1)")
 		stats   = flag.Duration("stats", 0, "print throughput every interval (0 = off)")
@@ -67,40 +78,70 @@ func main() {
 	if !dyadic.IsPow2(*d) {
 		fatal(fmt.Errorf("d=%d is not a power of two", *d))
 	}
-	m, ok := ldp.Lookup(ldp.Protocol(*mech))
+	mc, ok := ldp.Lookup(ldp.Protocol(*mech))
 	if !ok {
-		fatal(fmt.Errorf("unknown mechanism %q; registered: %s", *mech, hostable()))
+		fatal(fmt.Errorf("unknown mechanism %q; registered: %s", *mech, hostable(false)))
 	}
-	if !m.Caps.Sharded {
-		fatal(fmt.Errorf("mechanism %q cannot be hosted on the sharded accumulator; hostable: %s", *mech, hostable()))
+	domainMode := *m > 0
+	if domainMode {
+		if *m < 2 || *m > transport.MaxDomainM {
+			fatal(fmt.Errorf("m=%d outside [2..%d]", *m, transport.MaxDomainM))
+		}
+		if !mc.Caps.Domain {
+			fatal(fmt.Errorf("mechanism %q cannot host domain tracking; domain-capable: %s", *mech, hostable(true)))
+		}
+	} else if !mc.Caps.Sharded {
+		fatal(fmt.Errorf("mechanism %q cannot be hosted on the sharded accumulator; hostable: %s", *mech, hostable(false)))
 	}
-	scale, err := m.EstimatorScale(ldp.Params{D: *d, K: *k, Eps: *eps})
+	scale, err := mc.EstimatorScale(ldp.Params{D: *d, K: *k, Eps: *eps})
 	if err != nil {
 		fatal(err)
 	}
 	if *shards < 1 {
 		fatal(fmt.Errorf("shards=%d must be >= 1", *shards))
 	}
-	acc := protocol.NewSharded(*d, scale, *shards)
 
-	var collector transport.BatchCollector
-	var durable *transport.DurableCollector
-	if *dataDir != "" {
-		meta := persist.Meta{Mechanism: *mech, D: *d, K: *k, Eps: *eps, Scale: scale}
-		dc, rec, err := transport.OpenDurable(acc, *dataDir, meta, transport.DurableOptions{Fsync: *fsync, TolerateTornTail: *tornOK})
-		if err != nil {
-			fatal(err)
-		}
-		durable = dc
-		collector = dc
-		if rec.SnapshotCursor > 0 || rec.Replayed > 0 {
-			fmt.Fprintf(os.Stderr, "rtf-serve: recovered from %s: snapshot cursor %d + %d WAL records (%d users, %d reports replayed; %d users total)\n",
-				*dataDir, rec.SnapshotCursor, rec.Replayed, rec.Hellos, rec.Reports, acc.Users())
+	// The mode-specific wiring: an ingest server over the right
+	// collector, plus the stats and snapshot hooks shared below.
+	var (
+		srv        *transport.IngestServer
+		statsFn    func() (hellos, reports, batches int64)
+		snapshotFn func() (uint64, error) // nil when in-memory
+		closeFn    func() error
+	)
+	if domainMode {
+		ds := hh.NewDomainServer(*d, *m, scale, *shards)
+		if *dataDir != "" {
+			meta := persist.Meta{Mechanism: *mech, D: *d, K: *k, M: *m, Eps: *eps, Scale: scale}
+			dc, rec, err := transport.OpenDurableDomain(ds, *dataDir, meta, transport.DurableOptions{Fsync: *fsync, TolerateTornTail: *tornOK})
+			if err != nil {
+				fatal(err)
+			}
+			srv = transport.NewDomainIngestServer(dc)
+			statsFn, snapshotFn, closeFn = dc.Stats, dc.Snapshot, dc.Close
+			logRecovery(*dataDir, rec, ds.Users())
+		} else {
+			dc := transport.NewDomainCollector(ds)
+			srv = transport.NewDomainIngestServer(dc)
+			statsFn = dc.Stats
 		}
 	} else {
-		collector = transport.NewShardedCollector(acc)
+		acc := protocol.NewSharded(*d, scale, *shards)
+		if *dataDir != "" {
+			meta := persist.Meta{Mechanism: *mech, D: *d, K: *k, Eps: *eps, Scale: scale}
+			dc, rec, err := transport.OpenDurable(acc, *dataDir, meta, transport.DurableOptions{Fsync: *fsync, TolerateTornTail: *tornOK})
+			if err != nil {
+				fatal(err)
+			}
+			srv = transport.NewIngestServer(dc)
+			statsFn, snapshotFn, closeFn = dc.Stats, dc.Snapshot, dc.Close
+			logRecovery(*dataDir, rec, acc.Users())
+		} else {
+			col := transport.NewShardedCollector(acc)
+			srv = transport.NewIngestServer(col)
+			statsFn = col.Stats
+		}
 	}
-	srv := transport.NewIngestServer(collector)
 	srv.ErrorLog = func(err error) { fmt.Fprintln(os.Stderr, "rtf-serve:", err) }
 
 	stop := make(chan struct{})
@@ -118,14 +159,14 @@ func main() {
 		srv.Shutdown(*grace)
 	}()
 
-	if durable != nil && *snapEvy > 0 {
+	if snapshotFn != nil && *snapEvy > 0 {
 		go func() {
 			tick := time.NewTicker(*snapEvy)
 			defer tick.Stop()
 			for {
 				select {
 				case <-tick.C:
-					if _, err := durable.Snapshot(); err != nil {
+					if _, err := snapshotFn(); err != nil {
 						fmt.Fprintln(os.Stderr, "rtf-serve: snapshot:", err)
 					}
 				case <-stop:
@@ -142,7 +183,7 @@ func main() {
 			var lastReports int64
 			last := time.Now()
 			for range tick.C {
-				hellos, reports, batches := srv.Collector.Stats()
+				hellos, reports, batches := statsFn()
 				now := time.Now()
 				rate := float64(reports-lastReports) / now.Sub(last).Seconds()
 				fmt.Fprintf(os.Stderr, "rtf-serve: users=%d reports=%d batches=%d rate=%.0f reports/s\n",
@@ -157,8 +198,8 @@ func main() {
 	go func() { errc <- srv.ListenAndServe(*addr, ready) }()
 	select {
 	case a := <-ready:
-		fmt.Fprintf(os.Stderr, "rtf-serve: listening on %s (mechanism=%s d=%d k=%d eps=%v shards=%d durable=%v)\n",
-			a, *mech, *d, *k, *eps, *shards, durable != nil)
+		fmt.Fprintf(os.Stderr, "rtf-serve: listening on %s (mechanism=%s d=%d k=%d m=%d eps=%v shards=%d durable=%v)\n",
+			a, *mech, *d, *k, *m, *eps, *shards, snapshotFn != nil)
 	case err := <-errc:
 		fatal(err)
 	}
@@ -169,25 +210,37 @@ func main() {
 	// The serve loop has returned and every connection goroutine has
 	// exited: the accumulator is quiescent. Flush the final snapshot so
 	// a clean shutdown restarts without any WAL replay.
-	if durable != nil {
-		if cursor, err := durable.Snapshot(); err != nil {
+	if snapshotFn != nil {
+		if cursor, err := snapshotFn(); err != nil {
 			fatal(err)
 		} else {
 			fmt.Fprintf(os.Stderr, "rtf-serve: final snapshot at cursor %d\n", cursor)
 		}
-		if err := durable.Close(); err != nil {
+		if err := closeFn(); err != nil {
 			fatal(err)
 		}
 	}
-	hellos, reports, batches := srv.Collector.Stats()
+	hellos, reports, batches := statsFn()
 	fmt.Fprintf(os.Stderr, "rtf-serve: done: users=%d reports=%d batches=%d\n", hellos, reports, batches)
 }
 
-// hostable lists the registered mechanisms rtf-serve can host.
-func hostable() string {
+// logRecovery reports what boot recovery reconstructed.
+func logRecovery(dataDir string, rec transport.RecoveryStats, users int) {
+	if rec.SnapshotCursor > 0 || rec.Replayed > 0 {
+		fmt.Fprintf(os.Stderr, "rtf-serve: recovered from %s: snapshot cursor %d + %d WAL records (%d users, %d reports replayed; %d users total)\n",
+			dataDir, rec.SnapshotCursor, rec.Replayed, rec.Hellos, rec.Reports, users)
+	}
+}
+
+// hostable lists the registered mechanisms rtf-serve can host in the
+// requested mode.
+func hostable(domain bool) string {
 	out := ""
 	for _, m := range ldp.Mechanisms() {
-		if !m.Caps.Sharded {
+		if domain && !m.Caps.Domain {
+			continue
+		}
+		if !domain && !m.Caps.Sharded {
 			continue
 		}
 		if out != "" {

@@ -1,0 +1,468 @@
+package main
+
+// The -domain acceptance mode: the full domain-valued deployment driven
+// end to end. Three rtf-serve backends in domain mode (backend 0
+// durable) behind an rtf-gateway ingest a Zipf domain workload over
+// TCP; the durable backend is kill -9ed mid-ingest and restarted from
+// its snapshot + write-ahead log; and at every stage the item-scoped
+// query shapes — PointItem, SeriesItem, TopK — through the gateway are
+// checked bit-for-bit against one uninterrupted in-process
+// ldp.DomainServer fed the same reports.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"rtf/internal/protocol"
+	"rtf/internal/transport"
+	"rtf/ldp"
+)
+
+// domainDriver is the driver state of the -domain mode: the workload,
+// the per-user domain client factory (deterministic per-user seeds, so
+// the report set is independent of connection and phase layout), and
+// the in-process reference server every answer is checked against.
+type domainDriver struct {
+	w       *ldp.DomainWorkload
+	mech    ldp.Protocol
+	factory *ldp.DomainClientFactory
+	ref     *ldp.DomainServer
+	eps     float64
+	conns   int
+	batch   int
+	seed    int64
+
+	mu      sync.Mutex // guards ref and the counters
+	reports int64
+	bytes   int64
+}
+
+func newDomainDriver(w *ldp.DomainWorkload, mech ldp.Protocol, eps float64, conns, batch int, seed int64) (*domainDriver, error) {
+	if conns < 1 {
+		return nil, fmt.Errorf("conns=%d must be >= 1", conns)
+	}
+	k := maxInt(w.K, 1)
+	opts := []ldp.Option{ldp.WithMechanism(mech), ldp.WithSparsity(k), ldp.WithEpsilon(eps)}
+	factory, err := ldp.NewDomainClientFactory(w.D, w.M, opts...)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := ldp.NewDomainServer(w.D, w.M, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &domainDriver{w: w, mech: mech, factory: factory, ref: ref, eps: eps, conns: conns, batch: batch, seed: seed}, nil
+}
+
+// domainFence round-trips a trivial point-item query, proving the
+// server applied everything sent earlier on this connection.
+func domainFence(enc *transport.Encoder, dec *transport.Decoder) error {
+	if err := enc.Encode(transport.DomainQuery(transport.QueryPointItem, 0, 1, 0, 0)); err != nil {
+		return err
+	}
+	if err := enc.Flush(); err != nil {
+		return err
+	}
+	_, err := dec.ReadDomainAnswer()
+	return err
+}
+
+// sendUsers generates and ships the item-tagged reports of users
+// [lo, hi) to the server at addr over the driver's parallel
+// connections, folding the same reports into the in-process reference.
+// Each connection ends with a fence query, so when sendUsers returns
+// the server has applied — and a durable server has journaled —
+// everything sent.
+func (st *domainDriver) sendUsers(addr string, lo, hi int) error {
+	var (
+		wg     sync.WaitGroup
+		firstE error
+	)
+	fail := func(err error) {
+		st.mu.Lock()
+		if firstE == nil {
+			firstE = err
+		}
+		st.mu.Unlock()
+	}
+	span := hi - lo
+	per := (span + st.conns - 1) / st.conns
+	for c := 0; c < st.conns; c++ {
+		clo, chi := lo+c*per, minInt(lo+(c+1)*per, hi)
+		if clo >= chi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer conn.Close()
+			enc := transport.NewEncoder(conn)
+			dec := transport.NewDecoder(conn)
+			buf := make([]transport.Msg, 0, st.batch)
+			flush := func() error {
+				if len(buf) == 0 {
+					return nil
+				}
+				if err := enc.EncodeBatch(buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+				return nil
+			}
+			push := func(m transport.Msg) error {
+				buf = append(buf, m)
+				if len(buf) >= st.batch {
+					return flush()
+				}
+				return nil
+			}
+			var sent int64
+			local := make([]ldp.DomainReport, 0, st.w.D)
+			for u := lo; u < hi; u++ {
+				cl, err := st.factory.NewClient(u, st.seed+int64(u))
+				if err != nil {
+					fail(err)
+					return
+				}
+				if err := push(transport.DomainHello(u, cl.Item(), cl.Order())); err != nil {
+					fail(err)
+					return
+				}
+				local = local[:0]
+				vals := st.w.Users[u].Values(st.w.D)
+				for t := 1; t <= st.w.D; t++ {
+					r, ok, err := cl.Observe(vals[t-1])
+					if err != nil {
+						fail(err)
+						return
+					}
+					if !ok {
+						continue
+					}
+					local = append(local, r)
+					if err := push(transport.FromDomainReport(r.Item, protocol.Report{
+						User: r.User, Order: r.Order, J: r.J, Bit: r.Bit,
+					})); err != nil {
+						fail(err)
+						return
+					}
+					sent++
+				}
+				st.mu.Lock()
+				err = st.ref.Register(cl.Item(), cl.Order())
+				for _, r := range local {
+					if err != nil {
+						break
+					}
+					err = st.ref.Ingest(r)
+				}
+				st.mu.Unlock()
+				if err != nil {
+					fail(err)
+					return
+				}
+			}
+			if err := flush(); err != nil {
+				fail(err)
+				return
+			}
+			if err := enc.Flush(); err != nil {
+				fail(err)
+				return
+			}
+			if err := domainFence(enc, dec); err != nil {
+				fail(fmt.Errorf("fence query: %w", err))
+				return
+			}
+			st.mu.Lock()
+			st.reports += sent
+			st.bytes += enc.BytesWritten()
+			st.mu.Unlock()
+		}(clo, chi)
+	}
+	wg.Wait()
+	return firstE
+}
+
+// verify queries the server at addr through every item-scoped shape —
+// point-item estimates per item at several times, full series per
+// item, and top-k at several (t, k) — and checks each answer
+// bit-for-bit (values and items) against the in-process reference. It
+// returns the number of values checked.
+func (st *domainDriver) verify(addr string) (int, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	enc := transport.NewEncoder(conn)
+	dec := transport.NewDecoder(conn)
+	w := st.w
+	checked := 0
+
+	ask := func(q transport.Msg) (transport.DomainAnswerFrame, error) {
+		if err := enc.Encode(q); err != nil {
+			return transport.DomainAnswerFrame{}, err
+		}
+		if err := enc.Flush(); err != nil {
+			return transport.DomainAnswerFrame{}, err
+		}
+		return dec.ReadDomainAnswer()
+	}
+	for x := 0; x < w.M; x++ {
+		for _, t := range []int{1, w.D / 2, w.D} {
+			a, err := ask(transport.DomainQuery(transport.QueryPointItem, x, t, 0, 0))
+			if err != nil {
+				return 0, fmt.Errorf("point-item(%d, %d): %w", x, t, err)
+			}
+			want, err := st.ref.Answer(ldp.PointItemQuery(x, t))
+			if err != nil {
+				return 0, err
+			}
+			if len(a.Values) != 1 || a.Values[0] != want.Value {
+				return 0, fmt.Errorf("point-item(%d, %d): server %v, in-process %v", x, t, a.Values, want.Value)
+			}
+			checked++
+		}
+		a, err := ask(transport.DomainQuery(transport.QuerySeriesItem, x, 0, 0, 0))
+		if err != nil {
+			return 0, fmt.Errorf("series-item(%d): %w", x, err)
+		}
+		want, err := st.ref.Answer(ldp.SeriesItemQuery(x))
+		if err != nil {
+			return 0, err
+		}
+		if len(a.Values) != len(want.Series) {
+			return 0, fmt.Errorf("series-item(%d): %d values, want %d", x, len(a.Values), len(want.Series))
+		}
+		for i := range want.Series {
+			if a.Values[i] != want.Series[i] {
+				return 0, fmt.Errorf("series-item(%d) t=%d: server %v, in-process %v", x, i+1, a.Values[i], want.Series[i])
+			}
+			checked++
+		}
+	}
+	for _, tk := range [][2]int{{w.D, w.M}, {w.D, 3}, {w.D / 2, 1}, {1, w.M}} {
+		t, k := tk[0], tk[1]
+		a, err := ask(transport.DomainQuery(transport.QueryTopK, 0, t, 0, k))
+		if err != nil {
+			return 0, fmt.Errorf("top-k(%d, %d): %w", t, k, err)
+		}
+		want, err := st.ref.Answer(ldp.TopKQuery(t, k))
+		if err != nil {
+			return 0, err
+		}
+		if len(a.Items) != len(want.Items) || len(a.Values) != len(want.Series) {
+			return 0, fmt.Errorf("top-k(%d, %d): shape %d/%d, want %d", t, k, len(a.Items), len(a.Values), len(want.Items))
+		}
+		for i := range want.Items {
+			if a.Items[i] != want.Items[i] || a.Values[i] != want.Series[i] {
+				return 0, fmt.Errorf("top-k(%d, %d) rank %d: server (%d, %v), in-process (%d, %v)",
+					t, k, i, a.Items[i], a.Values[i], want.Items[i], want.Series[i])
+			}
+			checked += 2
+		}
+	}
+	return checked, nil
+}
+
+// runDomain is the domain acceptance test: spawn three domain-mode
+// rtf-serve backends (backend 0 durable) and a domain rtf-gateway,
+// ingest half the Zipf workload through the gateway, kill -9 the
+// durable backend mid-ingest, restart it on the same port and data
+// directory, and verify — after recovery and again after the remaining
+// users — that every item-scoped answer through the gateway is
+// bit-for-bit the uninterrupted in-process DomainServer's. Everything
+// is finally SIGTERMed and must drain and exit 0.
+func runDomain(st *domainDriver, serveBin, gatewayBin, mech string, d, k, m int, eps float64) error {
+	const nBackends = 3
+	sBin, err := findBin(serveBin, "rtf-serve")
+	if err != nil {
+		return fmt.Errorf("finding rtf-serve (-serve-bin): %w", err)
+	}
+	gBin, err := findBin(gatewayBin, "rtf-gateway")
+	if err != nil {
+		return fmt.Errorf("finding rtf-gateway (-gateway-bin): %w", err)
+	}
+	tmp, err := os.MkdirTemp("", "rtf-domain-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	dataDir := filepath.Join(tmp, "backend0")
+
+	common := []string{
+		"-mechanism", mech,
+		"-d", fmt.Sprint(d),
+		"-k", fmt.Sprint(k),
+		"-m", fmt.Sprint(m),
+		"-eps", fmt.Sprint(eps),
+	}
+	durableArgs := func(addr string) []string {
+		return append([]string{
+			"-addr", addr,
+			"-data-dir", dataDir,
+			"-fsync",
+			"-snapshot-every", "300ms", // exercise snapshot+WAL interplay mid-run
+			"-grace", "10s",
+		}, common...)
+	}
+
+	start := time.Now()
+	backends := make([]*serveProc, nBackends)
+	addrs := make([]string, nBackends)
+	defer func() {
+		for _, p := range backends {
+			if p != nil {
+				p.kill()
+			}
+		}
+	}()
+	for i := 0; i < nBackends; i++ {
+		args := append([]string{"-addr", "127.0.0.1:0"}, common...)
+		if i == 0 {
+			args = durableArgs("127.0.0.1:0")
+		}
+		p, a, err := startProc(sBin, fmt.Sprintf("backend%d", i), args)
+		if err != nil {
+			return fmt.Errorf("starting backend %d: %w", i, err)
+		}
+		backends[i], addrs[i] = p, a
+	}
+
+	gwArgs := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-backends", strings.Join(addrs, ","),
+		"-grace", "10s",
+	}, common...)
+	gw, gwAddr, err := startProc(gBin, "rtf-gateway", gwArgs)
+	if err != nil {
+		return fmt.Errorf("starting rtf-gateway: %w", err)
+	}
+	defer func() {
+		if gw != nil {
+			gw.kill()
+		}
+	}()
+
+	// Phase 1 lands in two chunks with a pause long enough for a
+	// periodic snapshot on backend 0, so the kill tests real mixed
+	// recovery (snapshot + WAL suffix), not a full-log replay.
+	half := st.w.N / 2
+	fmt.Printf("domain     phase 1: %d users -> gateway %s over %d backends (backend 0 durable at %s)\n",
+		half, gwAddr, nBackends, dataDir)
+	if err := st.sendUsers(gwAddr, 0, half/2); err != nil {
+		return err
+	}
+	time.Sleep(700 * time.Millisecond) // > -snapshot-every: let a snapshot cover the prefix
+	if err := st.sendUsers(gwAddr, half/2, half); err != nil {
+		return err
+	}
+	if _, err := st.verify(gwAddr); err != nil {
+		return fmt.Errorf("pre-crash verification: %w", err)
+	}
+
+	// The kill must land mid-ingest on the durable backend. A doomed
+	// connection streams phantom-user domain-hello batches through the
+	// gateway, with user ids ≡ 0 mod nBackends so every one routes to
+	// backend 0. Hellos hit backend 0's WAL and per-item user counters
+	// but never the interval sums, so whatever prefix survives the
+	// crash, every estimate — and so every top-k ordering — the
+	// verifications below check stays exactly the in-process engine's.
+	doomedConn, err := net.Dial("tcp", gwAddr)
+	if err != nil {
+		return err
+	}
+	doomed := make(chan struct{})
+	go func() {
+		defer close(doomed)
+		enc := transport.NewEncoder(doomedConn)
+		batch := make([]transport.Msg, 64)
+		for u := 0; ; u++ {
+			for i := range batch {
+				batch[i] = transport.DomainHello(6_000_000+(u*len(batch)+i)*nBackends, 0, 0)
+			}
+			if err := enc.EncodeBatch(batch); err != nil {
+				return
+			}
+			if err := enc.Flush(); err != nil {
+				return // the connection was closed under us: done
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the doomed stream get going
+	fmt.Printf("domain     kill -9 backend 0 (pid %d) mid-ingest\n", backends[0].cmd.Process.Pid)
+	if err := backends[0].cmd.Process.Kill(); err != nil {
+		return err
+	}
+	backends[0].wait() // "signal: killed" is the expected outcome
+	backends[0] = nil
+	doomedConn.Close()
+	<-doomed
+
+	// Restart backend 0 on the same port (the gateway's backend list is
+	// fixed) and data directory: boot recovery = snapshot + WAL suffix.
+	restarted, raddr, err := startProc(sBin, "backend0", durableArgs(addrs[0]))
+	if err != nil {
+		return fmt.Errorf("restarting backend 0 after kill: %w", err)
+	}
+	backends[0] = restarted
+	if raddr != addrs[0] {
+		return fmt.Errorf("backend 0 restarted at %s, want %s", raddr, addrs[0])
+	}
+	if checked, err := st.verify(gwAddr); err != nil {
+		return fmt.Errorf("post-recovery verification through the gateway: %w", err)
+	} else {
+		fmt.Printf("domain     backend 0 recovered: %d values bit-for-bit through the gateway\n", checked)
+	}
+
+	fmt.Printf("domain     phase 2: %d users -> gateway %s\n", st.w.N-half, gwAddr)
+	if err := st.sendUsers(gwAddr, half, st.w.N); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	checked, err := st.verify(gwAddr)
+	if err != nil {
+		return fmt.Errorf("final verification: %w", err)
+	}
+
+	// Graceful shutdown, front to back: the gateway and every backend
+	// must drain and exit 0 on SIGTERM (backend 0 flushing a final
+	// snapshot).
+	if err := gw.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := gw.wait(); err != nil {
+		return fmt.Errorf("rtf-gateway did not exit 0 on SIGTERM: %w", err)
+	}
+	gw = nil
+	for i, p := range backends {
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			return err
+		}
+		if err := p.wait(); err != nil {
+			return fmt.Errorf("backend %d did not exit 0 on SIGTERM: %w", i, err)
+		}
+		backends[i] = nil
+	}
+
+	fmt.Printf("domain mechanism=%s n=%d d=%d k=%d m=%d eps=%v conns=%d batch=%d seed=%d backends=%d\n",
+		st.mech, st.w.N, st.w.D, st.w.K, st.w.M, eps, st.conns, st.batch, st.seed, nBackends)
+	fmt.Printf("reports    %d (%d users over %d items)\n", st.reports, st.w.N, st.w.M)
+	fmt.Printf("wire bytes %d\n", st.bytes)
+	fmt.Printf("elapsed    %v (%.0f reports/s)\n", elapsed.Round(time.Millisecond), float64(st.reports)/elapsed.Seconds())
+	fmt.Printf("checked    %d item-scoped values (PointItem, SeriesItem, TopK) bit-for-bit\n", checked)
+	fmt.Println("domain     kill -9 + restart of the durable backend recovered bit-for-bit; gateway and backends drained and exited 0")
+	return nil
+}

@@ -40,6 +40,16 @@
 //	rtf-sim -drive localhost:7609 -n 10000 -d 256 -k 4 -conns 8 -batch 256
 //	rtf-sim -recover -n 4000 -d 256 -k 4 -conns 4
 //	rtf-sim -cluster -n 4000 -d 256 -k 4 -conns 4
+//	rtf-sim -domain -n 3000 -d 256 -k 4 -m 8 -conns 4
+//
+// With -domain it runs the domain acceptance test: the same
+// kill -9/recover discipline as -cluster, but against the richer-domain
+// deployment — three domain-mode rtf-serve backends and a domain
+// rtf-gateway ingest a Zipf domain workload over TCP, and the
+// item-scoped query shapes (PointItem, SeriesItem, TopK) through the
+// gateway are verified bit-for-bit against an uninterrupted in-process
+// DomainServer, before the crash, after snapshot+WAL recovery, and
+// after the remaining users.
 package main
 
 import (
@@ -79,10 +89,36 @@ func main() {
 		batch    = flag.Int("batch", 256, "messages per batch frame in -drive/-recover mode")
 		recovery = flag.Bool("recover", false, "run the kill/restart/recover test: spawn rtf-serve with a data dir, kill -9 it mid-ingest, restart, verify bit-for-bit recovery")
 		clusterM = flag.Bool("cluster", false, "run the scatter/gather cluster test: spawn rtf-gateway over three rtf-serve backends (one durable), kill -9 the durable backend mid-ingest, restart it, verify every query shape through the gateway bit-for-bit")
+		domainM  = flag.Bool("domain", false, "run the domain acceptance test: spawn a domain rtf-gateway over three domain rtf-serve backends (one durable), ingest a Zipf domain workload, kill -9 the durable backend mid-ingest, restart it, verify TopK/PointItem/SeriesItem through the gateway bit-for-bit")
+		domSize  = flag.Int("m", 8, "domain size for -domain mode")
+		domZipf  = flag.Float64("zipf-s", 1.2, "Zipf exponent over items in -domain mode")
 		serveBin = flag.String("serve-bin", "", "rtf-serve binary for -recover/-cluster (default: next to this binary, then $PATH)")
 		gwBin    = flag.String("gateway-bin", "", "rtf-gateway binary for -cluster (default: next to this binary, then $PATH)")
 	)
 	flag.Parse()
+
+	if *domainM {
+		if *drive != "" || *recovery || *clusterM {
+			fatal(fmt.Errorf("-domain is mutually exclusive with -drive, -recover and -cluster"))
+		}
+		mech := ldp.Protocol(*proto)
+		mc, ok := ldp.Lookup(mech)
+		if !ok || !mc.Caps.Domain || !mc.Caps.Durable || !mc.Caps.Clustered {
+			fatal(fmt.Errorf("-domain needs a domain-capable, durable, clustered mechanism, got %q", *proto))
+		}
+		dw, err := ldp.GenerateDomain(*n, *d, *domSize, maxInt(*k, 1), *domZipf, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		st, err := newDomainDriver(dw, mech, *eps, *conns, *batch, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runDomain(st, *serveBin, *gwBin, *proto, *d, *k, *domSize, *eps); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	w, err := loadWorkload(*wlIn, *wl, *n, *d, *k, *seed)
 	if err != nil {

@@ -38,4 +38,20 @@
 // serial server fed every report; a dead backend stalls (re-dial with
 // backoff) rather than fails, and cmd/rtf-sim -cluster proves recovery
 // end to end by kill -9ing the durable backend mid-ingest.
+//
+// Domain-valued tracking (the paper's "richer domains" adaptation,
+// Section 1) is a first-class online workload in the same architecture:
+// each user samples one target item from [0..m), streams its Boolean
+// indicator through any mechanism with the Domain capability
+// (ldp.NewDomainClient), and the server runs one dyadic accumulator per
+// item with estimates scaled by m (ldp.NewDomainServer), answering the
+// item-scoped query shapes — PointItem, SeriesItem and the TopK
+// heavy-hitter query — online. Item-tagged wire frames carry the same
+// workload over TCP (rtf-serve -m), through the write-ahead log and
+// snapshots (per-item state), and across the cluster gateway
+// (rtf-gateway -m, shipping per-item raw sums), all with the same
+// bit-for-bit exactness; ldp.TrackDomain is a thin offline wrapper over
+// the identical streaming engines, and cmd/rtf-sim -domain proves the
+// full deployment — gateway, kill -9, snapshot+WAL recovery — end to
+// end.
 package rtf

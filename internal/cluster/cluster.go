@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"rtf/internal/dyadic"
+	"rtf/internal/hh"
 	"rtf/internal/protocol"
 	"rtf/internal/transport"
 )
@@ -53,6 +54,10 @@ type Gateway struct {
 	client *transport.ClusterClient
 	d      int
 	scale  float64
+	// m is the domain size when the gateway fronts domain-mode backends
+	// (the richer-domain reduction); 0 means the Boolean protocol. A
+	// gateway serves exactly one of the two modes, like its backends.
+	m int
 
 	// ErrorLog, when non-nil, receives per-connection decode/validation
 	// failures (which close that connection but not the gateway).
@@ -75,6 +80,25 @@ func New(d int, scale float64, client *transport.ClusterClient) *Gateway {
 		client: client,
 		d:      d,
 		scale:  scale,
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// NewDomain builds a gateway fronting domain-mode backends: horizon d,
+// domain size m, and the Boolean mechanism's estimator scale (the
+// per-item scale m × scale is computed identically on every node).
+func NewDomain(d, m int, scale float64, client *transport.ClusterClient) *Gateway {
+	if !dyadic.IsPow2(d) {
+		panic(fmt.Sprintf("cluster: d=%d not a power of two", d))
+	}
+	if m < 2 {
+		panic(fmt.Sprintf("cluster: domain size m=%d must be at least 2", m))
+	}
+	return &Gateway{
+		client: client,
+		d:      d,
+		scale:  scale,
+		m:      m,
 		conns:  make(map[net.Conn]struct{}),
 	}
 }
@@ -279,6 +303,108 @@ func (s *session) gather() (*protocol.Server, []transport.SumsFrame, error) {
 	return srv, frames, nil
 }
 
+// gatherDomain is the fetch half of domain scatter/gather: it fetches
+// every backend's per-item raw sums in parallel (each fetch fencing
+// this session's prior forwards on that backend). The retry discipline
+// is identical to gather: a fetch failing over unfenced forwards fails
+// the session, a clean fetch retries across fresh connections. Folding
+// is left to foldDomain, so a MsgDomainSums answer — which only needs
+// the raw frames — never allocates the m per-item accumulators.
+func (s *session) gatherDomain() ([]transport.DomainSumsFrame, error) {
+	n := s.g.client.N()
+	frames := make([]transport.DomainSumsFrame, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var lastErr error
+			for attempt := 0; attempt < fetchAttempts; attempt++ {
+				bc, err := s.lease(i)
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				f, err := bc.FetchDomainSums()
+				if err != nil {
+					s.drop(i)
+					if s.unfenced[i] {
+						errs[i] = fmt.Errorf("backend %d connection failed with unacknowledged forwards: %w", i, err)
+						return
+					}
+					lastErr = err
+					continue
+				}
+				frames[i] = f
+				s.unfenced[i] = false // everything forwarded on this lease is applied
+				return
+			}
+			errs[i] = fmt.Errorf("fetching domain sums from backend %d: %w", i, lastErr)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return frames, nil
+}
+
+// foldDomain merges gathered per-backend frames into a fresh serial
+// hh.DomainServer, which answers any item-scoped query shape —
+// point-item, series-item, top-k — bit-for-bit like a single server
+// fed all the backends' reports.
+func (g *Gateway) foldDomain(frames []transport.DomainSumsFrame) (*hh.DomainServer, error) {
+	ds := hh.NewDomainServer(g.d, g.m, g.scale, 1)
+	for i := range frames {
+		if err := frames[i].MergeInto(ds); err != nil {
+			return nil, fmt.Errorf("merging domain sums from backend %d: %w", i, err)
+		}
+	}
+	return ds, nil
+}
+
+// mergeDomainFrames folds the gathered per-backend frames into one
+// cluster-wide DomainSumsFrame, so a domain gateway can itself answer
+// MsgDomainSums (and stack under another gateway). Each frame's
+// configuration is checked against the gateway's — this path answers
+// straight from the raw frames, without the per-item fold whose
+// MergeInto would otherwise catch a misconfigured backend.
+func (g *Gateway) mergeDomainFrames(frames []transport.DomainSumsFrame) (transport.DomainSumsFrame, error) {
+	out := transport.DomainSumsFrame{
+		D:     g.d,
+		M:     g.m,
+		Scale: g.scale,
+		Items: make([]transport.ItemSums, g.m),
+	}
+	for x := range out.Items {
+		out.Items[x] = transport.ItemSums{
+			PerOrder: make([]int64, dyadic.NumOrders(g.d)),
+			Sums:     make([]int64, dyadic.TotalIntervals(g.d)),
+		}
+	}
+	for i, f := range frames {
+		if f.D != g.d || f.M != g.m || f.Scale != g.scale || len(f.Items) != g.m {
+			return transport.DomainSumsFrame{}, fmt.Errorf(
+				"backend %d serves d=%d m=%d scale=%v (%d items), gateway configured with d=%d m=%d scale=%v",
+				i, f.D, f.M, f.Scale, len(f.Items), g.d, g.m, g.scale)
+		}
+		for x, it := range f.Items {
+			o := &out.Items[x]
+			o.Users += it.Users
+			for h, v := range it.PerOrder {
+				o.PerOrder[h] += v
+			}
+			for i, v := range it.Sums {
+				o.Sums[i] += v
+			}
+		}
+	}
+	return out, nil
+}
+
 // mergeFrames folds the gathered per-backend frames into one cluster-
 // wide SumsFrame, so a gateway can itself answer MsgSums (and stack
 // under another gateway).
@@ -322,6 +448,9 @@ func (g *Gateway) serveConn(conn net.Conn) error {
 }
 
 func (g *Gateway) serveFrames(s *session, dec *transport.Decoder, enc *transport.Encoder) error {
+	if g.m > 0 {
+		return g.serveDomainFrames(s, dec, enc)
+	}
 	for {
 		ms, err := dec.NextBatch()
 		if err != nil {
@@ -353,47 +482,110 @@ func (g *Gateway) serveFrames(s *session, dec *transport.Decoder, enc *transport
 				}
 			}
 		}
-		run := 0
-		for i, m := range ms {
-			if m.Type != transport.MsgQuery && m.Type != transport.MsgQueryV2 && m.Type != transport.MsgSums {
-				continue
-			}
-			if i > run {
-				if err := s.forward(ms[run:i]); err != nil {
-					return err
-				}
-			}
-			run = i + 1
-			srv, frames, err := s.gather()
-			if err != nil {
-				return err
-			}
-			switch m.Type {
-			case transport.MsgQuery:
-				if err := enc.Encode(transport.Estimate(m.T, srv.EstimateAt(m.T))); err != nil {
-					return err
-				}
-			case transport.MsgQueryV2:
-				ans, err := transport.AnswerQuery(srv, m)
+		err = transport.BatchRuns(ms,
+			func(m transport.Msg) bool {
+				return m.Type == transport.MsgQuery || m.Type == transport.MsgQueryV2 || m.Type == transport.MsgSums
+			},
+			s.forward,
+			func(m transport.Msg) error {
+				srv, frames, err := s.gather()
 				if err != nil {
 					return err
 				}
-				if err := enc.EncodeAnswer(ans); err != nil {
-					return err
+				switch m.Type {
+				case transport.MsgQuery:
+					if err := enc.Encode(transport.Estimate(m.T, srv.EstimateAt(m.T))); err != nil {
+						return err
+					}
+				case transport.MsgQueryV2:
+					ans, err := transport.AnswerQuery(srv, m)
+					if err != nil {
+						return err
+					}
+					if err := enc.EncodeAnswer(ans); err != nil {
+						return err
+					}
+				case transport.MsgSums:
+					if err := enc.EncodeSums(g.mergeFrames(frames)); err != nil {
+						return err
+					}
 				}
-			case transport.MsgSums:
-				if err := enc.EncodeSums(g.mergeFrames(frames)); err != nil {
-					return err
-				}
+				return enc.Flush()
+			})
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// serveDomainFrames is serveFrames for a domain gateway: item-tagged
+// ingest runs are partitioned by user and forwarded, item-scoped
+// queries are answered by per-item scatter/gather. Boolean frames fail
+// the connection, mirroring a domain-mode rtf-serve.
+func (g *Gateway) serveDomainFrames(s *session, dec *transport.Decoder, enc *transport.Encoder) error {
+	for {
+		ms, err := dec.NextBatch()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil // clean client close or gateway shutdown
 			}
-			if err := enc.Flush(); err != nil {
-				return err
+			return err
+		}
+		// Atomic batches, as on a single server: validate every frame
+		// before forwarding or answering anything.
+		for _, m := range ms {
+			switch m.Type {
+			case transport.MsgDomainQuery:
+				if err := transport.ValidateDomainQuery(g.d, g.m, m); err != nil {
+					return err
+				}
+			case transport.MsgDomainSums:
+				// No parameters to validate.
+			default:
+				// The identical checks the backend collector runs, so a
+				// batch the gateway accepts cannot be rejected downstream
+				// mid-forward.
+				if err := transport.ValidateDomainIngest(g.d, g.m, m); err != nil {
+					return err
+				}
 			}
 		}
-		if run < len(ms) {
-			if err := s.forward(ms[run:]); err != nil {
-				return err
-			}
+		err = transport.BatchRuns(ms,
+			func(m transport.Msg) bool {
+				return m.Type == transport.MsgDomainQuery || m.Type == transport.MsgDomainSums
+			},
+			s.forward,
+			func(m transport.Msg) error {
+				frames, err := s.gatherDomain()
+				if err != nil {
+					return err
+				}
+				switch m.Type {
+				case transport.MsgDomainQuery:
+					ds, err := g.foldDomain(frames)
+					if err != nil {
+						return err
+					}
+					ans, err := transport.AnswerDomainQuery(ds, m)
+					if err != nil {
+						return err
+					}
+					if err := enc.EncodeDomainAnswer(ans); err != nil {
+						return err
+					}
+				case transport.MsgDomainSums:
+					merged, err := g.mergeDomainFrames(frames)
+					if err != nil {
+						return err
+					}
+					if err := enc.EncodeDomainSums(merged); err != nil {
+						return err
+					}
+				}
+				return enc.Flush()
+			})
+		if err != nil {
+			return err
 		}
 	}
 }

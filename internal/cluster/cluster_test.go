@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rtf/internal/dyadic"
+	"rtf/internal/hh"
 	"rtf/internal/protocol"
 	"rtf/internal/rng"
 	"rtf/internal/transport"
@@ -500,4 +501,258 @@ func TestGatewayConcurrentSessions(t *testing.T) {
 	if err := <-gwDone; err != nil {
 		t.Fatal(err)
 	}
+}
+
+// startDomainBackend is startBackend for a domain-mode server.
+func startDomainBackend(t *testing.T, d, m int, scale float64) (*transport.IngestServer, *hh.DomainServer, string, chan error) {
+	t.Helper()
+	ds := hh.NewDomainServer(d, m, scale, 2)
+	srv := transport.NewDomainIngestServer(transport.NewDomainCollector(ds))
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0", ready) }()
+	return srv, ds, (<-ready).String(), done
+}
+
+// domainMsgs builds a deterministic item-tagged ingest stream.
+func domainMsgs(seed uint64, d, m, users, perUser int) []transport.Msg {
+	g := rng.New(seed, 99)
+	orders := dyadic.NumOrders(d)
+	ms := make([]transport.Msg, 0, users*(perUser+1))
+	for u := 0; u < users; u++ {
+		item := g.IntN(m)
+		ms = append(ms, transport.DomainHello(u, item, g.IntN(orders)))
+		for i := 0; i < perUser; i++ {
+			h := g.IntN(orders)
+			bit := int8(1)
+			if g.Bernoulli(0.5) {
+				bit = -1
+			}
+			ms = append(ms, transport.FromDomainReport(item, protocol.Report{
+				User: u, Order: h, J: 1 + g.IntN(d>>uint(h)), Bit: bit,
+			}))
+		}
+	}
+	return ms
+}
+
+// TestGatewayDomainScatterGather drives item-tagged ingestion and every
+// item-scoped query shape through a domain gateway over three domain
+// backends and checks every answer bit-for-bit against one serial
+// domain server fed the same messages — including through a second,
+// stacked gateway answering MsgDomainSums.
+func TestGatewayDomainScatterGather(t *testing.T) {
+	const (
+		d     = 32
+		m     = 5
+		scale = 2.5
+		users = 240
+	)
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		srv, _, addr, done := startDomainBackend(t, d, m, scale)
+		addrs = append(addrs, addr)
+		defer func() {
+			srv.Close()
+			if err := <-done; err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	client, err := transport.NewClusterClient(addrs, transport.ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := NewDomain(d, m, scale, client)
+	gw.ErrorLog = func(err error) { t.Log("gateway:", err) }
+	ready := make(chan net.Addr, 1)
+	gwDone := make(chan error, 1)
+	go func() { gwDone <- gw.ListenAndServe("127.0.0.1:0", ready) }()
+	gwAddr := (<-ready).String()
+	defer func() {
+		gw.Close()
+		if err := <-gwDone; err != nil {
+			t.Error(err)
+		}
+	}()
+
+	ms := domainMsgs(5, d, m, users, 12)
+	serial := hh.NewDomainServer(d, m, scale, 1)
+	for _, msg := range ms {
+		if msg.Type == transport.MsgDomainHello {
+			serial.Register(0, msg.Item, msg.Order)
+		} else {
+			serial.Ingest(0, msg.Item, protocol.Report{User: msg.User, Order: msg.Order, J: msg.J, Bit: msg.Bit})
+		}
+	}
+
+	conn, err := net.Dial("tcp", gwAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := transport.NewEncoder(conn)
+	dec := transport.NewDecoder(conn)
+	for lo := 0; lo < len(ms); lo += 100 {
+		hi := lo + 100
+		if hi > len(ms) {
+			hi = len(ms)
+		}
+		if err := enc.EncodeBatch(ms[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every item-scoped shape, bit-for-bit vs the serial server.
+	ask := func(q transport.Msg) transport.DomainAnswerFrame {
+		t.Helper()
+		if err := enc.Encode(q); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		a, err := dec.ReadDomainAnswer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	for x := 0; x < m; x++ {
+		a := ask(transport.DomainQuery(transport.QueryPointItem, x, d, 0, 0))
+		if want := serial.EstimateItemAt(x, d); a.Values[0] != want {
+			t.Fatalf("point-item %d: gateway %v, serial %v", x, a.Values[0], want)
+		}
+		a = ask(transport.DomainQuery(transport.QuerySeriesItem, x, 0, 0, 0))
+		want := serial.EstimateItemSeries(x)
+		for i := range want {
+			if a.Values[i] != want[i] {
+				t.Fatalf("series-item %d t=%d: gateway %v, serial %v", x, i+1, a.Values[i], want[i])
+			}
+		}
+	}
+	a := ask(transport.DomainQuery(transport.QueryTopK, 0, d/2, 0, m))
+	top := serial.TopK(d/2, m)
+	for i, ic := range top {
+		if a.Items[i] != ic.Item || a.Values[i] != ic.Count {
+			t.Fatalf("top-k: gateway %v/%v, serial %v", a.Items, a.Values, top)
+		}
+	}
+
+	// Stacked gateways: a second domain gateway over the first answers
+	// identically (the first answers MsgDomainSums).
+	client2, err := transport.NewClusterClient([]string{gwAddr}, transport.ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw2 := NewDomain(d, m, scale, client2)
+	ready2 := make(chan net.Addr, 1)
+	gw2Done := make(chan error, 1)
+	go func() { gw2Done <- gw2.ListenAndServe("127.0.0.1:0", ready2) }()
+	gw2Addr := (<-ready2).String()
+	defer func() {
+		gw2.Close()
+		if err := <-gw2Done; err != nil {
+			t.Error(err)
+		}
+	}()
+	conn2, err := net.Dial("tcp", gw2Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	enc2 := transport.NewEncoder(conn2)
+	dec2 := transport.NewDecoder(conn2)
+	if err := enc2.Encode(transport.DomainQuery(transport.QueryTopK, 0, d, 0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := dec2.ReadDomainAnswer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top2 := serial.TopK(d, 3)
+	for i, ic := range top2 {
+		if a2.Items[i] != ic.Item || a2.Values[i] != ic.Count {
+			t.Fatalf("stacked top-k: %v/%v, serial %v", a2.Items, a2.Values, top2)
+		}
+	}
+
+	// Batch atomicity at the domain gateway: a poisoned batch applies
+	// nothing anywhere.
+	before := serialUsersAcross(t, addrs, d, m, scale)
+	conn3, err := net.Dial("tcp", gwAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn3.Close()
+	enc3 := transport.NewEncoder(conn3)
+	poison := []transport.Msg{
+		transport.DomainHello(100000, 0, 0),
+		{Type: transport.MsgDomainReport, User: 100001, Item: m + 4, J: 1, Bit: 1},
+	}
+	if err := enc3.EncodeBatch(poison); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc3.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := transport.NewDecoder(conn3).Next(); err == nil {
+		t.Fatal("poisoned batch did not fail the connection")
+	}
+	after := serialUsersAcross(t, addrs, d, m, scale)
+	if before != after {
+		t.Fatalf("poisoned batch changed cluster user count %d -> %d", before, after)
+	}
+
+	// Boolean frames on a domain gateway fail the connection.
+	conn4, err := net.Dial("tcp", gwAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn4.Close()
+	enc4 := transport.NewEncoder(conn4)
+	if err := enc4.Encode(transport.Hello(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc4.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := transport.NewDecoder(conn4).Next(); err == nil {
+		t.Fatal("boolean hello on a domain gateway answered")
+	}
+}
+
+// serialUsersAcross fetches every backend's domain sums directly and
+// returns the total registered users.
+func serialUsersAcross(t *testing.T, addrs []string, d, m int, scale float64) int {
+	t.Helper()
+	total := 0
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := transport.NewEncoder(conn)
+		if err := enc.Encode(transport.DomainSums()); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		f, err := transport.NewDecoder(conn).ReadDomainSums()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range f.Items {
+			total += int(it.Users)
+		}
+		conn.Close()
+	}
+	return total
 }

@@ -12,6 +12,7 @@ import (
 	"rtf/internal/stats"
 	"rtf/internal/transport"
 	"rtf/internal/workload"
+	"rtf/ldp"
 )
 
 func init() {
@@ -98,8 +99,8 @@ func init() {
 		Run: func(w io.Writer, cfg Config) error {
 			e, _ := ByID("E16")
 			header(w, e, cfg)
-			n := pick(cfg, 4000, 40000)
-			d := pick(cfg, 32, 256)
+			n := pick(cfg, 4000, 20000)
+			d := pick(cfg, 32, 128)
 			k := pick(cfg, 2, 4)
 			trials := pick(cfg, 2, 4)
 			ms := pickInts(cfg, []int{4}, []int{4, 16, 64})
@@ -113,10 +114,15 @@ func init() {
 					if err != nil {
 						return err
 					}
-					est, err := (hh.Tracker{Eps: 1, Fast: true}).Run(wl, g.Split())
+					// The reduction runs through the public streaming path
+					// (TrackDomain wraps the online DomainServer), so this
+					// experiment measures the engines production traffic
+					// uses.
+					res, err := ldp.TrackDomain(wl, ldp.Options{Epsilon: 1, Seed: g.Int64()})
 					if err != nil {
 						return err
 					}
+					est := res.Estimates
 					truth := wl.Truth()
 					worst := 0.0
 					for x := 0; x < m; x++ {

@@ -16,6 +16,14 @@
 // The per-item error grows by √m relative to the Boolean protocol with
 // all n users (each sub-protocol has ≈ n/m users and the estimate is
 // scaled by m), which experiment E16 measures.
+//
+// The package provides the streaming halves of the reduction —
+// DomainClient wraps any Boolean streaming client behind the Observer
+// shape, DomainServer partitions reports into one standard dyadic
+// accumulator (protocol.Sharded) per item — plus the domain workload
+// model and the Zipf generator. The public entry points (tagged wire
+// frames, mechanism selection, validation) live in the ldp and
+// transport packages; this package is the engine.
 package hh
 
 import (
@@ -23,9 +31,8 @@ import (
 	"sort"
 
 	"rtf/internal/dyadic"
+	"rtf/internal/protocol"
 	"rtf/internal/rng"
-	"rtf/internal/sim"
-	"rtf/internal/workload"
 )
 
 // ValueChange sets a user's value at time T (1-based). The first change
@@ -54,6 +61,22 @@ func (s DomainStream) ValueAt(t int) int {
 	return v
 }
 
+// Values expands the change list into the per-period value series over
+// [1..d] (−1 while unset) — the input shape a streaming DomainClient
+// consumes one period at a time.
+func (s DomainStream) Values(d int) []int {
+	out := make([]int, d)
+	v, i := -1, 0
+	for t := 1; t <= d; t++ {
+		for i < len(s.Changes) && s.Changes[i].T <= t {
+			v = s.Changes[i].Value
+			i++
+		}
+		out[t-1] = v
+	}
+	return out
+}
+
 // NumChanges returns the number of value changes (including the initial
 // assignment), which bounds the derived Boolean stream's change count.
 func (s DomainStream) NumChanges() int { return len(s.Changes) }
@@ -64,13 +87,16 @@ type DomainWorkload struct {
 	Users      []DomainStream
 }
 
-// Validate checks structural invariants.
+// Validate checks structural invariants: a power-of-two horizon, a
+// domain of at least two items, per-user change lists that are sorted
+// with strictly increasing times, values inside [0..M), no more than K
+// changes, and no no-op changes.
 func (w *DomainWorkload) Validate() error {
 	if !dyadic.IsPow2(w.D) {
 		return fmt.Errorf("hh: d=%d not a power of two", w.D)
 	}
 	if w.M < 2 {
-		return fmt.Errorf("hh: domain size m=%d < 2", w.M)
+		return fmt.Errorf("hh: domain size m=%d must be at least 2", w.M)
 	}
 	if len(w.Users) != w.N {
 		return fmt.Errorf("hh: %d users, header says %d", len(w.Users), w.N)
@@ -83,7 +109,7 @@ func (w *DomainWorkload) Validate() error {
 		lastVal := -1
 		for _, c := range us.Changes {
 			if c.T <= prev || c.T > w.D {
-				return fmt.Errorf("hh: user %d has invalid change time %d", u, c.T)
+				return fmt.Errorf("hh: user %d has change time %d out of order or outside [1..%d]", u, c.T, w.D)
 			}
 			if c.Value < 0 || c.Value >= w.M {
 				return fmt.Errorf("hh: user %d has value %d outside [0..%d)", u, c.Value, w.M)
@@ -124,59 +150,62 @@ func (w *DomainWorkload) Truth() [][]int {
 	return out
 }
 
-// booleanStream derives the indicator stream 1{v_u = x} as a Boolean
-// change list.
-func booleanStream(us DomainStream, x int) workload.UserStream {
-	var times []int
-	bit := 0
-	for _, c := range us.Changes {
-		newBit := 0
-		if c.Value == x {
-			newBit = 1
-		}
-		if newBit != bit {
-			times = append(times, c.T)
-			bit = newBit
-		}
-	}
-	return workload.UserStream{ChangeTimes: times}
+// ---------------------------------------------------------------------------
+// Streaming client: the item-indicator reduction over any Boolean client.
+
+// Observer is the Boolean streaming client shape the reduction wraps:
+// one Boolean value in per period, an occasional protocol report out.
+// Every streaming framework mechanism (futurerand, independent, bun,
+// erlingsson) provides it; the ldp package adapts its registry client
+// engines into this shape.
+type Observer interface {
+	// Order returns the client's announced order h_u.
+	Order() int
+	// Observe consumes the Boolean value for the next period.
+	Observe(value bool) (protocol.Report, bool)
 }
 
-// Tracker runs the domain-frequency protocol: the Boolean FutureRand
-// protocol per sampled item, with the ×m estimator.
-type Tracker struct {
-	Eps  float64
-	Fast bool // use the fast Boolean simulation engine per item
+// DomainClient runs one user's half of the richer-domain reduction: it
+// holds the user's sampled target item and feeds the derived indicator
+// stream 1{v_u[t] = item} into the wrapped Boolean client. The emitted
+// reports must reach the DomainServer tagged with Item().
+type DomainClient struct {
+	item, m int
+	inner   Observer
 }
 
-// Run returns the m×d matrix of frequency estimates.
-func (tk Tracker) Run(w *DomainWorkload, g *rng.RNG) ([][]float64, error) {
-	if err := w.Validate(); err != nil {
-		return nil, err
+// NewDomainClient wraps a Boolean client for the given sampled item in
+// a domain of size m.
+func NewDomainClient(item, m int, inner Observer) (*DomainClient, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("hh: domain size m=%d must be at least 2", m)
 	}
-	// Partition users by their sampled target item.
-	groups := make([][]workload.UserStream, w.M)
-	for _, us := range w.Users {
-		x := g.IntN(w.M)
-		groups[x] = append(groups[x], booleanStream(us, x))
+	if item < 0 || item >= m {
+		return nil, fmt.Errorf("hh: target item %d outside [0..%d)", item, m)
 	}
-	out := make([][]float64, w.M)
-	for x := 0; x < w.M; x++ {
-		out[x] = make([]float64, w.D)
-		if len(groups[x]) == 0 {
-			continue // no users sampled this item: estimate stays 0
-		}
-		sub := &workload.Workload{N: len(groups[x]), D: w.D, K: w.K, Users: groups[x]}
-		est, err := sim.Framework{Kind: sim.FutureRand, Eps: tk.Eps, Fast: tk.Fast}.Run(sub, g)
-		if err != nil {
-			return nil, fmt.Errorf("hh: item %d: %w", x, err)
-		}
-		for t := range est {
-			out[x][t] = float64(w.M) * est[t]
-		}
-	}
-	return out, nil
+	return &DomainClient{item: item, m: m, inner: inner}, nil
 }
+
+// Item returns the client's sampled target item (safe to transmit in
+// the clear: it is sampled data-independently, like the order).
+func (c *DomainClient) Item() int { return c.item }
+
+// Order returns the wrapped Boolean client's announced order.
+func (c *DomainClient) Order() int { return c.inner.Order() }
+
+// Observe consumes the user's domain value for the next period (−1 when
+// the user has no value yet) and returns a report to ship when this
+// period is a reporting time for the wrapped client.
+func (c *DomainClient) Observe(value int) (protocol.Report, bool, error) {
+	if value < -1 || value >= c.m {
+		return protocol.Report{}, false, fmt.Errorf("hh: value %d outside [0..%d) (or -1 for unset)", value, c.m)
+	}
+	r, ok := c.inner.Observe(value == c.item)
+	return r, ok, nil
+}
+
+// ---------------------------------------------------------------------------
+// Streaming server: per-item dyadic accumulators with the ×m estimator.
 
 // ItemCount pairs an item with its estimated frequency at some time.
 type ItemCount struct {
@@ -184,23 +213,118 @@ type ItemCount struct {
 	Count float64
 }
 
+// DomainServer is the server half of the reduction: one standard dyadic
+// accumulator (protocol.Sharded — the same type behind the Boolean
+// rtf-serve path) per item, with every per-item estimate scaled by m.
+// The ×m factor is folded into each accumulator's estimator scale once
+// at construction, so estimates remain a fixed linear function of the
+// raw integer counters — which is what keeps sharded, durable and
+// clustered deployments bit-for-bit equal to one serial server.
+//
+// Like the protocol-level types it panics on out-of-range items and
+// orders; the ldp and transport layers validate at their boundaries.
+type DomainServer struct {
+	d, m      int
+	boolScale float64 // the Boolean mechanism's estimator scale
+	itemScale float64 // m × boolScale, the per-item estimator scale
+	items     []*protocol.Sharded
+}
+
+// NewDomainServer builds a server for horizon d (a power of two) over a
+// domain of m items, given the Boolean protocol's estimator scale and
+// the per-item accumulator shard count (at least 1; shard assignment
+// never affects estimates).
+func NewDomainServer(d, m int, boolScale float64, shards int) *DomainServer {
+	if m < 2 {
+		panic(fmt.Sprintf("hh: domain size m=%d must be at least 2", m))
+	}
+	itemScale := float64(m) * boolScale
+	items := make([]*protocol.Sharded, m)
+	for x := range items {
+		items[x] = protocol.NewSharded(d, itemScale, shards)
+	}
+	return &DomainServer{d: d, m: m, boolScale: boolScale, itemScale: itemScale, items: items}
+}
+
+// D returns the horizon.
+func (s *DomainServer) D() int { return s.d }
+
+// M returns the domain size.
+func (s *DomainServer) M() int { return s.m }
+
+// BoolScale returns the Boolean mechanism's estimator scale the server
+// was built with (the per-item scale is m times it).
+func (s *DomainServer) BoolScale() float64 { return s.boolScale }
+
+// ItemScale returns the per-item estimator scale m × BoolScale.
+func (s *DomainServer) ItemScale() float64 { return s.itemScale }
+
+// item bounds-checks and returns one item's accumulator.
+func (s *DomainServer) item(x int) *protocol.Sharded {
+	if x < 0 || x >= s.m {
+		panic(fmt.Sprintf("hh: item %d outside [0..%d)", x, s.m))
+	}
+	return s.items[x]
+}
+
+// Register records a user's announced (item, order) pair into the given
+// shard.
+func (s *DomainServer) Register(shard, item, order int) {
+	s.item(item).Register(shard, order)
+}
+
+// Ingest accumulates one report for the given item into the given shard.
+func (s *DomainServer) Ingest(shard, item int, r protocol.Report) {
+	s.item(item).Ingest(shard, r)
+}
+
+// Users returns the number of registered users across all items.
+func (s *DomainServer) Users() int {
+	n := 0
+	for _, acc := range s.items {
+		n += acc.Users()
+	}
+	return n
+}
+
+// UsersAtItem returns the number of users whose sampled target is item.
+func (s *DomainServer) UsersAtItem(item int) int { return s.item(item).Users() }
+
+// EstimateItemAt returns f̂(item, t) = m·â_item(t), valid online once
+// time t has passed.
+func (s *DomainServer) EstimateItemAt(item, t int) float64 {
+	return s.item(item).EstimateAt(t)
+}
+
+// EstimateItemSeries returns f̂(item, 1..d). The caller owns the slice.
+func (s *DomainServer) EstimateItemSeries(item int) []float64 {
+	return s.item(item).EstimateSeries()
+}
+
+// EstimateItemSeriesTo returns f̂(item, 1..r), bit-for-bit a prefix of
+// EstimateItemSeries.
+func (s *DomainServer) EstimateItemSeriesTo(item, r int) []float64 {
+	return s.item(item).EstimateSeriesTo(r)
+}
+
 // TopK returns the k items with the largest estimated frequency at time
-// t (1-based), in decreasing order — the heavy-hitter query the paper's
-// introduction motivates (popular URLs). Estimates below threshold are
-// suppressed: with per-item noise of order √(m·n)·polylog/ε, a threshold
-// near the per-item error bound filters noise-only items.
-func TopK(estimates [][]float64, t, k int, threshold float64) []ItemCount {
-	if t < 1 || len(estimates) == 0 || t > len(estimates[0]) {
-		panic(fmt.Sprintf("hh: time %d out of range", t))
+// t (1-based), in decreasing order with ties broken toward the smaller
+// item — the heavy-hitter query the paper's introduction motivates
+// (popular URLs). The ordering is a deterministic function of the
+// per-item point estimates, so a clustered or recovered deployment
+// whose point estimates are bit-for-bit answers the identical top-k
+// list. k larger than m is clamped; t and k are assumed range-checked
+// by the caller (the ldp and transport boundaries validate).
+func (s *DomainServer) TopK(t, k int) []ItemCount {
+	if t < 1 || t > s.d {
+		panic(fmt.Sprintf("hh: time %d out of range [1..%d]", t, s.d))
 	}
 	if k < 0 {
 		panic("hh: negative k")
 	}
-	out := make([]ItemCount, 0, len(estimates))
-	for x := range estimates {
-		if c := estimates[x][t-1]; c >= threshold {
-			out = append(out, ItemCount{Item: x, Count: c})
-		}
+	out := make([]ItemCount, s.m)
+	for x := range out {
+		out[x] = ItemCount{Item: x, Count: s.items[x].EstimateAt(t)}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
@@ -208,11 +332,48 @@ func TopK(estimates [][]float64, t, k int, threshold float64) []ItemCount {
 		}
 		return out[i].Item < out[j].Item
 	})
-	if len(out) > k {
+	if k < len(out) {
 		out = out[:k]
 	}
 	return out
 }
+
+// FoldItem returns one item's raw accumulator state — user count,
+// per-order counts, per-interval bit sums — the exact integers a
+// cluster gateway ships between nodes.
+func (s *DomainServer) FoldItem(item int) (users int64, perOrder, sums []int64) {
+	return s.item(item).Fold()
+}
+
+// MergeRawItem folds raw accumulator state (as produced by FoldItem,
+// possibly on another machine) into one item's accumulator. Because
+// every estimate is a fixed linear function of these integers, merging
+// the raw sums of N partitioned servers reproduces one serial server
+// bit for bit.
+func (s *DomainServer) MergeRawItem(item int, users int64, perOrder, sums []int64) error {
+	if item < 0 || item >= s.m {
+		return fmt.Errorf("hh: item %d outside [0..%d)", item, s.m)
+	}
+	return s.items[item].MergeRaw(users, perOrder, sums)
+}
+
+// MarshalState serializes all per-item accumulator state for a durable
+// snapshot. Counters are loaded atomically; quiesce ingestion first
+// when a point-in-time cut matters (the durable collector holds its
+// snapshot lock for exactly this reason).
+func (s *DomainServer) MarshalState() []byte {
+	return protocol.MarshalDomainState(s.items)
+}
+
+// RestoreState folds serialized state into the server — call it on a
+// freshly constructed server to reload a snapshot. The payload's item
+// count, horizon and per-item scale must all match.
+func (s *DomainServer) RestoreState(b []byte) error {
+	return protocol.RestoreDomainState(s.items, b)
+}
+
+// ---------------------------------------------------------------------------
+// Workload generation.
 
 // ZipfDomainGen generates a domain workload where values are drawn from a
 // Zipf law (a few popular items) and each user changes value a uniform

@@ -4,8 +4,9 @@ import (
 	"math"
 	"testing"
 
+	"rtf/internal/protocol"
 	"rtf/internal/rng"
-	"rtf/internal/workload"
+	"rtf/internal/sim"
 )
 
 func TestDomainStreamValueAt(t *testing.T) {
@@ -18,45 +19,91 @@ func TestDomainStreamValueAt(t *testing.T) {
 	}
 }
 
-func TestBooleanStreamDerivation(t *testing.T) {
-	us := DomainStream{Changes: []ValueChange{{T: 2, Value: 3}, {T: 5, Value: 1}, {T: 7, Value: 3}}}
-	// Indicator for item 3: 0,1,1,1,0,0,1,1 → changes at 2, 5, 7.
-	b3 := booleanStream(us, 3)
-	wantTimes := []int{2, 5, 7}
-	if len(b3.ChangeTimes) != len(wantTimes) {
-		t.Fatalf("item 3 changes = %v, want %v", b3.ChangeTimes, wantTimes)
-	}
-	for i := range wantTimes {
-		if b3.ChangeTimes[i] != wantTimes[i] {
-			t.Fatalf("item 3 changes = %v, want %v", b3.ChangeTimes, wantTimes)
-		}
-	}
-	// Indicator for item 1: changes at 5 and 7.
-	b1 := booleanStream(us, 1)
-	if len(b1.ChangeTimes) != 2 || b1.ChangeTimes[0] != 5 || b1.ChangeTimes[1] != 7 {
-		t.Errorf("item 1 changes = %v, want [5 7]", b1.ChangeTimes)
-	}
-	// Indicator for an item never held: no changes.
-	if got := booleanStream(us, 0); len(got.ChangeTimes) != 0 {
-		t.Errorf("item 0 changes = %v, want none", got.ChangeTimes)
-	}
-}
-
-func TestBooleanStreamBoundedByValueChanges(t *testing.T) {
+func TestDomainStreamValues(t *testing.T) {
 	g := rng.New(1, 2)
-	gen := ZipfDomainGen{N: 300, D: 64, M: 8, K: 6, S: 1}
-	w, err := gen.Generate(g)
+	w, err := (ZipfDomainGen{N: 100, D: 32, M: 6, K: 5, S: 1}).Generate(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, us := range w.Users {
-		for x := 0; x < w.M; x++ {
-			b := booleanStream(us, x)
-			if b.NumChanges() > us.NumChanges() {
-				t.Fatalf("boolean stream has %d changes, value stream %d", b.NumChanges(), us.NumChanges())
+	for u, us := range w.Users {
+		vals := us.Values(w.D)
+		for tt := 1; tt <= w.D; tt++ {
+			if vals[tt-1] != us.ValueAt(tt) {
+				t.Fatalf("user %d t=%d: Values=%d, ValueAt=%d", u, tt, vals[tt-1], us.ValueAt(tt))
 			}
 		}
 	}
+}
+
+// boolClient adapts the protocol-level framework client to the Observer
+// shape, the same way the ldp engines do.
+type boolClient struct{ c *protocol.Client }
+
+func (b boolClient) Order() int { return b.c.Order() }
+func (b boolClient) Observe(v bool) (protocol.Report, bool) {
+	var u uint8
+	if v {
+		u = 1
+	}
+	return b.c.Observe(u)
+}
+
+// TestDomainClientIndicator pins the reduction: the wrapped Boolean
+// client must see exactly the indicator stream 1{v = item}, which
+// changes at most as often as the value stream.
+func TestDomainClientIndicator(t *testing.T) {
+	obs := &recordingObserver{}
+	c, err := NewDomainClient(3, 5, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Item() != 3 {
+		t.Fatalf("Item() = %d, want 3", c.Item())
+	}
+	in := []int{-1, 2, 3, 3, 1, 3}
+	want := []bool{false, false, true, true, false, true}
+	for _, v := range in {
+		if _, _, err := c.Observe(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(obs.vals) != len(want) {
+		t.Fatalf("observer saw %d values, want %d", len(obs.vals), len(want))
+	}
+	for i := range want {
+		if obs.vals[i] != want[i] {
+			t.Fatalf("indicator[%d] = %v, want %v (input %v)", i, obs.vals, want, in)
+		}
+	}
+	// Out-of-range values are rejected without touching the inner client.
+	seen := len(obs.vals)
+	if _, _, err := c.Observe(5); err == nil {
+		t.Error("value m accepted")
+	}
+	if _, _, err := c.Observe(-2); err == nil {
+		t.Error("value -2 accepted")
+	}
+	if len(obs.vals) != seen {
+		t.Error("rejected value reached the inner client")
+	}
+	// Constructor validation.
+	if _, err := NewDomainClient(-1, 5, obs); err == nil {
+		t.Error("negative item accepted")
+	}
+	if _, err := NewDomainClient(5, 5, obs); err == nil {
+		t.Error("item == m accepted")
+	}
+	if _, err := NewDomainClient(0, 1, obs); err == nil {
+		t.Error("domain of size 1 accepted")
+	}
+}
+
+type recordingObserver struct{ vals []bool }
+
+func (r *recordingObserver) Order() int { return 0 }
+func (r *recordingObserver) Observe(v bool) (protocol.Report, bool) {
+	r.vals = append(r.vals, v)
+	return protocol.Report{}, false
 }
 
 func TestTruthMatchesBruteForce(t *testing.T) {
@@ -117,8 +164,10 @@ func TestValidate(t *testing.T) {
 		"bad m":     {N: 1, D: 8, M: 1, K: 2, Users: []DomainStream{{}}},
 		"too many":  {N: 1, D: 8, M: 3, K: 1, Users: []DomainStream{{Changes: []ValueChange{{1, 0}, {2, 1}}}}},
 		"bad value": {N: 1, D: 8, M: 3, K: 2, Users: []DomainStream{{Changes: []ValueChange{{1, 5}}}}},
+		"negative":  {N: 1, D: 8, M: 3, K: 2, Users: []DomainStream{{Changes: []ValueChange{{1, -1}}}}},
 		"no-op":     {N: 1, D: 8, M: 3, K: 3, Users: []DomainStream{{Changes: []ValueChange{{1, 0}, {2, 0}}}}},
 		"unsorted":  {N: 1, D: 8, M: 3, K: 3, Users: []DomainStream{{Changes: []ValueChange{{4, 0}, {2, 1}}}}},
+		"dup time":  {N: 1, D: 8, M: 3, K: 3, Users: []DomainStream{{Changes: []ValueChange{{2, 0}, {2, 1}}}}},
 		"count":     {N: 2, D: 8, M: 3, K: 2, Users: []DomainStream{{}}},
 	}
 	for name, w := range bad {
@@ -151,17 +200,52 @@ func TestGeneratorValidation(t *testing.T) {
 	}
 }
 
-func TestTrackerUnbiased(t *testing.T) {
-	// E16 in miniature: over repeated runs (fresh item sampling and
-	// randomizers each time), the tracker's estimates center on f(x,t).
+// runStreaming drives one full streaming execution of the reduction:
+// fresh item sampling and client randomness per call, reports partitioned
+// into srv by item.
+func runStreaming(t *testing.T, w *DomainWorkload, eps float64, g *rng.RNG) *DomainServer {
+	t.Helper()
+	factories, err := sim.FutureRand.Factories(w.D, w.K, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale, err := sim.FutureRand.Scale(w.D, w.K, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewDomainServer(w.D, w.M, scale, 1)
+	for u, us := range w.Users {
+		item := g.IntN(w.M)
+		c, err := NewDomainClient(item, w.M, boolClient{protocol.NewClient(u, w.D, factories, g.Split())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Register(0, c.Item(), c.Order())
+		vals := us.Values(w.D)
+		for tt := 1; tt <= w.D; tt++ {
+			r, ok, err := c.Observe(vals[tt-1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				srv.Ingest(0, c.Item(), r)
+			}
+		}
+	}
+	return srv
+}
+
+// TestStreamingUnbiased is E16 in miniature over the streaming engines:
+// over repeated runs (fresh item sampling and randomizers each time),
+// the per-item estimates center on f(x,t).
+func TestStreamingUnbiased(t *testing.T) {
 	g := rng.New(9, 10)
-	w, err := (ZipfDomainGen{N: 400, D: 8, M: 3, K: 2, S: 1}).Generate(g)
+	w, err := (ZipfDomainGen{N: 300, D: 8, M: 3, K: 2, S: 1}).Generate(g)
 	if err != nil {
 		t.Fatal(err)
 	}
 	truth := w.Truth()
-	tk := Tracker{Eps: 1, Fast: true}
-	const trials = 150
+	const trials = 60
 	sums := make([][]float64, w.M)
 	sqs := make([][]float64, w.M)
 	for x := range sums {
@@ -169,14 +253,12 @@ func TestTrackerUnbiased(t *testing.T) {
 		sqs[x] = make([]float64, w.D)
 	}
 	for i := 0; i < trials; i++ {
-		est, err := tk.Run(w, g.Split())
-		if err != nil {
-			t.Fatal(err)
-		}
+		srv := runStreaming(t, w, 1, g.Split())
 		for x := 0; x < w.M; x++ {
+			est := srv.EstimateItemSeries(x)
 			for tt := 0; tt < w.D; tt++ {
-				sums[x][tt] += est[x][tt]
-				sqs[x][tt] += est[x][tt] * est[x][tt]
+				sums[x][tt] += est[tt]
+				sqs[x][tt] += est[tt] * est[tt]
 			}
 		}
 	}
@@ -192,22 +274,68 @@ func TestTrackerUnbiased(t *testing.T) {
 	}
 }
 
-func TestTrackerRejectsInvalid(t *testing.T) {
-	bad := &DomainWorkload{N: 1, D: 6, M: 3, K: 2, Users: []DomainStream{{}}}
-	if _, err := (Tracker{Eps: 1}).Run(bad, rng.New(1, 1)); err == nil {
-		t.Error("invalid workload accepted")
+// TestServerSeriesConsistency pins the per-item read paths against each
+// other: series, truncated series and point estimates must agree
+// bit-for-bit, and the ×m scale must be folded in exactly once.
+func TestServerSeriesConsistency(t *testing.T) {
+	g := rng.New(11, 12)
+	w, err := (ZipfDomainGen{N: 500, D: 32, M: 4, K: 3, S: 1}).Generate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := runStreaming(t, w, 1, g.Split())
+	if srv.D() != w.D || srv.M() != w.M {
+		t.Fatalf("server dims %d/%d, want %d/%d", srv.D(), srv.M(), w.D, w.M)
+	}
+	if got := srv.ItemScale(); got != float64(w.M)*srv.BoolScale() {
+		t.Fatalf("item scale %v, want %v", got, float64(w.M)*srv.BoolScale())
+	}
+	users := 0
+	for x := 0; x < w.M; x++ {
+		users += srv.UsersAtItem(x)
+		series := srv.EstimateItemSeries(x)
+		if len(series) != w.D {
+			t.Fatalf("item %d series has %d entries", x, len(series))
+		}
+		for tt := 1; tt <= w.D; tt++ {
+			if got := srv.EstimateItemAt(x, tt); got != series[tt-1] {
+				t.Fatalf("item %d t=%d: point %v != series %v", x, tt, got, series[tt-1])
+			}
+		}
+		half := srv.EstimateItemSeriesTo(x, w.D/2)
+		for i := range half {
+			if half[i] != series[i] {
+				t.Fatalf("item %d: truncated series diverges at %d", x, i)
+			}
+		}
+	}
+	if users != w.N || srv.Users() != w.N {
+		t.Fatalf("users %d (sum %d), want %d", srv.Users(), users, w.N)
 	}
 }
 
-func TestTopK(t *testing.T) {
-	est := [][]float64{
-		{10, 50}, // item 0
-		{90, 20}, // item 1
-		{30, 20}, // item 2 (ties with 1 at t=2 → lower item first)
-		{5, -40}, // item 3
+// TestTopKDeterministic pins the top-k ordering contract: descending by
+// estimate, ties toward the smaller item, k clamped to m, and the list
+// a pure function of the per-item point estimates.
+func TestTopKDeterministic(t *testing.T) {
+	srv := NewDomainServer(8, 4, 1, 1)
+	// Inject raw sums directly: item 1 highest, items 0 and 2 tied,
+	// item 3 negative. Order-0 interval J=1 covers t=1.
+	inject := func(item int, sum int64) {
+		for i := int64(0); i < sum; i++ {
+			srv.Ingest(0, item, protocol.Report{Order: 0, J: 1, Bit: 1})
+		}
 	}
-	got := TopK(est, 2, 3, 0)
-	want := []ItemCount{{0, 50}, {1, 20}, {2, 20}}
+	inject(0, 5)
+	inject(1, 9)
+	inject(2, 5)
+	srv.Ingest(0, 3, protocol.Report{Order: 0, J: 1, Bit: -1})
+	got := srv.TopK(1, 3)
+	want := []ItemCount{
+		{Item: 1, Count: srv.EstimateItemAt(1, 1)},
+		{Item: 0, Count: srv.EstimateItemAt(0, 1)},
+		{Item: 2, Count: srv.EstimateItemAt(2, 1)},
+	}
 	if len(got) != len(want) {
 		t.Fatalf("TopK = %v, want %v", got, want)
 	}
@@ -216,19 +344,17 @@ func TestTopK(t *testing.T) {
 			t.Fatalf("TopK = %v, want %v", got, want)
 		}
 	}
-	// Threshold suppression.
-	if got := TopK(est, 2, 4, 30); len(got) != 1 || got[0].Item != 0 {
-		t.Errorf("thresholded TopK = %v", got)
+	if got := srv.TopK(1, 100); len(got) != 4 {
+		t.Fatalf("clamped TopK has %d entries, want 4", len(got))
 	}
-	// k larger than survivors.
-	if got := TopK(est, 1, 10, 0); len(got) != 4 {
-		t.Errorf("TopK without cut = %v", got)
+	if got := srv.TopK(1, 0); len(got) != 0 {
+		t.Fatalf("TopK(_, 0) = %v, want empty", got)
 	}
 	for name, f := range map[string]func(){
-		"t=0":   func() { TopK(est, 0, 1, 0) },
-		"t>d":   func() { TopK(est, 3, 1, 0) },
-		"k<0":   func() { TopK(est, 1, -1, 0) },
-		"empty": func() { TopK(nil, 1, 1, 0) },
+		"t=0":      func() { srv.TopK(0, 1) },
+		"t>d":      func() { srv.TopK(9, 1) },
+		"k<0":      func() { srv.TopK(1, -1) },
+		"bad item": func() { srv.EstimateItemAt(4, 1) },
 	} {
 		func() {
 			defer func() {
@@ -241,57 +367,130 @@ func TestTopK(t *testing.T) {
 	}
 }
 
-func TestTopKRecoversPopularItems(t *testing.T) {
-	// End-to-end: on a Zipf workload with enough users, the true top item
-	// should appear in the estimated top 2 at the final time.
+// TestStateRoundTrip pins the domain snapshot payload: a restored
+// server answers every per-item estimate (and so TopK) bit-for-bit.
+func TestStateRoundTrip(t *testing.T) {
 	g := rng.New(13, 14)
-	w, err := (ZipfDomainGen{N: 60000, D: 32, M: 4, K: 2, S: 1.5}).Generate(g)
+	w, err := (ZipfDomainGen{N: 400, D: 16, M: 5, K: 3, S: 1}).Generate(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := (Tracker{Eps: 1, Fast: true}).Run(w, g.Split())
-	if err != nil {
+	srv := runStreaming(t, w, 1, g.Split())
+	state := srv.MarshalState()
+
+	fresh := NewDomainServer(w.D, w.M, srv.BoolScale(), 4)
+	if err := fresh.RestoreState(state); err != nil {
 		t.Fatal(err)
 	}
-	truth := w.Truth()
-	trueTop, best := 0, -1
 	for x := 0; x < w.M; x++ {
-		if truth[x][w.D-1] > best {
-			trueTop, best = x, truth[x][w.D-1]
+		a, b := srv.EstimateItemSeries(x), fresh.EstimateItemSeries(x)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("item %d t=%d: restored %v, want %v", x, i+1, b[i], a[i])
+			}
 		}
 	}
-	top := TopK(est, w.D, 2, 0)
-	found := false
-	for _, ic := range top {
-		if ic.Item == trueTop {
-			found = true
+	ta, tb := srv.TopK(w.D, 3), fresh.TopK(w.D, 3)
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("restored TopK %v, want %v", tb, ta)
 		}
 	}
-	if !found {
-		t.Errorf("true top item %d (count %d) not in estimated top-2 %v", trueTop, best, top)
+
+	// Mismatched configurations are refused.
+	if err := NewDomainServer(w.D, w.M+1, srv.BoolScale(), 1).RestoreState(state); err == nil {
+		t.Error("restore into a different m accepted")
+	}
+	if err := NewDomainServer(w.D*2, w.M, srv.BoolScale(), 1).RestoreState(state); err == nil {
+		t.Error("restore into a different d accepted")
+	}
+	if err := NewDomainServer(w.D, w.M, srv.BoolScale()*2, 1).RestoreState(state); err == nil {
+		t.Error("restore into a different scale accepted")
+	}
+	if err := fresh.RestoreState(state[:len(state)-1]); err == nil {
+		t.Error("truncated state accepted")
+	}
+	if err := fresh.RestoreState(append(append([]byte(nil), state...), 0)); err == nil {
+		t.Error("trailing bytes accepted")
 	}
 }
 
-func TestBooleanStreamIntegratesToIndicator(t *testing.T) {
-	// Cross-check with the workload package's ValueAt.
-	g := rng.New(11, 12)
-	w, err := (ZipfDomainGen{N: 50, D: 32, M: 6, K: 5, S: 1}).Generate(g)
+// TestMergeRawEqualsSerial is the cluster exactness argument at the hh
+// level: partition users across three servers, merge their raw per-item
+// sums into a fresh server, and require bit-for-bit equality with one
+// serial server fed everything.
+func TestMergeRawEqualsSerial(t *testing.T) {
+	g := rng.New(15, 16)
+	w, err := (ZipfDomainGen{N: 600, D: 16, M: 4, K: 3, S: 1}).Generate(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, us := range w.Users {
-		for x := 0; x < w.M; x++ {
-			b := booleanStream(us, x)
-			var ws workload.UserStream = b
-			for tt := 1; tt <= w.D; tt++ {
-				want := uint8(0)
-				if us.ValueAt(tt) == x {
-					want = 1
-				}
-				if got := ws.ValueAt(tt); got != want {
-					t.Fatalf("item %d t=%d: indicator %d, want %d", x, tt, got, want)
-				}
+	factories, err := sim.FutureRand.Factories(w.D, w.K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale, err := sim.FutureRand.Scale(w.D, w.K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := NewDomainServer(w.D, w.M, scale, 1)
+	parts := []*DomainServer{
+		NewDomainServer(w.D, w.M, scale, 2),
+		NewDomainServer(w.D, w.M, scale, 1),
+		NewDomainServer(w.D, w.M, scale, 3),
+	}
+	for u, us := range w.Users {
+		item := g.IntN(w.M)
+		c, err := NewDomainClient(item, w.M, boolClient{protocol.NewClient(u, w.D, factories, g.Split())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		part := parts[u%len(parts)]
+		serial.Register(0, item, c.Order())
+		part.Register(u, item, c.Order())
+		vals := us.Values(w.D)
+		for tt := 1; tt <= w.D; tt++ {
+			r, ok, err := c.Observe(vals[tt-1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				serial.Ingest(0, item, r)
+				part.Ingest(u, item, r)
 			}
 		}
+	}
+	merged := NewDomainServer(w.D, w.M, scale, 1)
+	for _, part := range parts {
+		for x := 0; x < w.M; x++ {
+			users, perOrder, sums := part.FoldItem(x)
+			if err := merged.MergeRawItem(x, users, perOrder, sums); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for x := 0; x < w.M; x++ {
+		a, b := serial.EstimateItemSeries(x), merged.EstimateItemSeries(x)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("item %d t=%d: merged %v, serial %v", x, i+1, b[i], a[i])
+			}
+		}
+	}
+	ta, tb := serial.TopK(w.D, w.M), merged.TopK(w.D, w.M)
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("merged TopK %v, serial %v", tb, ta)
+		}
+	}
+	// Merge validation.
+	if err := merged.MergeRawItem(-1, 0, nil, nil); err == nil {
+		t.Error("negative item accepted")
+	}
+	if err := merged.MergeRawItem(0, -1, make([]int64, 5), make([]int64, 31)); err == nil {
+		t.Error("negative user count accepted")
+	}
+	if err := merged.MergeRawItem(0, 0, make([]int64, 2), make([]int64, 31)); err == nil {
+		t.Error("short per-order accepted")
 	}
 }

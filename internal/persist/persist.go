@@ -41,10 +41,12 @@ import (
 // File-format constants. The trailing byte of each magic is the format
 // version; decoders reject other versions instead of misparsing them.
 const (
-	walMagic     = "RTFWAL\x00"
-	snapMagic    = "RTFSNAP"
-	walVersion   = 1
-	snapVersion  = 1
+	walMagic   = "RTFWAL\x00"
+	snapMagic  = "RTFSNAP"
+	walVersion = 1
+	// snapVersion 2 added the domain-size field to the meta block
+	// (Meta.M); version-1 snapshots are refused rather than misparsed.
+	snapVersion  = 2
 	headerLen    = 8 // magic + version byte, both formats
 	walSegPrefix = "wal-"
 	walSegSuffix = ".seg"
@@ -72,6 +74,7 @@ type Meta struct {
 	Mechanism string  // registry protocol name
 	D         int     // horizon (power of two)
 	K         int     // per-user sparsity bound
+	M         int     // domain size of the richer-domain extension (0 = Boolean)
 	Eps       float64 // privacy budget
 	Scale     float64 // estimator scale of Algorithm 2
 }
@@ -79,8 +82,8 @@ type Meta struct {
 // Check returns a descriptive error when two metas differ.
 func (m Meta) Check(want Meta) error {
 	if m != want {
-		return fmt.Errorf("persist: snapshot taken with mechanism=%s d=%d k=%d eps=%v scale=%v, server configured with mechanism=%s d=%d k=%d eps=%v scale=%v",
-			m.Mechanism, m.D, m.K, m.Eps, m.Scale, want.Mechanism, want.D, want.K, want.Eps, want.Scale)
+		return fmt.Errorf("persist: snapshot taken with mechanism=%s d=%d k=%d m=%d eps=%v scale=%v, server configured with mechanism=%s d=%d k=%d m=%d eps=%v scale=%v",
+			m.Mechanism, m.D, m.K, m.M, m.Eps, m.Scale, want.Mechanism, want.D, want.K, want.M, want.Eps, want.Scale)
 	}
 	return nil
 }
@@ -91,6 +94,7 @@ func appendMeta(b []byte, m Meta) []byte {
 	b = append(b, m.Mechanism...)
 	b = binary.AppendUvarint(b, uint64(m.D))
 	b = binary.AppendUvarint(b, uint64(m.K))
+	b = binary.AppendUvarint(b, uint64(m.M))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Eps))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Scale))
 	return b

@@ -66,6 +66,7 @@ func DecodeSnapshot(b []byte) (*Snapshot, error) {
 	s.Meta.Mechanism = string(r.bytes(int(nameLen), "mechanism name"))
 	s.Meta.D = int(r.uvarint("d"))
 	s.Meta.K = int(r.uvarint("k"))
+	s.Meta.M = int(r.uvarint("m"))
 	s.Meta.Eps = math.Float64frombits(r.u64("eps"))
 	s.Meta.Scale = math.Float64frombits(r.u64("scale"))
 	stateLen := r.uvarint("state length")

@@ -197,6 +197,39 @@ func (s *Sharded) Fold() (users int64, perOrder, sums []int64) {
 	return users, perOrder, sums
 }
 
+// MergeRaw folds raw accumulator state — a user count, per-order user
+// counts and per-interval bit sums as produced by Fold or shipped from
+// another machine — into shard 0, the sharded counterpart of
+// Server.MergeRaw. Shard assignment never affects estimates (addition
+// is exact and commutative), so merging into one shard is equivalent to
+// replaying the original ingestion. It fails, without modifying the
+// accumulator, on mismatched lengths or negative counts.
+func (s *Sharded) MergeRaw(users int64, perOrder, sums []int64) error {
+	sh := &s.shards[0]
+	if users < 0 {
+		return fmt.Errorf("protocol: merging negative user count %d", users)
+	}
+	if len(perOrder) != len(sh.perOrder) {
+		return fmt.Errorf("protocol: merging %d per-order counts into an accumulator with %d orders", len(perOrder), len(sh.perOrder))
+	}
+	if len(sums) != len(sh.sums) {
+		return fmt.Errorf("protocol: merging %d interval sums into an accumulator with %d intervals", len(sums), len(sh.sums))
+	}
+	for h, c := range perOrder {
+		if c < 0 {
+			return fmt.Errorf("protocol: merging negative count %d at order %d", c, h)
+		}
+	}
+	for f, v := range sums {
+		atomic.AddInt64(&sh.sums[f], v)
+	}
+	atomic.AddInt64(&sh.users, users)
+	for h, c := range perOrder {
+		atomic.AddInt64(&sh.perOrder[h], c)
+	}
+	return nil
+}
+
 // Snapshot folds the current shard state into a fresh serial Server,
 // from which the full estimate series, range estimates and consistency
 // post-processing are available. Counters are loaded atomically, but a

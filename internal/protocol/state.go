@@ -22,6 +22,7 @@ const (
 	stateVersion     = 1
 	stateKindDyadic  = 1
 	stateKindPeriods = 2
+	stateKindDomain  = 3
 )
 
 // appendDyadicState appends the shared dyadic-accumulator encoding.
@@ -218,6 +219,74 @@ func (s *NaiveSplitServer) RestoreState(b []byte) error {
 		s.sums[t] += v
 	}
 	s.users += int(users)
+	return nil
+}
+
+// MarshalDomainState serializes a partitioned set of per-item
+// accumulators — the server state of the richer-domain reduction — as
+// one payload: a domain header (kind, item count) followed by each
+// item's dyadic state, length-prefixed. Each per-item payload is the
+// exact Sharded.MarshalState encoding, so the horizon and scale travel
+// with every item and RestoreDomainState can refuse a mismatched
+// configuration per item.
+func MarshalDomainState(items []*Sharded) []byte {
+	b := make([]byte, 0, 16)
+	b = append(b, stateVersion, stateKindDomain)
+	b = binary.AppendUvarint(b, uint64(len(items)))
+	for _, s := range items {
+		st := s.MarshalState()
+		b = binary.AppendUvarint(b, uint64(len(st)))
+		b = append(b, st...)
+	}
+	return b
+}
+
+// maxDomainItemState bounds one item's declared payload length inside a
+// domain state, so corrupt input cannot force a huge allocation before
+// the per-item decoder validates anything.
+const maxDomainItemState = 1 << 26
+
+// RestoreDomainState folds a MarshalDomainState payload into the given
+// per-item accumulators. The payload's item count must equal len(items)
+// and every per-item payload must match its accumulator's horizon and
+// scale; on any error nothing past the failing item is modified (items
+// before it were already folded — call it on freshly constructed
+// accumulators, as with RestoreState).
+func RestoreDomainState(items []*Sharded, b []byte) error {
+	r := stateReader{b: b}
+	if v := r.byte("version"); r.err == nil && v != stateVersion {
+		return fmt.Errorf("protocol: unsupported state version %d (this build reads version %d)", v, stateVersion)
+	}
+	if k := r.byte("kind"); r.err == nil && k != stateKindDomain {
+		return fmt.Errorf("protocol: state kind %d is not a domain accumulator set", k)
+	}
+	m := r.uvarint("item count")
+	if r.err != nil {
+		return r.err
+	}
+	if m != uint64(len(items)) {
+		return fmt.Errorf("protocol: state has %d items, accumulator has %d", m, len(items))
+	}
+	for x := range items {
+		n := r.uvarint("item payload length")
+		if r.err != nil {
+			return r.err
+		}
+		if n > maxDomainItemState {
+			return fmt.Errorf("protocol: item %d state of %d bytes exceeds limit %d", x, n, maxDomainItemState)
+		}
+		if r.off+int(n) > len(r.b) {
+			return fmt.Errorf("protocol: state truncated inside item %d", x)
+		}
+		payload := r.b[r.off : r.off+int(n)]
+		r.off += int(n)
+		if err := items[x].RestoreState(payload); err != nil {
+			return fmt.Errorf("protocol: item %d: %w", x, err)
+		}
+	}
+	if r.off != len(b) {
+		return fmt.Errorf("protocol: %d trailing bytes after domain state", len(b)-r.off)
+	}
 	return nil
 }
 

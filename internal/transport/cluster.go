@@ -83,6 +83,19 @@ func (b *BackendConn) FetchSums() (SumsFrame, error) {
 	return b.dec.ReadSums()
 }
 
+// FetchDomainSums round-trips a per-item raw-sums request against a
+// domain-mode backend: everything sent earlier on this connection is
+// applied before the response is cut, so the fetch doubles as a fence.
+func (b *BackendConn) FetchDomainSums() (DomainSumsFrame, error) {
+	if err := b.enc.Encode(DomainSums()); err != nil {
+		return DomainSumsFrame{}, err
+	}
+	if err := b.enc.Flush(); err != nil {
+		return DomainSumsFrame{}, err
+	}
+	return b.dec.ReadDomainSums()
+}
+
 // Fence round-trips a trivial point query, proving the backend applied
 // everything sent earlier on this connection.
 func (b *BackendConn) Fence() error {

@@ -1,0 +1,552 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+
+	"rtf/internal/dyadic"
+	"rtf/internal/hh"
+	"rtf/internal/protocol"
+)
+
+// This file is the transport substrate of domain-valued tracking (the
+// richer-domain reduction): item-tagged ingest validation, the
+// variable-length answer frame for item-scoped queries, the per-item
+// raw-sums frame a cluster gateway ships between nodes, and the
+// collectors that fan decoded domain batches into an hh.DomainServer.
+// The scalar encodings of MsgDomainHello, MsgDomainReport,
+// MsgDomainQuery and MsgDomainSums live in transport.go beside the
+// Boolean ones, so domain messages batch, journal and replay through
+// the ordinary Encoder/Decoder paths.
+
+// MaxDomainM bounds the domain size a frame may declare, so a corrupt
+// or adversarial frame cannot force a huge per-item allocation.
+const MaxDomainM = 1 << 12
+
+// MaxDomainSums bounds the total counter count (m × intervals) a
+// domain sums frame may declare across all items.
+const MaxDomainSums = 1 << 24
+
+// ValidateDomainIngest range-checks one domain hello or report message
+// against a domain server's parameters (horizon d, domain size m). It
+// is the single source of domain ingest validation: the collectors run
+// it before applying (or journaling) anything, and the cluster gateway
+// runs the identical checks before forwarding.
+func ValidateDomainIngest(d, m int, msg Msg) error {
+	maxOrder := dyadic.Log2(d)
+	switch msg.Type {
+	case MsgDomainHello:
+		if msg.User < 0 {
+			return fmt.Errorf("transport: negative user id %d", msg.User)
+		}
+		if msg.Item < 0 || msg.Item >= m {
+			return fmt.Errorf("transport: hello item %d out of range [0..%d)", msg.Item, m)
+		}
+		if msg.Order < 0 || msg.Order > maxOrder {
+			return fmt.Errorf("transport: hello order %d out of range [0..%d]", msg.Order, maxOrder)
+		}
+	case MsgDomainReport:
+		if msg.User < 0 {
+			return fmt.Errorf("transport: negative user id %d", msg.User)
+		}
+		if msg.Item < 0 || msg.Item >= m {
+			return fmt.Errorf("transport: report item %d out of range [0..%d)", msg.Item, m)
+		}
+		if msg.Bit != 1 && msg.Bit != -1 {
+			return fmt.Errorf("transport: report bit %d not ±1", msg.Bit)
+		}
+		if msg.Order < 0 || msg.Order > maxOrder {
+			return fmt.Errorf("transport: report order %d out of range [0..%d]", msg.Order, maxOrder)
+		}
+		if msg.J < 1 || msg.J > d>>uint(msg.Order) {
+			return fmt.Errorf("transport: report index %d out of range for order %d", msg.J, msg.Order)
+		}
+	default:
+		return fmt.Errorf("transport: domain collector cannot ingest message type %d", msg.Type)
+	}
+	return nil
+}
+
+// ValidateDomainQuery range-checks an item-scoped query frame against a
+// domain server's parameters without touching any accumulator — the
+// validate-only half of AnswerDomainQuery, run over whole batches
+// before anything is applied.
+func ValidateDomainQuery(d, m int, msg Msg) error {
+	if msg.Type != MsgDomainQuery {
+		return fmt.Errorf("transport: message type %d is not a domain query", msg.Type)
+	}
+	switch msg.Kind {
+	case QueryPointItem:
+		if msg.Item < 0 || msg.Item >= m {
+			return fmt.Errorf("transport: point-item query item %d out of range [0..%d)", msg.Item, m)
+		}
+		if msg.L < 1 || msg.L > d {
+			return fmt.Errorf("transport: point-item query time %d out of range [1..%d]", msg.L, d)
+		}
+	case QuerySeriesItem:
+		if msg.Item < 0 || msg.Item >= m {
+			return fmt.Errorf("transport: series-item query item %d out of range [0..%d)", msg.Item, m)
+		}
+	case QueryTopK:
+		if msg.L < 1 || msg.L > d {
+			return fmt.Errorf("transport: top-k query time %d out of range [1..%d]", msg.L, d)
+		}
+		if msg.K < 0 {
+			return fmt.Errorf("transport: top-k query with negative k %d", msg.K)
+		}
+	default:
+		return fmt.Errorf("transport: unknown domain query kind %d", byte(msg.Kind))
+	}
+	return nil
+}
+
+// AnswerDomainQuery computes the answer to an item-scoped query frame
+// from the live domain server. Estimates are bit-for-bit identical to a
+// serial server fed the same reports: every answer is a fixed function
+// of the per-item point estimates, which sum the same dyadic
+// decomposition in the same order everywhere. Returned slices are owned
+// by the caller.
+func AnswerDomainQuery(ds *hh.DomainServer, msg Msg) (DomainAnswerFrame, error) {
+	if err := ValidateDomainQuery(ds.D(), ds.M(), msg); err != nil {
+		return DomainAnswerFrame{}, err
+	}
+	a := DomainAnswerFrame{Kind: msg.Kind, Item: msg.Item, L: msg.L, R: msg.R, K: msg.K}
+	switch msg.Kind {
+	case QueryPointItem:
+		a.Values = []float64{ds.EstimateItemAt(msg.Item, msg.L)}
+	case QuerySeriesItem:
+		a.Values = append([]float64(nil), ds.EstimateItemSeries(msg.Item)...)
+	case QueryTopK:
+		top := ds.TopK(msg.L, msg.K)
+		a.Items = make([]int, len(top))
+		a.Values = make([]float64, len(top))
+		for i, ic := range top {
+			a.Items[i] = ic.Item
+			a.Values[i] = ic.Count
+		}
+	}
+	return a, nil
+}
+
+// DomainAnswerFrame is the server's response to an item-scoped query:
+// the echoed query shape plus the answer payload — values only for
+// point-item and series-item queries, parallel (item, value) lists for
+// top-k. It is variable-length, so it travels outside Msg via
+// EncodeDomainAnswer and ReadDomainAnswer.
+type DomainAnswerFrame struct {
+	Kind          QueryKind
+	Item, L, R, K int
+	Items         []int
+	Values        []float64
+}
+
+// EncodeDomainAnswer writes one MsgDomainAnswer frame.
+func (e *Encoder) EncodeDomainAnswer(a DomainAnswerFrame) error {
+	if len(a.Values) > MaxAnswerLen || len(a.Items) > MaxAnswerLen {
+		return fmt.Errorf("transport: domain answer of %d items / %d values exceeds limit %d", len(a.Items), len(a.Values), MaxAnswerLen)
+	}
+	if a.Item < 0 || a.L < 0 || a.R < 0 || a.K < 0 {
+		return fmt.Errorf("transport: negative domain answer field (item=%d l=%d r=%d k=%d)", a.Item, a.L, a.R, a.K)
+	}
+	for _, it := range a.Items {
+		if it < 0 {
+			return fmt.Errorf("transport: negative item %d in domain answer", it)
+		}
+	}
+	b := e.scratch[:0]
+	b = append(b, byte(MsgDomainAnswer), queryWireVersion, byte(a.Kind))
+	b = binary.AppendUvarint(b, uint64(a.Item))
+	b = binary.AppendUvarint(b, uint64(a.L))
+	b = binary.AppendUvarint(b, uint64(a.R))
+	b = binary.AppendUvarint(b, uint64(a.K))
+	b = binary.AppendUvarint(b, uint64(len(a.Items)))
+	for _, it := range a.Items {
+		b = binary.AppendUvarint(b, uint64(it))
+	}
+	b = binary.AppendUvarint(b, uint64(len(a.Values)))
+	for _, v := range a.Values {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	e.scratch = b[:0] // keep the grown buffer for the next frame
+	n, err := e.w.Write(b)
+	e.n += int64(n)
+	return err
+}
+
+// ReadDomainAnswer decodes one MsgDomainAnswer frame. It must be called
+// when a domain answer is the next frame on the stream — after sending
+// a domain query — and fails on any other frame type. Declared lengths
+// are bounded before allocation.
+func (d *Decoder) ReadDomainAnswer() (DomainAnswerFrame, error) {
+	if d.next < len(d.pending) {
+		return DomainAnswerFrame{}, errors.New("transport: domain answer frame inside batch")
+	}
+	tb, err := d.r.ReadByte()
+	if err != nil {
+		return DomainAnswerFrame{}, err // io.EOF passes through
+	}
+	if MsgType(tb) != MsgDomainAnswer {
+		return DomainAnswerFrame{}, fmt.Errorf("transport: expected domain answer frame, got message type %d", tb)
+	}
+	ver, err := d.r.ReadByte()
+	if err != nil {
+		return DomainAnswerFrame{}, truncated(err)
+	}
+	if ver != queryWireVersion {
+		return DomainAnswerFrame{}, fmt.Errorf("transport: unsupported domain answer version %d", ver)
+	}
+	kind, err := d.r.ReadByte()
+	if err != nil {
+		return DomainAnswerFrame{}, truncated(err)
+	}
+	a := DomainAnswerFrame{Kind: QueryKind(kind)}
+	var fields [4]uint64
+	for i, name := range []string{"item", "l", "r", "k"} {
+		v, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return DomainAnswerFrame{}, truncated(err)
+		}
+		if v > math.MaxInt {
+			return DomainAnswerFrame{}, fmt.Errorf("transport: domain answer %s overflows", name)
+		}
+		fields[i] = v
+	}
+	a.Item, a.L, a.R, a.K = int(fields[0]), int(fields[1]), int(fields[2]), int(fields[3])
+	nItems, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return DomainAnswerFrame{}, truncated(err)
+	}
+	if nItems > MaxAnswerLen {
+		return DomainAnswerFrame{}, fmt.Errorf("transport: domain answer item count %d exceeds limit %d", nItems, MaxAnswerLen)
+	}
+	if nItems > 0 {
+		a.Items = make([]int, nItems)
+	}
+	for i := range a.Items {
+		v, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return DomainAnswerFrame{}, truncated(err)
+		}
+		if v > math.MaxInt {
+			return DomainAnswerFrame{}, fmt.Errorf("transport: domain answer item overflows")
+		}
+		a.Items[i] = int(v)
+	}
+	nValues, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return DomainAnswerFrame{}, truncated(err)
+	}
+	if nValues > MaxAnswerLen {
+		return DomainAnswerFrame{}, fmt.Errorf("transport: domain answer length %d exceeds limit %d", nValues, MaxAnswerLen)
+	}
+	if nValues > 0 {
+		a.Values = make([]float64, nValues)
+	}
+	var raw [8]byte
+	for i := range a.Values {
+		if _, err := io.ReadFull(d.r, raw[:]); err != nil {
+			return DomainAnswerFrame{}, truncated(err)
+		}
+		a.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[:]))
+	}
+	return a, nil
+}
+
+// ---------------------------------------------------------------------------
+// Per-item raw sums: the cluster's exactness carrier for domains.
+
+// ItemSums is one item's raw accumulator state inside a
+// DomainSumsFrame.
+type ItemSums struct {
+	Users    int64
+	PerOrder []int64
+	Sums     []int64
+}
+
+// DomainSumsFrame is the per-item raw accumulator state of one domain
+// backend: the horizon, domain size and Boolean estimator scale it was
+// accumulated under (checked on merge), plus every item's user count,
+// per-order counts and per-interval ±1 bit sums in flat dyadic-tree
+// order. Scale is the Boolean mechanism's; the per-item estimator scale
+// is m × Scale, computed identically everywhere, so merged raw integers
+// reproduce a single serial server's answers bit for bit.
+type DomainSumsFrame struct {
+	D, M  int
+	Scale float64
+	Items []ItemSums
+}
+
+// DomainSumsFromServer folds the live per-item accumulators into a
+// frame. Counters are loaded atomically; fence ingestion first (a query
+// round-trip on the same connection) when a consistent cut matters.
+func DomainSumsFromServer(ds *hh.DomainServer) DomainSumsFrame {
+	f := DomainSumsFrame{D: ds.D(), M: ds.M(), Scale: ds.BoolScale(), Items: make([]ItemSums, ds.M())}
+	for x := 0; x < ds.M(); x++ {
+		users, perOrder, sums := ds.FoldItem(x)
+		f.Items[x] = ItemSums{Users: users, PerOrder: perOrder, Sums: sums}
+	}
+	return f
+}
+
+// MergeInto folds the frame's raw per-item state into a domain server,
+// which must have the frame's horizon, domain size and Boolean scale.
+func (f DomainSumsFrame) MergeInto(ds *hh.DomainServer) error {
+	if f.D != ds.D() {
+		return fmt.Errorf("transport: domain sums frame has horizon d=%d, server has d=%d", f.D, ds.D())
+	}
+	if f.M != ds.M() {
+		return fmt.Errorf("transport: domain sums frame has m=%d items, server has m=%d", f.M, ds.M())
+	}
+	if f.Scale != ds.BoolScale() {
+		return fmt.Errorf("transport: domain sums frame has estimator scale %v, server has %v", f.Scale, ds.BoolScale())
+	}
+	if len(f.Items) != f.M {
+		return fmt.Errorf("transport: domain sums frame has %d item entries, header says %d", len(f.Items), f.M)
+	}
+	for x, it := range f.Items {
+		if err := ds.MergeRawItem(x, it.Users, it.PerOrder, it.Sums); err != nil {
+			return fmt.Errorf("transport: merging item %d: %w", x, err)
+		}
+	}
+	return nil
+}
+
+// validDomainDims checks the (d, m) header of a domain sums frame.
+func validDomainDims(d, m int) error {
+	if !dyadic.IsPow2(d) || d > MaxSumsD {
+		return fmt.Errorf("transport: domain sums frame horizon %d invalid (power of two, at most %d)", d, MaxSumsD)
+	}
+	if m < 2 || m > MaxDomainM {
+		return fmt.Errorf("transport: domain sums frame domain size %d outside [2..%d]", m, MaxDomainM)
+	}
+	if total := m * dyadic.TotalIntervals(d); total > MaxDomainSums {
+		return fmt.Errorf("transport: domain sums frame carries %d counters, over the %d limit", total, MaxDomainSums)
+	}
+	return nil
+}
+
+// EncodeDomainSums writes one MsgDomainSumsFrame response.
+func (e *Encoder) EncodeDomainSums(f DomainSumsFrame) error {
+	if err := validDomainDims(f.D, f.M); err != nil {
+		return err
+	}
+	if len(f.Items) != f.M {
+		return fmt.Errorf("transport: domain sums frame has %d item entries, header says %d", len(f.Items), f.M)
+	}
+	for x, it := range f.Items {
+		if it.Users < 0 {
+			return fmt.Errorf("transport: domain sums frame item %d has negative user count %d", x, it.Users)
+		}
+		if len(it.PerOrder) != dyadic.NumOrders(f.D) {
+			return fmt.Errorf("transport: domain sums frame item %d has %d per-order counts, want %d", x, len(it.PerOrder), dyadic.NumOrders(f.D))
+		}
+		if len(it.Sums) != dyadic.TotalIntervals(f.D) {
+			return fmt.Errorf("transport: domain sums frame item %d has %d interval sums, want %d", x, len(it.Sums), dyadic.TotalIntervals(f.D))
+		}
+	}
+	b := e.scratch[:0]
+	b = append(b, byte(MsgDomainSumsFrame), queryWireVersion)
+	b = binary.AppendUvarint(b, uint64(f.D))
+	b = binary.AppendUvarint(b, uint64(f.M))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f.Scale))
+	for _, it := range f.Items {
+		b = binary.AppendVarint(b, it.Users)
+		for _, v := range it.PerOrder {
+			b = binary.AppendVarint(b, v)
+		}
+		for _, v := range it.Sums {
+			b = binary.AppendVarint(b, v)
+		}
+	}
+	e.scratch = b[:0] // keep the grown buffer for the next frame
+	n, err := e.w.Write(b)
+	e.n += int64(n)
+	return err
+}
+
+// ReadDomainSums decodes one MsgDomainSumsFrame. It must be called when
+// a domain sums frame is the next frame on the stream — after sending a
+// MsgDomainSums request — and fails on any other frame type. The
+// declared horizon and domain size are validated before any array is
+// allocated, and every array length is fully determined by them, so a
+// corrupt header cannot force a huge allocation.
+func (d *Decoder) ReadDomainSums() (DomainSumsFrame, error) {
+	if d.next < len(d.pending) {
+		return DomainSumsFrame{}, errors.New("transport: domain sums frame inside batch")
+	}
+	tb, err := d.r.ReadByte()
+	if err != nil {
+		return DomainSumsFrame{}, err // io.EOF passes through
+	}
+	if MsgType(tb) != MsgDomainSumsFrame {
+		return DomainSumsFrame{}, fmt.Errorf("transport: expected domain sums frame, got message type %d", tb)
+	}
+	ver, err := d.r.ReadByte()
+	if err != nil {
+		return DomainSumsFrame{}, truncated(err)
+	}
+	if ver != queryWireVersion {
+		return DomainSumsFrame{}, fmt.Errorf("transport: unsupported domain sums version %d", ver)
+	}
+	du, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return DomainSumsFrame{}, truncated(err)
+	}
+	mu, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return DomainSumsFrame{}, truncated(err)
+	}
+	if du > MaxSumsD || mu > MaxDomainM {
+		return DomainSumsFrame{}, fmt.Errorf("transport: domain sums frame dims d=%d m=%d out of bounds", du, mu)
+	}
+	f := DomainSumsFrame{D: int(du), M: int(mu)}
+	if err := validDomainDims(f.D, f.M); err != nil {
+		return DomainSumsFrame{}, err
+	}
+	var raw [8]byte
+	if _, err := io.ReadFull(d.r, raw[:]); err != nil {
+		return DomainSumsFrame{}, truncated(err)
+	}
+	f.Scale = math.Float64frombits(binary.LittleEndian.Uint64(raw[:]))
+	f.Items = make([]ItemSums, f.M)
+	for x := range f.Items {
+		it := ItemSums{
+			PerOrder: make([]int64, dyadic.NumOrders(f.D)),
+			Sums:     make([]int64, dyadic.TotalIntervals(f.D)),
+		}
+		it.Users, err = binary.ReadVarint(d.r)
+		if err != nil {
+			return DomainSumsFrame{}, truncated(err)
+		}
+		if it.Users < 0 {
+			return DomainSumsFrame{}, fmt.Errorf("transport: domain sums frame item %d has negative user count %d", x, it.Users)
+		}
+		for h := range it.PerOrder {
+			v, err := binary.ReadVarint(d.r)
+			if err != nil {
+				return DomainSumsFrame{}, truncated(err)
+			}
+			if v < 0 {
+				return DomainSumsFrame{}, fmt.Errorf("transport: domain sums frame item %d has negative count %d at order %d", x, v, h)
+			}
+			it.PerOrder[h] = v
+		}
+		for i := range it.Sums {
+			v, err := binary.ReadVarint(d.r)
+			if err != nil {
+				return DomainSumsFrame{}, truncated(err)
+			}
+			it.Sums[i] = v
+		}
+		f.Items[x] = it
+	}
+	return f, nil
+}
+
+// ---------------------------------------------------------------------------
+// Collectors.
+
+// DomainBatchCollector is the domain counterpart of BatchCollector: the
+// fan-in point a domain-mode IngestServer feeds — the plain in-memory
+// DomainCollector, or the DurableDomainCollector that journals every
+// frame to a write-ahead log first.
+type DomainBatchCollector interface {
+	// Domain returns the underlying domain server (for queries).
+	Domain() *hh.DomainServer
+	// Send validates and ingests one domain hello or report message.
+	Send(shard int, m Msg) error
+	// SendBatch validates and ingests a whole decoded batch atomically.
+	SendBatch(shard int, ms []Msg) error
+	// Validate checks one message against the server's parameters
+	// without side effects.
+	Validate(m Msg) error
+	// Stats returns the number of hellos, reports and batches ingested.
+	Stats() (hellos, reports, batches int64)
+}
+
+// DomainCollector fans decoded domain messages into an hh.DomainServer:
+// the domain counterpart of ShardedCollector. The shard argument is a
+// routing hint that spreads hot counters across cache lines;
+// correctness does not depend on it.
+type DomainCollector struct {
+	srv     *hh.DomainServer
+	reports atomic.Int64
+	hellos  atomic.Int64
+	batches atomic.Int64
+}
+
+// NewDomainCollector builds a collector over the given domain server.
+func NewDomainCollector(srv *hh.DomainServer) *DomainCollector {
+	return &DomainCollector{srv: srv}
+}
+
+// Domain returns the underlying domain server (for queries).
+func (c *DomainCollector) Domain() *hh.DomainServer { return c.srv }
+
+// Validate checks one domain hello or report message against the
+// server's parameters without side effects.
+func (c *DomainCollector) Validate(m Msg) error {
+	return ValidateDomainIngest(c.srv.D(), c.srv.M(), m)
+}
+
+// apply accumulates one validated message; callers must have run
+// Validate first.
+func (c *DomainCollector) apply(shard int, m Msg, hellos, reports *int64) {
+	if m.Type == MsgDomainHello {
+		c.srv.Register(shard, m.Item, m.Order)
+		*hellos++
+	} else {
+		c.srv.Ingest(shard, m.Item, protocol.Report{User: m.User, Order: m.Order, J: m.J, Bit: m.Bit})
+		*reports++
+	}
+}
+
+// Send validates one domain message and applies it to the server via
+// the given shard. It is safe for concurrent use.
+func (c *DomainCollector) Send(shard int, m Msg) error {
+	if err := c.Validate(m); err != nil {
+		return err
+	}
+	var hellos, reports int64
+	c.apply(shard, m, &hellos, &reports)
+	if hellos > 0 {
+		c.hellos.Add(hellos)
+	}
+	c.reports.Add(reports)
+	return nil
+}
+
+// SendBatch applies a decoded batch to the server via the given shard.
+// The batch is atomic: it is validated in full first, and on error
+// nothing is applied.
+func (c *DomainCollector) SendBatch(shard int, ms []Msg) error {
+	for i := range ms {
+		if err := c.Validate(ms[i]); err != nil {
+			return err
+		}
+	}
+	c.applyBatch(shard, ms)
+	return nil
+}
+
+// applyBatch accumulates a fully validated batch.
+func (c *DomainCollector) applyBatch(shard int, ms []Msg) {
+	var hellos, reports int64
+	for i := range ms {
+		c.apply(shard, ms[i], &hellos, &reports)
+	}
+	if hellos > 0 {
+		c.hellos.Add(hellos)
+	}
+	c.reports.Add(reports)
+	c.batches.Add(1)
+}
+
+// Stats returns the number of hellos, reports and batches ingested.
+func (c *DomainCollector) Stats() (hellos, reports, batches int64) {
+	return c.hellos.Load(), c.reports.Load(), c.batches.Load()
+}

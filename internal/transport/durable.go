@@ -7,6 +7,7 @@ import (
 	"io"
 	"sync"
 
+	"rtf/internal/hh"
 	"rtf/internal/persist"
 	"rtf/internal/protocol"
 )
@@ -30,7 +31,7 @@ type BatchCollector interface {
 	Stats() (hellos, reports, batches int64)
 }
 
-// DurableOptions configures OpenDurable.
+// DurableOptions configures OpenDurable and OpenDurableDomain.
 type DurableOptions struct {
 	// Fsync syncs the WAL after every append and snapshot writes before
 	// rename. Off, a kill -9 still loses nothing (records are written
@@ -59,20 +60,19 @@ type RecoveryStats struct {
 	Hellos, Reports int64
 }
 
-// DurableCollector wraps a ShardedCollector with the persistence
-// subsystem: every frame is validated, journaled to the write-ahead
-// log, and only then applied, so an acknowledged frame survives a
-// crash. Snapshot cuts a consistent point-in-time copy of the
-// accumulator with its WAL cursor and compacts the log behind it.
-type DurableCollector struct {
-	inner *ShardedCollector
+// durableJournal is the persistence machinery shared by the Boolean and
+// domain durable collectors: the write-ahead log, the snapshot
+// directory, and the lock that orders journal+apply pairs against
+// snapshot cuts. What state gets restored, applied and marshalled is
+// the wrapping collector's business; the journal only moves bytes.
+type durableJournal struct {
 	wal   *persist.WAL
 	dir   string
 	meta  persist.Meta
 	fsync bool
 
 	// mu orders journal+apply pairs against snapshot cuts: ingestion
-	// holds it shared around the append-then-apply sequence, Snapshot
+	// holds it shared around the append-then-apply sequence, snapshot
 	// holds it exclusively while reading the cursor and folding the
 	// counters, so a snapshot's cursor covers exactly the applied
 	// prefix of the log.
@@ -81,16 +81,14 @@ type DurableCollector struct {
 	scratch sync.Pool // *[]byte buffers for frame re-encoding
 }
 
-// OpenDurable recovers the accumulator's durable state from dir (newest
-// snapshot, then WAL replay past its cursor) and returns a collector
-// that journals all further ingestion there. The accumulator must be
-// freshly constructed; meta must describe the hosting configuration and
-// is checked against the snapshot's, so a data directory written under
-// different parameters is rejected rather than misinterpreted.
-func OpenDurable(acc *protocol.Sharded, dir string, meta persist.Meta, o DurableOptions) (*DurableCollector, RecoveryStats, error) {
+// openJournal recovers durable state from dir — newest snapshot
+// through restore, then WAL replay past its cursor through replay — and
+// returns a journal accepting further appends there. meta is checked
+// against the snapshot's, so a data directory written under different
+// parameters is rejected rather than misinterpreted.
+func openJournal(dir string, meta persist.Meta, o DurableOptions,
+	restore func(state []byte) error, replay func(ms []Msg) error) (*durableJournal, RecoveryStats, error) {
 	var stats RecoveryStats
-	inner := NewShardedCollector(acc)
-
 	if err := persist.CleanTemp(dir); err != nil {
 		return nil, stats, fmt.Errorf("transport: cleaning stale snapshot temp files: %w", err)
 	}
@@ -103,7 +101,7 @@ func OpenDurable(acc *protocol.Sharded, dir string, meta persist.Meta, o Durable
 		if err := snap.Meta.Check(meta); err != nil {
 			return nil, stats, err
 		}
-		if err := acc.RestoreState(snap.State); err != nil {
+		if err := restore(snap.State); err != nil {
 			return nil, stats, fmt.Errorf("transport: restoring snapshot state: %w", err)
 		}
 		after = snap.Cursor
@@ -121,7 +119,7 @@ func OpenDurable(acc *protocol.Sharded, dir string, meta persist.Meta, o Durable
 				if err != nil {
 					return fmt.Errorf("decoding record %d: %w", seq, err)
 				}
-				if err := inner.SendBatch(0, ms); err != nil {
+				if err := replay(ms); err != nil {
 					return fmt.Errorf("applying record %d: %w", seq, err)
 				}
 			}
@@ -130,7 +128,6 @@ func OpenDurable(acc *protocol.Sharded, dir string, meta persist.Meta, o Durable
 		return nil, stats, fmt.Errorf("transport: WAL replay: %w", err)
 	}
 	stats.Replayed = n
-	stats.Hellos, stats.Reports, _ = inner.Stats()
 
 	minSeq := after
 	if last > minSeq {
@@ -144,7 +141,85 @@ func OpenDurable(acc *protocol.Sharded, dir string, meta persist.Meta, o Durable
 	if err != nil {
 		return nil, stats, fmt.Errorf("transport: opening WAL: %w", err)
 	}
-	return &DurableCollector{inner: inner, wal: wal, dir: dir, meta: meta, fsync: o.Fsync}, stats, nil
+	return &durableJournal{wal: wal, dir: dir, meta: meta, fsync: o.Fsync}, stats, nil
+}
+
+// journal re-encodes the batch, appends it to the write-ahead log, and
+// runs apply — in that order, under the shared half of the snapshot
+// lock, so any batch a query response can reflect is already durable.
+// The batch must be pre-validated; on a journaling error apply never
+// runs.
+func (j *durableJournal) journal(ms []Msg, apply func()) error {
+	bp, _ := j.scratch.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
+	}
+	payload, err := appendBatch((*bp)[:0], ms)
+	if err != nil {
+		return err
+	}
+	*bp = payload[:0]
+	defer j.scratch.Put(bp)
+
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	if _, err := j.wal.Append(payload); err != nil {
+		return err
+	}
+	apply()
+	return nil
+}
+
+// snapshot writes a durable snapshot of the state produced by marshal
+// and compacts the WAL segments (and older snapshots) it supersedes. It
+// returns the snapshot's cursor. Ingestion is paused only while the
+// counters are folded, not while the file is written.
+func (j *durableJournal) snapshot(marshal func() []byte) (uint64, error) {
+	j.mu.Lock()
+	cursor := j.wal.LastSeq()
+	state := marshal()
+	j.mu.Unlock()
+
+	snap := &persist.Snapshot{Cursor: cursor, Meta: j.meta, State: state}
+	if err := persist.WriteSnapshot(j.dir, snap, j.fsync); err != nil {
+		return cursor, fmt.Errorf("transport: writing snapshot: %w", err)
+	}
+	if err := j.wal.Compact(cursor); err != nil {
+		return cursor, fmt.Errorf("transport: compacting WAL: %w", err)
+	}
+	if err := persist.CompactSnapshots(j.dir, 2); err != nil {
+		return cursor, fmt.Errorf("transport: compacting snapshots: %w", err)
+	}
+	return cursor, nil
+}
+
+// close closes the write-ahead log.
+func (j *durableJournal) close() error { return j.wal.Close() }
+
+// DurableCollector wraps a ShardedCollector with the persistence
+// subsystem: every frame is validated, journaled to the write-ahead
+// log, and only then applied, so an acknowledged frame survives a
+// crash. Snapshot cuts a consistent point-in-time copy of the
+// accumulator with its WAL cursor and compacts the log behind it.
+type DurableCollector struct {
+	inner *ShardedCollector
+	j     *durableJournal
+}
+
+// OpenDurable recovers the accumulator's durable state from dir (newest
+// snapshot, then WAL replay past its cursor) and returns a collector
+// that journals all further ingestion there. The accumulator must be
+// freshly constructed; meta must describe the hosting configuration.
+func OpenDurable(acc *protocol.Sharded, dir string, meta persist.Meta, o DurableOptions) (*DurableCollector, RecoveryStats, error) {
+	inner := NewShardedCollector(acc)
+	j, stats, err := openJournal(dir, meta, o,
+		acc.RestoreState,
+		func(ms []Msg) error { return inner.SendBatch(0, ms) })
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Hellos, stats.Reports, _ = inner.Stats()
+	return &DurableCollector{inner: inner, j: j}, stats, nil
 }
 
 // Acc returns the underlying accumulator (for estimate queries).
@@ -172,49 +247,83 @@ func (c *DurableCollector) SendBatch(shard int, ms []Msg) error {
 			return err
 		}
 	}
-	bp, _ := c.scratch.Get().(*[]byte)
-	if bp == nil {
-		bp = new([]byte)
-	}
-	payload, err := appendBatch((*bp)[:0], ms)
-	if err != nil {
-		return err
-	}
-	*bp = payload[:0]
-	defer c.scratch.Put(bp)
-
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if _, err := c.wal.Append(payload); err != nil {
-		return err
-	}
-	c.inner.applyBatch(shard, ms)
-	return nil
+	return c.j.journal(ms, func() { c.inner.applyBatch(shard, ms) })
 }
 
 // Snapshot writes a durable snapshot of the current accumulator state
 // and compacts the WAL segments (and older snapshots) it supersedes. It
-// returns the snapshot's cursor. Ingestion is paused only while the
-// counters are folded, not while the file is written.
+// returns the snapshot's cursor.
 func (c *DurableCollector) Snapshot() (uint64, error) {
-	c.mu.Lock()
-	cursor := c.wal.LastSeq()
-	state := c.inner.Acc().MarshalState()
-	c.mu.Unlock()
-
-	snap := &persist.Snapshot{Cursor: cursor, Meta: c.meta, State: state}
-	if err := persist.WriteSnapshot(c.dir, snap, c.fsync); err != nil {
-		return cursor, fmt.Errorf("transport: writing snapshot: %w", err)
-	}
-	if err := c.wal.Compact(cursor); err != nil {
-		return cursor, fmt.Errorf("transport: compacting WAL: %w", err)
-	}
-	if err := persist.CompactSnapshots(c.dir, 2); err != nil {
-		return cursor, fmt.Errorf("transport: compacting snapshots: %w", err)
-	}
-	return cursor, nil
+	return c.j.snapshot(c.inner.Acc().MarshalState)
 }
 
 // Close closes the write-ahead log. It does not snapshot; callers that
 // want a final cut call Snapshot first.
-func (c *DurableCollector) Close() error { return c.wal.Close() }
+func (c *DurableCollector) Close() error { return c.j.close() }
+
+// DurableDomainCollector is the domain counterpart of DurableCollector:
+// a DomainCollector whose every frame is journaled before it is
+// applied, with per-item accumulator state snapshotted and recovered
+// through the same snapshot+WAL machinery.
+type DurableDomainCollector struct {
+	inner *DomainCollector
+	j     *durableJournal
+}
+
+// OpenDurableDomain recovers the domain server's durable state from dir
+// and returns a collector that journals all further ingestion there.
+// The server must be freshly constructed; meta must describe the
+// hosting configuration (Meta.M is the domain size).
+func OpenDurableDomain(ds *hh.DomainServer, dir string, meta persist.Meta, o DurableOptions) (*DurableDomainCollector, RecoveryStats, error) {
+	if meta.M != ds.M() {
+		return nil, RecoveryStats{}, fmt.Errorf("transport: meta domain size %d does not match server's %d", meta.M, ds.M())
+	}
+	inner := NewDomainCollector(ds)
+	j, stats, err := openJournal(dir, meta, o,
+		ds.RestoreState,
+		func(ms []Msg) error { return inner.SendBatch(0, ms) })
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Hellos, stats.Reports, _ = inner.Stats()
+	return &DurableDomainCollector{inner: inner, j: j}, stats, nil
+}
+
+// Domain returns the underlying domain server (for queries).
+func (c *DurableDomainCollector) Domain() *hh.DomainServer { return c.inner.Domain() }
+
+// Stats returns the number of hellos, reports and batches ingested,
+// including those recovered at boot.
+func (c *DurableDomainCollector) Stats() (hellos, reports, batches int64) {
+	return c.inner.Stats()
+}
+
+// Send journals and ingests one domain hello or report message.
+func (c *DurableDomainCollector) Send(shard int, m Msg) error {
+	return c.SendBatch(shard, []Msg{m})
+}
+
+// Validate checks one message without journaling or applying anything.
+func (c *DurableDomainCollector) Validate(m Msg) error { return c.inner.Validate(m) }
+
+// SendBatch validates the batch, appends its wire encoding to the
+// write-ahead log, and applies it to the domain server — in that
+// order. On a validation or journaling error nothing is applied.
+func (c *DurableDomainCollector) SendBatch(shard int, ms []Msg) error {
+	for i := range ms {
+		if err := c.inner.Validate(ms[i]); err != nil {
+			return err
+		}
+	}
+	return c.j.journal(ms, func() { c.inner.applyBatch(shard, ms) })
+}
+
+// Snapshot writes a durable snapshot of the current per-item state and
+// compacts the WAL (and older snapshots) behind it.
+func (c *DurableDomainCollector) Snapshot() (uint64, error) {
+	return c.j.snapshot(c.inner.Domain().MarshalState)
+}
+
+// Close closes the write-ahead log. It does not snapshot; callers that
+// want a final cut call Snapshot first.
+func (c *DurableDomainCollector) Close() error { return c.j.close() }

@@ -20,6 +20,14 @@ import (
 type IngestServer struct {
 	Collector BatchCollector
 
+	// Domain, when non-nil, puts the server in domain mode: it serves
+	// item-tagged ingest frames (MsgDomainHello, MsgDomainReport),
+	// item-scoped queries (MsgDomainQuery) and per-item raw-sums
+	// requests (MsgDomainSums) instead of the Boolean protocol. A server
+	// hosts exactly one of the two modes; Boolean frames on a domain
+	// server (and vice versa) fail that connection.
+	Domain DomainBatchCollector
+
 	// ErrorLog, when non-nil, receives per-connection decode/validation
 	// failures (which close that connection but not the server).
 	ErrorLog func(err error)
@@ -37,6 +45,13 @@ type IngestServer struct {
 // restartable service.
 func NewIngestServer(c BatchCollector) *IngestServer {
 	return &IngestServer{Collector: c, conns: make(map[net.Conn]struct{})}
+}
+
+// NewDomainIngestServer builds a domain-mode server over the given
+// collector — a plain DomainCollector for in-memory serving, or a
+// DurableDomainCollector for a restartable service.
+func NewDomainIngestServer(c DomainBatchCollector) *IngestServer {
+	return &IngestServer{Domain: c, conns: make(map[net.Conn]struct{})}
 }
 
 // Serve accepts connections on l until Close is called (or the listener
@@ -89,6 +104,35 @@ func (s *IngestServer) ListenAndServe(addr string, ready chan<- net.Addr) error 
 	return s.Serve(l)
 }
 
+// BatchRuns applies a fully validated mixed batch in stream order:
+// contiguous runs of ingest messages go to forward as whole batches,
+// and each frame isQuery selects goes to answer between them. It is
+// the shared core of the atomic-batch discipline on every serving path
+// — the Boolean and domain ingest servers and both gateway modes —
+// so callers MUST validate every frame of the batch before invoking
+// it; a malformed frame anywhere then aborts before anything applies.
+func BatchRuns(ms []Msg, isQuery func(Msg) bool, forward func([]Msg) error, answer func(Msg) error) error {
+	run := 0
+	for i, m := range ms {
+		if !isQuery(m) {
+			continue
+		}
+		if i > run {
+			if err := forward(ms[run:i]); err != nil {
+				return err
+			}
+		}
+		run = i + 1
+		if err := answer(m); err != nil {
+			return err
+		}
+	}
+	if run < len(ms) {
+		return forward(ms[run:])
+	}
+	return nil
+}
+
 // serveConn runs the decode loop for one connection: hello/report
 // messages and batches go to the collector under this connection's
 // shard; queries (and raw-sums requests from a cluster gateway) are
@@ -102,7 +146,13 @@ func (s *IngestServer) ListenAndServe(addr string, ready chan<- net.Addr) error 
 func (s *IngestServer) serveConn(id int, conn net.Conn) error {
 	dec := NewDecoder(conn)
 	enc := NewEncoder(conn)
+	if s.Domain != nil {
+		return s.serveDomainConn(id, dec, enc)
+	}
 	acc := s.Collector.Acc()
+	isQuery := func(m Msg) bool {
+		return m.Type == MsgQuery || m.Type == MsgQueryV2 || m.Type == MsgSums
+	}
 	for {
 		ms, err := dec.NextBatch()
 		if err != nil {
@@ -129,45 +179,89 @@ func (s *IngestServer) serveConn(id int, conn net.Conn) error {
 				}
 			}
 		}
-		// Ingest contiguous runs of hello/report messages as whole
-		// batches; answer queries in stream order between them.
-		run := 0
-		for i, m := range ms {
-			if m.Type != MsgQuery && m.Type != MsgQueryV2 && m.Type != MsgSums {
-				continue
-			}
-			if i > run {
-				if err := s.Collector.SendBatch(id, ms[run:i]); err != nil {
-					return err
+		err = BatchRuns(ms, isQuery,
+			func(run []Msg) error { return s.Collector.SendBatch(id, run) },
+			func(m Msg) error {
+				switch m.Type {
+				case MsgQuery:
+					if err := enc.Encode(Estimate(m.T, acc.EstimateAt(m.T))); err != nil {
+						return err
+					}
+				case MsgQueryV2:
+					ans, err := AnswerQuery(acc, m)
+					if err != nil {
+						return err
+					}
+					if err := enc.EncodeAnswer(ans); err != nil {
+						return err
+					}
+				case MsgSums:
+					if err := enc.EncodeSums(SumsFromSharded(acc)); err != nil {
+						return err
+					}
 				}
+				return enc.Flush()
+			})
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// serveDomainConn is serveConn for a domain-mode server: item-tagged
+// hello/report messages and batches go to the domain collector under
+// this connection's shard; item-scoped queries (and per-item raw-sums
+// requests from a cluster gateway) are answered immediately from the
+// live per-item accumulators. Batches are atomic, exactly as on the
+// Boolean path.
+func (s *IngestServer) serveDomainConn(id int, dec *Decoder, enc *Encoder) error {
+	ds := s.Domain.Domain()
+	isQuery := func(m Msg) bool {
+		return m.Type == MsgDomainQuery || m.Type == MsgDomainSums
+	}
+	for {
+		ms, err := dec.NextBatch()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil // clean client close or server shutdown
 			}
-			run = i + 1
+			return err
+		}
+		for _, m := range ms {
 			switch m.Type {
-			case MsgQuery:
-				if err := enc.Encode(Estimate(m.T, acc.EstimateAt(m.T))); err != nil {
+			case MsgDomainQuery:
+				if err := ValidateDomainQuery(ds.D(), ds.M(), m); err != nil {
 					return err
 				}
-			case MsgQueryV2:
-				ans, err := AnswerQuery(acc, m)
-				if err != nil {
+			case MsgDomainSums:
+				// No parameters to validate.
+			default:
+				if err := s.Domain.Validate(m); err != nil {
 					return err
 				}
-				if err := enc.EncodeAnswer(ans); err != nil {
-					return err
-				}
-			case MsgSums:
-				if err := enc.EncodeSums(SumsFromSharded(acc)); err != nil {
-					return err
-				}
-			}
-			if err := enc.Flush(); err != nil {
-				return err
 			}
 		}
-		if run < len(ms) {
-			if err := s.Collector.SendBatch(id, ms[run:]); err != nil {
-				return err
-			}
+		err = BatchRuns(ms, isQuery,
+			func(run []Msg) error { return s.Domain.SendBatch(id, run) },
+			func(m Msg) error {
+				switch m.Type {
+				case MsgDomainQuery:
+					ans, err := AnswerDomainQuery(ds, m)
+					if err != nil {
+						return err
+					}
+					if err := enc.EncodeDomainAnswer(ans); err != nil {
+						return err
+					}
+				case MsgDomainSums:
+					if err := enc.EncodeDomainSums(DomainSumsFromServer(ds)); err != nil {
+						return err
+					}
+				}
+				return enc.Flush()
+			})
+		if err != nil {
+			return err
 		}
 	}
 }

@@ -43,6 +43,15 @@ const (
 	MsgAnswer    MsgType = 7 // versioned answer frame: kind + range + values
 	MsgSums      MsgType = 8 // cluster gateway asks for the raw interval sums
 	MsgSumsFrame MsgType = 9 // response: raw accumulator state (SumsFrame)
+
+	// Domain-valued tracking (the richer-domain reduction): ingest and
+	// query frames tagged with the user's sampled target item.
+	MsgDomainHello     MsgType = 10 // user announces its (item, order) pair
+	MsgDomainReport    MsgType = 11 // one perturbed partial sum, item-tagged
+	MsgDomainQuery     MsgType = 12 // versioned item-scoped query frame
+	MsgDomainAnswer    MsgType = 13 // response: items and/or values (DomainAnswerFrame)
+	MsgDomainSums      MsgType = 14 // gateway asks for the per-item raw sums
+	MsgDomainSumsFrame MsgType = 15 // response: per-item raw state (DomainSumsFrame)
 )
 
 // QueryKind discriminates the shapes of a versioned (v2) query. The
@@ -55,6 +64,11 @@ const (
 	QueryChange QueryKind = 2 // â[R] − â[L−1]    over [L..R]
 	QuerySeries QueryKind = 3 // â[1..d]
 	QueryWindow QueryKind = 4 // â[L..R], one value per period
+
+	// Item-scoped kinds, carried in MsgDomainQuery frames only.
+	QueryPointItem  QueryKind = 5 // f̂(item, t)      (L = t)
+	QuerySeriesItem QueryKind = 6 // f̂(item, 1..d)
+	QueryTopK       QueryKind = 7 // top K items at time t (L = t)
 )
 
 // String names the kind for error messages.
@@ -68,6 +82,12 @@ func (k QueryKind) String() string {
 		return "series"
 	case QueryWindow:
 		return "window"
+	case QueryPointItem:
+		return "point-item"
+	case QuerySeriesItem:
+		return "series-item"
+	case QueryTopK:
+		return "top-k"
 	default:
 		return fmt.Sprintf("kind(%d)", byte(k))
 	}
@@ -97,8 +117,10 @@ type Msg struct {
 	Bit   int8      // report only, ±1
 	T     int       // v1 query/estimate only: time period
 	Value float64   // v1 estimate only: â[t]
-	Kind  QueryKind // v2 query only
-	L, R  int       // v2 query only: range (point queries use L = t)
+	Kind  QueryKind // v2 and domain queries only
+	L, R  int       // v2 and domain queries only: range (point queries use L = t)
+	Item  int       // domain messages only: the sampled target item
+	K     int       // domain top-k query only: how many items
 }
 
 // Hello constructs an order-announcement message.
@@ -123,6 +145,35 @@ func QueryV2(kind QueryKind, l, r int) Msg {
 // scatters this to every backend and merges the responses.
 func Sums() Msg {
 	return Msg{Type: MsgSums}
+}
+
+// DomainHello constructs an (item, order) announcement for a domain
+// server: the user's sampled target item and the wrapped Boolean
+// client's order, both data-independent and safe in the clear.
+func DomainHello(user, item, order int) Msg {
+	return Msg{Type: MsgDomainHello, User: user, Item: item, Order: order}
+}
+
+// FromDomainReport tags a protocol report with its target item for a
+// domain server.
+func FromDomainReport(item int, r protocol.Report) Msg {
+	return Msg{Type: MsgDomainReport, User: r.User, Item: item, Order: r.Order, J: r.J, Bit: r.Bit}
+}
+
+// DomainQuery constructs a versioned item-scoped query frame.
+// Point-item queries use l for the time; series-item queries ignore the
+// bounds; top-k queries use l for the time and k for the item count
+// (item is ignored).
+func DomainQuery(kind QueryKind, item, l, r, k int) Msg {
+	return Msg{Type: MsgDomainQuery, Kind: kind, Item: item, L: l, R: r, K: k}
+}
+
+// DomainSums constructs a per-item raw-sums request: the server answers
+// with one DomainSumsFrame carrying every item's live accumulator
+// state. The cluster gateway scatters this to every backend and merges
+// the responses.
+func DomainSums() Msg {
+	return Msg{Type: MsgDomainSums}
 }
 
 // Estimate constructs a query response.
@@ -206,6 +257,46 @@ func appendMsg(b []byte, m Msg) ([]byte, error) {
 		b = binary.AppendUvarint(b, uint64(m.L))
 		b = binary.AppendUvarint(b, uint64(m.R))
 	case MsgSums:
+		b = append(b, queryWireVersion)
+	case MsgDomainHello:
+		if m.User < 0 {
+			return nil, fmt.Errorf("transport: negative user id %d", m.User)
+		}
+		if m.Item < 0 {
+			return nil, fmt.Errorf("transport: negative item %d", m.Item)
+		}
+		b = binary.AppendUvarint(b, uint64(m.User))
+		b = binary.AppendUvarint(b, uint64(m.Item))
+		b = binary.AppendUvarint(b, uint64(m.Order))
+	case MsgDomainReport:
+		if m.User < 0 {
+			return nil, fmt.Errorf("transport: negative user id %d", m.User)
+		}
+		if m.Item < 0 {
+			return nil, fmt.Errorf("transport: negative item %d", m.Item)
+		}
+		b = binary.AppendUvarint(b, uint64(m.User))
+		b = binary.AppendUvarint(b, uint64(m.Item))
+		b = binary.AppendUvarint(b, uint64(m.Order))
+		b = binary.AppendUvarint(b, uint64(m.J))
+		switch m.Bit {
+		case 1:
+			b = append(b, 1)
+		case -1:
+			b = append(b, 0)
+		default:
+			return nil, fmt.Errorf("transport: report bit %d not ±1", m.Bit)
+		}
+	case MsgDomainQuery:
+		if m.Item < 0 || m.L < 0 || m.R < 0 || m.K < 0 {
+			return nil, fmt.Errorf("transport: negative domain query field (item=%d l=%d r=%d k=%d)", m.Item, m.L, m.R, m.K)
+		}
+		b = append(b, queryWireVersion, byte(m.Kind))
+		b = binary.AppendUvarint(b, uint64(m.Item))
+		b = binary.AppendUvarint(b, uint64(m.L))
+		b = binary.AppendUvarint(b, uint64(m.R))
+		b = binary.AppendUvarint(b, uint64(m.K))
+	case MsgDomainSums:
 		b = append(b, queryWireVersion)
 	default:
 		return nil, fmt.Errorf("transport: unknown message type %d", m.Type)
@@ -387,9 +478,10 @@ func (d *Decoder) scalarOrBatch() (Msg, error) {
 	return Msg{Type: MsgBatch}, nil
 }
 
-// maxScalarWire is the largest wire size of a scalar message: a report
-// with three maximal 10-byte uvarints, plus the type and bit bytes.
-const maxScalarWire = 32
+// maxScalarWire is the largest wire size of a scalar message: a domain
+// report with four maximal 10-byte uvarints, plus the type and bit
+// bytes (a domain query — version, kind and four uvarints — fits too).
+const maxScalarWire = 48
 
 // errShortMsg reports that a slice decode ran out of bytes.
 var errShortMsg = errors.New("transport: short message")
@@ -500,12 +592,109 @@ func decodeScalar(b []byte) (Msg, int, error) {
 			return Msg{}, 0, fmt.Errorf("transport: unsupported sums-request version %d", b[off])
 		}
 		off++
+	case MsgDomainHello:
+		user, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		item, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		h, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		if user > math.MaxInt {
+			return Msg{}, 0, fmt.Errorf("transport: user id %d overflows", user)
+		}
+		if item > math.MaxInt {
+			return Msg{}, 0, fmt.Errorf("transport: item %d overflows", item)
+		}
+		m.User, m.Item, m.Order = int(user), int(item), int(h)
+	case MsgDomainReport:
+		user, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		item, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		h, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		j, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		if off >= len(b) {
+			return Msg{}, 0, errShortMsg
+		}
+		if user > math.MaxInt {
+			return Msg{}, 0, fmt.Errorf("transport: user id %d overflows", user)
+		}
+		if item > math.MaxInt {
+			return Msg{}, 0, fmt.Errorf("transport: item %d overflows", item)
+		}
+		m.User, m.Item, m.Order, m.J = int(user), int(item), int(h), int(j)
+		switch b[off] {
+		case 1:
+			m.Bit = 1
+		case 0:
+			m.Bit = -1
+		default:
+			return Msg{}, 0, fmt.Errorf("transport: invalid bit byte %d", b[off])
+		}
+		off++
+	case MsgDomainQuery:
+		if off+2 > len(b) {
+			return Msg{}, 0, errShortMsg
+		}
+		if b[off] != queryWireVersion {
+			return Msg{}, 0, fmt.Errorf("transport: unsupported domain query version %d", b[off])
+		}
+		m.Kind = QueryKind(b[off+1])
+		off += 2
+		item, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		l, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		r, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		k, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		if item > math.MaxInt || l > math.MaxInt || r > math.MaxInt || k > math.MaxInt {
+			return Msg{}, 0, fmt.Errorf("transport: domain query field overflows")
+		}
+		m.Item, m.L, m.R, m.K = int(item), int(l), int(r), int(k)
+	case MsgDomainSums:
+		if off >= len(b) {
+			return Msg{}, 0, errShortMsg
+		}
+		if b[off] != queryWireVersion {
+			return Msg{}, 0, fmt.Errorf("transport: unsupported domain-sums-request version %d", b[off])
+		}
+		off++
 	case MsgBatch:
 		return Msg{}, 0, errors.New("transport: nested batch")
 	case MsgAnswer:
 		return Msg{}, 0, errors.New("transport: answer frame outside ReadAnswer")
 	case MsgSumsFrame:
 		return Msg{}, 0, errors.New("transport: sums frame outside ReadSums")
+	case MsgDomainAnswer:
+		return Msg{}, 0, errors.New("transport: domain answer frame outside ReadDomainAnswer")
+	case MsgDomainSumsFrame:
+		return Msg{}, 0, errors.New("transport: domain sums frame outside ReadDomainSums")
 	default:
 		return Msg{}, 0, fmt.Errorf("transport: unknown message type %d", b[0])
 	}
@@ -608,10 +797,110 @@ func (d *Decoder) scalarBody(typ MsgType) (Msg, error) {
 		if ver != queryWireVersion {
 			return Msg{}, fmt.Errorf("transport: unsupported sums-request version %d", ver)
 		}
+	case MsgDomainHello:
+		user, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		item, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		h, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		if user > math.MaxInt {
+			return Msg{}, fmt.Errorf("transport: user id %d overflows", user)
+		}
+		if item > math.MaxInt {
+			return Msg{}, fmt.Errorf("transport: item %d overflows", item)
+		}
+		m.User, m.Item, m.Order = int(user), int(item), int(h)
+	case MsgDomainReport:
+		user, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		item, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		h, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		j, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		bb, err := d.r.ReadByte()
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		if user > math.MaxInt {
+			return Msg{}, fmt.Errorf("transport: user id %d overflows", user)
+		}
+		if item > math.MaxInt {
+			return Msg{}, fmt.Errorf("transport: item %d overflows", item)
+		}
+		m.User, m.Item, m.Order, m.J = int(user), int(item), int(h), int(j)
+		switch bb {
+		case 1:
+			m.Bit = 1
+		case 0:
+			m.Bit = -1
+		default:
+			return Msg{}, fmt.Errorf("transport: invalid bit byte %d", bb)
+		}
+	case MsgDomainQuery:
+		ver, err := d.r.ReadByte()
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		if ver != queryWireVersion {
+			return Msg{}, fmt.Errorf("transport: unsupported domain query version %d", ver)
+		}
+		kind, err := d.r.ReadByte()
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		item, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		l, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		r, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		k, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		if item > math.MaxInt || l > math.MaxInt || r > math.MaxInt || k > math.MaxInt {
+			return Msg{}, fmt.Errorf("transport: domain query field overflows")
+		}
+		m.Kind, m.Item, m.L, m.R, m.K = QueryKind(kind), int(item), int(l), int(r), int(k)
+	case MsgDomainSums:
+		ver, err := d.r.ReadByte()
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		if ver != queryWireVersion {
+			return Msg{}, fmt.Errorf("transport: unsupported domain-sums-request version %d", ver)
+		}
 	case MsgAnswer:
 		return Msg{}, errors.New("transport: answer frame outside ReadAnswer")
 	case MsgSumsFrame:
 		return Msg{}, errors.New("transport: sums frame outside ReadSums")
+	case MsgDomainAnswer:
+		return Msg{}, errors.New("transport: domain answer frame outside ReadDomainAnswer")
+	case MsgDomainSumsFrame:
+		return Msg{}, errors.New("transport: domain sums frame outside ReadDomainSums")
 	default:
 		return Msg{}, fmt.Errorf("transport: unknown message type %d", typ)
 	}

@@ -2,11 +2,25 @@ package ldp
 
 import (
 	"errors"
+	"fmt"
 
+	"rtf/internal/dyadic"
 	"rtf/internal/hh"
+	"rtf/internal/protocol"
 	"rtf/internal/rng"
 	"rtf/internal/stats"
+	"rtf/internal/transport"
 )
+
+// This file is the public face of domain-valued tracking (the paper's
+// "richer domains via existing techniques" adaptation, Section 1): each
+// user samples one target item x_u ∈ [0..m) uniformly, tracks the
+// Boolean indicator stream 1{v_u[t] = x_u} with any mechanism that
+// declares the Domain capability, and the server runs one dyadic
+// accumulator per item with estimates scaled by m. The streaming API
+// (NewDomainClient / NewDomainServer) mirrors the Boolean one; the
+// batch TrackDomain entry point is a thin wrapper over it, so the
+// offline and online paths cannot drift.
 
 // DomainChange sets a user's domain value at time T (1-based); the first
 // change is the initial assignment.
@@ -18,12 +32,324 @@ type DomainStream = hh.DomainStream
 // DomainWorkload is a dataset of domain-valued user streams over [0..M).
 type DomainWorkload = hh.DomainWorkload
 
+// ItemCount pairs an item with its estimated frequency, the element of
+// a top-k answer.
+type ItemCount = hh.ItemCount
+
+// MaxDomainSize bounds the domain size m accepted at this boundary —
+// the same bound the wire frames enforce, so any domain a client can
+// construct is also servable over TCP and through a gateway.
+const MaxDomainSize = transport.MaxDomainM
+
 // GenerateDomain builds a synthetic domain workload with Zipf-popular
 // items: n users over d periods, domain size m, at most k value changes
 // per user, Zipf exponent s.
 func GenerateDomain(n, d, m, k int, s float64, seed int64) (*DomainWorkload, error) {
 	return hh.ZipfDomainGen{N: n, D: d, M: m, K: k, S: s}.Generate(rng.NewFromSeed(seed))
 }
+
+// checkDomainSize validates m at the public boundary.
+func checkDomainSize(m int) error {
+	if m < 2 {
+		return fmt.Errorf("ldp: domain size m=%d must be at least 2", m)
+	}
+	if m > MaxDomainSize {
+		return fmt.Errorf("ldp: domain size m=%d exceeds the %d limit", m, MaxDomainSize)
+	}
+	return nil
+}
+
+// domainMechanism resolves a protocol to a registered mechanism with
+// the Domain capability.
+func domainMechanism(p Protocol) (Mechanism, error) {
+	m, err := lookupErr(p)
+	if err != nil {
+		return Mechanism{}, err
+	}
+	if !m.Caps.Domain {
+		return Mechanism{}, fmt.Errorf("ldp: mechanism %q does not support domain tracking", p)
+	}
+	return m, nil
+}
+
+// DomainReport is one item-tagged report shipped from a DomainClient to
+// a DomainServer: the wrapped Boolean mechanism's report plus the
+// client's sampled target item.
+type DomainReport struct {
+	// Item is the client's sampled target item (data-independent, safe
+	// in the clear).
+	Item int
+	Report
+}
+
+// engineObserver adapts a registry ClientEngine to the hh.Observer
+// shape the reduction engine wraps.
+type engineObserver struct{ eng ClientEngine }
+
+func (o engineObserver) Order() int { return o.eng.Order() }
+
+func (o engineObserver) Observe(value bool) (protocol.Report, bool) {
+	r, ok := o.eng.Observe(value)
+	if !ok {
+		return protocol.Report{}, false
+	}
+	return protocol.Report{User: r.User, Order: r.Order, J: r.J, Bit: r.Bit}, true
+}
+
+// DomainClient is the client-side half of domain tracking for one user:
+// it holds the sampled target item and feeds the derived indicator
+// stream into the wrapped mechanism's Boolean client.
+type DomainClient struct {
+	inner *hh.DomainClient
+	user  int
+}
+
+// NewDomainClient creates a domain client for the given user over
+// horizon d (a power of two) and domain size m. Mechanism, sparsity and
+// budget come from options and must match the server's; the mechanism
+// must declare the Domain capability. The target item and the client's
+// randomness both derive from WithSeed mixed with the user id, exactly
+// like NewClient; use DomainClientFactory.NewClient for explicit
+// per-user seed control.
+func NewDomainClient(user, d, m int, opts ...Option) (*DomainClient, error) {
+	cfg := newConfig(opts)
+	f, err := newDomainClientFactory(d, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return f.NewClient(user, perUserSeed(cfg.seed, user))
+}
+
+// DomainClientFactory stamps out per-user domain clients sharing the
+// mechanism's parameter tables, like ClientFactory for the Boolean
+// protocol.
+type DomainClientFactory struct {
+	build ClientBuilder
+	m     int
+	mech  Protocol
+}
+
+// NewDomainClientFactory builds a factory for horizon d and domain size
+// m with the given options (WithSeed is ignored here; seeds are per
+// client).
+func NewDomainClientFactory(d, m int, opts ...Option) (*DomainClientFactory, error) {
+	return newDomainClientFactory(d, m, newConfig(opts))
+}
+
+func newDomainClientFactory(d, m int, cfg config) (*DomainClientFactory, error) {
+	if err := checkDomainSize(m); err != nil {
+		return nil, err
+	}
+	mech, err := domainMechanism(cfg.mech)
+	if err != nil {
+		return nil, err
+	}
+	build, err := mech.Clients(cfg.params(d))
+	if err != nil {
+		return nil, err
+	}
+	return &DomainClientFactory{build: build, m: m, mech: cfg.mech}, nil
+}
+
+// Mechanism returns the factory's protocol.
+func (f *DomainClientFactory) Mechanism() Protocol { return f.mech }
+
+// M returns the domain size.
+func (f *DomainClientFactory) M() int { return f.m }
+
+// NewClient builds the client for one user, seeded deterministically:
+// the seed drives both the uniform target-item draw and the wrapped
+// Boolean client's randomness, through disjoint streams.
+func (f *DomainClientFactory) NewClient(user int, seed int64) (*DomainClient, error) {
+	g := rng.NewFromSeed(seed)
+	item := g.IntN(f.m)
+	eng, err := f.build(user, g.Int64())
+	if err != nil {
+		return nil, err
+	}
+	inner, err := hh.NewDomainClient(item, f.m, engineObserver{eng})
+	if err != nil {
+		return nil, err
+	}
+	return &DomainClient{inner: inner, user: user}, nil
+}
+
+// Item returns the client's sampled target item.
+func (c *DomainClient) Item() int { return c.inner.Item() }
+
+// Order returns the wrapped Boolean client's announced order.
+func (c *DomainClient) Order() int { return c.inner.Order() }
+
+// Observe consumes the user's current domain value for the next time
+// period (−1 while the user has no value) and returns an item-tagged
+// report to ship when this period is a reporting time for the client.
+// Values outside [0..m) (other than −1) are rejected.
+func (c *DomainClient) Observe(value int) (DomainReport, bool, error) {
+	r, ok, err := c.inner.Observe(value)
+	if err != nil || !ok {
+		return DomainReport{}, false, err
+	}
+	return DomainReport{
+		Item:   c.inner.Item(),
+		Report: Report{User: r.User, Order: r.Order, J: r.J, Bit: r.Bit},
+	}, true, nil
+}
+
+// DomainServer is the server-side half of domain tracking: one dyadic
+// accumulator per item (the exact shared types behind rtf-serve), with
+// every per-item estimate scaled by m. It answers the item-scoped query
+// shapes — PointItem, SeriesItem, TopK — through Answer.
+type DomainServer struct {
+	inner *hh.DomainServer
+	d, m  int
+	mech  Protocol
+}
+
+// NewDomainServer creates a domain server for horizon d (a power of
+// two) and domain size m. Mechanism, sparsity and budget come from
+// options and must match the clients'; the mechanism must declare the
+// Domain capability.
+func NewDomainServer(d, m int, opts ...Option) (*DomainServer, error) {
+	cfg := newConfig(opts)
+	if err := checkDomainSize(m); err != nil {
+		return nil, err
+	}
+	if !dyadic.IsPow2(d) {
+		return nil, fmt.Errorf("ldp: d=%d is not a power of two", d)
+	}
+	mech, err := domainMechanism(cfg.mech)
+	if err != nil {
+		return nil, err
+	}
+	scale, err := mech.EstimatorScale(cfg.params(d))
+	if err != nil {
+		return nil, err
+	}
+	return &DomainServer{inner: hh.NewDomainServer(d, m, scale, 1), d: d, m: m, mech: cfg.mech}, nil
+}
+
+// Mechanism returns the server's protocol.
+func (s *DomainServer) Mechanism() Protocol { return s.mech }
+
+// D returns the horizon.
+func (s *DomainServer) D() int { return s.d }
+
+// M returns the domain size.
+func (s *DomainServer) M() int { return s.m }
+
+// Users returns the number of registered users across all items.
+func (s *DomainServer) Users() int { return s.inner.Users() }
+
+// Register records a user's announced (item, order) pair.
+func (s *DomainServer) Register(item, order int) error {
+	if item < 0 || item >= s.m {
+		return fmt.Errorf("ldp: item %d out of range [0..%d)", item, s.m)
+	}
+	if maxOrder := dyadic.Log2(s.d); order < 0 || order > maxOrder {
+		return fmt.Errorf("ldp: order %d out of range [0..%d]", order, maxOrder)
+	}
+	s.inner.Register(0, item, order)
+	return nil
+}
+
+// Ingest accumulates one item-tagged client report. Reports with
+// out-of-range fields — including negative user ids — are rejected at
+// this boundary.
+func (s *DomainServer) Ingest(r DomainReport) error {
+	if r.Item < 0 || r.Item >= s.m {
+		return fmt.Errorf("ldp: report item %d out of range [0..%d)", r.Item, s.m)
+	}
+	if r.User < 0 {
+		return fmt.Errorf("ldp: negative user id %d", r.User)
+	}
+	if r.Bit != 1 && r.Bit != -1 {
+		return fmt.Errorf("ldp: report bit %d must be ±1", r.Bit)
+	}
+	if maxOrder := dyadic.Log2(s.d); r.Order < 0 || r.Order > maxOrder {
+		return fmt.Errorf("ldp: report order %d out of range", r.Order)
+	}
+	if r.J < 1 || r.J > s.d>>uint(r.Order) {
+		return fmt.Errorf("ldp: report index %d out of range for order %d", r.J, r.Order)
+	}
+	s.inner.Ingest(0, r.Item, protocol.Report{User: r.User, Order: r.Order, J: r.J, Bit: r.Bit})
+	return nil
+}
+
+// Answer is the unified query entry point for the item-scoped shapes:
+// PointItem fills Value, SeriesItem fills Series, TopK fills Items with
+// the parallel Series values. Boolean query kinds are rejected — they
+// belong to a Server.
+func (s *DomainServer) Answer(q Query) (Answer, error) {
+	switch q.Kind {
+	case PointItem:
+		if q.Item < 0 || q.Item >= s.m {
+			return Answer{}, fmt.Errorf("ldp: item %d out of range [0..%d)", q.Item, s.m)
+		}
+		if q.T < 1 || q.T > s.d {
+			return Answer{}, fmt.Errorf("ldp: time %d out of range [1..%d]", q.T, s.d)
+		}
+		return Answer{Query: q, Value: s.inner.EstimateItemAt(q.Item, q.T)}, nil
+	case SeriesItem:
+		if q.Item < 0 || q.Item >= s.m {
+			return Answer{}, fmt.Errorf("ldp: item %d out of range [0..%d)", q.Item, s.m)
+		}
+		// Fresh copy, as on the Boolean path: never a view into an
+		// engine's backing array.
+		return Answer{Query: q, Series: append([]float64(nil), s.inner.EstimateItemSeries(q.Item)...)}, nil
+	case TopK:
+		if q.T < 1 || q.T > s.d {
+			return Answer{}, fmt.Errorf("ldp: time %d out of range [1..%d]", q.T, s.d)
+		}
+		if q.K < 0 {
+			return Answer{}, fmt.Errorf("ldp: negative k %d", q.K)
+		}
+		top := s.inner.TopK(q.T, q.K)
+		a := Answer{Query: q, Items: make([]int, len(top)), Series: make([]float64, len(top))}
+		for i, ic := range top {
+			a.Items[i] = ic.Item
+			a.Series[i] = ic.Count
+		}
+		return a, nil
+	case Point, Change, Series, Window:
+		return Answer{}, fmt.Errorf("ldp: Boolean query %s requires a Server, not a domain server", q.Kind)
+	default:
+		return Answer{}, fmt.Errorf("ldp: unknown query kind %d", int(q.Kind))
+	}
+}
+
+// TopK returns the k items with the largest estimated frequency at
+// time t, most frequent first (ties toward the smaller item);
+// shorthand for Answer(TopKQuery(t, k)).
+func (s *DomainServer) TopK(t, k int) ([]ItemCount, error) {
+	a, err := s.Answer(TopKQuery(t, k))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ItemCount, len(a.Items))
+	for i := range a.Items {
+		out[i] = ItemCount{Item: a.Items[i], Count: a.Series[i]}
+	}
+	return out, nil
+}
+
+// EstimateItemAt returns f̂(item, t); shorthand for
+// Answer(PointItemQuery(item, t)).
+func (s *DomainServer) EstimateItemAt(item, t int) (float64, error) {
+	a, err := s.Answer(PointItemQuery(item, t))
+	if err != nil {
+		return 0, err
+	}
+	return a.Value, nil
+}
+
+// MarshalState serializes all per-item accumulator state for a durable
+// snapshot.
+func (s *DomainServer) MarshalState() ([]byte, error) { return s.inner.MarshalState(), nil }
+
+// RestoreState reloads state produced by MarshalState on a server built
+// with the same mechanism and parameters. Call it on a fresh server;
+// estimates afterwards are bit-for-bit those of the snapshotted server.
+func (s *DomainServer) RestoreState(state []byte) error { return s.inner.RestoreState(state) }
 
 // DomainResult reports per-item frequency tracking quality.
 type DomainResult struct {
@@ -34,29 +360,83 @@ type DomainResult struct {
 	Truth [][]int
 	// MaxError is the worst error over all items and times.
 	MaxError float64
+	// Protocol that produced the result.
+	Protocol Protocol
 }
 
-// TrackDomain runs the richer-domain extension (Section 1's adaptation):
-// each user samples one target item, tracks its indicator with the
-// Boolean FutureRand protocol, and the server scales per-item estimates
-// by m.
+// TrackDomain runs the richer-domain extension end to end on a
+// workload: every user samples a target item and streams its indicator
+// through the selected mechanism's client (any mechanism with the
+// Domain capability — futurerand, independent, bun, erlingsson), and a
+// streaming DomainServer partitions the reports per item and scales
+// estimates by m. It is a thin wrapper over the streaming API — the
+// same engines that serve online traffic — so the offline and online
+// paths cannot drift. Runs with the same seed and inputs produce
+// identical results.
 func TrackDomain(w *DomainWorkload, opts Options) (*DomainResult, error) {
 	if w == nil {
 		return nil, errors.New("ldp: nil domain workload")
 	}
-	if opts.Protocol != "" && opts.Protocol != FutureRand {
-		return nil, errors.New("ldp: domain tracking supports the FutureRand protocol only")
+	if err := w.Validate(); err != nil {
+		return nil, err
 	}
-	est, err := hh.Tracker{Eps: opts.Epsilon, Fast: !opts.Exact}.Run(w, rng.NewFromSeed(opts.Seed))
+	if err := checkDomainSize(w.M); err != nil {
+		return nil, err
+	}
+	proto := opts.Protocol
+	if proto == "" {
+		proto = FutureRand
+	}
+	if opts.Consistency {
+		return nil, errors.New("ldp: consistency post-processing does not apply to domain tracking")
+	}
+	k := w.K
+	if k < 1 {
+		k = 1
+	}
+	common := []Option{WithMechanism(proto), WithEpsilon(opts.Epsilon), WithSparsity(k)}
+	factory, err := NewDomainClientFactory(w.D, w.M, common...)
 	if err != nil {
 		return nil, err
 	}
+	srv, err := NewDomainServer(w.D, w.M, common...)
+	if err != nil {
+		return nil, err
+	}
+	for u, us := range w.Users {
+		c, err := factory.NewClient(u, perUserSeed(opts.Seed, u))
+		if err != nil {
+			return nil, err
+		}
+		if err := srv.Register(c.Item(), c.Order()); err != nil {
+			return nil, err
+		}
+		vals := us.Values(w.D)
+		for t := 1; t <= w.D; t++ {
+			r, ok, err := c.Observe(vals[t-1])
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			if err := srv.Ingest(r); err != nil {
+				return nil, err
+			}
+		}
+	}
 	truth := w.Truth()
+	est := make([][]float64, w.M)
 	worst := 0.0
 	for x := 0; x < w.M; x++ {
+		a, err := srv.Answer(SeriesItemQuery(x))
+		if err != nil {
+			return nil, err
+		}
+		est[x] = a.Series
 		if e := stats.MaxAbsError(est[x], truth[x]); e > worst {
 			worst = e
 		}
 	}
-	return &DomainResult{Estimates: est, Truth: truth, MaxError: worst}, nil
+	return &DomainResult{Estimates: est, Truth: truth, MaxError: worst, Protocol: proto}, nil
 }

@@ -232,6 +232,17 @@ type Client struct {
 	eng ClientEngine
 }
 
+// perUserSeed derives one user's client seed from the shared WithSeed
+// value: SplitMix-style golden-ratio mixing keeps user-id seeding
+// disjoint from plain WithSeed values, so distinct (seed, user) pairs
+// do not collide by simple arithmetic. Every per-user construction path
+// (NewClient, NewDomainClient, TrackDomain) derives seeds through this
+// one function — the offline-equals-streaming determinism contract
+// depends on them agreeing.
+func perUserSeed(seed int64, user int) int64 {
+	return seed ^ (int64(user) * -0x61c8864680b583eb)
+}
+
 // NewClient creates a client for the given user over horizon d (a power
 // of two). Mechanism, sparsity and budget come from options. The
 // client's randomness is seeded by mixing WithSeed with the user id, so
@@ -246,9 +257,7 @@ func NewClient(user, d int, opts ...Option) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	// SplitMix-style golden-ratio mixing keeps user-id seeding disjoint
-	// from plain WithSeed values.
-	return f.NewClient(user, cfg.seed^(int64(user)*-0x61c8864680b583eb))
+	return f.NewClient(user, perUserSeed(cfg.seed, user))
 }
 
 // NewClippedClient is NewClient with WithClipping: the effective stream

@@ -297,12 +297,21 @@ func TestDomainTracking(t *testing.T) {
 	if res.MaxError <= 0 {
 		t.Error("zero max error suspicious")
 	}
+	// Any streaming framework mechanism runs the reduction now, not
+	// just FutureRand.
+	for _, p := range []Protocol{Erlingsson, Independent, Bun} {
+		res, err := TrackDomain(w, Options{Epsilon: 1, Seed: 3, Protocol: p})
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if res.Protocol != p {
+			t.Errorf("result protocol %s, want %s", res.Protocol, p)
+		}
+	}
 	// Errors.
 	if _, err := TrackDomain(nil, Options{Epsilon: 1}); err == nil {
 		t.Error("nil workload accepted")
-	}
-	if _, err := TrackDomain(w, Options{Epsilon: 1, Protocol: Erlingsson}); err == nil {
-		t.Error("non-futurerand protocol accepted")
 	}
 	if _, err := GenerateDomain(0, 32, 4, 3, 1.2, 7); err == nil {
 		t.Error("invalid domain spec accepted")

@@ -37,6 +37,12 @@ type Capabilities struct {
 	// floats — into answers bit-for-bit identical to one serial server.
 	// rtf-gateway hosts only clustered mechanisms. Implies Sharded.
 	Clustered bool
+	// Domain: the mechanism supports the richer-domain reduction
+	// (Section 1): its streaming clients can track the item-indicator
+	// stream and its server state is the standard dyadic accumulator,
+	// so a DomainServer can run one instance per item and scale
+	// estimates by m. Implies Streaming and Sharded.
+	Domain bool
 }
 
 // Params carries the protocol parameters shared by a mechanism's
@@ -148,6 +154,9 @@ func Register(m Mechanism) error {
 	}
 	if m.Caps.Durable && !m.Caps.Streaming {
 		return fmt.Errorf("ldp: durable mechanism %q must be streaming (durability snapshots server engines)", m.Protocol)
+	}
+	if m.Caps.Domain && (!m.Caps.Streaming || !m.Caps.Sharded) {
+		return fmt.Errorf("ldp: domain mechanism %q must be streaming and sharded (the reduction runs per-user clients over per-item dyadic accumulators)", m.Protocol)
 	}
 	if m.Caps.ErrorBound && m.ErrorBound == nil {
 		return fmt.Errorf("ldp: mechanism %q declares an error bound but provides none", m.Protocol)

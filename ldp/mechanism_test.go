@@ -332,10 +332,20 @@ func TestTrackDomainErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range []Protocol{Erlingsson, Independent, Bun, NaiveSplit, CentralBinary} {
+	// Mechanisms without the Domain capability are rejected; the
+	// streaming framework mechanisms all work.
+	for _, p := range []Protocol{NaiveSplit, CentralBinary, "no-such-protocol"} {
 		if _, err := TrackDomain(w, Options{Epsilon: 1, Protocol: p}); err == nil {
-			t.Errorf("%s: non-futurerand protocol accepted", p)
+			t.Errorf("%s: non-domain protocol accepted", p)
 		}
+	}
+	for _, p := range []Protocol{Erlingsson, Independent, Bun} {
+		if _, err := TrackDomain(w, Options{Epsilon: 1, Protocol: p}); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+	if _, err := TrackDomain(w, Options{Epsilon: 1, Consistency: true}); err == nil {
+		t.Error("consistency post-processing accepted for domain tracking")
 	}
 	for _, eps := range []float64{0, -1, 2} {
 		if _, err := TrackDomain(w, Options{Epsilon: eps}); err == nil {

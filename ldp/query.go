@@ -19,6 +19,16 @@ const (
 	Series
 	// Window asks for â[L..R], one estimate per period in the range.
 	Window
+	// PointItem asks for f̂(Item, T), one item's estimated frequency at
+	// one time — answered by a DomainServer.
+	PointItem
+	// SeriesItem asks for f̂(Item, 1..d), one item's full series —
+	// answered by a DomainServer.
+	SeriesItem
+	// TopK asks for the K items with the largest estimated frequency
+	// at time T, in decreasing order with ties broken toward the
+	// smaller item — answered by a DomainServer.
+	TopK
 )
 
 // String names the kind for error messages and tables.
@@ -32,21 +42,33 @@ func (k QueryKind) String() string {
 		return "series"
 	case Window:
 		return "window"
+	case PointItem:
+		return "point-item"
+	case SeriesItem:
+		return "series-item"
+	case TopK:
+		return "top-k"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
 }
 
-// Query is one request against a Server, answered online by any
-// registered mechanism through Server.Answer. Construct queries with
-// PointQuery, ChangeQuery, SeriesQuery and WindowQuery.
+// Query is one request against a Server (Boolean kinds) or a
+// DomainServer (item-scoped kinds), answered online through the
+// respective Answer method. Construct queries with PointQuery,
+// ChangeQuery, SeriesQuery, WindowQuery, PointItemQuery,
+// SeriesItemQuery and TopKQuery.
 type Query struct {
 	Kind QueryKind
-	// T is the time of a Point query.
+	// T is the time of a Point, PointItem or TopK query.
 	T int
 	// L, R bound the range of a Change or Window query (1-based,
 	// inclusive).
 	L, R int
+	// Item scopes a PointItem or SeriesItem query to one domain item.
+	Item int
+	// K is the item count of a TopK query.
+	K int
 }
 
 // PointQuery asks for â[t].
@@ -61,15 +83,30 @@ func SeriesQuery() Query { return Query{Kind: Series} }
 // WindowQuery asks for the per-period estimates â[l..r].
 func WindowQuery(l, r int) Query { return Query{Kind: Window, L: l, R: r} }
 
-// Answer is the result of a query: scalar kinds (Point, Change) fill
-// Value; vector kinds (Series, Window) fill Series.
+// PointItemQuery asks a DomainServer for f̂(item, t).
+func PointItemQuery(item, t int) Query { return Query{Kind: PointItem, Item: item, T: t} }
+
+// SeriesItemQuery asks a DomainServer for f̂(item, 1..d).
+func SeriesItemQuery(item int) Query { return Query{Kind: SeriesItem, Item: item} }
+
+// TopKQuery asks a DomainServer for the k most frequent items at time
+// t.
+func TopKQuery(t, k int) Query { return Query{Kind: TopK, T: t, K: k} }
+
+// Answer is the result of a query: scalar kinds (Point, Change,
+// PointItem) fill Value; vector kinds (Series, Window, SeriesItem)
+// fill Series; TopK fills Items and the parallel Series values.
 type Answer struct {
 	// Query echoes the request.
 	Query Query
-	// Value is the scalar answer of a Point or Change query.
+	// Value is the scalar answer of a Point, Change or PointItem query.
 	Value float64
-	// Series is the vector answer of a Series or Window query.
+	// Series is the vector answer of a Series, Window or SeriesItem
+	// query; for TopK it holds the estimated frequency of each
+	// returned item, parallel to Items.
 	Series []float64
+	// Items is the TopK answer's item list, most frequent first.
+	Items []int
 }
 
 // Answer is the unified query entry point: one call answers any query
@@ -101,6 +138,8 @@ func (s *Server) Answer(q Query) (Answer, error) {
 		// and an engine reusing an internal buffer would then corrupt
 		// this answer on the next query.
 		return Answer{Query: q, Series: append(make([]float64, 0, q.R-q.L+1), s.eng.EstimateSeriesTo(q.R)[q.L-1:]...)}, nil
+	case PointItem, SeriesItem, TopK:
+		return Answer{}, fmt.Errorf("ldp: item-scoped query %s requires a domain server (NewDomainServer)", q.Kind)
 	default:
 		return Answer{}, fmt.Errorf("ldp: unknown query kind %d", int(q.Kind))
 	}

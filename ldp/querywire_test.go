@@ -20,6 +20,9 @@ func TestQueryKindWireCoupling(t *testing.T) {
 		{Change, transport.QueryChange},
 		{Series, transport.QuerySeries},
 		{Window, transport.QueryWindow},
+		{PointItem, transport.QueryPointItem},
+		{SeriesItem, transport.QuerySeriesItem},
+		{TopK, transport.QueryTopK},
 	}
 	seen := map[int]bool{}
 	for _, p := range pairs {
@@ -37,8 +40,8 @@ func TestQueryKindWireCoupling(t *testing.T) {
 			t.Errorf("kind %d named %q publicly but %q on the wire", int(p.pub), p.pub, p.wire)
 		}
 	}
-	// Every public kind is covered (Point..Window are 1..4 contiguously).
-	for k := Point; k <= Window; k++ {
+	// Every public kind is covered (Point..TopK are 1..7 contiguously).
+	for k := Point; k <= TopK; k++ {
 		if !seen[int(k)] {
 			t.Errorf("query kind %s (%d) missing from the wire mapping table", k, int(k))
 		}
