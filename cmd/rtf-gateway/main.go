@@ -24,6 +24,15 @@
 // backends' and the clients'; the mechanism must have the clustered
 // capability (its server state merges exactly across machines).
 //
+// The process logs in logfmt to stderr and -metrics mounts a JSON
+// snapshot of every instrument — including per-backend scatter-fetch
+// latency histograms — at http://ADDR/metrics. -queue bounds
+// concurrent batch admission before anything is forwarded: a shed
+// acked batch gets a negative ack and reaches no backend at all.
+// -fetch-timeout deadlines each scatter fetch (retried on a fresh
+// connection), and -hedge races a slow clean-session fetch against a
+// second connection, first answer winning.
+//
 // Examples:
 //
 //	rtf-serve -addr :7610 -d 1024 -k 8 &
@@ -36,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -44,6 +54,7 @@ import (
 
 	"rtf/internal/cluster"
 	"rtf/internal/dyadic"
+	"rtf/internal/obs"
 	"rtf/internal/transport"
 	"rtf/ldp"
 )
@@ -60,8 +71,13 @@ func main() {
 		attempts = flag.Int("dial-attempts", 10, "re-dial attempts per backend operation (exponential backoff between attempts)")
 		pool     = flag.Int("pool", 4, "idle connections pooled per backend")
 		grace    = flag.Duration("grace", 10*time.Second, "how long a shutdown signal lets in-flight connections drain")
+		metrics  = flag.String("metrics", "", "serve the metrics snapshot (JSON) at http://ADDR/metrics; empty = off")
+		queue    = flag.Int("queue", 0, "bounded ingest admission queue capacity: acked batches beyond it are shed whole before any forward, legacy batches block (0 = unbounded)")
+		fetchTO  = flag.Duration("fetch-timeout", 0, "per-backend scatter fetch deadline; a timed-out fetch is retried on a fresh connection (0 = no deadline)")
+		hedge    = flag.Duration("hedge", 0, "hedged-read delay: a clean-session fetch not answered within this is raced against a fresh connection (0 = off)")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, "rtf-gateway")
 
 	if !dyadic.IsPow2(*d) {
 		fatal(fmt.Errorf("d=%d is not a power of two", *d))
@@ -94,6 +110,8 @@ func main() {
 	client, err := transport.NewClusterClient(addrs, transport.ClusterOptions{
 		DialAttempts: *attempts,
 		PoolSize:     *pool,
+		FetchTimeout: *fetchTO,
+		HedgeDelay:   *hedge,
 	})
 	if err != nil {
 		fatal(err)
@@ -104,16 +122,37 @@ func main() {
 	} else {
 		gw = cluster.New(*d, scale, client)
 	}
-	gw.ErrorLog = func(err error) { fmt.Fprintln(os.Stderr, "rtf-gateway:", err) }
+	gw.ErrorLog = func(err error) { logger.Error("gateway", "err", err) }
+
+	reg := obs.NewRegistry()
+	reg.SetInfo("component", "rtf-gateway")
+	reg.SetInfo("mechanism", *mech)
+	obs.RegisterProcessMetrics(reg)
+	gw.Metrics = transport.NewServerMetrics(reg)
+	if *queue > 0 {
+		gw.Queue = transport.NewIngestQueue(*queue)
+		gw.Metrics.RegisterQueue(gw.Queue)
+	}
+	metricsAddr := ""
+	if *metrics != "" {
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fatal(err)
+		}
+		metricsAddr = mln.Addr().String()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg)
+		go http.Serve(mln, mux)
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		fmt.Fprintf(os.Stderr, "rtf-gateway: %v: draining connections (grace %v; signal again to force)\n", s, *grace)
+		logger.Info("draining", "signal", s, "grace", *grace)
 		go func() {
 			<-sig
-			fmt.Fprintln(os.Stderr, "rtf-gateway: second signal: exiting immediately")
+			logger.Error("second signal: exiting immediately")
 			os.Exit(1)
 		}()
 		gw.Shutdown(*grace)
@@ -124,15 +163,16 @@ func main() {
 	go func() { errc <- gw.ListenAndServe(*addr, ready) }()
 	select {
 	case a := <-ready:
-		fmt.Fprintf(os.Stderr, "rtf-gateway: listening on %s (mechanism=%s d=%d k=%d m=%d eps=%v backends=%d: %s)\n",
-			a, *mech, *d, *k, *m, *eps, len(addrs), strings.Join(addrs, ","))
+		logger.Info("listening", "addr", a, "metrics", metricsAddr,
+			"mechanism", *mech, "d", *d, "k", *k, "m", *m, "eps", *eps,
+			"queue", *queue, "backends", strings.Join(addrs, ","))
 	case err := <-errc:
 		fatal(err)
 	}
 	if err := <-errc; err != nil {
 		fatal(err)
 	}
-	fmt.Fprintln(os.Stderr, "rtf-gateway: done")
+	logger.Info("done")
 }
 
 // clustered lists the registered mechanisms a gateway can front.

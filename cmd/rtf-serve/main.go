@@ -31,18 +31,28 @@
 // recorded in every snapshot, so a data directory written under
 // different parameters is rejected at boot rather than misread.
 //
+// The process logs in logfmt to stderr, -metrics mounts a JSON
+// snapshot of every instrument (ingest rate, batch sizes, apply
+// latency, queue occupancy, WAL lag, snapshot age, per-mechanism query
+// counts) at http://ADDR/metrics, and -queue bounds concurrent batch
+// admission: past the bound, legacy batches block (TCP backpressure)
+// while acked batches are shed whole with a negative ack — never
+// half-applied.
+//
 // Examples:
 //
 //	rtf-serve -addr :7609 -d 1024 -k 8 -eps 1.0
 //	rtf-serve -addr :7609 -mechanism erlingsson -d 256 -k 4 -eps 0.5 -shards 16 -stats 5s
 //	rtf-serve -addr :7609 -d 1024 -k 8 -data-dir /var/lib/rtf -snapshot-every 30s -fsync
 //	rtf-serve -addr :7609 -d 256 -k 4 -m 64  # domain-valued tracking over 64 items
+//	rtf-serve -addr :7609 -d 1024 -k 8 -metrics :9609 -queue 64
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -51,6 +61,7 @@ import (
 
 	"rtf/internal/dyadic"
 	"rtf/internal/hh"
+	"rtf/internal/obs"
 	"rtf/internal/persist"
 	"rtf/internal/protocol"
 	"rtf/internal/transport"
@@ -72,8 +83,11 @@ func main() {
 		fsync   = flag.Bool("fsync", false, "fsync the WAL after every append (survive power loss, not just crashes)")
 		tornOK  = flag.Bool("tolerate-torn-tail", false, "boot through a torn final WAL record (the artifact of a power loss mid-append) by truncating it; off = fail with a descriptive error so the operator decides")
 		grace   = flag.Duration("grace", 10*time.Second, "how long a shutdown signal lets in-flight connections drain")
+		metrics = flag.String("metrics", "", "serve the metrics snapshot (JSON) at http://ADDR/metrics; empty = off")
+		queue   = flag.Int("queue", 0, "bounded ingest admission queue capacity: acked batches beyond it are shed whole, legacy batches block (0 = unbounded)")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, "rtf-serve")
 
 	if !dyadic.IsPow2(*d) {
 		fatal(fmt.Errorf("d=%d is not a power of two", *d))
@@ -108,6 +122,7 @@ func main() {
 		statsFn    func() (hellos, reports, batches int64)
 		snapshotFn func() (uint64, error) // nil when in-memory
 		closeFn    func() error
+		durable    transport.DurabilityStatser // nil when in-memory
 	)
 	if domainMode {
 		ds := hh.NewDomainServer(*d, *m, scale, *shards)
@@ -118,8 +133,8 @@ func main() {
 				fatal(err)
 			}
 			srv = transport.NewDomainIngestServer(dc)
-			statsFn, snapshotFn, closeFn = dc.Stats, dc.Snapshot, dc.Close
-			logRecovery(*dataDir, rec, ds.Users())
+			statsFn, snapshotFn, closeFn, durable = dc.Stats, dc.Snapshot, dc.Close, dc
+			logRecovery(logger, *dataDir, rec, ds.Users())
 		} else {
 			dc := transport.NewDomainCollector(ds)
 			srv = transport.NewDomainIngestServer(dc)
@@ -134,25 +149,53 @@ func main() {
 				fatal(err)
 			}
 			srv = transport.NewIngestServer(dc)
-			statsFn, snapshotFn, closeFn = dc.Stats, dc.Snapshot, dc.Close
-			logRecovery(*dataDir, rec, acc.Users())
+			statsFn, snapshotFn, closeFn, durable = dc.Stats, dc.Snapshot, dc.Close, dc
+			logRecovery(logger, *dataDir, rec, acc.Users())
 		} else {
 			col := transport.NewShardedCollector(acc)
 			srv = transport.NewIngestServer(col)
 			statsFn = col.Stats
 		}
 	}
-	srv.ErrorLog = func(err error) { fmt.Fprintln(os.Stderr, "rtf-serve:", err) }
+	srv.ErrorLog = func(err error) { logger.Error("serve", "err", err) }
+
+	// Observability: every serving instrument lives in one registry,
+	// mounted at /metrics when -metrics is set. The bounded queue (when
+	// -queue is set) sheds acked batches whole under overload and
+	// back-pressures legacy batch connections.
+	reg := obs.NewRegistry()
+	reg.SetInfo("component", "rtf-serve")
+	reg.SetInfo("mechanism", *mech)
+	obs.RegisterProcessMetrics(reg)
+	srv.Metrics = transport.NewServerMetrics(reg)
+	if *queue > 0 {
+		srv.Queue = transport.NewIngestQueue(*queue)
+		srv.Metrics.RegisterQueue(srv.Queue)
+	}
+	if durable != nil {
+		srv.Metrics.RegisterDurability(durable)
+	}
+	metricsAddr := ""
+	if *metrics != "" {
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fatal(err)
+		}
+		metricsAddr = mln.Addr().String()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg)
+		go http.Serve(mln, mux)
+	}
 
 	stop := make(chan struct{})
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		fmt.Fprintf(os.Stderr, "rtf-serve: %v: draining connections (grace %v; signal again to force)\n", s, *grace)
+		logger.Info("draining", "signal", s, "grace", *grace)
 		go func() {
 			<-sig
-			fmt.Fprintln(os.Stderr, "rtf-serve: second signal: exiting immediately")
+			logger.Error("second signal: exiting immediately")
 			os.Exit(1)
 		}()
 		close(stop)
@@ -167,7 +210,7 @@ func main() {
 				select {
 				case <-tick.C:
 					if _, err := snapshotFn(); err != nil {
-						fmt.Fprintln(os.Stderr, "rtf-serve: snapshot:", err)
+						logger.Error("snapshot", "err", err)
 					}
 				case <-stop:
 					return
@@ -186,8 +229,8 @@ func main() {
 				hellos, reports, batches := statsFn()
 				now := time.Now()
 				rate := float64(reports-lastReports) / now.Sub(last).Seconds()
-				fmt.Fprintf(os.Stderr, "rtf-serve: users=%d reports=%d batches=%d rate=%.0f reports/s\n",
-					hellos, reports, batches, rate)
+				logger.Info("throughput", "users", hellos, "reports", reports,
+					"batches", batches, "rate", fmt.Sprintf("%.0f", rate))
 				lastReports, last = reports, now
 			}
 		}()
@@ -198,8 +241,9 @@ func main() {
 	go func() { errc <- srv.ListenAndServe(*addr, ready) }()
 	select {
 	case a := <-ready:
-		fmt.Fprintf(os.Stderr, "rtf-serve: listening on %s (mechanism=%s d=%d k=%d m=%d eps=%v shards=%d durable=%v)\n",
-			a, *mech, *d, *k, *m, *eps, *shards, snapshotFn != nil)
+		logger.Info("listening", "addr", a, "metrics", metricsAddr,
+			"mechanism", *mech, "d", *d, "k", *k, "m", *m, "eps", *eps,
+			"shards", *shards, "queue", *queue, "durable", snapshotFn != nil)
 	case err := <-errc:
 		fatal(err)
 	}
@@ -214,21 +258,21 @@ func main() {
 		if cursor, err := snapshotFn(); err != nil {
 			fatal(err)
 		} else {
-			fmt.Fprintf(os.Stderr, "rtf-serve: final snapshot at cursor %d\n", cursor)
+			logger.Info("final snapshot", "cursor", cursor)
 		}
 		if err := closeFn(); err != nil {
 			fatal(err)
 		}
 	}
 	hellos, reports, batches := statsFn()
-	fmt.Fprintf(os.Stderr, "rtf-serve: done: users=%d reports=%d batches=%d\n", hellos, reports, batches)
+	logger.Info("done", "users", hellos, "reports", reports, "batches", batches)
 }
 
 // logRecovery reports what boot recovery reconstructed.
-func logRecovery(dataDir string, rec transport.RecoveryStats, users int) {
+func logRecovery(logger *obs.Logger, dataDir string, rec transport.RecoveryStats, users int) {
 	if rec.SnapshotCursor > 0 || rec.Replayed > 0 {
-		fmt.Fprintf(os.Stderr, "rtf-serve: recovered from %s: snapshot cursor %d + %d WAL records (%d users, %d reports replayed; %d users total)\n",
-			dataDir, rec.SnapshotCursor, rec.Replayed, rec.Hellos, rec.Reports, users)
+		logger.Info("recovered", "dir", dataDir, "cursor", rec.SnapshotCursor,
+			"replayed", rec.Replayed, "hellos", rec.Hellos, "reports", rec.Reports, "users", users)
 	}
 }
 

@@ -41,6 +41,8 @@
 //	rtf-sim -recover -n 4000 -d 256 -k 4 -conns 4
 //	rtf-sim -cluster -n 4000 -d 256 -k 4 -conns 4
 //	rtf-sim -domain -n 3000 -d 256 -k 4 -m 8 -conns 4
+//	rtf-sim -soak -duration 60s -qps 3000 -queue 2 -conns 4
+//	rtf-sim -soak -duration 60s -qps 3000 -queue 2 -soak-backends 2
 //
 // With -domain it runs the domain acceptance test: the same
 // kill -9/recover discipline as -cluster, but against the richer-domain
@@ -50,6 +52,20 @@
 // gateway are verified bit-for-bit against an uninterrupted in-process
 // DomainServer, before the crash, after snapshot+WAL recovery, and
 // after the remaining users.
+//
+// With -soak it runs the operational-envelope check: it spawns a
+// topology (one durable fsync'd rtf-serve, or with -soak-backends N an
+// rtf-gateway over N backends), drives paced acked-batch ingest at
+// -qps for -duration over -conns closed-loop connections, scrapes the
+// target's /metrics endpoint throughout, bursts early on until the
+// bounded admission queue (-queue) sheds a batch, and asserts the
+// envelope: sustained QPS, steady RSS, queue depth never past
+// capacity, p99 ingest latency under -p99-ceiling, the server's
+// counter ledger equal to the harness's own, and every query shape
+// bit-for-bit identical to an in-process reference engine fed exactly
+// the acked batches — a shed batch that half-applied, or an applied
+// batch that dropped a message, breaks the equality. -metrics-dump
+// writes the final metrics snapshot as JSON.
 package main
 
 import (
@@ -65,6 +81,7 @@ import (
 	"syscall"
 	"time"
 
+	"rtf/internal/obs"
 	"rtf/internal/transport"
 	"rtf/ldp"
 	"rtf/workload"
@@ -92,8 +109,15 @@ func main() {
 		domainM  = flag.Bool("domain", false, "run the domain acceptance test: spawn a domain rtf-gateway over three domain rtf-serve backends (one durable), ingest a Zipf domain workload, kill -9 the durable backend mid-ingest, restart it, verify TopK/PointItem/SeriesItem through the gateway bit-for-bit")
 		domSize  = flag.Int("m", 8, "domain size for -domain mode")
 		domZipf  = flag.Float64("zipf-s", 1.2, "Zipf exponent over items in -domain mode")
-		serveBin = flag.String("serve-bin", "", "rtf-serve binary for -recover/-cluster (default: next to this binary, then $PATH)")
-		gwBin    = flag.String("gateway-bin", "", "rtf-gateway binary for -cluster (default: next to this binary, then $PATH)")
+		serveBin = flag.String("serve-bin", "", "rtf-serve binary for -recover/-cluster/-soak (default: next to this binary, then $PATH)")
+		gwBin    = flag.String("gateway-bin", "", "rtf-gateway binary for -cluster/-soak (default: next to this binary, then $PATH)")
+		soak     = flag.Bool("soak", false, "run the soak harness: spawn a serving topology, drive paced acked-batch ingest at -qps for -duration with a mid-run overload burst, scrape /metrics, assert steady memory, bounded queue, whole-batch shedding and the p99 ceiling, then verify every answer bit-for-bit against a reference fed only the acked batches")
+		soakQPS  = flag.Float64("qps", 5000, "-soak: target ingest messages/sec across all connections")
+		soakDur  = flag.Duration("duration", 15*time.Second, "-soak: paced-load duration")
+		soakBack = flag.Int("soak-backends", 0, "-soak topology: 0 = one rtf-serve, N >= 2 = rtf-gateway over N backends")
+		soakQCap = flag.Int("queue", 2, "-soak: admission queue capacity on the target (0 = unbounded, disables shed assertions)")
+		soakP99  = flag.Duration("p99-ceiling", 250*time.Millisecond, "-soak: max acceptable p99 ingest apply latency")
+		soakDump = flag.String("metrics-dump", "", "-soak: write the final metrics snapshot JSON to this file")
 	)
 	flag.Parse()
 
@@ -125,15 +149,15 @@ func main() {
 		fatal(err)
 	}
 
-	if *drive != "" || *recovery || *clusterM {
+	if *drive != "" || *recovery || *clusterM || *soak {
 		modes := 0
-		for _, on := range []bool{*drive != "", *recovery, *clusterM} {
+		for _, on := range []bool{*drive != "", *recovery, *clusterM, *soak} {
 			if on {
 				modes++
 			}
 		}
 		if modes > 1 {
-			fatal(fmt.Errorf("-drive, -recover and -cluster are mutually exclusive"))
+			fatal(fmt.Errorf("-drive, -recover, -cluster and -soak are mutually exclusive"))
 		}
 		mech := ldp.Protocol(*proto)
 		m, ok := ldp.Lookup(mech)
@@ -148,6 +172,21 @@ func main() {
 			fatal(err)
 		}
 		switch {
+		case *soak:
+			if *soakBack != 0 && (*soakBack < 2 || !m.Caps.Clustered) {
+				fatal(fmt.Errorf("-soak-backends needs >= 2 backends and a clustered mechanism, got %d over %q", *soakBack, *proto))
+			}
+			cfg := soakConfig{
+				qps:        *soakQPS,
+				duration:   *soakDur,
+				backends:   *soakBack,
+				queueCap:   *soakQCap,
+				p99Ceiling: *soakP99,
+				dumpPath:   *soakDump,
+			}
+			if err := runSoak(st, *serveBin, *gwBin, *proto, *d, *k, *eps, cfg); err != nil {
+				fatal(err)
+			}
 		case *recovery:
 			if !m.Caps.Durable {
 				fatal(fmt.Errorf("-recover needs a durable mechanism, got %q", *proto))
@@ -874,9 +913,12 @@ func findBin(explicit, name string) (string, error) {
 // relaying its stderr. wait must be used instead of cmd.Wait so the
 // relay finishes reading the pipe first (os/exec forbids Wait while a
 // pipe read is in flight — it would drop the tail of the child's log).
+// metricsAddr is the child's /metrics address when it was started with
+// -metrics, empty otherwise.
 type serveProc struct {
-	cmd      *exec.Cmd
-	scanDone chan struct{}
+	cmd         *exec.Cmd
+	scanDone    chan struct{}
+	metricsAddr string
 }
 
 // wait waits for the stderr relay to hit EOF, then reaps the process.
@@ -915,28 +957,31 @@ func startProc(bin, name string, args []string) (*serveProc, string, error) {
 		return nil, "", err
 	}
 	p := &serveProc{cmd: cmd, scanDone: make(chan struct{})}
-	addrCh := make(chan string, 1)
+	type listenInfo struct{ addr, metrics string }
+	addrCh := make(chan listenInfo, 1)
 	go func() {
 		defer close(p.scanDone)
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			line := sc.Text()
 			fmt.Fprintln(os.Stderr, "  ["+name+"]", line)
-			if a, ok := parseListenAddr(line); ok {
+			if a, m, ok := parseListenAddr(line); ok {
 				select {
-				case addrCh <- a:
+				case addrCh <- listenInfo{a, m}:
 				default:
 				}
 			}
 		}
 	}()
 	select {
-	case a := <-addrCh:
-		return p, a, nil
+	case li := <-addrCh:
+		p.metricsAddr = li.metrics
+		return p, li.addr, nil
 	case <-p.scanDone:
 		select {
-		case a := <-addrCh: // reported and exited in one breath
-			return p, a, nil
+		case li := <-addrCh: // reported and exited in one breath
+			p.metricsAddr = li.metrics
+			return p, li.addr, nil
 		default:
 		}
 		err := p.cmd.Wait()
@@ -947,19 +992,16 @@ func startProc(bin, name string, args []string) (*serveProc, string, error) {
 	}
 }
 
-// parseListenAddr extracts the address from a "listening on ADDR ..."
-// log line.
-func parseListenAddr(line string) (string, bool) {
-	const tag = "listening on "
-	i := strings.Index(line, tag)
-	if i < 0 {
-		return "", false
+// parseListenAddr extracts the listen (and, when present, metrics)
+// address from a server's structured startup line:
+//
+//	ts=... level=info component=rtf-serve msg=listening addr=127.0.0.1:7609 metrics=127.0.0.1:9609 ...
+func parseListenAddr(line string) (addr, metrics string, ok bool) {
+	kv, ok := obs.ParseLogLine(line)
+	if !ok || kv["msg"] != "listening" || kv["addr"] == "" {
+		return "", "", false
 	}
-	rest := line[i+len(tag):]
-	if j := strings.IndexByte(rest, ' '); j >= 0 {
-		rest = rest[:j]
-	}
-	return rest, rest != ""
+	return kv["addr"], kv["metrics"], true
 }
 
 // queryV2 sends one versioned query and decodes the answer values.

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rtf/internal/obs"
+)
+
+// TestParseListenAddr pins the contract between the serving binaries'
+// structured startup lines and the spawning side here: lines emitted
+// through obs.Logger exactly as rtf-serve and rtf-gateway emit them
+// must yield the listen and metrics addresses back.
+func TestParseListenAddr(t *testing.T) {
+	var b strings.Builder
+	serve := obs.NewLogger(&b, "rtf-serve")
+	serve.Info("listening", "addr", "127.0.0.1:7609", "metrics", "127.0.0.1:9609",
+		"mechanism", "futurerand", "d", 1024, "k", 8, "m", 0, "eps", 1.0,
+		"shards", 8, "queue", 64, "durable", true)
+	gateway := obs.NewLogger(&b, "rtf-gateway")
+	gateway.Info("listening", "addr", "127.0.0.1:7610", "metrics", "",
+		"mechanism", "futurerand", "d", 1024, "k", 8, "m", 0, "eps", 1.0,
+		"queue", 0, "backends", "localhost:7611,localhost:7612")
+
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 log lines, got %d: %q", len(lines), b.String())
+	}
+	addr, metrics, ok := parseListenAddr(lines[0])
+	if !ok || addr != "127.0.0.1:7609" || metrics != "127.0.0.1:9609" {
+		t.Fatalf("rtf-serve line parsed to addr=%q metrics=%q ok=%v from %q", addr, metrics, ok, lines[0])
+	}
+	addr, metrics, ok = parseListenAddr(lines[1])
+	if !ok || addr != "127.0.0.1:7610" || metrics != "" {
+		t.Fatalf("rtf-gateway line parsed to addr=%q metrics=%q ok=%v from %q", addr, metrics, ok, lines[1])
+	}
+
+	// Lines that are not the startup line must be skipped, not
+	// misparsed: other structured lines, free-form output, emptiness.
+	b.Reset()
+	serve.Info("throughput", "users", 10, "reports", 100, "batches", 2, "rate", "50")
+	for _, line := range []string{
+		strings.TrimSuffix(b.String(), "\n"),
+		"rtf-serve: some legacy free-form line",
+		"",
+	} {
+		if a, m, ok := parseListenAddr(line); ok {
+			t.Fatalf("line %q unexpectedly parsed to addr=%q metrics=%q", line, a, m)
+		}
+	}
+}

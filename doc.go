@@ -54,4 +54,22 @@
 // the identical streaming engines, and cmd/rtf-sim -domain proves the
 // full deployment — gateway, kill -9, snapshot+WAL recovery — end to
 // end.
+//
+// The serving processes are observable and overload-safe:
+// rtf/internal/obs is a dependency-free metrics registry (counters,
+// gauges, histograms, a JSON /metrics endpoint mounted by -metrics,
+// and a logfmt structured logger both binaries write to stderr), and
+// transport.ServerMetrics instruments ingest rate, batch sizes,
+// apply latency, queue occupancy, WAL lag, snapshot age, per-backend
+// scatter latency and per-mechanism query counts across rtf-serve and
+// rtf-gateway. A bounded admission queue (-queue) sheds acked batches
+// whole — a negative ack, never a partial apply; on the gateway the
+// check runs before any forward — while legacy batches block for
+// natural TCP backpressure; the gateway read path adds per-backend
+// fetch deadlines (-fetch-timeout) and hedged reads (-hedge) against
+// slow backends. cmd/rtf-sim -soak closes the loop: a paced load
+// harness that spawns either topology, scrapes /metrics, bursts until
+// the queue sheds, and asserts steady memory, bounded queue depth, a
+// p99 ingest-latency ceiling and bit-for-bit equality between the
+// served answers and a reference engine fed exactly the acked batches.
 package rtf

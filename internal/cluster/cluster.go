@@ -63,6 +63,22 @@ type Gateway struct {
 	// failures (which close that connection but not the gateway).
 	ErrorLog func(err error)
 
+	// Metrics, when non-nil, instruments the gateway: forwarded batches
+	// and messages, per-backend scatter latency, per-mechanism query
+	// counters, hedge accounting, live connection count, and acked-batch
+	// shed accounting. Nil keeps every path metric-free.
+	Metrics *transport.ServerMetrics
+
+	// Queue, when non-nil, bounds concurrent in-flight batches at the
+	// gateway's front door — before anything is forwarded, so a shed
+	// batch is rejected whole and never reaches any backend. Legacy
+	// batches block for a slot (TCP backpressure); acked batches are
+	// shed with a negative ack. Admitted batches forward downstream as
+	// ordinary blocking batches, so backends never shed a forward and a
+	// batch cannot end up applied on one partition and dropped on
+	// another.
+	Queue *transport.IngestQueue
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
@@ -205,6 +221,111 @@ func (s *session) close(healthy bool) {
 // cluster client's full backoff schedule.
 const fetchAttempts = 3
 
+// fetchResult carries one fetch outcome together with the connection
+// that produced it, so a hedged race knows which connection won.
+type fetchResult[T any] struct {
+	f   T
+	err error
+	bc  *transport.BackendConn
+}
+
+// fetchBackend runs one fenced sums fetch against backend i with the
+// session's full failure discipline: FetchTimeout bounds each attempt,
+// an error over unfenced forwards fails the session, a clean-session
+// error retries on a fresh connection, and a clean-session attempt that
+// outlives HedgeDelay is raced against a second fetch on a freshly
+// leased connection (hedged read — safe because the fetch is read-only
+// and idempotent). fetch is the round-trip to race: FetchSums or
+// FetchDomainSums.
+func fetchBackend[T any](s *session, i int, fetch func(*transport.BackendConn) (T, error)) (T, error) {
+	var zero T
+	opts := s.g.client.Options()
+	bounded := func(bc *transport.BackendConn) fetchResult[T] {
+		if opts.FetchTimeout > 0 {
+			bc.SetDeadline(time.Now().Add(opts.FetchTimeout))
+		}
+		f, err := fetch(bc)
+		if err == nil && opts.FetchTimeout > 0 {
+			err = bc.SetDeadline(time.Time{})
+		}
+		return fetchResult[T]{f: f, err: err, bc: bc}
+	}
+	var lastErr error
+	for attempt := 0; attempt < fetchAttempts; attempt++ {
+		bc, err := s.lease(i)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var r fetchResult[T]
+		if opts.HedgeDelay > 0 && !s.unfenced[i] {
+			r = hedge(s, i, bc, opts.HedgeDelay, bounded)
+		} else {
+			r = bounded(bc)
+		}
+		if r.err != nil {
+			s.drop(i)
+			if s.unfenced[i] {
+				return zero, fmt.Errorf("backend %d connection failed with unacknowledged forwards: %w", i, r.err)
+			}
+			lastErr = r.err
+			continue
+		}
+		if r.bc != s.leases[i] {
+			// The hedge connection won: the primary lease has a stale
+			// in-flight request on it and cannot be reused — replace it.
+			s.leases[i].Close()
+			s.leases[i] = r.bc
+		}
+		s.unfenced[i] = false // everything forwarded on this lease is applied
+		return r.f, nil
+	}
+	return zero, fmt.Errorf("fetching sums from backend %d: %w", i, lastErr)
+}
+
+// hedge races bounded(primary) against a second fetch on a freshly
+// leased connection once the primary has been quiet for delay. The
+// loser's connection is closed (its response, if any, dies with it), so
+// whichever connection this returns is the only one with a completed —
+// or no — round-trip outstanding.
+func hedge[T any](s *session, i int, primary *transport.BackendConn, delay time.Duration,
+	bounded func(*transport.BackendConn) fetchResult[T]) fetchResult[T] {
+	ch := make(chan fetchResult[T], 2)
+	go func() { ch <- bounded(primary) }()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r
+	case <-timer.C:
+	}
+	hc, err := s.g.client.Lease(i)
+	if err != nil {
+		// No hedge connection to be had; fall back to the primary.
+		return <-ch
+	}
+	go func() { ch <- bounded(hc) }()
+	r := <-ch
+	if r.err != nil {
+		// First finisher failed (either side); the survivor decides.
+		r = <-ch
+	}
+	loser := primary
+	if r.bc == primary {
+		loser = hc
+	}
+	if r.err != nil {
+		// Both failed: close both; the caller drops the primary lease.
+		hc.Close()
+	} else {
+		loser.Close()
+	}
+	if m := s.g.Metrics; m != nil {
+		m.CountHedge(r.err == nil && r.bc == hc)
+	}
+	return r
+}
+
 // forward partitions one run of validated hello/report messages by
 // user mod N and ships each non-empty sub-batch to its backend. Dial
 // failures retry with backoff inside Lease, but once a sub-batch has
@@ -264,28 +385,16 @@ func (s *session) gather() (*protocol.Server, []transport.SumsFrame, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			var lastErr error
-			for attempt := 0; attempt < fetchAttempts; attempt++ {
-				bc, err := s.lease(i)
-				if err != nil {
-					lastErr = err
-					continue
-				}
-				f, err := bc.FetchSums()
-				if err != nil {
-					s.drop(i)
-					if s.unfenced[i] {
-						errs[i] = fmt.Errorf("backend %d connection failed with unacknowledged forwards: %w", i, err)
-						return
-					}
-					lastErr = err
-					continue
-				}
-				frames[i] = f
-				s.unfenced[i] = false // everything forwarded on this lease is applied
+			start := time.Now()
+			f, err := fetchBackend(s, i, (*transport.BackendConn).FetchSums)
+			if err != nil {
+				errs[i] = err
 				return
 			}
-			errs[i] = fmt.Errorf("fetching sums from backend %d: %w", i, lastErr)
+			frames[i] = f
+			if m := s.g.Metrics; m != nil {
+				m.ObserveScatter(i, time.Since(start))
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -319,28 +428,16 @@ func (s *session) gatherDomain() ([]transport.DomainSumsFrame, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			var lastErr error
-			for attempt := 0; attempt < fetchAttempts; attempt++ {
-				bc, err := s.lease(i)
-				if err != nil {
-					lastErr = err
-					continue
-				}
-				f, err := bc.FetchDomainSums()
-				if err != nil {
-					s.drop(i)
-					if s.unfenced[i] {
-						errs[i] = fmt.Errorf("backend %d connection failed with unacknowledged forwards: %w", i, err)
-						return
-					}
-					lastErr = err
-					continue
-				}
-				frames[i] = f
-				s.unfenced[i] = false // everything forwarded on this lease is applied
+			start := time.Now()
+			f, err := fetchBackend(s, i, (*transport.BackendConn).FetchDomainSums)
+			if err != nil {
+				errs[i] = err
 				return
 			}
-			errs[i] = fmt.Errorf("fetching domain sums from backend %d: %w", i, lastErr)
+			frames[i] = f
+			if m := s.g.Metrics; m != nil {
+				m.ObserveScatter(i, time.Since(start))
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -451,6 +548,9 @@ func (g *Gateway) serveFrames(s *session, dec *transport.Decoder, enc *transport
 	if g.m > 0 {
 		return g.serveDomainFrames(s, dec, enc)
 	}
+	isQuery := func(m transport.Msg) bool {
+		return m.Type == transport.MsgQuery || m.Type == transport.MsgQueryV2 || m.Type == transport.MsgSums
+	}
 	for {
 		ms, err := dec.NextBatch()
 		if err != nil {
@@ -459,9 +559,15 @@ func (g *Gateway) serveFrames(s *session, dec *transport.Decoder, enc *transport
 			}
 			return err
 		}
+		acked := dec.AckedBatch()
+		start := time.Now()
+		ingest := 0
 		// Atomic batches, as on a single server: validate every frame
 		// before forwarding or answering anything.
 		for _, m := range ms {
+			if acked && isQuery(m) {
+				return fmt.Errorf("message type %d (query) inside acked batch", m.Type)
+			}
 			switch m.Type {
 			case transport.MsgQuery:
 				if m.T < 1 || m.T > g.d {
@@ -480,14 +586,22 @@ func (g *Gateway) serveFrames(s *session, dec *transport.Decoder, enc *transport
 				if err := transport.ValidateIngest(g.d, m); err != nil {
 					return err
 				}
+				ingest++
 			}
 		}
-		err = transport.BatchRuns(ms,
-			func(m transport.Msg) bool {
-				return m.Type == transport.MsgQuery || m.Type == transport.MsgQueryV2 || m.Type == transport.MsgSums
-			},
+		shed, holding, err := g.admitBatch(acked, enc)
+		if err != nil {
+			return err
+		}
+		if shed {
+			continue
+		}
+		err = transport.BatchRuns(ms, isQuery,
 			s.forward,
 			func(m transport.Msg) error {
+				if g.Metrics != nil {
+					g.Metrics.CountQuery("boolean", transport.QueryKindName(m))
+				}
 				srv, frames, err := s.gather()
 				if err != nil {
 					return err
@@ -512,10 +626,58 @@ func (g *Gateway) serveFrames(s *session, dec *transport.Decoder, enc *transport
 				}
 				return enc.Flush()
 			})
+		if holding {
+			g.Queue.Release()
+		}
 		if err != nil {
 			return err
 		}
+		if err := g.finishBatch(acked, enc, ingest, start); err != nil {
+			return err
+		}
 	}
+}
+
+// admitBatch mirrors the ingest server's admission at the gateway's
+// front door: it runs before anything is forwarded, so a shed batch
+// never reaches any backend — whole-batch rejection holds cluster-wide.
+func (g *Gateway) admitBatch(acked bool, enc *transport.Encoder) (shed, holding bool, err error) {
+	if g.Queue == nil {
+		return false, false, nil
+	}
+	if !acked {
+		g.Queue.Acquire()
+		return false, true, nil
+	}
+	if g.Queue.TryAcquire() {
+		return false, true, nil
+	}
+	if g.Metrics != nil {
+		g.Metrics.ObserveShed()
+	}
+	if err := enc.EncodeBatchAck(false); err != nil {
+		return false, false, err
+	}
+	return true, false, enc.Flush()
+}
+
+// finishBatch acknowledges a forwarded acked batch and records its
+// metrics. The positive ack certifies the batch was written whole to
+// the session's backend leases; as with legacy batches, application is
+// certified by the next fence or query on this session.
+func (g *Gateway) finishBatch(acked bool, enc *transport.Encoder, n int, start time.Time) error {
+	if acked {
+		if err := enc.EncodeBatchAck(true); err != nil {
+			return err
+		}
+		if err := enc.Flush(); err != nil {
+			return err
+		}
+	}
+	if g.Metrics != nil {
+		g.Metrics.ObserveBatch(n, time.Since(start), acked)
+	}
+	return nil
 }
 
 // serveDomainFrames is serveFrames for a domain gateway: item-tagged
@@ -523,6 +685,9 @@ func (g *Gateway) serveFrames(s *session, dec *transport.Decoder, enc *transport
 // queries are answered by per-item scatter/gather. Boolean frames fail
 // the connection, mirroring a domain-mode rtf-serve.
 func (g *Gateway) serveDomainFrames(s *session, dec *transport.Decoder, enc *transport.Encoder) error {
+	isQuery := func(m transport.Msg) bool {
+		return m.Type == transport.MsgDomainQuery || m.Type == transport.MsgDomainSums
+	}
 	for {
 		ms, err := dec.NextBatch()
 		if err != nil {
@@ -531,9 +696,15 @@ func (g *Gateway) serveDomainFrames(s *session, dec *transport.Decoder, enc *tra
 			}
 			return err
 		}
+		acked := dec.AckedBatch()
+		start := time.Now()
+		ingest := 0
 		// Atomic batches, as on a single server: validate every frame
 		// before forwarding or answering anything.
 		for _, m := range ms {
+			if acked && isQuery(m) {
+				return fmt.Errorf("message type %d (query) inside acked batch", m.Type)
+			}
 			switch m.Type {
 			case transport.MsgDomainQuery:
 				if err := transport.ValidateDomainQuery(g.d, g.m, m); err != nil {
@@ -548,14 +719,22 @@ func (g *Gateway) serveDomainFrames(s *session, dec *transport.Decoder, enc *tra
 				if err := transport.ValidateDomainIngest(g.d, g.m, m); err != nil {
 					return err
 				}
+				ingest++
 			}
 		}
-		err = transport.BatchRuns(ms,
-			func(m transport.Msg) bool {
-				return m.Type == transport.MsgDomainQuery || m.Type == transport.MsgDomainSums
-			},
+		shed, holding, err := g.admitBatch(acked, enc)
+		if err != nil {
+			return err
+		}
+		if shed {
+			continue
+		}
+		err = transport.BatchRuns(ms, isQuery,
 			s.forward,
 			func(m transport.Msg) error {
+				if g.Metrics != nil {
+					g.Metrics.CountQuery("domain", transport.QueryKindName(m))
+				}
 				frames, err := s.gatherDomain()
 				if err != nil {
 					return err
@@ -584,7 +763,13 @@ func (g *Gateway) serveDomainFrames(s *session, dec *transport.Decoder, enc *tra
 				}
 				return enc.Flush()
 			})
+		if holding {
+			g.Queue.Release()
+		}
 		if err != nil {
+			return err
+		}
+		if err := g.finishBatch(acked, enc, ingest, start); err != nil {
 			return err
 		}
 	}
@@ -656,12 +841,18 @@ func (g *Gateway) track(conn net.Conn) bool {
 		return false
 	}
 	g.conns[conn] = struct{}{}
+	if g.Metrics != nil {
+		g.Metrics.ActiveConns.Add(1)
+	}
 	return true
 }
 
 func (g *Gateway) untrack(conn net.Conn) {
 	g.mu.Lock()
 	delete(g.conns, conn)
+	if g.Metrics != nil {
+		g.Metrics.ActiveConns.Add(-1)
+	}
 	g.mu.Unlock()
 	conn.Close()
 }

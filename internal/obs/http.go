@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of a Registry, and the JSON document
+// the /metrics endpoint serves. The scrape side (rtf-sim -soak,
+// dashboards) decodes it with ParseSnapshot and reads quantiles off the
+// histogram copies.
+type Snapshot struct {
+	Info       map[string]string       `json:"info,omitempty"`
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// HistSnapshot is a histogram's exported state: ascending finite upper
+// bounds plus one trailing overflow bucket (len(Counts) == len(Bounds)+1).
+type HistSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Quantile returns an upper-bound estimate of the p-quantile (0 < p <=
+// 1): the upper bound of the bucket holding the ceil(p*count)-th
+// observation, linearly interpolated from the bucket's lower bound.
+// Observations in the overflow bucket report the last finite bound (the
+// histogram cannot see past it). With no observations it returns 0.
+func (h HistSnapshot) Quantile(p float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = 1e-9
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(float64(h.Count)*p + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		prev := cum
+		cum += c
+		if cum < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			// Overflow bucket: the last finite bound is the best
+			// statement the histogram can make.
+			if len(h.Bounds) == 0 {
+				return 0
+			}
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		frac := float64(rank-prev) / float64(c)
+		return lo + (h.Bounds[i]-lo)*frac
+	}
+	if len(h.Bounds) == 0 {
+		return 0
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// ServeHTTP serves the registry's snapshot as JSON; a Registry is an
+// http.Handler, mountable directly at /metrics. With ?gc=1 the scrape
+// first forces a garbage collection and returns freed spans to the OS,
+// so process_rss_bytes reflects the live set rather than the Go
+// scavenger's lag — routine scrapes should omit it (a forced GC per
+// scrape is not free), but a leak check comparing RSS across time
+// needs it to not be fooled by transient-allocation ratchet.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req != nil && req.URL.Query().Get("gc") == "1" {
+		debug.FreeOSMemory()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(r.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// ParseSnapshot decodes one JSON snapshot, validating histogram shapes
+// so a scrape of a wrong endpoint fails loudly instead of yielding
+// zeroed metrics.
+func ParseSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: decoding snapshot: %w", err)
+	}
+	for name, h := range s.Histograms {
+		if len(h.Counts) != len(h.Bounds)+1 {
+			return Snapshot{}, fmt.Errorf("obs: histogram %q has %d counts for %d bounds", name, len(h.Counts), len(h.Bounds))
+		}
+	}
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]float64{}
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string]HistSnapshot{}
+	}
+	return s, nil
+}
+
+// Fetch scrapes a metrics endpoint over HTTP and parses the snapshot.
+func Fetch(url string) (Snapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Snapshot{}, fmt.Errorf("obs: scraping %s: HTTP %d", url, resp.StatusCode)
+	}
+	return ParseSnapshot(resp.Body)
+}
+
+// RegisterProcessMetrics registers the standard process-level gauges:
+// heap and RSS bytes, goroutine count, and uptime seconds. The RSS
+// gauge reads /proc/self/statm and reports 0 where that is unavailable.
+func RegisterProcessMetrics(r *Registry) {
+	start := time.Now()
+	r.GaugeFunc("process_uptime_seconds", func() float64 {
+		return time.Since(start).Seconds()
+	})
+	r.GaugeFunc("process_goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("process_heap_bytes", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	r.GaugeFunc("process_rss_bytes", func() float64 {
+		return float64(readRSSBytes())
+	})
+}
+
+// readRSSBytes returns the resident set size from /proc/self/statm
+// (field 2, in pages), or 0 when the file is unavailable.
+func readRSSBytes() int64 {
+	b, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	var size, rss int64
+	if _, err := fmt.Sscanf(string(b), "%d %d", &size, &rss); err != nil {
+		return 0
+	}
+	return rss * int64(os.Getpagesize())
+}

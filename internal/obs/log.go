@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger writes logfmt-structured lines:
+//
+//	ts=2026-08-07T12:00:00.000Z level=info component=rtf-serve msg=listening addr=127.0.0.1:7609 metrics=127.0.0.1:9609
+//
+// Keys are bare words; values are quoted only when they contain spaces,
+// quotes or '=' so the common case stays grep-friendly while every line
+// round-trips through ParseLogLine. The serving binaries log their
+// listen and metrics addresses this way, and rtf-sim parses those lines
+// to find the processes it spawns.
+type Logger struct {
+	mu        sync.Mutex
+	w         io.Writer
+	component string
+	now       func() time.Time // test seam
+}
+
+// NewLogger builds a logger tagging every line with the component name.
+func NewLogger(w io.Writer, component string) *Logger {
+	return &Logger{w: w, component: component, now: time.Now}
+}
+
+// Info writes one info-level line with alternating key/value pairs.
+func (l *Logger) Info(msg string, kv ...any) { l.log("info", msg, kv) }
+
+// Error writes one error-level line with alternating key/value pairs.
+func (l *Logger) Error(msg string, kv ...any) { l.log("error", msg, kv) }
+
+func (l *Logger) log(level, msg string, kv []any) {
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(level)
+	b.WriteString(" component=")
+	appendValue(&b, l.component)
+	b.WriteString(" msg=")
+	appendValue(&b, msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(fmt.Sprint(kv[i]))
+		b.WriteByte('=')
+		appendValue(&b, fmt.Sprint(kv[i+1]))
+	}
+	if len(kv)%2 != 0 {
+		b.WriteString(" !BADKEY=")
+		appendValue(&b, fmt.Sprint(kv[len(kv)-1]))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.w, b.String())
+}
+
+// appendValue writes v, quoting it when it would break logfmt
+// tokenization.
+func appendValue(b *strings.Builder, v string) {
+	if v == "" || strings.ContainsAny(v, " \t\n\"=") {
+		b.WriteString(strconv.Quote(v))
+		return
+	}
+	b.WriteString(v)
+}
+
+// ParseLogLine tokenizes one logfmt line into its key/value map. It
+// returns ok=false for lines that are not logfmt (no key=value pairs),
+// so callers can skip free-form output from other writers. Duplicate
+// keys keep the last value.
+func ParseLogLine(line string) (map[string]string, bool) {
+	out := make(map[string]string)
+	i, n := 0, len(line)
+	for i < n {
+		for i < n && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		eq := strings.IndexByte(line[i:], '=')
+		if eq <= 0 {
+			return nil, false
+		}
+		key := line[i : i+eq]
+		if strings.ContainsAny(key, " \t\"") {
+			return nil, false
+		}
+		i += eq + 1
+		var val string
+		if i < n && line[i] == '"' {
+			// Quoted value: find the closing quote, honoring escapes.
+			j := i + 1
+			for j < n {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= n {
+				return nil, false
+			}
+			unq, err := strconv.Unquote(line[i : j+1])
+			if err != nil {
+				return nil, false
+			}
+			val = unq
+			i = j + 1
+		} else {
+			j := i
+			for j < n && line[j] != ' ' && line[j] != '\t' {
+				j++
+			}
+			val = line[i:j]
+			i = j
+		}
+		out[key] = val
+	}
+	if len(out) == 0 {
+		return nil, false
+	}
+	return out, true
+}

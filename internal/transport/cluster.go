@@ -34,6 +34,20 @@ type ClusterOptions struct {
 	// (default 4). Leases beyond it dial fresh connections; releases
 	// beyond it close the connection instead of pooling it.
 	PoolSize int
+	// FetchTimeout, when positive, bounds one sums fetch round-trip
+	// against a backend (connection deadline around the request). A
+	// timed-out fetch counts as a connection failure: retried on a fresh
+	// connection when the session has nothing unfenced at stake, fatal
+	// to the session otherwise. Zero means no deadline (the default,
+	// preserving pre-timeout behavior).
+	FetchTimeout time.Duration
+	// HedgeDelay, when positive, arms hedged reads: a clean-session
+	// sums fetch that has not answered within HedgeDelay is raced
+	// against a second fetch on a freshly leased connection, and the
+	// first answer wins. Only read-only idempotent fetches with no
+	// unfenced forwards are hedged, so duplicated requests cannot
+	// double-apply anything. Zero disables hedging.
+	HedgeDelay time.Duration
 }
 
 func (o ClusterOptions) withDefaults() ClusterOptions {
@@ -115,6 +129,11 @@ func (b *BackendConn) Fence() error {
 	return nil
 }
 
+// SetDeadline sets the absolute read/write deadline on the underlying
+// connection (the zero time clears it). The gateway brackets each
+// bounded sums fetch with it.
+func (b *BackendConn) SetDeadline(t time.Time) error { return b.conn.SetDeadline(t) }
+
 // Close closes the underlying connection.
 func (b *BackendConn) Close() error { return b.conn.Close() }
 
@@ -146,6 +165,9 @@ func NewClusterClient(addrs []string, opts ClusterOptions) (*ClusterClient, erro
 
 // N returns the number of backends.
 func (c *ClusterClient) N() int { return len(c.addrs) }
+
+// Options returns the client's configuration with defaults applied.
+func (c *ClusterClient) Options() ClusterOptions { return c.opts }
 
 // Addr returns the address of backend i.
 func (c *ClusterClient) Addr(i int) string { return c.addrs[i] }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"rtf/internal/hh"
 	"rtf/internal/persist"
@@ -78,7 +80,45 @@ type durableJournal struct {
 	// prefix of the log.
 	mu sync.RWMutex
 
+	// snapCursor and snapUnixNano track the newest snapshot (cursor and
+	// wall-clock write time; snapUnixNano starts at open time when no
+	// snapshot exists yet) so WAL lag and snapshot age are readable
+	// without taking the snapshot lock.
+	snapCursor   atomic.Uint64
+	snapUnixNano atomic.Int64
+
 	scratch sync.Pool // *[]byte buffers for frame re-encoding
+}
+
+// DurabilityStats is a point-in-time reading of a durable collector's
+// persistence state, exported as gauges on the metrics endpoint.
+type DurabilityStats struct {
+	// LastSeq is the highest WAL sequence number appended (or recovered).
+	LastSeq uint64
+	// SnapshotCursor is the cursor of the newest snapshot (0 if none).
+	SnapshotCursor uint64
+	// WALLagRecords is LastSeq − SnapshotCursor: the records a restart
+	// would replay.
+	WALLagRecords uint64
+	// SnapshotAge is the time since the newest snapshot was written, or
+	// since the journal was opened when no snapshot has been cut yet.
+	SnapshotAge time.Duration
+}
+
+// durabilityStats reads the journal's current persistence state.
+func (j *durableJournal) durabilityStats() DurabilityStats {
+	last := j.wal.LastSeq()
+	cur := j.snapCursor.Load()
+	lag := uint64(0)
+	if last > cur {
+		lag = last - cur
+	}
+	return DurabilityStats{
+		LastSeq:        last,
+		SnapshotCursor: cur,
+		WALLagRecords:  lag,
+		SnapshotAge:    time.Since(time.Unix(0, j.snapUnixNano.Load())),
+	}
 }
 
 // openJournal recovers durable state from dir — newest snapshot
@@ -141,7 +181,10 @@ func openJournal(dir string, meta persist.Meta, o DurableOptions,
 	if err != nil {
 		return nil, stats, fmt.Errorf("transport: opening WAL: %w", err)
 	}
-	return &durableJournal{wal: wal, dir: dir, meta: meta, fsync: o.Fsync}, stats, nil
+	j := &durableJournal{wal: wal, dir: dir, meta: meta, fsync: o.Fsync}
+	j.snapCursor.Store(stats.SnapshotCursor)
+	j.snapUnixNano.Store(time.Now().UnixNano())
+	return j, stats, nil
 }
 
 // journal re-encodes the batch, appends it to the write-ahead log, and
@@ -190,6 +233,8 @@ func (j *durableJournal) snapshot(marshal func() []byte) (uint64, error) {
 	if err := persist.CompactSnapshots(j.dir, 2); err != nil {
 		return cursor, fmt.Errorf("transport: compacting snapshots: %w", err)
 	}
+	j.snapCursor.Store(cursor)
+	j.snapUnixNano.Store(time.Now().UnixNano())
 	return cursor, nil
 }
 
@@ -257,6 +302,11 @@ func (c *DurableCollector) Snapshot() (uint64, error) {
 	return c.j.snapshot(c.inner.Acc().MarshalState)
 }
 
+// DurabilityStats reads the collector's current WAL and snapshot state
+// (lock-free on the snapshot side; the WAL sequence takes the WAL's own
+// short mutex).
+func (c *DurableCollector) DurabilityStats() DurabilityStats { return c.j.durabilityStats() }
+
 // Close closes the write-ahead log. It does not snapshot; callers that
 // want a final cut call Snapshot first.
 func (c *DurableCollector) Close() error { return c.j.close() }
@@ -323,6 +373,9 @@ func (c *DurableDomainCollector) SendBatch(shard int, ms []Msg) error {
 func (c *DurableDomainCollector) Snapshot() (uint64, error) {
 	return c.j.snapshot(c.inner.Domain().MarshalState)
 }
+
+// DurabilityStats reads the collector's current WAL and snapshot state.
+func (c *DurableDomainCollector) DurabilityStats() DurabilityStats { return c.j.durabilityStats() }
 
 // Close closes the write-ahead log. It does not snapshot; callers that
 // want a final cut call Snapshot first.

@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"strconv"
+	"time"
+
+	"rtf/internal/obs"
+)
+
+// ServerMetrics is the instrument set of a serving process, shared by
+// the ingest server and the cluster gateway. All instruments live in
+// one obs.Registry (mounted at /metrics by the binaries), and the hot
+// ones are plain atomic handles resolved once at construction:
+//
+//	ingest_messages_total      counter: ingest messages applied
+//	ingest_batches_total       counter: batches applied
+//	ingest_acked_batches_total counter: acked batches received (applied or shed)
+//	ingest_shed_batches_total  counter: acked batches shed whole by the queue
+//	ingest_batch_size          histogram: sizes of applied batches
+//	ingest_latency_seconds     histogram: decode-to-applied latency per batch
+//	conns_active               gauge: currently served connections
+//	queries_total{mechanism,kind} counters: answered queries by mechanism
+//	    ("boolean" or "domain") and kind ("point", "change", "series",
+//	    "window", "sums", or "point_v1")
+//
+// Shed batches are deliberately excluded from the size and latency
+// histograms and the message counter — those describe applied work, and
+// the shed counter together with the acked counter gives the rejection
+// rate.
+type ServerMetrics struct {
+	reg *obs.Registry
+
+	Messages     *obs.Counter
+	Batches      *obs.Counter
+	AckedBatches *obs.Counter
+	ShedBatches  *obs.Counter
+	BatchSize    *obs.Histogram
+	Latency      *obs.Histogram
+	ActiveConns  *obs.Gauge
+}
+
+// NewServerMetrics resolves the ingest instrument set in r.
+func NewServerMetrics(r *obs.Registry) *ServerMetrics {
+	return &ServerMetrics{
+		reg:          r,
+		Messages:     r.Counter("ingest_messages_total"),
+		Batches:      r.Counter("ingest_batches_total"),
+		AckedBatches: r.Counter("ingest_acked_batches_total"),
+		ShedBatches:  r.Counter("ingest_shed_batches_total"),
+		BatchSize:    r.Histogram("ingest_batch_size", obs.ExpBuckets(1, 2, 16)),
+		Latency:      r.Histogram("ingest_latency_seconds", obs.ExpBuckets(1e-5, 2, 20)),
+		ActiveConns:  r.Gauge("conns_active"),
+	}
+}
+
+// Registry returns the registry the instruments live in.
+func (m *ServerMetrics) Registry() *obs.Registry { return m.reg }
+
+// ObserveBatch records one applied batch of n ingest messages. Frames
+// holding only query messages pass n == 0 and are not counted here —
+// they show up in queries_total, and the ingest histograms keep
+// describing ingest work alone.
+func (m *ServerMetrics) ObserveBatch(n int, d time.Duration, acked bool) {
+	if n == 0 {
+		return
+	}
+	m.Batches.Inc()
+	m.Messages.Add(int64(n))
+	m.BatchSize.Observe(float64(n))
+	m.Latency.Observe(d.Seconds())
+	if acked {
+		m.AckedBatches.Inc()
+	}
+}
+
+// ObserveShed records one acked batch shed whole by the queue.
+func (m *ServerMetrics) ObserveShed() {
+	m.AckedBatches.Inc()
+	m.ShedBatches.Inc()
+}
+
+// ObserveScatter records one successful scatter fetch against backend i
+// in scatter_latency_seconds{backend="i"} — the gateway's per-backend
+// read-path latency.
+func (m *ServerMetrics) ObserveScatter(i int, d time.Duration) {
+	m.reg.Histogram(
+		obs.Label("scatter_latency_seconds", "backend", strconv.Itoa(i)),
+		obs.ExpBuckets(1e-5, 2, 20),
+	).Observe(d.Seconds())
+}
+
+// CountHedge records one hedged fetch: armed when the primary fetch
+// outlived the hedge delay, and won when the hedge connection answered
+// first.
+func (m *ServerMetrics) CountHedge(won bool) {
+	m.reg.Counter("gateway_hedged_fetches_total").Inc()
+	if won {
+		m.reg.Counter("gateway_hedge_wins_total").Inc()
+	}
+}
+
+// CountQuery increments queries_total for one answered query. The
+// labeled counter is looked up in the registry (one short mutex
+// acquisition); queries are off the ingest hot path, so the lookup cost
+// is irrelevant.
+func (m *ServerMetrics) CountQuery(mechanism, kind string) {
+	m.reg.Counter(obs.Label("queries_total", "mechanism", mechanism, "kind", kind)).Inc()
+}
+
+// RegisterQueue exports the queue's live depth and capacity as gauges.
+func (m *ServerMetrics) RegisterQueue(q *IngestQueue) {
+	m.reg.GaugeFunc("ingest_queue_depth", func() float64 { return float64(q.Depth()) })
+	m.reg.GaugeFunc("ingest_queue_capacity", func() float64 { return float64(q.Capacity()) })
+}
+
+// DurabilityStatser is satisfied by DurableCollector and
+// DurableDomainCollector.
+type DurabilityStatser interface {
+	DurabilityStats() DurabilityStats
+}
+
+// RegisterDurability exports a durable collector's WAL and snapshot
+// state: wal_last_seq, wal_lag_records (records appended since the
+// newest snapshot's cursor — the replay debt a restart would pay), and
+// snapshot_age_seconds (time since the newest snapshot was written, or
+// since boot when none has been).
+func (m *ServerMetrics) RegisterDurability(ds DurabilityStatser) {
+	m.reg.GaugeFunc("wal_last_seq", func() float64 {
+		return float64(ds.DurabilityStats().LastSeq)
+	})
+	m.reg.GaugeFunc("wal_lag_records", func() float64 {
+		return float64(ds.DurabilityStats().WALLagRecords)
+	})
+	m.reg.GaugeFunc("snapshot_age_seconds", func() float64 {
+		return ds.DurabilityStats().SnapshotAge.Seconds()
+	})
+}
+
+// QueryKindName maps an answered query frame to its queries_total kind
+// label.
+func QueryKindName(m Msg) string {
+	switch m.Type {
+	case MsgQuery:
+		return "point_v1"
+	case MsgSums, MsgDomainSums:
+		return "sums"
+	}
+	switch m.Kind {
+	case QueryPoint:
+		return "point"
+	case QueryChange:
+		return "change"
+	case QuerySeries:
+		return "series"
+	case QueryWindow:
+		return "window"
+	case QueryPointItem:
+		return "point_item"
+	case QuerySeriesItem:
+		return "series_item"
+	case QueryTopK:
+		return "topk"
+	}
+	return "unknown"
+}

@@ -1,0 +1,55 @@
+package transport
+
+// IngestQueue bounds the number of batches a serving process applies
+// concurrently. Every batch holds one slot from admission until its
+// collector application (and any in-batch query answers) finish, so the
+// queue depth is the process's in-flight ingest work and the capacity
+// is a hard ceiling on it.
+//
+// Admission has two disciplines, chosen by the wire frame the client
+// sent:
+//
+//   - Legacy batches (MsgBatch) block in Acquire until a slot frees.
+//     The connection goroutine stops reading, TCP flow control pushes
+//     back on the sender, and nothing is ever dropped — existing
+//     clients keep their fence-certification semantics unchanged.
+//   - Acked batches (MsgBatchAcked) try TryAcquire and are shed whole
+//     when the queue is full: the server answers MsgBatchAck(applied=
+//     false) without applying (or journaling) any message of the
+//     batch. There is no partial outcome by construction.
+//
+// The zero IngestQueue is not usable; call NewIngestQueue.
+type IngestQueue struct {
+	sem chan struct{}
+}
+
+// NewIngestQueue returns a queue admitting up to capacity concurrent
+// batches. Capacity must be positive.
+func NewIngestQueue(capacity int) *IngestQueue {
+	if capacity < 1 {
+		panic("transport: ingest queue capacity must be positive")
+	}
+	return &IngestQueue{sem: make(chan struct{}, capacity)}
+}
+
+// Acquire blocks until a slot is free and takes it.
+func (q *IngestQueue) Acquire() { q.sem <- struct{}{} }
+
+// TryAcquire takes a slot if one is free and reports whether it did.
+func (q *IngestQueue) TryAcquire() bool {
+	select {
+	case q.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees a slot taken by Acquire or a successful TryAcquire.
+func (q *IngestQueue) Release() { <-q.sem }
+
+// Depth returns the number of slots currently held.
+func (q *IngestQueue) Depth() int { return len(q.sem) }
+
+// Capacity returns the queue's slot count.
+func (q *IngestQueue) Capacity() int { return cap(q.sem) }

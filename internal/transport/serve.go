@@ -32,6 +32,19 @@ type IngestServer struct {
 	// failures (which close that connection but not the server).
 	ErrorLog func(err error)
 
+	// Metrics, when non-nil, instruments the serving loops: applied
+	// batches and messages, batch-size and ingest-latency histograms,
+	// live connection count, per-kind query counters, and acked-batch
+	// shed accounting. Nil keeps every serving path metric-free (and
+	// branch-predictable), so embedded and test servers pay nothing.
+	Metrics *ServerMetrics
+
+	// Queue, when non-nil, bounds concurrent in-flight batches across
+	// all connections. Legacy batches block for a slot (TCP
+	// backpressure); acked batches are shed whole — acknowledged but
+	// never applied — when no slot is free. See IngestQueue.
+	Queue *IngestQueue
+
 	mu       sync.Mutex
 	listener net.Listener // set by ListenAndServe so Close can unblock it
 	conns    map[net.Conn]struct{}
@@ -161,7 +174,13 @@ func (s *IngestServer) serveConn(id int, conn net.Conn) error {
 			}
 			return err
 		}
+		acked := dec.AckedBatch()
+		start := time.Now()
+		ingest := 0
 		for _, m := range ms {
+			if acked && isQuery(m) {
+				return fmt.Errorf("message type %d (query) inside acked batch", m.Type)
+			}
 			switch m.Type {
 			case MsgQuery:
 				if m.T < 1 || m.T > acc.D() {
@@ -177,11 +196,22 @@ func (s *IngestServer) serveConn(id int, conn net.Conn) error {
 				if err := s.Collector.Validate(m); err != nil {
 					return err
 				}
+				ingest++
 			}
+		}
+		shed, holding, err := s.admitBatch(acked, enc)
+		if err != nil {
+			return err
+		}
+		if shed {
+			continue
 		}
 		err = BatchRuns(ms, isQuery,
 			func(run []Msg) error { return s.Collector.SendBatch(id, run) },
 			func(m Msg) error {
+				if s.Metrics != nil {
+					s.Metrics.CountQuery("boolean", QueryKindName(m))
+				}
 				switch m.Type {
 				case MsgQuery:
 					if err := enc.Encode(Estimate(m.T, acc.EstimateAt(m.T))); err != nil {
@@ -202,10 +232,58 @@ func (s *IngestServer) serveConn(id int, conn net.Conn) error {
 				}
 				return enc.Flush()
 			})
+		if holding {
+			s.Queue.Release()
+		}
 		if err != nil {
 			return err
 		}
+		if err := s.finishBatch(acked, enc, ingest, start); err != nil {
+			return err
+		}
 	}
+}
+
+// admitBatch runs queue admission for one decoded batch: legacy batches
+// block for a slot, acked batches are shed whole when the queue is
+// full. It reports whether the batch was shed (already answered with a
+// negative ack; the caller skips it entirely) and whether a slot is
+// held and must be released after the batch is applied.
+func (s *IngestServer) admitBatch(acked bool, enc *Encoder) (shed, holding bool, err error) {
+	if s.Queue == nil {
+		return false, false, nil
+	}
+	if !acked {
+		s.Queue.Acquire()
+		return false, true, nil
+	}
+	if s.Queue.TryAcquire() {
+		return false, true, nil
+	}
+	if s.Metrics != nil {
+		s.Metrics.ObserveShed()
+	}
+	if err := enc.EncodeBatchAck(false); err != nil {
+		return false, false, err
+	}
+	return true, false, enc.Flush()
+}
+
+// finishBatch acknowledges an applied acked batch and records its
+// metrics.
+func (s *IngestServer) finishBatch(acked bool, enc *Encoder, n int, start time.Time) error {
+	if acked {
+		if err := enc.EncodeBatchAck(true); err != nil {
+			return err
+		}
+		if err := enc.Flush(); err != nil {
+			return err
+		}
+	}
+	if s.Metrics != nil {
+		s.Metrics.ObserveBatch(n, time.Since(start), acked)
+	}
+	return nil
 }
 
 // serveDomainConn is serveConn for a domain-mode server: item-tagged
@@ -227,7 +305,13 @@ func (s *IngestServer) serveDomainConn(id int, dec *Decoder, enc *Encoder) error
 			}
 			return err
 		}
+		acked := dec.AckedBatch()
+		start := time.Now()
+		ingest := 0
 		for _, m := range ms {
+			if acked && isQuery(m) {
+				return fmt.Errorf("message type %d (query) inside acked batch", m.Type)
+			}
 			switch m.Type {
 			case MsgDomainQuery:
 				if err := ValidateDomainQuery(ds.D(), ds.M(), m); err != nil {
@@ -239,11 +323,22 @@ func (s *IngestServer) serveDomainConn(id int, dec *Decoder, enc *Encoder) error
 				if err := s.Domain.Validate(m); err != nil {
 					return err
 				}
+				ingest++
 			}
+		}
+		shed, holding, err := s.admitBatch(acked, enc)
+		if err != nil {
+			return err
+		}
+		if shed {
+			continue
 		}
 		err = BatchRuns(ms, isQuery,
 			func(run []Msg) error { return s.Domain.SendBatch(id, run) },
 			func(m Msg) error {
+				if s.Metrics != nil {
+					s.Metrics.CountQuery("domain", QueryKindName(m))
+				}
 				switch m.Type {
 				case MsgDomainQuery:
 					ans, err := AnswerDomainQuery(ds, m)
@@ -260,7 +355,13 @@ func (s *IngestServer) serveDomainConn(id int, dec *Decoder, enc *Encoder) error
 				}
 				return enc.Flush()
 			})
+		if holding {
+			s.Queue.Release()
+		}
 		if err != nil {
+			return err
+		}
+		if err := s.finishBatch(acked, enc, ingest, start); err != nil {
 			return err
 		}
 	}
@@ -399,12 +500,18 @@ func (s *IngestServer) track(conn net.Conn) bool {
 		return false
 	}
 	s.conns[conn] = struct{}{}
+	if s.Metrics != nil {
+		s.Metrics.ActiveConns.Add(1)
+	}
 	return true
 }
 
 func (s *IngestServer) untrack(conn net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
+	if s.Metrics != nil {
+		s.Metrics.ActiveConns.Add(-1)
+	}
 	s.mu.Unlock()
 	conn.Close()
 }

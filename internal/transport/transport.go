@@ -52,6 +52,15 @@ const (
 	MsgDomainAnswer    MsgType = 13 // response: items and/or values (DomainAnswerFrame)
 	MsgDomainSums      MsgType = 14 // gateway asks for the per-item raw sums
 	MsgDomainSumsFrame MsgType = 15 // response: per-item raw state (DomainSumsFrame)
+
+	// Overload-aware ingest: an acknowledged batch frame carries only
+	// ingest messages and is answered — in order, one ack per frame —
+	// with a BatchAck whose status says whether the whole batch was
+	// applied or shed by the server's bounded ingest queue. A batch is
+	// never half-applied: shed means not one message of it reached the
+	// accumulator (or, on a durable server, the write-ahead log).
+	MsgBatchAcked MsgType = 16 // batch frame requesting a per-batch ack
+	MsgBatchAck   MsgType = 17 // response: 1 = applied whole, 0 = shed whole
 )
 
 // QueryKind discriminates the shapes of a versioned (v2) query. The
@@ -309,14 +318,24 @@ func appendMsg(b []byte, m Msg) ([]byte, error) {
 // message in its scalar encoding. The write-ahead log journals exactly
 // these bytes, so recovery replays through the ordinary decoder.
 func appendBatch(b []byte, ms []Msg) ([]byte, error) {
+	return appendBatchTyped(b, MsgBatch, ms)
+}
+
+// appendBatchTyped is appendBatch parameterized over the frame type:
+// MsgBatch for fire-and-forget batches, MsgBatchAcked for batches the
+// server must acknowledge (applied whole or shed whole).
+func appendBatchTyped(b []byte, typ MsgType, ms []Msg) ([]byte, error) {
 	if len(ms) > MaxBatchLen {
 		return nil, fmt.Errorf("transport: batch of %d messages exceeds limit %d", len(ms), MaxBatchLen)
 	}
-	b = append(b, byte(MsgBatch))
+	if typ == MsgBatchAcked && len(ms) == 0 {
+		return nil, errors.New("transport: empty acked batch")
+	}
+	b = append(b, byte(typ))
 	b = binary.AppendUvarint(b, uint64(len(ms)))
 	var err error
 	for _, m := range ms {
-		if m.Type == MsgBatch {
+		if m.Type == MsgBatch || m.Type == MsgBatchAcked {
 			return nil, errors.New("transport: nested batch")
 		}
 		if b, err = appendMsg(b, m); err != nil {
@@ -341,6 +360,36 @@ func (e *Encoder) EncodeBatch(ms []Msg) error {
 	return err
 }
 
+// EncodeAckedBatch writes one acknowledged batch frame: identical to
+// EncodeBatch except the server must answer it with exactly one
+// MsgBatchAck saying whether the whole batch was applied or shed by its
+// bounded ingest queue. Only ingest messages (hellos and reports,
+// Boolean or domain) may travel in an acked batch; a server rejects
+// query frames inside one. The caller must read the acks — senders that
+// stream acked batches without draining acks eventually deadlock on TCP
+// flow control.
+func (e *Encoder) EncodeAckedBatch(ms []Msg) error {
+	b, err := appendBatchTyped(e.scratch[:0], MsgBatchAcked, ms)
+	if err != nil {
+		return err
+	}
+	e.scratch = b[:0] // keep the grown buffer for the next batch
+	n, err := e.w.Write(b)
+	e.n += int64(n)
+	return err
+}
+
+// EncodeBatchAck writes the server's response to one acked batch.
+func (e *Encoder) EncodeBatchAck(applied bool) error {
+	status := byte(0)
+	if applied {
+		status = 1
+	}
+	n, err := e.w.Write([]byte{byte(MsgBatchAck), status})
+	e.n += int64(n)
+	return err
+}
+
 // Flush flushes buffered bytes to the underlying writer.
 func (e *Encoder) Flush() error { return e.w.Flush() }
 
@@ -356,6 +405,10 @@ type Decoder struct {
 	// transparently unbatch; NextBatch reuses the same backing array.
 	pending []Msg
 	next    int
+
+	// acked records whether the most recently decoded batch frame was a
+	// MsgBatchAcked (the server owes its sender exactly one BatchAck).
+	acked bool
 }
 
 // NewDecoder wraps a reader.
@@ -417,9 +470,14 @@ func (d *Decoder) NextBatch() ([]Msg, error) {
 // lifetime.
 const maxRetainedBatch = 1 << 12
 
-// scalarOrBatch decodes the next frame. For a batch frame it fills
-// d.pending with the inner messages and returns a Msg with Type
-// MsgBatch; otherwise it returns the scalar message.
+// AckedBatch reports whether the most recent frame decoded by NextBatch
+// was an acknowledged batch (MsgBatchAcked): the peer is waiting for
+// exactly one BatchAck for it.
+func (d *Decoder) AckedBatch() bool { return d.acked }
+
+// scalarOrBatch decodes the next frame. For a batch frame (plain or
+// acked) it fills d.pending with the inner messages and returns a Msg
+// with Type MsgBatch; otherwise it returns the scalar message.
 func (d *Decoder) scalarOrBatch() (Msg, error) {
 	if cap(d.pending) > maxRetainedBatch {
 		d.pending = nil // release an oversized buffer from a past batch
@@ -428,7 +486,8 @@ func (d *Decoder) scalarOrBatch() (Msg, error) {
 	if err != nil {
 		return Msg{}, err // io.EOF passes through
 	}
-	if MsgType(tb) != MsgBatch {
+	d.acked = MsgType(tb) == MsgBatchAcked
+	if MsgType(tb) != MsgBatch && MsgType(tb) != MsgBatchAcked {
 		return d.scalarBody(MsgType(tb))
 	}
 	n, err := binary.ReadUvarint(d.r)
@@ -437,6 +496,12 @@ func (d *Decoder) scalarOrBatch() (Msg, error) {
 	}
 	if n > MaxBatchLen {
 		return Msg{}, fmt.Errorf("transport: batch length %d exceeds limit %d", n, MaxBatchLen)
+	}
+	if d.acked && n == 0 {
+		// An empty acked batch would be skipped by the unbatching loops
+		// and its ack silently owed forever; reject it at the frame level
+		// (the encoder refuses to produce one).
+		return Msg{}, errors.New("transport: empty acked batch")
 	}
 	d.pending = d.pending[:0]
 	d.next = 0
@@ -466,7 +531,7 @@ func (d *Decoder) scalarOrBatch() (Msg, error) {
 		if err != nil {
 			return Msg{}, truncated(err)
 		}
-		if MsgType(tb) == MsgBatch {
+		if MsgType(tb) == MsgBatch || MsgType(tb) == MsgBatchAcked {
 			return Msg{}, errors.New("transport: nested batch")
 		}
 		m, err := d.scalarBody(MsgType(tb))
@@ -685,8 +750,10 @@ func decodeScalar(b []byte) (Msg, int, error) {
 			return Msg{}, 0, fmt.Errorf("transport: unsupported domain-sums-request version %d", b[off])
 		}
 		off++
-	case MsgBatch:
+	case MsgBatch, MsgBatchAcked:
 		return Msg{}, 0, errors.New("transport: nested batch")
+	case MsgBatchAck:
+		return Msg{}, 0, errors.New("transport: batch ack inside batch")
 	case MsgAnswer:
 		return Msg{}, 0, errors.New("transport: answer frame outside ReadAnswer")
 	case MsgSumsFrame:
@@ -893,6 +960,8 @@ func (d *Decoder) scalarBody(typ MsgType) (Msg, error) {
 		if ver != queryWireVersion {
 			return Msg{}, fmt.Errorf("transport: unsupported domain-sums-request version %d", ver)
 		}
+	case MsgBatchAck:
+		return Msg{}, errors.New("transport: batch ack outside ReadBatchAck")
 	case MsgAnswer:
 		return Msg{}, errors.New("transport: answer frame outside ReadAnswer")
 	case MsgSumsFrame:
@@ -1002,6 +1071,33 @@ func (d *Decoder) ReadAnswer() (AnswerFrame, error) {
 		a.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[:]))
 	}
 	return a, nil
+}
+
+// ReadBatchAck decodes one MsgBatchAck frame: the server's verdict on
+// the oldest unacknowledged acked batch. It reports applied=true when
+// the whole batch was ingested and applied=false when the server's
+// bounded queue shed the whole batch; there is no partial outcome by
+// construction. It must be called when an ack is the next frame on the
+// stream and fails on any other frame type.
+func (d *Decoder) ReadBatchAck() (applied bool, err error) {
+	if d.next < len(d.pending) {
+		return false, errors.New("transport: batch ack inside batch")
+	}
+	tb, err := d.r.ReadByte()
+	if err != nil {
+		return false, err // io.EOF passes through
+	}
+	if MsgType(tb) != MsgBatchAck {
+		return false, fmt.Errorf("transport: expected batch ack, got message type %d", tb)
+	}
+	status, err := d.r.ReadByte()
+	if err != nil {
+		return false, truncated(err)
+	}
+	if status > 1 {
+		return false, fmt.Errorf("transport: invalid batch ack status %d", status)
+	}
+	return status == 1, nil
 }
 
 // Collector is a concurrency-safe fan-in point: any number of client
