@@ -16,6 +16,7 @@ import (
 	"rtf/internal/dyadic"
 	"rtf/internal/eval"
 	"rtf/internal/hh"
+	"rtf/internal/membership"
 	"rtf/internal/persist"
 	"rtf/internal/probmath"
 	"rtf/internal/protocol"
@@ -640,6 +641,145 @@ func BenchmarkClusterAnswerPoint(b *testing.B) {
 // d-period series.
 func BenchmarkClusterAnswerSeries(b *testing.B) {
 	benchClusterAnswer(b, transport.QueryV2(transport.QuerySeries, 0, 0))
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic-membership benchmarks: K-way replicated ingest and the quorum
+// answer path through a member gateway, both registered with the CI
+// regression gate.
+
+const memberBenchShards = 32
+
+type memberBench struct {
+	addr     string
+	gw       *cluster.MemberGateway
+	backends []*transport.IngestServer
+	done     []chan error
+}
+
+// startMemberBench spins up n membership-mode backends and a member
+// gateway replicating every shard to k of them.
+func startMemberBench(b *testing.B, n, k, d int, scale float64) *memberBench {
+	b.Helper()
+	mb := &memberBench{}
+	var members []membership.Member
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("b%d", i)
+		srv := transport.NewShardMapIngestServer(transport.NewShardMapCollector(d, scale, memberBenchShards, id))
+		ready := make(chan net.Addr, 1)
+		done := make(chan error, 1)
+		go func() { done <- srv.ListenAndServe("127.0.0.1:0", ready) }()
+		members = append(members, membership.Member{ID: id, Addr: (<-ready).String()})
+		mb.backends = append(mb.backends, srv)
+		mb.done = append(mb.done, done)
+	}
+	gw, err := cluster.NewMember(d, scale, memberBenchShards, k, members, transport.NewReplicaClient(transport.ClusterOptions{}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := gw.AnnounceView(); err != nil {
+		b.Fatal(err)
+	}
+	mb.gw = gw
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- gw.ListenAndServe("127.0.0.1:0", ready) }()
+	mb.addr = (<-ready).String()
+	mb.done = append(mb.done, done)
+	b.Cleanup(func() {
+		mb.gw.Close()
+		for _, srv := range mb.backends {
+			srv.Close()
+		}
+		for _, done := range mb.done {
+			if err := <-done; err != nil {
+				b.Error(err)
+			}
+		}
+	})
+	return mb
+}
+
+// BenchmarkReplicatedIngest measures batched ingestion through a member
+// gateway over three backends with K=2: decode, whole-batch validation,
+// rendezvous shard partitioning, and each message shipped to BOTH
+// owners of its shard, fenced at the end so every replica applied every
+// report before the clock stops.
+func BenchmarkReplicatedIngest(b *testing.B) {
+	const conns = 4
+	mb := startMemberBench(b, 3, 2, ingestBenchD, 100)
+	streams := encodeIngestStreams(b, conns, true)
+	var total int64
+	for _, s := range streams {
+		total += int64(len(s))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for s := range streams {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", mb.addr)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer conn.Close()
+				if _, err := conn.Write(streams[s]); err != nil {
+					b.Error(err)
+					return
+				}
+				enc := transport.NewEncoder(conn)
+				if err := enc.Encode(transport.Query(1)); err != nil { // fence
+					b.Error(err)
+					return
+				}
+				if err := enc.Flush(); err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := transport.NewDecoder(conn).Next(); err != nil {
+					b.Error(err)
+				}
+			}(s)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(ingestBenchReports)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+}
+
+// BenchmarkQuorumAnswerPoint is the cheapest query over the replicated
+// transport: one point estimate still quorum-reads every shard from
+// both owners, compares the copies integer-for-integer, and folds one
+// copy per shard into a fresh serial accumulator.
+func BenchmarkQuorumAnswerPoint(b *testing.B) {
+	mb := startMemberBench(b, 3, 2, ingestBenchD, 100)
+	streams := encodeIngestStreams(b, 1, true)
+	conn, err := net.Dial("tcp", mb.addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(streams[0]); err != nil {
+		b.Fatal(err)
+	}
+	enc := transport.NewEncoder(conn)
+	dec := transport.NewDecoder(conn)
+	q := transport.QueryV2(transport.QueryPoint, ingestBenchD/2, ingestBenchD/2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Encode(q); err != nil {
+			b.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dec.ReadAnswer(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 type writableBuffer struct{ n int }

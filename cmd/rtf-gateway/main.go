@@ -24,6 +24,18 @@
 // backends' and the clients'; the mechanism must have the clustered
 // capability (its server state merges exactly across machines).
 //
+// With -members (instead of -backends) the gateway runs in dynamic
+// membership mode against rtf-serve -membership backends: users map to
+// -vshards virtual shards, each shard is placed on -replicas members by
+// rendezvous hashing of an epoched cluster view, ingest is replicated
+// to every owner, and queries quorum-read each shard from its owners
+// with exact-integer divergence detection — so answers stay bit-for-
+// bit exact and survive any single member death. POST
+// /membership/reshard on the -metrics listener installs a new member
+// list: the gateway fences in-flight forwards, moves only the shards
+// whose ownership changed (snapshot handoff over the wire), and bumps
+// the epoch.
+//
 // The process logs in logfmt to stderr and -metrics mounts a JSON
 // snapshot of every instrument — including per-backend scatter-fetch
 // latency histograms — at http://ADDR/metrics. -queue bounds
@@ -75,6 +87,9 @@ func main() {
 		queue    = flag.Int("queue", 0, "bounded ingest admission queue capacity: acked batches beyond it are shed whole before any forward, legacy batches block (0 = unbounded)")
 		fetchTO  = flag.Duration("fetch-timeout", 0, "per-backend scatter fetch deadline; a timed-out fetch is retried on a fresh connection (0 = no deadline)")
 		hedge    = flag.Duration("hedge", 0, "hedged-read delay: a clean-session fetch not answered within this is raced against a fresh connection (0 = off)")
+		members  = flag.String("members", "", "dynamic membership mode: comma-separated id=addr member list (mutually exclusive with -backends); backends must run rtf-serve -membership")
+		replicas = flag.Int("replicas", 2, "replication factor K under -members: every virtual shard is written to and quorum-read from K members")
+		vshards  = flag.Int("vshards", 64, "virtual shard count under -members; must match the backends' -vshards")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, "rtf-gateway")
@@ -101,18 +116,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var addrs []string
-	for _, a := range strings.Split(*backends, ",") {
-		if a = strings.TrimSpace(a); a != "" {
-			addrs = append(addrs, a)
-		}
-	}
-	client, err := transport.NewClusterClient(addrs, transport.ClusterOptions{
+	opts := transport.ClusterOptions{
 		DialAttempts: *attempts,
 		PoolSize:     *pool,
 		FetchTimeout: *fetchTO,
 		HedgeDelay:   *hedge,
-	})
+	}
+	if *members != "" {
+		if *backends != "" {
+			fatal(fmt.Errorf("-members and -backends are mutually exclusive: one gateway fronts either a static partition map or a dynamic member set"))
+		}
+		runMember(logger, memberConfig{
+			addr: *addr, members: *members, mech: *mech,
+			d: *d, k: *k, m: *m, eps: *eps, scale: scale,
+			replicas: *replicas, vshards: *vshards,
+			opts: opts, grace: *grace, metrics: *metrics, queue: *queue,
+		})
+		return
+	}
+	addrs, err := parseBackends(*backends)
+	if err != nil {
+		fatal(err)
+	}
+	client, err := transport.NewClusterClient(addrs, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -173,6 +199,32 @@ func main() {
 		fatal(err)
 	}
 	logger.Info("done")
+}
+
+// parseBackends splits the -backends flag into the ordered partition
+// map, rejecting empty and duplicate addresses: a duplicate would
+// silently halve one partition's capacity and double-count its sums,
+// and an empty element is a typo the dial loop would otherwise turn
+// into a confusing connection error at the first query.
+func parseBackends(spec string) ([]string, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("-backends is required (or use -members for dynamic membership)")
+	}
+	parts := strings.Split(spec, ",")
+	addrs := make([]string, 0, len(parts))
+	seen := make(map[string]int, len(parts))
+	for i, a := range parts {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("-backends element %d is empty", i)
+		}
+		if j, dup := seen[a]; dup {
+			return nil, fmt.Errorf("-backends lists %s twice (elements %d and %d); a duplicate backend would double-count its partition", a, j, i)
+		}
+		seen[a] = i
+		addrs = append(addrs, a)
+	}
+	return addrs, nil
 }
 
 // clustered lists the registered mechanisms a gateway can front.

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseBackends(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		want    []string
+		wantErr string
+	}{
+		{name: "single", spec: "localhost:7610", want: []string{"localhost:7610"}},
+		{
+			name: "three ordered",
+			spec: "a:1,b:2,c:3",
+			want: []string{"a:1", "b:2", "c:3"},
+		},
+		{
+			name: "whitespace trimmed",
+			spec: " a:1 , b:2 ",
+			want: []string{"a:1", "b:2"},
+		},
+		{name: "empty spec", spec: "", wantErr: "-backends is required"},
+		{name: "blank spec", spec: "   ", wantErr: "-backends is required"},
+		{name: "empty element", spec: "a:1,,c:3", wantErr: "element 1 is empty"},
+		{name: "trailing comma", spec: "a:1,b:2,", wantErr: "element 2 is empty"},
+		{
+			name:    "duplicate",
+			spec:    "a:1,b:2,a:1",
+			wantErr: "lists a:1 twice (elements 0 and 2)",
+		},
+		{
+			name:    "duplicate after trim",
+			spec:    "a:1, a:1",
+			wantErr: "lists a:1 twice (elements 0 and 1)",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseBackends(tc.spec)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("parseBackends(%q) = %v, want error containing %q", tc.spec, got, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("parseBackends(%q) error = %q, want it to contain %q", tc.spec, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseBackends(%q): %v", tc.spec, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("parseBackends(%q) = %v, want %v", tc.spec, got, tc.want)
+			}
+		})
+	}
+}

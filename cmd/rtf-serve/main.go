@@ -16,6 +16,16 @@
 // — plus per-item raw-sums requests from a cluster gateway
 // (MsgDomainSums). A server hosts exactly one of the two modes.
 //
+// With -membership (plus -id and -vshards) the service joins a dynamic
+// cluster fronted by rtf-gateway -members: it keeps one accumulator per
+// virtual shard instead of one global accumulator, and serves the
+// membership control plane on the same port — cluster view pushes,
+// per-shard raw-sums requests (the gateway's quorum reads), shard state
+// export and shard transfer installs (reshard handoffs). Works for both
+// the Boolean and (-m) domain protocols; -data-dir is supported in the
+// Boolean mode, where a shard install cuts its own snapshot so a
+// handoff survives a crash.
+//
 // With -data-dir the service is durable: every ingested frame is
 // appended to a write-ahead log before it is applied, periodic
 // snapshots (-snapshot-every) supersede and compact the log, and on
@@ -61,6 +71,7 @@ import (
 
 	"rtf/internal/dyadic"
 	"rtf/internal/hh"
+	"rtf/internal/membership"
 	"rtf/internal/obs"
 	"rtf/internal/persist"
 	"rtf/internal/protocol"
@@ -85,6 +96,9 @@ func main() {
 		grace   = flag.Duration("grace", 10*time.Second, "how long a shutdown signal lets in-flight connections drain")
 		metrics = flag.String("metrics", "", "serve the metrics snapshot (JSON) at http://ADDR/metrics; empty = off")
 		queue   = flag.Int("queue", 0, "bounded ingest admission queue capacity: acked batches beyond it are shed whole, legacy batches block (0 = unbounded)")
+		member  = flag.Bool("membership", false, "membership mode: host one accumulator per virtual shard and serve the dynamic-cluster control plane (view pushes, per-shard sums, shard transfers) for an rtf-gateway -members front")
+		id      = flag.String("id", "", "this backend's member ID under -membership (must match the gateway's -members entry)")
+		vshards = flag.Int("vshards", 64, "virtual shard count under -membership; must match the gateway's -vshards")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, "rtf-serve")
@@ -114,6 +128,14 @@ func main() {
 	if *shards < 1 {
 		fatal(fmt.Errorf("shards=%d must be >= 1", *shards))
 	}
+	if *member {
+		if *id == "" {
+			fatal(fmt.Errorf("-membership requires -id (the member ID the gateway routes by)"))
+		}
+		if *vshards < 1 || *vshards > membership.MaxShards {
+			fatal(fmt.Errorf("vshards=%d outside [1..%d]", *vshards, membership.MaxShards))
+		}
+	}
 
 	// The mode-specific wiring: an ingest server over the right
 	// collector, plus the stats and snapshot hooks shared below.
@@ -123,8 +145,34 @@ func main() {
 		snapshotFn func() (uint64, error) // nil when in-memory
 		closeFn    func() error
 		durable    transport.DurabilityStatser // nil when in-memory
+		epochFn    func() uint64               // membership mode: current view epoch
+		ownedFn    func() int                  // membership mode: shards owned under it
 	)
-	if domainMode {
+	switch {
+	case *member && domainMode:
+		if *dataDir != "" {
+			fatal(fmt.Errorf("-membership -m does not support -data-dir yet (domain shard snapshots are not implemented); drop -data-dir"))
+		}
+		col := transport.NewDomainShardMapCollector(*d, *m, scale, *vshards, *id)
+		srv = transport.NewDomainShardMapIngestServer(col)
+		statsFn, epochFn, ownedFn = col.Stats, col.Epoch, col.OwnedShards
+	case *member:
+		sm := transport.NewShardMapCollector(*d, scale, *vshards, *id)
+		epochFn, ownedFn = sm.Epoch, sm.OwnedShards
+		if *dataDir != "" {
+			meta := persist.Meta{Mechanism: *mech, D: *d, K: *k, Eps: *eps, Scale: scale}
+			dc, rec, err := transport.OpenDurableShardMap(sm, *dataDir, meta, transport.DurableOptions{Fsync: *fsync, TolerateTornTail: *tornOK})
+			if err != nil {
+				fatal(err)
+			}
+			srv = transport.NewShardMapIngestServer(dc)
+			statsFn, snapshotFn, closeFn, durable = dc.Stats, dc.Snapshot, dc.Close, dc
+			logRecovery(logger, *dataDir, rec, int(rec.Hellos))
+		} else {
+			srv = transport.NewShardMapIngestServer(sm)
+			statsFn = sm.Stats
+		}
+	case domainMode:
 		ds := hh.NewDomainServer(*d, *m, scale, *shards)
 		if *dataDir != "" {
 			meta := persist.Meta{Mechanism: *mech, D: *d, K: *k, M: *m, Eps: *eps, Scale: scale}
@@ -140,7 +188,7 @@ func main() {
 			srv = transport.NewDomainIngestServer(dc)
 			statsFn = dc.Stats
 		}
-	} else {
+	default:
 		acc := protocol.NewSharded(*d, scale, *shards)
 		if *dataDir != "" {
 			meta := persist.Meta{Mechanism: *mech, D: *d, K: *k, Eps: *eps, Scale: scale}
@@ -174,6 +222,11 @@ func main() {
 	}
 	if durable != nil {
 		srv.Metrics.RegisterDurability(durable)
+	}
+	if *member {
+		reg.SetInfo("member_id", *id)
+		reg.GaugeFunc("membership_epoch", func() float64 { return float64(epochFn()) })
+		reg.GaugeFunc("membership_owned_shards", func() float64 { return float64(ownedFn()) })
 	}
 	metricsAddr := ""
 	if *metrics != "" {
@@ -241,9 +294,15 @@ func main() {
 	go func() { errc <- srv.ListenAndServe(*addr, ready) }()
 	select {
 	case a := <-ready:
-		logger.Info("listening", "addr", a, "metrics", metricsAddr,
-			"mechanism", *mech, "d", *d, "k", *k, "m", *m, "eps", *eps,
-			"shards", *shards, "queue", *queue, "durable", snapshotFn != nil)
+		if *member {
+			logger.Info("listening", "addr", a, "metrics", metricsAddr,
+				"mechanism", *mech, "d", *d, "k", *k, "m", *m, "eps", *eps,
+				"member_id", *id, "vshards", *vshards, "queue", *queue, "durable", snapshotFn != nil)
+		} else {
+			logger.Info("listening", "addr", a, "metrics", metricsAddr,
+				"mechanism", *mech, "d", *d, "k", *k, "m", *m, "eps", *eps,
+				"shards", *shards, "queue", *queue, "durable", snapshotFn != nil)
+		}
 	case err := <-errc:
 		fatal(err)
 	}

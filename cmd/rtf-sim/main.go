@@ -41,6 +41,8 @@
 //	rtf-sim -recover -n 4000 -d 256 -k 4 -conns 4
 //	rtf-sim -cluster -n 4000 -d 256 -k 4 -conns 4
 //	rtf-sim -domain -n 3000 -d 256 -k 4 -m 8 -conns 4
+//	rtf-sim -membership -n 3000 -d 256 -k 4 -conns 4
+//	rtf-sim -membership -domain -n 3000 -d 256 -k 4 -m 8 -conns 4
 //	rtf-sim -soak -duration 60s -qps 3000 -queue 2 -conns 4
 //	rtf-sim -soak -duration 60s -qps 3000 -queue 2 -soak-backends 2
 //
@@ -52,6 +54,17 @@
 // gateway are verified bit-for-bit against an uninterrupted in-process
 // DomainServer, before the crash, after snapshot+WAL recovery, and
 // after the remaining users.
+//
+// With -membership it runs the dynamic-membership acceptance test: an
+// rtf-gateway -members front over three rtf-serve -membership backends
+// (K=2 replicas, 16 virtual shards) ingests the workload in thirds; a
+// fourth backend joins by the reshard API mid-ingest (the rendezvous
+// plan must move only ~1/N of the shard replicas), one backend drains
+// via snapshot handoff and must SIGTERM-exit 0, and one surviving
+// replica is kill -9ed under a doomed ingest stream aimed at its own
+// shards — with every query shape checked bit-for-bit against an
+// uninterrupted in-process engine at every stage. Combined with
+// -domain the same choreography runs over the domain deployment.
 //
 // With -soak it runs the operational-envelope check: it spawns a
 // topology (one durable fsync'd rtf-serve, or with -soak-backends N an
@@ -107,6 +120,7 @@ func main() {
 		recovery = flag.Bool("recover", false, "run the kill/restart/recover test: spawn rtf-serve with a data dir, kill -9 it mid-ingest, restart, verify bit-for-bit recovery")
 		clusterM = flag.Bool("cluster", false, "run the scatter/gather cluster test: spawn rtf-gateway over three rtf-serve backends (one durable), kill -9 the durable backend mid-ingest, restart it, verify every query shape through the gateway bit-for-bit")
 		domainM  = flag.Bool("domain", false, "run the domain acceptance test: spawn a domain rtf-gateway over three domain rtf-serve backends (one durable), ingest a Zipf domain workload, kill -9 the durable backend mid-ingest, restart it, verify TopK/PointItem/SeriesItem through the gateway bit-for-bit")
+		memberM  = flag.Bool("membership", false, "run the dynamic-membership acceptance test: spawn an rtf-gateway -members front over rtf-serve -membership backends (K=2 replicas, 16 virtual shards), join a member mid-ingest asserting ~1/N shard movement, drain one via snapshot handoff, kill -9 a replica, verify every query shape bit-for-bit throughout (combinable with -domain)")
 		domSize  = flag.Int("m", 8, "domain size for -domain mode")
 		domZipf  = flag.Float64("zipf-s", 1.2, "Zipf exponent over items in -domain mode")
 		serveBin = flag.String("serve-bin", "", "rtf-serve binary for -recover/-cluster/-soak (default: next to this binary, then $PATH)")
@@ -138,6 +152,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *memberM {
+			h := domainMemberHarness(st, *proto, *d, *k, *domSize, *eps)
+			if err := runMembership(h, *serveBin, *gwBin); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		if err := runDomain(st, *serveBin, *gwBin, *proto, *d, *k, *domSize, *eps); err != nil {
 			fatal(err)
 		}
@@ -149,15 +170,15 @@ func main() {
 		fatal(err)
 	}
 
-	if *drive != "" || *recovery || *clusterM || *soak {
+	if *drive != "" || *recovery || *clusterM || *soak || *memberM {
 		modes := 0
-		for _, on := range []bool{*drive != "", *recovery, *clusterM, *soak} {
+		for _, on := range []bool{*drive != "", *recovery, *clusterM, *soak, *memberM} {
 			if on {
 				modes++
 			}
 		}
 		if modes > 1 {
-			fatal(fmt.Errorf("-drive, -recover, -cluster and -soak are mutually exclusive"))
+			fatal(fmt.Errorf("-drive, -recover, -cluster, -soak and -membership are mutually exclusive"))
 		}
 		mech := ldp.Protocol(*proto)
 		m, ok := ldp.Lookup(mech)
@@ -199,6 +220,14 @@ func main() {
 				fatal(fmt.Errorf("-cluster needs a clustered, durable mechanism, got %q", *proto))
 			}
 			if err := runCluster(st, *serveBin, *gwBin, *proto, *d, *k, *eps); err != nil {
+				fatal(err)
+			}
+		case *memberM:
+			if !m.Caps.Clustered {
+				fatal(fmt.Errorf("-membership needs a clustered mechanism, got %q", *proto))
+			}
+			h := boolMemberHarness(st, *proto, *d, *k, *eps)
+			if err := runMembership(h, *serveBin, *gwBin); err != nil {
 				fatal(err)
 			}
 		default:

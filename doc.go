@@ -39,6 +39,24 @@
 // backoff) rather than fails, and cmd/rtf-sim -cluster proves recovery
 // end to end by kill -9ing the durable backend mid-ingest.
 //
+// Cluster membership is dynamic: rtf-gateway -members runs the
+// membership gateway (rtf/internal/cluster.MemberGateway over
+// rtf/internal/membership), which partitions users into -vshards
+// virtual shards placed on K-member owner sets by rendezvous (HRW)
+// hashing under an epoched View carried on the wire (MsgViewUpdate).
+// Ingest forwards every report to all K owners — under local DP a lost
+// shard is unrecoverable signal, since re-requesting reports would
+// spend privacy budget twice, so replication is the only safe
+// durability story — and queries quorum-read every owner, comparing
+// raw integer sums bit-for-bit (after fencing all in-flight forwards,
+// so a mismatch is corruption, never a race). POST /membership/reshard
+// joins or drains members online: the gateway fences live sessions,
+// ships moved vshards as snapshots over MsgShardTransfer frames
+// (~1/N movement, the rendezvous minimum), and bumps the epoch so no
+// report is ever applied under two placements. cmd/rtf-sim -membership
+// proves join-mid-ingest, drain-and-SIGTERM, and kill -9 of a replica,
+// all bit-for-bit against an uninterrupted serial engine.
+//
 // Domain-valued tracking (the paper's "richer domains" adaptation,
 // Section 1) is a first-class online workload in the same architecture:
 // each user samples one target item from [0..m), streams its Boolean

@@ -1,0 +1,1181 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rtf/internal/dyadic"
+	"rtf/internal/hh"
+	"rtf/internal/membership"
+	"rtf/internal/protocol"
+	"rtf/internal/transport"
+)
+
+// MemberGateway is the dynamic-membership counterpart of Gateway: it
+// fronts a set of membership-mode rtf-serve backends under a versioned
+// cluster view (membership.View). Users hash statically onto virtual
+// shards; rendezvous hashing places each shard on K member backends, so
+// ingest is K-way replicated (a sub-batch is written to every owner of
+// its shard) and queries are quorum reads (each shard's raw integer
+// sums are fetched from its live owners, compared exactly, and folded
+// in fixed shard order) — the answer stays bit-for-bit the answer of a
+// single serial server fed the same reports, and survives the death of
+// any single replica.
+//
+// The view changes through Reshard, which runs an epoch fence: it
+// blocks new client batches (sessions take the view lock shared per
+// batch), round-trips a fence on every session lease that carries
+// unacknowledged forwards (so everything forwarded so far is applied at
+// its source before any snapshot is cut), ships each moved shard's
+// serialized state from an old owner to its new owner, pushes the new
+// view to every member, and only then installs it. Rendezvous placement
+// keeps the moved set near the minimum: adding a member moves about
+// S·K/N of the S·K shard replicas, nothing else.
+type MemberGateway struct {
+	rc    *transport.ReplicaClient
+	d     int
+	scale float64
+	// m is the domain size when the gateway fronts domain-mode
+	// membership backends; 0 means the Boolean protocol.
+	m int
+
+	// ErrorLog, when non-nil, receives per-connection decode/validation
+	// failures (which close that connection but not the gateway).
+	ErrorLog func(err error)
+
+	// Metrics, when non-nil, instruments the gateway exactly like
+	// Gateway.Metrics.
+	Metrics *transport.ServerMetrics
+
+	// Queue, when non-nil, bounds concurrent in-flight batches at the
+	// front door, as on Gateway: a shed batch never reaches any member.
+	Queue *transport.IngestQueue
+
+	// vmu is the epoch fence: sessions hold it shared for the duration
+	// of one client batch, Reshard holds it exclusively. While Reshard
+	// runs, every session is parked between batches, so its backend
+	// leases are quiescent and the resharder may round-trip fences on
+	// them.
+	vmu  sync.RWMutex
+	view membership.View
+
+	// smu guards the session registry Reshard fences.
+	smu      sync.Mutex
+	sessions map[*memberSession]struct{}
+
+	transfers   atomic.Int64 // shard snapshots shipped by reshards
+	divergences atomic.Int64 // quorum reads that found replica mismatch
+	shortReads  atomic.Int64 // shards answered by fewer than K replicas
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewMember builds a Boolean member gateway for horizon d and estimator
+// scale over an initial member set: numShards virtual shards, each
+// placed on k of the members by rendezvous hashing, at epoch 1.
+func NewMember(d int, scale float64, numShards, k int, members []membership.Member, rc *transport.ReplicaClient) (*MemberGateway, error) {
+	return newMember(d, 0, scale, numShards, k, members, rc)
+}
+
+// NewMemberDomain builds a domain-mode member gateway: horizon d,
+// domain size m, and the Boolean mechanism's estimator scale.
+func NewMemberDomain(d, m int, scale float64, numShards, k int, members []membership.Member, rc *transport.ReplicaClient) (*MemberGateway, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("cluster: domain size m=%d must be at least 2", m)
+	}
+	return newMember(d, m, scale, numShards, k, members, rc)
+}
+
+func newMember(d, m int, scale float64, numShards, k int, members []membership.Member, rc *transport.ReplicaClient) (*MemberGateway, error) {
+	if !dyadic.IsPow2(d) {
+		return nil, fmt.Errorf("cluster: d=%d not a power of two", d)
+	}
+	v := membership.View{Epoch: 1, K: k, NumShards: numShards, Members: members}
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: initial view: %w", err)
+	}
+	return &MemberGateway{
+		rc:       rc,
+		d:        d,
+		scale:    scale,
+		m:        m,
+		view:     v.Clone(),
+		sessions: make(map[*memberSession]struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Client returns the gateway's replica client.
+func (g *MemberGateway) Client() *transport.ReplicaClient { return g.rc }
+
+// View returns the current cluster view.
+func (g *MemberGateway) View() membership.View {
+	g.vmu.RLock()
+	defer g.vmu.RUnlock()
+	return g.view.Clone()
+}
+
+// Epoch returns the current view's epoch.
+func (g *MemberGateway) Epoch() uint64 {
+	g.vmu.RLock()
+	defer g.vmu.RUnlock()
+	return g.view.Epoch
+}
+
+// TransfersTotal counts the shard snapshots shipped by reshards so far.
+func (g *MemberGateway) TransfersTotal() int64 { return g.transfers.Load() }
+
+// Divergences counts quorum reads that found replicas in exact-integer
+// disagreement.
+func (g *MemberGateway) Divergences() int64 { return g.divergences.Load() }
+
+// ShortReads counts shards answered by fewer than K live replicas.
+func (g *MemberGateway) ShortReads() int64 { return g.shortReads.Load() }
+
+// AnnounceView pushes the current view to every member, so freshly
+// started backends learn their epoch and owned-shard set. Pushes ride
+// the replica client's dial backoff; the first member that cannot be
+// reached fails the announce.
+func (g *MemberGateway) AnnounceView() error {
+	v := g.View()
+	for _, mem := range v.Members {
+		bc, err := g.rc.Lease(mem.Addr)
+		if err != nil {
+			return fmt.Errorf("cluster: announcing view to %s: %w", mem.ID, err)
+		}
+		err = bc.PushView(v)
+		g.rc.Release(mem.Addr, bc, err == nil)
+		if err != nil {
+			return fmt.Errorf("cluster: announcing view to %s: %w", mem.ID, err)
+		}
+	}
+	return nil
+}
+
+// ReshardResult reports what a Reshard did.
+type ReshardResult struct {
+	// Epoch is the new view's epoch.
+	Epoch uint64 `json:"epoch"`
+	// Transfers is the number of shard snapshots shipped (one per
+	// (shard, new owner) pair the plan moved).
+	Transfers int `json:"transfers"`
+	// Members and K describe the new view.
+	Members int `json:"members"`
+	K       int `json:"k"`
+}
+
+// Reshard installs a new member set (and replication factor) as the
+// next epoch. Under the exclusive view lock it: fences every session
+// lease carrying unacknowledged forwards, so all forwarded ingest is
+// applied at its source first (a fence failure poisons that session —
+// its forwards are indeterminate, exactly as when a backend dies under
+// a plain Gateway — but the reshard proceeds); computes the rendezvous
+// transfer plan; ships each moved shard's serialized state from the
+// first reachable old owner to its new owner; pushes the new view to
+// every member of it; and installs the view. On any transfer or push
+// failure the old view stays installed and the error is returned —
+// already-installed shard copies are harmless, since no query reads
+// them until the view switches.
+func (g *MemberGateway) Reshard(members []membership.Member, k int) (ReshardResult, error) {
+	g.vmu.Lock()
+	defer g.vmu.Unlock()
+	next := membership.View{
+		Epoch:     g.view.Epoch + 1,
+		K:         k,
+		NumShards: g.view.NumShards,
+		Members:   members,
+	}
+	next = next.Clone()
+	if err := next.Validate(); err != nil {
+		return ReshardResult{}, fmt.Errorf("cluster: reshard view: %w", err)
+	}
+
+	g.fenceSessions()
+
+	plan := membership.Plan(g.view, next)
+	for _, tr := range plan {
+		state, err := g.fetchShardState(g.view, tr)
+		if err != nil {
+			return ReshardResult{}, err
+		}
+		dst, ok := next.Member(tr.Dst)
+		if !ok {
+			return ReshardResult{}, fmt.Errorf("cluster: transfer destination %s not in new view", tr.Dst)
+		}
+		if err := g.installShard(dst, tr.Shard, state); err != nil {
+			return ReshardResult{}, err
+		}
+		g.transfers.Add(1)
+	}
+
+	for _, mem := range next.Members {
+		bc, err := g.rc.Lease(mem.Addr)
+		if err != nil {
+			return ReshardResult{}, fmt.Errorf("cluster: pushing view to %s: %w", mem.ID, err)
+		}
+		err = bc.PushView(next)
+		g.rc.Release(mem.Addr, bc, err == nil)
+		if err != nil {
+			return ReshardResult{}, fmt.Errorf("cluster: pushing view to %s: %w", mem.ID, err)
+		}
+	}
+
+	// Drop pools for members that left; their addresses may be gone.
+	present := make(map[string]bool, len(next.Members))
+	for _, mem := range next.Members {
+		present[mem.Addr] = true
+	}
+	for _, mem := range g.view.Members {
+		if !present[mem.Addr] {
+			g.rc.Drop(mem.Addr)
+		}
+	}
+	g.view = next
+	return ReshardResult{Epoch: next.Epoch, Transfers: len(plan), Members: len(next.Members), K: next.K}, nil
+}
+
+// fenceSessions round-trips a fence on every session lease carrying
+// unacknowledged forwards. The caller must hold the exclusive view
+// lock: every session is then parked between batches, so its leases
+// are quiescent and safe to round-trip on.
+func (g *MemberGateway) fenceSessions() {
+	g.smu.Lock()
+	sessions := make([]*memberSession, 0, len(g.sessions))
+	for s := range g.sessions {
+		sessions = append(sessions, s)
+	}
+	g.smu.Unlock()
+	for _, s := range sessions {
+		s.fenceForReshard()
+	}
+}
+
+// fetchShardState cuts the shard's snapshot from the first reachable
+// source in the transfer's old-owner list (IDs resolved against the
+// old view).
+func (g *MemberGateway) fetchShardState(old membership.View, tr membership.Transfer) ([]byte, error) {
+	var lastErr error
+	for _, id := range tr.Sources {
+		src, ok := old.Member(id)
+		if !ok {
+			continue
+		}
+		bc, err := g.rc.Lease(src.Addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		state, err := bc.FetchShardState(tr.Shard)
+		g.rc.Release(src.Addr, bc, err == nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return state, nil
+	}
+	return nil, fmt.Errorf("cluster: no source for shard %d (tried %d): %w", tr.Shard, len(tr.Sources), lastErr)
+}
+
+// installShard ships a shard snapshot to its new owner and waits for
+// the install ack.
+func (g *MemberGateway) installShard(dst membership.Member, shard int, state []byte) error {
+	bc, err := g.rc.Lease(dst.Addr)
+	if err != nil {
+		return fmt.Errorf("cluster: installing shard %d on %s: %w", shard, dst.ID, err)
+	}
+	err = bc.TransferShard(shard, state)
+	g.rc.Release(dst.Addr, bc, err == nil)
+	if err != nil {
+		return fmt.Errorf("cluster: installing shard %d on %s: %w", shard, dst.ID, err)
+	}
+	return nil
+}
+
+// Serve accepts connections on l until Close is called (or the
+// listener fails) and then waits for in-flight connections to drain.
+func (g *MemberGateway) Serve(l net.Listener) error {
+	defer g.wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if g.isClosed() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if !g.track(conn) {
+			conn.Close()
+			return nil
+		}
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			defer g.untrack(conn)
+			if err := g.serveConn(conn); err != nil && g.ErrorLog != nil {
+				g.ErrorLog(fmt.Errorf("cluster: %w", err))
+			}
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves. The chosen address is sent
+// on ready, if non-nil, once the listener is up.
+func (g *MemberGateway) ListenAndServe(addr string, ready chan<- net.Addr) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		l.Close()
+		return errors.New("cluster: gateway closed")
+	}
+	g.listener = l
+	g.mu.Unlock()
+	if ready != nil {
+		ready <- l.Addr()
+	}
+	return g.Serve(l)
+}
+
+// memberLease is one session's connection to one member, keyed by the
+// member ID it was opened for (the address travels along so the lease
+// can be released even after the member leaves the view).
+type memberLease struct {
+	addr string
+	bc   *transport.BackendConn
+}
+
+// memberSession is the per-client-connection state of a member gateway:
+// one leased connection per member, acquired lazily, plus the session's
+// adopted view and the per-shard owner table derived from it. A session
+// holds the gateway's view lock shared for the duration of each batch;
+// between batches it is quiescent, which is when Reshard may fence its
+// leases (and poison it on a fence failure).
+type memberSession struct {
+	g    *MemberGateway
+	view membership.View
+	// owners[sh] is the view's owner list for shard sh, resolved once
+	// per adopted epoch.
+	owners [][]int
+
+	// lmu guards the maps below against the parallel per-member fetches
+	// of a quorum gather.
+	lmu    sync.Mutex
+	leases map[string]*memberLease
+	// unfenced[id] records forwards on the member's lease not yet
+	// covered by a successful fetch; losing such a lease fails the
+	// session, as on Gateway.
+	unfenced map[string]bool
+	// down caches members whose clean fetch failed: for the rest of
+	// this session they are never queried again (their shards answer
+	// from surviving replicas) — a dead replica must not stall every
+	// subsequent query on redial timeouts.
+	down map[string]bool
+	bufs map[string][]transport.Msg
+
+	// poisoned is set by the resharder when a fence on this session's
+	// unfenced forwards failed: the forwards are indeterminate and the
+	// session must surface the error rather than certify them later.
+	poisoned error
+}
+
+func (g *MemberGateway) serveConn(conn net.Conn) error {
+	dec := transport.NewDecoder(conn)
+	enc := transport.NewEncoder(conn)
+	s := &memberSession{
+		g:        g,
+		leases:   make(map[string]*memberLease),
+		unfenced: make(map[string]bool),
+		down:     make(map[string]bool),
+		bufs:     make(map[string][]transport.Msg),
+	}
+	s.adopt(g.View())
+	g.smu.Lock()
+	g.sessions[s] = struct{}{}
+	g.smu.Unlock()
+	healthy := false
+	defer func() {
+		g.smu.Lock()
+		delete(g.sessions, s)
+		g.smu.Unlock()
+		// Closing races no resharder: either the session is registered
+		// (resharder fences it) or it is gone from the registry before
+		// the resharder collects sessions.
+		s.lmu.Lock()
+		for id, l := range s.leases {
+			g.rc.Release(l.addr, l.bc, healthy && !s.unfenced[id])
+			delete(s.leases, id)
+		}
+		s.lmu.Unlock()
+	}()
+	err := g.serveFrames(s, dec, enc)
+	if err == nil {
+		healthy = true
+	}
+	return err
+}
+
+// adopt installs a view into the session: owner table resolved, leases
+// to members no longer in the view (or re-addressed) released.
+func (s *memberSession) adopt(v membership.View) {
+	s.view = v
+	s.owners = make([][]int, v.NumShards)
+	for sh := range s.owners {
+		s.owners[sh] = v.Owners(sh)
+	}
+	s.lmu.Lock()
+	for id, l := range s.leases {
+		mem, ok := v.Member(id)
+		if ok && mem.Addr == l.addr {
+			continue
+		}
+		// Reshard fenced everything before the epoch switched, so the
+		// lease carries nothing unfenced (a failed fence poisoned the
+		// session before it could adopt).
+		s.g.rc.Release(l.addr, l.bc, true)
+		delete(s.leases, id)
+		delete(s.unfenced, id)
+	}
+	for id := range s.down {
+		if _, ok := v.Member(id); !ok {
+			delete(s.down, id)
+		}
+	}
+	s.lmu.Unlock()
+}
+
+// lease returns the session's connection to the member, dialing one if
+// needed.
+func (s *memberSession) lease(mem membership.Member) (*transport.BackendConn, error) {
+	s.lmu.Lock()
+	l := s.leases[mem.ID]
+	s.lmu.Unlock()
+	if l != nil {
+		return l.bc, nil
+	}
+	bc, err := s.g.rc.Lease(mem.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.lmu.Lock()
+	s.leases[mem.ID] = &memberLease{addr: mem.Addr, bc: bc}
+	s.lmu.Unlock()
+	return bc, nil
+}
+
+// drop closes and forgets a lease that saw an error.
+func (s *memberSession) drop(id string) {
+	s.lmu.Lock()
+	l := s.leases[id]
+	delete(s.leases, id)
+	s.lmu.Unlock()
+	if l != nil {
+		s.g.rc.Release(l.addr, l.bc, false)
+	}
+}
+
+// fenceForReshard round-trips a fence on every lease carrying unfenced
+// forwards. Called via fenceSessions under the exclusive view lock —
+// by Reshard before cutting snapshots and by beginQuery before a
+// quorum read — so the session is parked between batches and its
+// leases are quiescent. A fence failure poisons the session (its
+// forwards are indeterminate) but fencing continues on the other
+// leases — every member copy that can still be confirmed applied
+// should be.
+func (s *memberSession) fenceForReshard() {
+	s.lmu.Lock()
+	type pending struct {
+		id string
+		l  *memberLease
+	}
+	var todo []pending
+	for id, l := range s.leases {
+		if s.unfenced[id] {
+			todo = append(todo, pending{id, l})
+		}
+	}
+	s.lmu.Unlock()
+	for _, p := range todo {
+		var err error
+		if s.g.m > 0 {
+			_, err = p.l.bc.FetchShardDomainSums(0)
+		} else {
+			_, err = p.l.bc.FetchShardSums(0)
+		}
+		if err != nil {
+			if s.poisoned == nil {
+				s.poisoned = fmt.Errorf("member %s connection failed with unacknowledged forwards during a fence: %w", p.id, err)
+			}
+			s.drop(p.id)
+			continue
+		}
+		s.lmu.Lock()
+		s.unfenced[p.id] = false
+		s.lmu.Unlock()
+	}
+}
+
+// forward partitions one run of validated ingest messages by virtual
+// shard and ships each message to every owner of its shard — K-way
+// replicated ingest. A member write failure fails the session exactly
+// as on Gateway: the sub-batch is indeterminate there, and only the
+// client can decide what to re-send. Down members are not skipped;
+// ingest requires every replica to accept (reads survive dead replicas,
+// writes do not mask them).
+func (s *memberSession) forward(ms []transport.Msg) error {
+	for id := range s.bufs {
+		s.bufs[id] = s.bufs[id][:0]
+	}
+	for _, m := range ms {
+		sh := membership.ShardOf(m.User, s.view.NumShards)
+		for _, oi := range s.owners[sh] {
+			id := s.view.Members[oi].ID
+			s.bufs[id] = append(s.bufs[id], m)
+		}
+	}
+	for _, mem := range s.view.Members {
+		buf := s.bufs[mem.ID]
+		if len(buf) == 0 {
+			continue
+		}
+		bc, err := s.lease(mem)
+		if err != nil {
+			return fmt.Errorf("forwarding to member %s: %w", mem.ID, err)
+		}
+		err = bc.SendBatch(buf)
+		if err == nil {
+			err = bc.Flush()
+		}
+		if err != nil {
+			s.drop(mem.ID)
+			return fmt.Errorf("member %s connection failed with unacknowledged forwards: %w", mem.ID, err)
+		}
+		s.lmu.Lock()
+		s.unfenced[mem.ID] = true
+		s.lmu.Unlock()
+	}
+	return nil
+}
+
+// memberFetchAttempts bounds fresh connections per member for a clean
+// quorum fetch; each retry re-dials with the replica client's backoff.
+const memberFetchAttempts = 2
+
+// fetchMember fetches every owned shard of one member sequentially on
+// its session lease (the first fetch fences prior forwards). A failure
+// over unfenced forwards is fatal to the session; a clean failure
+// retries once on a fresh connection and then reports the member down.
+func fetchMember[T any](s *memberSession, mem membership.Member, shards []int,
+	fetch func(*transport.BackendConn, int) (T, error)) (frames []T, fatal bool, err error) {
+	var lastErr error
+	for attempt := 0; attempt < memberFetchAttempts; attempt++ {
+		bc, err := s.lease(mem)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		frames = frames[:0]
+		ok := true
+		for _, sh := range shards {
+			f, err := fetch(bc, sh)
+			if err != nil {
+				s.lmu.Lock()
+				unfenced := s.unfenced[mem.ID]
+				s.lmu.Unlock()
+				s.drop(mem.ID)
+				if unfenced {
+					return nil, true, fmt.Errorf("member %s connection failed with unacknowledged forwards: %w", mem.ID, err)
+				}
+				lastErr = err
+				ok = false
+				break
+			}
+			frames = append(frames, f)
+		}
+		if !ok {
+			continue
+		}
+		s.lmu.Lock()
+		s.unfenced[mem.ID] = false
+		s.lmu.Unlock()
+		return frames, false, nil
+	}
+	return nil, false, fmt.Errorf("member %s unreachable: %w", mem.ID, lastErr)
+}
+
+// quorumGather fetches every live owner's copy of every shard in
+// parallel across members (sequential per member, so each member's
+// first fetch fences that member's prior forwards), verifies the copies
+// of each shard agree by exact integer comparison, and returns one
+// chosen frame per shard in shard order. equal must compare frames
+// exactly; fetch round-trips one shard.
+func quorumGather[T any](s *memberSession,
+	fetch func(*transport.BackendConn, int) (T, error),
+	equal func(a, b T) bool) ([]T, error) {
+	v := &s.view
+	type result struct {
+		frames []T
+		fatal  bool
+		err    error
+	}
+	ownedBy := make([][]int, len(v.Members))
+	for sh, owners := range s.owners {
+		for _, oi := range owners {
+			ownedBy[oi] = append(ownedBy[oi], sh)
+		}
+	}
+	results := make([]result, len(v.Members))
+	var wg sync.WaitGroup
+	for i := range v.Members {
+		s.lmu.Lock()
+		isDown := s.down[v.Members[i].ID]
+		s.lmu.Unlock()
+		if isDown || len(ownedBy[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			frames, fatal, err := fetchMember(s, v.Members[i], ownedBy[i], fetch)
+			results[i] = result{frames: frames, fatal: fatal, err: err}
+			if err == nil && s.g.Metrics != nil {
+				s.g.Metrics.ObserveScatter(i, time.Since(start))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	votes := make([][]T, v.NumShards)    // per-shard frames, owner order
+	voters := make([][]int, v.NumShards) // the member index behind each vote
+	for i := range v.Members {
+		r := &results[i]
+		if len(ownedBy[i]) == 0 {
+			continue
+		}
+		if r.fatal {
+			return nil, r.err
+		}
+		if r.err != nil {
+			// Clean failure: mark down for the rest of the session and
+			// answer its shards from the surviving replicas.
+			s.lmu.Lock()
+			s.down[v.Members[i].ID] = true
+			s.lmu.Unlock()
+			if s.g.ErrorLog != nil {
+				s.g.ErrorLog(fmt.Errorf("cluster: quorum read skipping member: %w", r.err))
+			}
+			continue
+		}
+		if r.frames == nil {
+			// Member was already down when the gather started.
+			continue
+		}
+		for j, sh := range ownedBy[i] {
+			votes[sh] = append(votes[sh], r.frames[j])
+			voters[sh] = append(voters[sh], i)
+		}
+	}
+
+	chosen := make([]T, v.NumShards)
+	for sh := 0; sh < v.NumShards; sh++ {
+		vs := votes[sh]
+		if len(vs) == 0 {
+			return nil, fmt.Errorf("no live replica for shard %d (all %d owners down)", sh, len(s.owners[sh]))
+		}
+		if len(vs) < v.K {
+			s.g.shortReads.Add(1)
+		}
+		for j := 1; j < len(vs); j++ {
+			if !equal(vs[0], vs[j]) {
+				s.g.divergences.Add(1)
+				return nil, fmt.Errorf("replica divergence on shard %d: members %s and %s disagree on raw sums",
+					sh, v.Members[voters[sh][0]].ID, v.Members[voters[sh][j]].ID)
+			}
+		}
+		chosen[sh] = vs[0]
+	}
+	return chosen, nil
+}
+
+// sumsEqual compares two raw-sums frames exactly — integer for integer.
+func sumsEqual(a, b transport.SumsFrame) bool {
+	if a.D != b.D || a.Scale != b.Scale || a.Users != b.Users ||
+		len(a.PerOrder) != len(b.PerOrder) || len(a.Sums) != len(b.Sums) {
+		return false
+	}
+	for i := range a.PerOrder {
+		if a.PerOrder[i] != b.PerOrder[i] {
+			return false
+		}
+	}
+	for i := range a.Sums {
+		if a.Sums[i] != b.Sums[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// domainSumsEqual compares two per-item raw-sums frames exactly.
+func domainSumsEqual(a, b transport.DomainSumsFrame) bool {
+	if a.D != b.D || a.M != b.M || a.Scale != b.Scale || len(a.Items) != len(b.Items) {
+		return false
+	}
+	for x := range a.Items {
+		ai, bi := &a.Items[x], &b.Items[x]
+		if ai.Users != bi.Users || len(ai.PerOrder) != len(bi.PerOrder) || len(ai.Sums) != len(bi.Sums) {
+			return false
+		}
+		for i := range ai.PerOrder {
+			if ai.PerOrder[i] != bi.PerOrder[i] {
+				return false
+			}
+		}
+		for i := range ai.Sums {
+			if ai.Sums[i] != bi.Sums[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// gather runs a Boolean quorum read and folds the chosen per-shard
+// frames, in fixed shard order, into a fresh serial server.
+func (s *memberSession) gather() (*protocol.Server, []transport.SumsFrame, error) {
+	frames, err := quorumGather(s, (*transport.BackendConn).FetchShardSums, sumsEqual)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := protocol.NewServer(s.g.d, s.g.scale)
+	for sh := range frames {
+		if err := frames[sh].MergeInto(srv); err != nil {
+			return nil, nil, fmt.Errorf("merging sums of shard %d: %w", sh, err)
+		}
+	}
+	return srv, frames, nil
+}
+
+// gatherDomain runs a domain quorum read, returning the chosen per-
+// shard frames in shard order.
+func (s *memberSession) gatherDomain() ([]transport.DomainSumsFrame, error) {
+	return quorumGather(s, (*transport.BackendConn).FetchShardDomainSums, domainSumsEqual)
+}
+
+// foldDomain merges chosen per-shard frames into a fresh serial domain
+// server (fixed shard order keeps answers bit-for-bit).
+func (g *MemberGateway) foldDomain(frames []transport.DomainSumsFrame) (*hh.DomainServer, error) {
+	ds := hh.NewDomainServer(g.d, g.m, g.scale, 1)
+	for sh := range frames {
+		if err := frames[sh].MergeInto(ds); err != nil {
+			return nil, fmt.Errorf("merging domain sums of shard %d: %w", sh, err)
+		}
+	}
+	return ds, nil
+}
+
+// mergeMemberFrames folds chosen per-shard frames into one cluster-wide
+// SumsFrame (the MsgSums answer, so member gateways stack like plain
+// gateways).
+func (g *MemberGateway) mergeMemberFrames(frames []transport.SumsFrame) transport.SumsFrame {
+	out := transport.SumsFrame{
+		D:        g.d,
+		Scale:    g.scale,
+		PerOrder: make([]int64, dyadic.NumOrders(g.d)),
+		Sums:     make([]int64, dyadic.TotalIntervals(g.d)),
+	}
+	for _, f := range frames {
+		out.Users += f.Users
+		for h, v := range f.PerOrder {
+			out.PerOrder[h] += v
+		}
+		for i, v := range f.Sums {
+			out.Sums[i] += v
+		}
+	}
+	return out
+}
+
+// mergeMemberDomainFrames folds chosen per-shard frames into one
+// cluster-wide DomainSumsFrame (the MsgDomainSums answer). Each frame's
+// configuration is checked against the gateway's.
+func (g *MemberGateway) mergeMemberDomainFrames(frames []transport.DomainSumsFrame) (transport.DomainSumsFrame, error) {
+	out := transport.DomainSumsFrame{
+		D:     g.d,
+		M:     g.m,
+		Scale: g.scale,
+		Items: make([]transport.ItemSums, g.m),
+	}
+	for x := range out.Items {
+		out.Items[x] = transport.ItemSums{
+			PerOrder: make([]int64, dyadic.NumOrders(g.d)),
+			Sums:     make([]int64, dyadic.TotalIntervals(g.d)),
+		}
+	}
+	for sh, f := range frames {
+		if f.D != g.d || f.M != g.m || f.Scale != g.scale || len(f.Items) != g.m {
+			return transport.DomainSumsFrame{}, fmt.Errorf(
+				"shard %d serves d=%d m=%d scale=%v (%d items), gateway configured with d=%d m=%d scale=%v",
+				sh, f.D, f.M, f.Scale, len(f.Items), g.d, g.m, g.scale)
+		}
+		for x, it := range f.Items {
+			o := &out.Items[x]
+			o.Users += it.Users
+			for h, v := range it.PerOrder {
+				o.PerOrder[h] += v
+			}
+			for i, v := range it.Sums {
+				o.Sums[i] += v
+			}
+		}
+	}
+	return out, nil
+}
+
+func (g *MemberGateway) serveFrames(s *memberSession, dec *transport.Decoder, enc *transport.Encoder) error {
+	for {
+		ms, err := dec.NextBatch()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil // clean client close or gateway shutdown
+			}
+			return err
+		}
+		if err := g.runBatch(s, ms, dec, enc); err != nil {
+			return err
+		}
+	}
+}
+
+// forwardRun ships one run of ingest messages under the shared view
+// lock: Reshard cannot interleave with a run, so a run forwards under
+// exactly one epoch (and its copies are fenced before any snapshot of
+// them is cut).
+func (g *MemberGateway) forwardRun(s *memberSession, run []transport.Msg) error {
+	g.vmu.RLock()
+	defer g.vmu.RUnlock()
+	if s.poisoned != nil {
+		return s.poisoned
+	}
+	if s.view.Epoch != g.view.Epoch {
+		s.adopt(g.view.Clone())
+	}
+	return s.forward(run)
+}
+
+// beginQuery prepares a quorum read: it takes the exclusive view lock —
+// parking every ingest session between batches — and fences every
+// outstanding forward, so all replicas sit at the same settled prefix
+// of the ingest stream. Without the global fence, a read racing another
+// session's in-flight forward would see one replica with the sub-batch
+// applied and one without, and exact-integer divergence detection would
+// misfire on healthy replicas. The returned unlock must be called when
+// the read (and its answer) is done.
+func (g *MemberGateway) beginQuery(s *memberSession) (unlock func(), err error) {
+	g.vmu.Lock()
+	g.fenceSessions()
+	if s.poisoned != nil {
+		g.vmu.Unlock()
+		return nil, s.poisoned
+	}
+	if s.view.Epoch != g.view.Epoch {
+		s.adopt(g.view.Clone())
+	}
+	return g.vmu.Unlock, nil
+}
+
+// runBatch processes one decoded client batch: ingest runs forward
+// under the shared view lock, queries quorum-read under the exclusive
+// one (see beginQuery).
+func (g *MemberGateway) runBatch(s *memberSession, ms []transport.Msg, dec *transport.Decoder, enc *transport.Encoder) error {
+	if g.m > 0 {
+		return g.runDomainBatch(s, ms, dec, enc)
+	}
+	isQuery := func(m transport.Msg) bool {
+		return m.Type == transport.MsgQuery || m.Type == transport.MsgQueryV2 || m.Type == transport.MsgSums
+	}
+	acked := dec.AckedBatch()
+	start := time.Now()
+	ingest := 0
+	for _, m := range ms {
+		if acked && isQuery(m) {
+			return fmt.Errorf("message type %d (query) inside acked batch", m.Type)
+		}
+		switch m.Type {
+		case transport.MsgQuery:
+			if m.T < 1 || m.T > g.d {
+				return fmt.Errorf("query time %d out of range [1..%d]", m.T, g.d)
+			}
+		case transport.MsgQueryV2:
+			if err := transport.ValidateQuery(g.d, m); err != nil {
+				return err
+			}
+		case transport.MsgSums:
+			// No parameters to validate.
+		default:
+			if err := transport.ValidateIngest(g.d, m); err != nil {
+				return err
+			}
+			ingest++
+		}
+	}
+	shed, holding, err := g.admitBatch(acked, enc)
+	if err != nil {
+		return err
+	}
+	if shed {
+		return nil
+	}
+	err = transport.BatchRuns(ms, isQuery,
+		func(run []transport.Msg) error { return g.forwardRun(s, run) },
+		func(m transport.Msg) error {
+			if g.Metrics != nil {
+				g.Metrics.CountQuery("member", transport.QueryKindName(m))
+			}
+			unlock, err := g.beginQuery(s)
+			if err != nil {
+				return err
+			}
+			defer unlock()
+			srv, frames, err := s.gather()
+			if err != nil {
+				return err
+			}
+			switch m.Type {
+			case transport.MsgQuery:
+				if err := enc.Encode(transport.Estimate(m.T, srv.EstimateAt(m.T))); err != nil {
+					return err
+				}
+			case transport.MsgQueryV2:
+				ans, err := transport.AnswerQuery(srv, m)
+				if err != nil {
+					return err
+				}
+				if err := enc.EncodeAnswer(ans); err != nil {
+					return err
+				}
+			case transport.MsgSums:
+				if err := enc.EncodeSums(g.mergeMemberFrames(frames)); err != nil {
+					return err
+				}
+			}
+			return enc.Flush()
+		})
+	if holding {
+		g.Queue.Release()
+	}
+	if err != nil {
+		return err
+	}
+	return g.finishBatch(acked, enc, ingest, start)
+}
+
+// runDomainBatch is runBatch for a domain-mode member gateway.
+func (g *MemberGateway) runDomainBatch(s *memberSession, ms []transport.Msg, dec *transport.Decoder, enc *transport.Encoder) error {
+	isQuery := func(m transport.Msg) bool {
+		return m.Type == transport.MsgDomainQuery || m.Type == transport.MsgDomainSums
+	}
+	acked := dec.AckedBatch()
+	start := time.Now()
+	ingest := 0
+	for _, m := range ms {
+		if acked && isQuery(m) {
+			return fmt.Errorf("message type %d (query) inside acked batch", m.Type)
+		}
+		switch m.Type {
+		case transport.MsgDomainQuery:
+			if err := transport.ValidateDomainQuery(g.d, g.m, m); err != nil {
+				return err
+			}
+		case transport.MsgDomainSums:
+			// No parameters to validate.
+		default:
+			if err := transport.ValidateDomainIngest(g.d, g.m, m); err != nil {
+				return err
+			}
+			ingest++
+		}
+	}
+	shed, holding, err := g.admitBatch(acked, enc)
+	if err != nil {
+		return err
+	}
+	if shed {
+		return nil
+	}
+	err = transport.BatchRuns(ms, isQuery,
+		func(run []transport.Msg) error { return g.forwardRun(s, run) },
+		func(m transport.Msg) error {
+			if g.Metrics != nil {
+				g.Metrics.CountQuery("member-domain", transport.QueryKindName(m))
+			}
+			unlock, err := g.beginQuery(s)
+			if err != nil {
+				return err
+			}
+			defer unlock()
+			frames, err := s.gatherDomain()
+			if err != nil {
+				return err
+			}
+			switch m.Type {
+			case transport.MsgDomainQuery:
+				ds, err := g.foldDomain(frames)
+				if err != nil {
+					return err
+				}
+				ans, err := transport.AnswerDomainQuery(ds, m)
+				if err != nil {
+					return err
+				}
+				if err := enc.EncodeDomainAnswer(ans); err != nil {
+					return err
+				}
+			case transport.MsgDomainSums:
+				merged, err := g.mergeMemberDomainFrames(frames)
+				if err != nil {
+					return err
+				}
+				if err := enc.EncodeDomainSums(merged); err != nil {
+					return err
+				}
+			}
+			return enc.Flush()
+		})
+	if holding {
+		g.Queue.Release()
+	}
+	if err != nil {
+		return err
+	}
+	return g.finishBatch(acked, enc, ingest, start)
+}
+
+// admitBatch mirrors Gateway.admitBatch at the member gateway's front
+// door.
+func (g *MemberGateway) admitBatch(acked bool, enc *transport.Encoder) (shed, holding bool, err error) {
+	if g.Queue == nil {
+		return false, false, nil
+	}
+	if !acked {
+		g.Queue.Acquire()
+		return false, true, nil
+	}
+	if g.Queue.TryAcquire() {
+		return false, true, nil
+	}
+	if g.Metrics != nil {
+		g.Metrics.ObserveShed()
+	}
+	if err := enc.EncodeBatchAck(false); err != nil {
+		return false, false, err
+	}
+	return true, false, enc.Flush()
+}
+
+// finishBatch mirrors Gateway.finishBatch.
+func (g *MemberGateway) finishBatch(acked bool, enc *transport.Encoder, n int, start time.Time) error {
+	if acked {
+		if err := enc.EncodeBatchAck(true); err != nil {
+			return err
+		}
+		if err := enc.Flush(); err != nil {
+			return err
+		}
+	}
+	if g.Metrics != nil {
+		g.Metrics.ObserveBatch(n, time.Since(start), acked)
+	}
+	return nil
+}
+
+// Shutdown drains the gateway gracefully, mirroring Gateway.Shutdown.
+func (g *MemberGateway) Shutdown(grace time.Duration) error {
+	g.mu.Lock()
+	g.closed = true
+	l := g.listener
+	g.listener = nil
+	g.mu.Unlock()
+	var lerr error
+	if l != nil {
+		lerr = l.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		g.wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(grace)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		g.mu.Lock()
+		for conn := range g.conns {
+			conn.Close()
+		}
+		g.mu.Unlock()
+		<-done
+	}
+	g.rc.Close()
+	return lerr
+}
+
+// Close stops accepting connections, closes the listener and all live
+// client connections, and unblocks Serve.
+func (g *MemberGateway) Close() error {
+	g.mu.Lock()
+	g.closed = true
+	l := g.listener
+	g.listener = nil
+	for conn := range g.conns {
+		conn.Close()
+	}
+	g.mu.Unlock()
+	g.rc.Close()
+	if l != nil {
+		return l.Close()
+	}
+	return nil
+}
+
+func (g *MemberGateway) isClosed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.closed
+}
+
+func (g *MemberGateway) track(conn net.Conn) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return false
+	}
+	g.conns[conn] = struct{}{}
+	if g.Metrics != nil {
+		g.Metrics.ActiveConns.Add(1)
+	}
+	return true
+}
+
+func (g *MemberGateway) untrack(conn net.Conn) {
+	g.mu.Lock()
+	delete(g.conns, conn)
+	if g.Metrics != nil {
+		g.Metrics.ActiveConns.Add(-1)
+	}
+	g.mu.Unlock()
+	conn.Close()
+}

@@ -1,0 +1,514 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rtf/internal/membership"
+	"rtf/internal/protocol"
+	"rtf/internal/transport"
+)
+
+// memberBackend is one in-process membership-mode rtf-serve.
+type memberBackend struct {
+	id   string
+	sm   *transport.ShardMapCollector
+	srv  *transport.IngestServer
+	addr string
+	done chan error
+}
+
+func startMemberBackend(t *testing.T, d int, scale float64, numShards int, id string) *memberBackend {
+	t.Helper()
+	sm := transport.NewShardMapCollector(d, scale, numShards, id)
+	srv := transport.NewShardMapIngestServer(sm)
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0", ready) }()
+	return &memberBackend{id: id, sm: sm, srv: srv, addr: (<-ready).String(), done: done}
+}
+
+func (b *memberBackend) stop(t *testing.T) {
+	t.Helper()
+	if err := b.srv.Close(); err != nil {
+		t.Error(err)
+	}
+	if err := <-b.done; err != nil {
+		t.Error(err)
+	}
+}
+
+func (b *memberBackend) member() membership.Member {
+	return membership.Member{ID: b.id, Addr: b.addr}
+}
+
+// fastOpts keeps backend-death paths quick in tests.
+func fastOpts() transport.ClusterOptions {
+	return transport.ClusterOptions{DialAttempts: 2, BackoffBase: 5 * time.Millisecond}
+}
+
+func startMemberGateway(t *testing.T, d int, scale float64, numShards, k int, members []membership.Member) (*MemberGateway, string, chan error) {
+	t.Helper()
+	gw, err := NewMember(d, scale, numShards, k, members, transport.NewReplicaClient(fastOpts()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.ErrorLog = func(err error) { t.Log("member gateway:", err) }
+	if err := gw.AnnounceView(); err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- gw.ListenAndServe("127.0.0.1:0", ready) }()
+	return gw, (<-ready).String(), done
+}
+
+// checkAllShapes asks every query shape on the connection and compares
+// each answer bit-for-bit against the serial reference.
+func checkAllShapes(t *testing.T, enc *transport.Encoder, dec *transport.Decoder, serial *protocol.Server, d int) {
+	t.Helper()
+	for _, tt := range []int{1, d / 2, d} {
+		if err := enc.Encode(transport.Query(tt)); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		m, err := dec.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type != transport.MsgEstimate || m.Value != serial.EstimateAt(tt) {
+			t.Fatalf("v1 at %d: %+v, want %v", tt, m, serial.EstimateAt(tt))
+		}
+	}
+	checks := []struct {
+		q    transport.Msg
+		want []float64
+	}{
+		{transport.QueryV2(transport.QueryPoint, d/4, d/4), []float64{serial.EstimateAt(d / 4)}},
+		{transport.QueryV2(transport.QueryChange, 2, d-3), []float64{serial.EstimateChange(2, d-3)}},
+		{transport.QueryV2(transport.QuerySeries, 0, 0), serial.EstimateSeries()},
+		{transport.QueryV2(transport.QueryWindow, 3, d/2), serial.EstimateSeries()[2 : d/2]},
+	}
+	for _, c := range checks {
+		if err := enc.Encode(c.q); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		a, err := dec.ReadAnswer()
+		if err != nil {
+			t.Fatalf("%s: %v", c.q.Kind, err)
+		}
+		if len(a.Values) != len(c.want) {
+			t.Fatalf("%s: %d values, want %d", c.q.Kind, len(a.Values), len(c.want))
+		}
+		for i := range c.want {
+			if a.Values[i] != c.want[i] {
+				t.Fatalf("%s value %d: gateway %v, serial %v", c.q.Kind, i, a.Values[i], c.want[i])
+			}
+		}
+	}
+}
+
+// TestMemberGatewayQuorumEndToEnd drives replicated ingestion and every
+// query shape through a member gateway over three membership-mode
+// backends, checks answers bit-for-bit against a serial server, checks
+// that every shard really is K-way replicated, then kills one backend
+// and checks the quorum read still answers exactly.
+func TestMemberGatewayQuorumEndToEnd(t *testing.T) {
+	const (
+		d     = 64
+		scale = 3.25
+		S     = 16
+		K     = 2
+		users = 200
+	)
+	var backends []*memberBackend
+	var members []membership.Member
+	for _, id := range []string{"b0", "b1", "b2"} {
+		b := startMemberBackend(t, d, scale, S, id)
+		backends = append(backends, b)
+		members = append(members, b.member())
+	}
+	gw, gwAddr, gwDone := startMemberGateway(t, d, scale, S, K, members)
+
+	// Every backend learned the announced view.
+	for _, b := range backends {
+		if b.sm.Epoch() != 1 {
+			t.Fatalf("backend %s epoch %d after announce", b.id, b.sm.Epoch())
+		}
+		if b.sm.OwnedShards() == 0 {
+			t.Fatalf("backend %s owns no shards", b.id)
+		}
+	}
+
+	ms := clusterMsgs(7, d, users, 10)
+	serial := protocol.NewServer(d, scale)
+	for _, m := range ms {
+		if m.Type == transport.MsgHello {
+			serial.Register(m.Order)
+		} else {
+			serial.Ingest(m.Report())
+		}
+	}
+
+	conn, err := net.Dial("tcp", gwAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := transport.NewEncoder(conn)
+	dec := transport.NewDecoder(conn)
+	for lo := 0; lo < len(ms); lo += 83 {
+		hi := min(lo+83, len(ms))
+		if err := enc.EncodeBatch(ms[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkAllShapes(t, enc, dec, serial, d)
+
+	// MsgSums folds the chosen replicas to the serial raw sums.
+	if err := enc.Encode(transport.Sums()); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := dec.ReadSums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Users != int64(serial.Users()) {
+		t.Fatalf("sums users %d, want %d", f.Users, serial.Users())
+	}
+
+	// K-way replication: every shard is held by exactly K backends, and
+	// replicas of a shard agree exactly.
+	view := gw.View()
+	for sh := 0; sh < S; sh++ {
+		var holders []*memberBackend
+		for _, b := range backends {
+			if view.Owns(b.id, sh) {
+				holders = append(holders, b)
+			}
+		}
+		if len(holders) != K {
+			t.Fatalf("shard %d has %d owners, want %d", sh, len(holders), K)
+		}
+		a, err := holders[0].sm.ShardSums(sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := holders[1].sm.ShardSums(sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Users != b2.Users {
+			t.Fatalf("shard %d replicas disagree: %d vs %d users", sh, a.Users, b2.Users)
+		}
+		// Non-owners hold nothing for the shard.
+		for _, b := range backends {
+			if view.Owns(b.id, sh) {
+				continue
+			}
+			f, err := b.sm.ShardSums(sh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Users != 0 {
+				t.Fatalf("non-owner %s holds %d users of shard %d", b.id, f.Users, sh)
+			}
+		}
+	}
+
+	// Kill one backend outright: quorum reads must still answer every
+	// shape bit-for-bit from the surviving replicas.
+	backends[1].stop(t)
+	checkAllShapes(t, enc, dec, serial, d)
+	if gw.ShortReads() == 0 {
+		t.Error("no short reads counted with a dead replica")
+	}
+	if gw.Divergences() != 0 {
+		t.Errorf("%d divergences on a healthy cluster", gw.Divergences())
+	}
+
+	conn.Close()
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-gwDone; err != nil {
+		t.Fatal(err)
+	}
+	backends[0].stop(t)
+	backends[2].stop(t)
+}
+
+// TestMemberGatewayReshard exercises the full epoch dance on a live
+// session: join a member mid-stream (asserting minimal movement),
+// ingest more, drain a member and stop it, and check exactness after
+// every step.
+func TestMemberGatewayReshard(t *testing.T) {
+	const (
+		d     = 32
+		scale = 2.5
+		S     = 16
+		K     = 2
+	)
+	var backends []*memberBackend
+	var members []membership.Member
+	for _, id := range []string{"b0", "b1", "b2"} {
+		b := startMemberBackend(t, d, scale, S, id)
+		backends = append(backends, b)
+		members = append(members, b.member())
+	}
+	gw, gwAddr, gwDone := startMemberGateway(t, d, scale, S, K, members)
+
+	serial := protocol.NewServer(d, scale)
+	apply := func(ms []transport.Msg) {
+		for _, m := range ms {
+			if m.Type == transport.MsgHello {
+				serial.Register(m.Order)
+			} else {
+				serial.Ingest(m.Report())
+			}
+		}
+	}
+	conn, err := net.Dial("tcp", gwAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := transport.NewEncoder(conn)
+	dec := transport.NewDecoder(conn)
+
+	phase1 := clusterMsgs(11, d, 120, 8)
+	apply(phase1)
+	if err := enc.EncodeBatch(phase1); err != nil {
+		t.Fatal(err)
+	}
+	checkAllShapes(t, enc, dec, serial, d)
+
+	// Join: add b3. The reported transfer count must equal the
+	// rendezvous plan diff, which moves only ~S·K/N placements.
+	b3 := startMemberBackend(t, d, scale, S, "b3")
+	backends = append(backends, b3)
+	oldView := gw.View()
+	joined := append(append([]membership.Member{}, members...), b3.member())
+	newView := membership.View{Epoch: oldView.Epoch + 1, K: K, NumShards: S, Members: joined}
+	wantPlan := membership.Plan(oldView, newView)
+	res, err := gw.Reshard(joined, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != oldView.Epoch+1 || res.Transfers != len(wantPlan) {
+		t.Fatalf("reshard result %+v, want epoch %d transfers %d", res, oldView.Epoch+1, len(wantPlan))
+	}
+	if res.Transfers == 0 || res.Transfers > S*K/2 {
+		t.Fatalf("join moved %d placements of %d — not minimal movement", res.Transfers, S*K)
+	}
+	if b3.sm.Epoch() != res.Epoch {
+		t.Fatalf("joined backend epoch %d, want %d", b3.sm.Epoch(), res.Epoch)
+	}
+	// The same live session keeps working across the epoch.
+	checkAllShapes(t, enc, dec, serial, d)
+
+	phase2 := clusterMsgs(13, d, 90, 8)
+	apply(phase2)
+	if err := enc.EncodeBatch(phase2); err != nil {
+		t.Fatal(err)
+	}
+	checkAllShapes(t, enc, dec, serial, d)
+
+	// Drain: remove b1, then stop it. Its shards were handed off during
+	// the reshard, so answers stay exact without it.
+	var drained []membership.Member
+	for _, b := range backends {
+		if b.id != "b1" {
+			drained = append(drained, b.member())
+		}
+	}
+	res2, err := gw.Reshard(drained, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Epoch != res.Epoch+1 {
+		t.Fatalf("drain epoch %d, want %d", res2.Epoch, res.Epoch+1)
+	}
+	backends[1].stop(t)
+	checkAllShapes(t, enc, dec, serial, d)
+
+	phase3 := clusterMsgs(17, d, 60, 8)
+	apply(phase3)
+	if err := enc.EncodeBatch(phase3); err != nil {
+		t.Fatal(err)
+	}
+	checkAllShapes(t, enc, dec, serial, d)
+
+	if gw.TransfersTotal() != int64(res.Transfers+res2.Transfers) {
+		t.Errorf("TransfersTotal %d, want %d", gw.TransfersTotal(), res.Transfers+res2.Transfers)
+	}
+
+	conn.Close()
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-gwDone; err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range backends {
+		if b.id != "b1" {
+			b.stop(t)
+		}
+	}
+}
+
+// TestMemberGatewayDivergence corrupts one replica's shard state and
+// checks the quorum read detects the exact-integer mismatch instead of
+// silently answering from either copy.
+func TestMemberGatewayDivergence(t *testing.T) {
+	const d, scale, S, K = 32, 2.0, 4, 2
+	b0 := startMemberBackend(t, d, scale, S, "b0")
+	b1 := startMemberBackend(t, d, scale, S, "b1")
+	defer b0.stop(t)
+	defer b1.stop(t)
+	gw, gwAddr, gwDone := startMemberGateway(t, d, scale, S, K,
+		[]membership.Member{b0.member(), b1.member()})
+
+	conn, err := net.Dial("tcp", gwAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := transport.NewEncoder(conn)
+	dec := transport.NewDecoder(conn)
+	ms := clusterMsgs(3, d, 50, 6)
+	if err := enc.EncodeBatch(ms); err != nil {
+		t.Fatal(err)
+	}
+	// Fence so both replicas hold the data, then corrupt b1's shard 0
+	// with an empty state.
+	if err := enc.Encode(transport.Query(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Next(); err != nil {
+		t.Fatal(err)
+	}
+	empty := transport.NewShardMapCollector(d, scale, S, "empty")
+	state, err := empty.ExportShard(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.sm.InstallShard(0, state); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(transport.Query(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Next(); err == nil {
+		t.Fatal("query answered despite diverged replicas")
+	}
+	if gw.Divergences() == 0 {
+		t.Error("divergence not counted")
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-gwDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemberAdminHandler drives the JSON admin API: view inspection,
+// a reshard post, and the rejection paths.
+func TestMemberAdminHandler(t *testing.T) {
+	const d, scale, S, K = 32, 2.0, 8, 1
+	b0 := startMemberBackend(t, d, scale, S, "b0")
+	b1 := startMemberBackend(t, d, scale, S, "b1")
+	defer b0.stop(t)
+	defer b1.stop(t)
+	gw, err := NewMember(d, scale, S, K, []membership.Member{b0.member()}, transport.NewReplicaClient(fastOpts()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	if err := gw.AnnounceView(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(gw.AdminHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/membership/view")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v viewJSON
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if v.Epoch != 1 || v.K != K || v.NumShards != S || len(v.Members) != 1 {
+		t.Fatalf("view = %+v", v)
+	}
+
+	body, _ := json.Marshal(reshardRequest{
+		Members: []memberJSON{{ID: "b0", Addr: b0.addr}, {ID: "b1", Addr: b1.addr}},
+		K:       2,
+	})
+	resp, err = http.Post(srv.URL+"/membership/reshard", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res ReshardResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if res.Epoch != 2 || res.Members != 2 || res.K != 2 {
+		t.Fatalf("reshard result = %+v", res)
+	}
+	if gw.Epoch() != 2 {
+		t.Fatalf("gateway epoch %d after admin reshard", gw.Epoch())
+	}
+
+	resp, err = http.Post(srv.URL+"/membership/reshard", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON → %d, want 400", resp.StatusCode)
+	}
+	// A duplicate member set is a conflict, not a crash.
+	dup, _ := json.Marshal(reshardRequest{Members: []memberJSON{{ID: "b0", Addr: b0.addr}, {ID: "b0", Addr: b0.addr}}, K: 1})
+	resp, err = http.Post(srv.URL+"/membership/reshard", "application/json", bytes.NewReader(dup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate members → %d, want 409", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/membership/reshard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET reshard → %d, want 405", resp.StatusCode)
+	}
+}

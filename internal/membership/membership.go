@@ -1,0 +1,269 @@
+// Package membership is the epoched cluster-view subsystem shared by
+// the member gateway and membership-mode rtf-serve backends.
+//
+// A View is a versioned description of the cluster: an epoch number, a
+// replication factor K, a virtual-shard count, and a member list
+// (backend ID + dial address). Users hash statically onto virtual
+// shards (user mod NumShards); shards are placed on members by
+// rendezvous (highest-random-weight) hashing, so bumping the epoch to
+// add or remove one member moves only ~K/N of the shard-ownership
+// pairs instead of remapping the world the way the static
+// `user mod N` gateway map does.
+//
+// Placement is a pure function of (shard, member IDs): every gateway
+// and backend holding the same View computes the same owners with no
+// coordination, and Plan diffs two views into the minimal set of
+// shard transfers a reshard must perform.
+package membership
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Bounds on a View, mirroring the transport package's
+// validate-before-allocate discipline for anything that crosses the
+// wire.
+const (
+	// MaxMembers bounds the member list.
+	MaxMembers = 1 << 10
+	// MaxShards bounds the virtual-shard count.
+	MaxShards = 1 << 16
+	// MaxIDLen bounds a member ID or address string.
+	MaxIDLen = 256
+)
+
+// Member is one backend in the cluster view.
+type Member struct {
+	// ID is the stable identity rendezvous hashing weighs; it must
+	// survive restarts (an address may be re-bound, an ID may not).
+	ID string
+	// Addr is the backend's dial address.
+	Addr string
+}
+
+// View is one epoch's immutable cluster description. Treat a View as
+// a value: Reshard builds a new one rather than mutating in place.
+type View struct {
+	// Epoch orders views; a backend ignores a view older than the
+	// one it holds.
+	Epoch uint64
+	// K is the replication factor: every shard lives on K members.
+	K int
+	// NumShards is the virtual-shard count users hash onto.
+	NumShards int
+	// Members lists the backends, in the order given at startup or
+	// reshard time. Placement depends only on the ID set, not the
+	// order.
+	Members []Member
+}
+
+// Validate checks structural invariants: bounded sizes, non-empty
+// unique IDs and addresses, and 1 <= K <= len(Members).
+func (v View) Validate() error {
+	if len(v.Members) == 0 {
+		return fmt.Errorf("membership: view has no members")
+	}
+	if len(v.Members) > MaxMembers {
+		return fmt.Errorf("membership: %d members exceeds max %d", len(v.Members), MaxMembers)
+	}
+	if v.NumShards < 1 || v.NumShards > MaxShards {
+		return fmt.Errorf("membership: num_shards=%d outside [1..%d]", v.NumShards, MaxShards)
+	}
+	if v.K < 1 || v.K > len(v.Members) {
+		return fmt.Errorf("membership: replication k=%d outside [1..%d members]", v.K, len(v.Members))
+	}
+	ids := make(map[string]struct{}, len(v.Members))
+	addrs := make(map[string]struct{}, len(v.Members))
+	for _, m := range v.Members {
+		if m.ID == "" || len(m.ID) > MaxIDLen {
+			return fmt.Errorf("membership: member id %q empty or longer than %d", m.ID, MaxIDLen)
+		}
+		if m.Addr == "" || len(m.Addr) > MaxIDLen {
+			return fmt.Errorf("membership: member %s address %q empty or longer than %d", m.ID, m.Addr, MaxIDLen)
+		}
+		if _, dup := ids[m.ID]; dup {
+			return fmt.Errorf("membership: duplicate member id %q", m.ID)
+		}
+		if _, dup := addrs[m.Addr]; dup {
+			return fmt.Errorf("membership: duplicate member address %q", m.Addr)
+		}
+		ids[m.ID] = struct{}{}
+		addrs[m.Addr] = struct{}{}
+	}
+	return nil
+}
+
+// Clone deep-copies the view so callers can hold it across a
+// concurrent reshard.
+func (v View) Clone() View {
+	c := v
+	c.Members = append([]Member(nil), v.Members...)
+	return c
+}
+
+// Member returns the member with the given ID, if present.
+func (v View) Member(id string) (Member, bool) {
+	for _, m := range v.Members {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Member{}, false
+}
+
+// ShardOf maps a user id onto its virtual shard. The map is static —
+// shards move between members across epochs, users never move between
+// shards — which is what keeps a reshard a pure state-transfer with no
+// per-user rehashing.
+func ShardOf(user int, numShards int) int {
+	if user < 0 {
+		user = -user
+	}
+	return user % numShards
+}
+
+// weight is the rendezvous score of (shard, member): FNV-1a 64 over
+// the shard's little-endian bytes, a separator, and the member ID.
+// FNV-1a is stable across platforms and Go versions, so every process
+// holding the same view agrees on placement.
+func weight(shard int, id string) uint64 {
+	h := fnv.New64a()
+	var b [9]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(shard >> (8 * i))
+	}
+	b[8] = '|'
+	h.Write(b[:])
+	h.Write([]byte(id))
+	return h.Sum64()
+}
+
+// Owners returns the indices (into v.Members) of the K
+// highest-random-weight members for the shard, best first. Ties break
+// on ascending ID so the order is total and deterministic.
+func (v View) Owners(shard int) []int {
+	type scored struct {
+		idx int
+		w   uint64
+	}
+	s := make([]scored, len(v.Members))
+	for i, m := range v.Members {
+		s[i] = scored{i, weight(shard, m.ID)}
+	}
+	sort.Slice(s, func(a, b int) bool {
+		if s[a].w != s[b].w {
+			return s[a].w > s[b].w
+		}
+		return v.Members[s[a].idx].ID < v.Members[s[b].idx].ID
+	})
+	out := make([]int, v.K)
+	for i := range out {
+		out[i] = s[i].idx
+	}
+	return out
+}
+
+// OwnerIDs is Owners projected onto member IDs.
+func (v View) OwnerIDs(shard int) []string {
+	idx := v.Owners(shard)
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = v.Members[j].ID
+	}
+	return out
+}
+
+// Owns reports whether the member with the given ID is one of the
+// shard's K owners.
+func (v View) Owns(id string, shard int) bool {
+	for _, j := range v.Owners(shard) {
+		if v.Members[j].ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// OwnedShards returns the shards the member owns, ascending.
+func (v View) OwnedShards(id string) []int {
+	var out []int
+	for s := 0; s < v.NumShards; s++ {
+		if v.Owns(id, s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Transfer is one shard movement a reshard must perform: ship the
+// shard's state to Dst, sourcing it from one of Sources (the old
+// owners, best first — try them in order until one answers).
+type Transfer struct {
+	Shard int
+	// Dst is the member ID gaining the shard.
+	Dst string
+	// Sources are the old epoch's owner IDs; any one of them holds
+	// the complete shard state (replicas are exact copies).
+	Sources []string
+}
+
+// Plan diffs two views into the transfers that make every new owner
+// complete: for each shard, each member that owns it under next but
+// not under prev needs the state shipped in. A member that owns a
+// shard in both views keeps its copy untouched. A brand-new cluster
+// (prev has no members) needs no transfers — there is no state yet.
+func Plan(prev, next View) []Transfer {
+	if len(prev.Members) == 0 {
+		return nil
+	}
+	var out []Transfer
+	for s := 0; s < next.NumShards; s++ {
+		oldIDs := prev.OwnerIDs(s)
+		oldSet := make(map[string]struct{}, len(oldIDs))
+		for _, id := range oldIDs {
+			oldSet[id] = struct{}{}
+		}
+		for _, id := range next.OwnerIDs(s) {
+			if _, held := oldSet[id]; held {
+				continue
+			}
+			out = append(out, Transfer{Shard: s, Dst: id, Sources: append([]string(nil), oldIDs...)})
+		}
+	}
+	return out
+}
+
+// ParseMembers parses the "-members id=addr,id=addr,..." flag form
+// into a member list, rejecting empty or duplicate IDs and addresses.
+func ParseMembers(spec string) ([]Member, error) {
+	var out []Member
+	ids := make(map[string]struct{})
+	addrs := make(map[string]struct{})
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		id, addr = strings.TrimSpace(id), strings.TrimSpace(addr)
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("membership: member %q is not id=addr", part)
+		}
+		if _, dup := ids[id]; dup {
+			return nil, fmt.Errorf("membership: duplicate member id %q", id)
+		}
+		if _, dup := addrs[addr]; dup {
+			return nil, fmt.Errorf("membership: duplicate member address %q", addr)
+		}
+		ids[id] = struct{}{}
+		addrs[addr] = struct{}{}
+		out = append(out, Member{ID: id, Addr: addr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("membership: no members in %q", spec)
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+package membership
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func view(epoch uint64, k, shards int, ids ...string) View {
+	ms := make([]Member, len(ids))
+	for i, id := range ids {
+		ms[i] = Member{ID: id, Addr: fmt.Sprintf("127.0.0.1:%d", 7700+i)}
+	}
+	return View{Epoch: epoch, K: k, NumShards: shards, Members: ms}
+}
+
+func TestValidate(t *testing.T) {
+	ok := view(1, 2, 64, "a", "b", "c")
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid view rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*View)
+	}{
+		{"no members", func(v *View) { v.Members = nil }},
+		{"k zero", func(v *View) { v.K = 0 }},
+		{"k above members", func(v *View) { v.K = 4 }},
+		{"zero shards", func(v *View) { v.NumShards = 0 }},
+		{"too many shards", func(v *View) { v.NumShards = MaxShards + 1 }},
+		{"empty id", func(v *View) { v.Members[1].ID = "" }},
+		{"empty addr", func(v *View) { v.Members[1].Addr = "" }},
+		{"dup id", func(v *View) { v.Members[2].ID = v.Members[0].ID }},
+		{"dup addr", func(v *View) { v.Members[2].Addr = v.Members[0].Addr }},
+		{"long id", func(v *View) {
+			id := make([]byte, MaxIDLen+1)
+			for i := range id {
+				id[i] = 'x'
+			}
+			v.Members[0].ID = string(id)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := ok.Clone()
+			tc.mut(&v)
+			if err := v.Validate(); err == nil {
+				t.Fatalf("invalid view accepted")
+			}
+		})
+	}
+}
+
+// TestOwnersDeterministic pins that placement is a pure function of
+// the view: two independently built copies agree on every shard, and
+// member order does not matter.
+func TestOwnersDeterministic(t *testing.T) {
+	a := view(1, 2, 128, "n0", "n1", "n2", "n3")
+	b := view(9, 2, 128, "n3", "n1", "n0", "n2") // shuffled, different epoch
+	for s := 0; s < a.NumShards; s++ {
+		ga, gb := a.OwnerIDs(s), b.OwnerIDs(s)
+		if !reflect.DeepEqual(ga, gb) {
+			t.Fatalf("shard %d: owners differ across member order: %v vs %v", s, ga, gb)
+		}
+		if len(ga) != a.K {
+			t.Fatalf("shard %d: %d owners, want K=%d", s, len(ga), a.K)
+		}
+		if ga[0] == ga[1] {
+			t.Fatalf("shard %d: duplicate owner %v", s, ga)
+		}
+	}
+}
+
+// TestOwnersBalance checks rendezvous spread: with 256 shards over 4
+// members at K=2, every member should own a reasonable share (no
+// member starved or doubled).
+func TestOwnersBalance(t *testing.T) {
+	v := view(1, 2, 256, "n0", "n1", "n2", "n3")
+	counts := make(map[string]int)
+	for s := 0; s < v.NumShards; s++ {
+		for _, id := range v.OwnerIDs(s) {
+			counts[id]++
+		}
+	}
+	// Expected share is S*K/N = 128 per member.
+	for id, c := range counts {
+		if c < 64 || c > 192 {
+			t.Fatalf("member %s owns %d of 512 ownership pairs; expected near 128", id, c)
+		}
+	}
+}
+
+// TestMinimalMovement is the rendezvous point: adding one member to N
+// must move only ownership pairs that land on the newcomer, roughly
+// S*K/(N+1), never a full remap.
+func TestMinimalMovement(t *testing.T) {
+	old := view(1, 2, 256, "n0", "n1", "n2")
+	next := view(2, 2, 256, "n0", "n1", "n2", "n3")
+	moved := 0
+	for s := 0; s < old.NumShards; s++ {
+		oldSet := make(map[string]struct{})
+		for _, id := range old.OwnerIDs(s) {
+			oldSet[id] = struct{}{}
+		}
+		for _, id := range next.OwnerIDs(s) {
+			if _, held := oldSet[id]; !held {
+				moved++
+				if id != "n3" {
+					t.Fatalf("shard %d moved to %s, not the new member", s, id)
+				}
+			}
+		}
+	}
+	// Expectation: S*K/(N+1) = 128. Allow generous slack, but well
+	// under a full remap (512 pairs).
+	if moved < 64 || moved > 192 {
+		t.Fatalf("%d ownership pairs moved; expected near 128 of 512", moved)
+	}
+}
+
+func TestOwnedShardsMatchesOwners(t *testing.T) {
+	v := view(3, 2, 64, "a", "b", "c")
+	total := 0
+	for _, m := range v.Members {
+		for _, s := range v.OwnedShards(m.ID) {
+			if !v.Owns(m.ID, s) {
+				t.Fatalf("OwnedShards/Owns disagree for %s shard %d", m.ID, s)
+			}
+			total++
+		}
+	}
+	if total != v.NumShards*v.K {
+		t.Fatalf("%d ownership pairs, want %d", total, v.NumShards*v.K)
+	}
+}
+
+func TestPlan(t *testing.T) {
+	old := view(1, 2, 64, "n0", "n1", "n2")
+	next := old.Clone()
+	next.Epoch = 2
+	next.Members = append(next.Members, Member{ID: "n3", Addr: "127.0.0.1:7790"})
+
+	plan := Plan(old, next)
+	if len(plan) == 0 {
+		t.Fatalf("join produced no transfers")
+	}
+	for _, tr := range plan {
+		if tr.Dst != "n3" {
+			t.Fatalf("join transfer to %s, want only the new member", tr.Dst)
+		}
+		if !next.Owns(tr.Dst, tr.Shard) {
+			t.Fatalf("transfer dst %s does not own shard %d under next", tr.Dst, tr.Shard)
+		}
+		if len(tr.Sources) != old.K {
+			t.Fatalf("transfer sources %v, want the %d old owners", tr.Sources, old.K)
+		}
+		for _, src := range tr.Sources {
+			if !old.Owns(src, tr.Shard) {
+				t.Fatalf("source %s does not own shard %d under prev", src, tr.Shard)
+			}
+		}
+	}
+
+	// Removing a member: every shard it held must be re-homed, and no
+	// transfer may target a surviving member that already held the
+	// shard.
+	drained := view(3, 2, 64, "n0", "n2", "n3")
+	plan = Plan(next, drained)
+	for _, tr := range plan {
+		if next.Owns(tr.Dst, tr.Shard) {
+			t.Fatalf("shard %d transferred to %s which already held it", tr.Shard, tr.Dst)
+		}
+	}
+	// Every shard n1 owned must appear as a destination somewhere.
+	rehomed := make(map[int]bool)
+	for _, tr := range plan {
+		rehomed[tr.Shard] = true
+	}
+	for _, s := range next.OwnedShards("n1") {
+		if !rehomed[s] {
+			t.Fatalf("shard %d owned by drained n1 never re-homed", s)
+		}
+	}
+
+	// Bootstrap: no previous members, no transfers.
+	if p := Plan(View{}, old); p != nil {
+		t.Fatalf("bootstrap plan not empty: %v", p)
+	}
+}
+
+func TestShardOf(t *testing.T) {
+	if ShardOf(0, 16) != 0 || ShardOf(17, 16) != 1 || ShardOf(-17, 16) != 1 {
+		t.Fatalf("ShardOf wrong: %d %d %d", ShardOf(0, 16), ShardOf(17, 16), ShardOf(-17, 16))
+	}
+}
+
+func TestParseMembers(t *testing.T) {
+	ms, err := ParseMembers(" b0=127.0.0.1:7610 , b1=127.0.0.1:7611,")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := []Member{{"b0", "127.0.0.1:7610"}, {"b1", "127.0.0.1:7611"}}
+	if !reflect.DeepEqual(ms, want) {
+		t.Fatalf("parsed %v, want %v", ms, want)
+	}
+	for _, bad := range []string{"", "b0", "=addr", "b0=", "b0=a,b0=b", "b0=a,b1=a"} {
+		if _, err := ParseMembers(bad); err == nil {
+			t.Fatalf("ParseMembers(%q) accepted", bad)
+		}
+	}
+}
+
+func BenchmarkOwners(b *testing.B) {
+	v := view(1, 3, 256, "n0", "n1", "n2", "n3", "n4")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Owners(i % v.NumShards)
+	}
+}

@@ -1,0 +1,85 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Shard-scoped snapshot container: a membership-mode backend keeps one
+// accumulator per virtual shard, and its durability snapshot is the
+// ordered list of every shard's serialized state. The container is a
+// thin length-prefixed framing over the per-shard protocol state
+// encodings — the same bytes a reshard handoff ships over the wire —
+// so export, transfer and crash recovery all speak one format.
+
+// shardStatesVersion is the container's format version byte.
+const shardStatesVersion = 1
+
+// MaxShardStates bounds the shard count a container may declare (it
+// mirrors membership.MaxShards without importing it).
+const MaxShardStates = 1 << 16
+
+// EncodeShardStates packs per-shard serialized states, in shard order,
+// into one snapshot payload.
+func EncodeShardStates(states [][]byte) ([]byte, error) {
+	if len(states) == 0 || len(states) > MaxShardStates {
+		return nil, fmt.Errorf("persist: %d shard states outside [1..%d]", len(states), MaxShardStates)
+	}
+	total := 2 + 10
+	for _, s := range states {
+		if len(s) > MaxStateLen {
+			return nil, fmt.Errorf("persist: shard state of %d bytes exceeds limit %d", len(s), MaxStateLen)
+		}
+		total += 10 + len(s)
+	}
+	b := make([]byte, 0, total)
+	b = append(b, shardStatesVersion)
+	b = binary.AppendUvarint(b, uint64(len(states)))
+	for _, s := range states {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	return b, nil
+}
+
+// DecodeShardStates unpacks a container written by EncodeShardStates.
+// Every declared length is validated against the remaining input
+// before any slice is cut, so a corrupt container cannot force a huge
+// allocation. The returned slices alias b.
+func DecodeShardStates(b []byte) ([][]byte, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("persist: empty shard state container")
+	}
+	if b[0] != shardStatesVersion {
+		return nil, fmt.Errorf("persist: unsupported shard state container version %d", b[0])
+	}
+	off := 1
+	n, w := binary.Uvarint(b[off:])
+	if w <= 0 {
+		return nil, fmt.Errorf("persist: truncated shard state container header")
+	}
+	off += w
+	if n == 0 || n > MaxShardStates {
+		return nil, fmt.Errorf("persist: container declares %d shards outside [1..%d]", n, MaxShardStates)
+	}
+	states := make([][]byte, n)
+	for i := range states {
+		l, w := binary.Uvarint(b[off:])
+		if w <= 0 {
+			return nil, fmt.Errorf("persist: truncated shard %d length", i)
+		}
+		off += w
+		if l > uint64(MaxStateLen) {
+			return nil, fmt.Errorf("persist: shard %d state length %d exceeds limit %d", i, l, MaxStateLen)
+		}
+		if uint64(len(b)-off) < l {
+			return nil, fmt.Errorf("persist: shard %d state truncated (%d declared, %d left)", i, l, len(b)-off)
+		}
+		states[i] = b[off : off+int(l)]
+		off += int(l)
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("persist: %d trailing bytes after shard state container", len(b)-off)
+	}
+	return states, nil
+}

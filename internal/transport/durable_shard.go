@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"fmt"
+
+	"rtf/internal/persist"
+)
+
+// DurableShardMapCollector wraps a ShardMapCollector with the
+// persistence subsystem: every ingest frame is validated, journaled to
+// the write-ahead log, and only then applied, exactly like
+// DurableCollector; the snapshot payload is the per-shard state
+// container (persist.EncodeShardStates), so recovery restores each
+// virtual shard independently. A shard install (reshard handoff) is
+// not an ingest frame — the WAL never sees it — so InstallShard cuts a
+// snapshot immediately after the swap, making the handoff itself
+// durable before it is acknowledged.
+type DurableShardMapCollector struct {
+	inner *ShardMapCollector
+	j     *durableJournal
+}
+
+// OpenDurableShardMap recovers the shard map's durable state from dir
+// (newest snapshot, then WAL replay past its cursor) and returns a
+// collector that journals all further ingestion there. The shard map
+// must be freshly constructed; meta must describe the hosting
+// configuration. The snapshot's shard count must match the
+// collector's.
+func OpenDurableShardMap(sm *ShardMapCollector, dir string, meta persist.Meta, o DurableOptions) (*DurableShardMapCollector, RecoveryStats, error) {
+	j, stats, err := openJournal(dir, meta, o,
+		func(state []byte) error {
+			states, err := persist.DecodeShardStates(state)
+			if err != nil {
+				return err
+			}
+			if len(states) != sm.NumShards() {
+				return fmt.Errorf("transport: snapshot has %d shards, collector has %d", len(states), sm.NumShards())
+			}
+			for s, st := range states {
+				if err := sm.InstallShard(s, st); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(ms []Msg) error { return sm.SendBatch(ms) })
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Hellos, stats.Reports, _ = sm.Stats()
+	return &DurableShardMapCollector{inner: sm, j: j}, stats, nil
+}
+
+// Map returns the underlying shard map (for queries, shard export and
+// view bookkeeping).
+func (c *DurableShardMapCollector) Map() *ShardMapCollector { return c.inner }
+
+// Validate checks one message without journaling or applying anything.
+func (c *DurableShardMapCollector) Validate(m Msg) error { return c.inner.Validate(m) }
+
+// Stats returns the number of hellos, reports and batches ingested,
+// including those recovered at boot.
+func (c *DurableShardMapCollector) Stats() (hellos, reports, batches int64) {
+	return c.inner.Stats()
+}
+
+// SendBatch validates the batch, appends its wire encoding to the
+// write-ahead log, and applies it to the shard map — in that order.
+// On a validation or journaling error nothing is applied.
+func (c *DurableShardMapCollector) SendBatch(ms []Msg) error {
+	for i := range ms {
+		if err := c.inner.Validate(ms[i]); err != nil {
+			return err
+		}
+	}
+	return c.j.journal(ms, func() { c.inner.applyBatch(ms) })
+}
+
+// InstallShard replaces one virtual shard's state and immediately cuts
+// a snapshot: the WAL journals only ingest frames, so without the cut
+// a crash after the install would silently roll the shard back to its
+// pre-handoff state.
+func (c *DurableShardMapCollector) InstallShard(shard int, state []byte) error {
+	if err := c.inner.InstallShard(shard, state); err != nil {
+		return err
+	}
+	if _, err := c.Snapshot(); err != nil {
+		return fmt.Errorf("transport: snapshot after installing shard %d: %w", shard, err)
+	}
+	return nil
+}
+
+// marshalShardStates serializes every virtual shard into the snapshot
+// container. Called under the journal's exclusive snapshot lock, so
+// the cut is consistent with the WAL cursor.
+func (c *DurableShardMapCollector) marshalShardStates() []byte {
+	sm := c.inner
+	states := make([][]byte, sm.NumShards())
+	sm.imu.RLock()
+	for s := range states {
+		states[s] = sm.accs[s].Load().MarshalState()
+	}
+	sm.imu.RUnlock()
+	b, err := persist.EncodeShardStates(states)
+	if err != nil {
+		// Lengths are bounded by construction; an error here is a bug.
+		panic(fmt.Sprintf("transport: encoding shard states: %v", err))
+	}
+	return b
+}
+
+// Snapshot writes a durable snapshot of every shard's current state
+// and compacts the WAL segments (and older snapshots) it supersedes.
+// It returns the snapshot's cursor.
+func (c *DurableShardMapCollector) Snapshot() (uint64, error) {
+	return c.j.snapshot(c.marshalShardStates)
+}
+
+// DurabilityStats reads the collector's current WAL and snapshot
+// state.
+func (c *DurableShardMapCollector) DurabilityStats() DurabilityStats { return c.j.durabilityStats() }
+
+// Close closes the write-ahead log. It does not snapshot; callers
+// that want a final cut call Snapshot first.
+func (c *DurableShardMapCollector) Close() error { return c.j.close() }

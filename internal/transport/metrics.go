@@ -144,6 +144,10 @@ func QueryKindName(m Msg) string {
 		return "point_v1"
 	case MsgSums, MsgDomainSums:
 		return "sums"
+	case MsgShardSums:
+		return "shard_sums"
+	case MsgShardState:
+		return "shard_state"
 	}
 	switch m.Kind {
 	case QueryPoint:

@@ -28,6 +28,16 @@ type IngestServer struct {
 	// server (and vice versa) fail that connection.
 	Domain DomainBatchCollector
 
+	// ShardMap, when non-nil, puts the server in membership mode: one
+	// accumulator per virtual shard, ingest routed by the user's
+	// shard, plus the membership control plane (view pushes, per-shard
+	// sums for quorum reads, shard state export and transfer
+	// installs). See shardserve.go.
+	ShardMap ShardMapBatchCollector
+
+	// DomainShardMap is membership mode for domain-valued tracking.
+	DomainShardMap *DomainShardMapCollector
+
 	// ErrorLog, when non-nil, receives per-connection decode/validation
 	// failures (which close that connection but not the server).
 	ErrorLog func(err error)
@@ -159,6 +169,12 @@ func BatchRuns(ms []Msg, isQuery func(Msg) bool, forward func([]Msg) error, answ
 func (s *IngestServer) serveConn(id int, conn net.Conn) error {
 	dec := NewDecoder(conn)
 	enc := NewEncoder(conn)
+	if s.DomainShardMap != nil {
+		return s.serveDomainShardConn(id, dec, enc)
+	}
+	if s.ShardMap != nil {
+		return s.serveShardConn(id, dec, enc)
+	}
 	if s.Domain != nil {
 		return s.serveDomainConn(id, dec, enc)
 	}

@@ -1,0 +1,590 @@
+package transport
+
+import (
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rtf/internal/hh"
+	"rtf/internal/membership"
+	"rtf/internal/persist"
+	"rtf/internal/protocol"
+)
+
+// applySerial feeds a hello+report stream into a single serial sharded
+// accumulator, the reference a shard map must match bit-for-bit.
+func applySerial(d int, scale float64, ms []Msg) *protocol.Sharded {
+	ref := protocol.NewSharded(d, scale, 1)
+	for _, m := range ms {
+		if m.Type == MsgHello {
+			ref.Register(0, m.Order)
+		} else {
+			ref.Ingest(0, m.Report())
+		}
+	}
+	return ref
+}
+
+// TestShardMapEquivalence pins the core exactness claim: a shard map
+// with S virtual shards answers every estimate bit-for-bit like one
+// serial accumulator fed the same stream, and its folded sums frames
+// agree integer-for-integer.
+func TestShardMapEquivalence(t *testing.T) {
+	const d, scale, S = 64, 5.5, 8
+	ms := genMsgs(d, 100)
+	sm := NewShardMapCollector(d, scale, S, "n0")
+	if err := sm.SendBatch(ms); err != nil {
+		t.Fatal(err)
+	}
+	ref := applySerial(d, scale, ms)
+
+	est, err := sm.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := est.EstimateSeries(), ref.EstimateSeries()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EstimateSeries[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	if g, w := sm.GlobalSums(), SumsFromSharded(ref); !reflect.DeepEqual(g, w) {
+		t.Fatalf("GlobalSums = %+v, want %+v", g, w)
+	}
+
+	// Per-shard frames re-merge to the same serial server.
+	merged := protocol.NewServer(d, scale)
+	for s := 0; s < S; s++ {
+		f, err := sm.ShardSums(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.MergeInto(merged); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g, w := merged.Users(), ref.Users(); g != w {
+		t.Fatalf("merged users = %d, want %d", g, w)
+	}
+	if g, w := merged.EstimateSeries(), ref.EstimateSeries(); !reflect.DeepEqual(g, w) {
+		t.Fatalf("merged series = %v, want %v", g, w)
+	}
+
+	if _, err := sm.ShardSums(S); err == nil {
+		t.Error("ShardSums accepted an out-of-range shard")
+	}
+	if _, err := sm.ExportShard(-1); err == nil {
+		t.Error("ExportShard accepted a negative shard")
+	}
+}
+
+// TestShardMapInstallReplaces pins the replace-not-fold discipline:
+// installing a shard's state over a member that already holds a stale
+// copy must yield the source's state exactly, even when installed
+// twice.
+func TestShardMapInstallReplaces(t *testing.T) {
+	const d, scale, S = 32, 3.5, 4
+	src := NewShardMapCollector(d, scale, S, "src")
+	if err := src.SendBatch(genMsgs(d, 60)); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewShardMapCollector(d, scale, S, "dst")
+	// Give dst its own stale copy in every shard first.
+	if err := dst.SendBatch(genMsgs(d, 20)); err != nil {
+		t.Fatal(err)
+	}
+	const shard = 2
+	state, err := src.ExportShard(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := src.ShardSums(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // a re-install must not double-count
+		if err := dst.InstallShard(shard, state); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dst.ShardSums(shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("install %d: shard sums = %+v, want %+v", i, got, want)
+		}
+	}
+	if err := dst.InstallShard(S, state); err == nil {
+		t.Error("InstallShard accepted an out-of-range shard")
+	}
+	if err := dst.InstallShard(0, []byte("junk")); err == nil {
+		t.Error("InstallShard accepted junk state")
+	}
+}
+
+// TestShardMapSetView covers the epoch ladder: newer views replace,
+// equal re-pushes apply, stale pushes are refused without error, and a
+// shard-count mismatch is a hard error.
+func TestShardMapSetView(t *testing.T) {
+	const S = 4
+	sm := NewShardMapCollector(16, 2, S, "n1")
+	mkView := func(epoch uint64, ids ...string) membership.View {
+		v := membership.View{Epoch: epoch, K: 1, NumShards: S}
+		for _, id := range ids {
+			v.Members = append(v.Members, membership.Member{ID: id, Addr: "h:" + id})
+		}
+		return v
+	}
+	if sm.Epoch() != 0 || sm.OwnedShards() != 0 {
+		t.Fatalf("fresh collector: epoch=%d owned=%d", sm.Epoch(), sm.OwnedShards())
+	}
+	if applied, err := sm.SetView(mkView(3, "n1", "n2")); err != nil || !applied {
+		t.Fatalf("SetView(3) = %v, %v", applied, err)
+	}
+	if sm.Epoch() != 3 {
+		t.Fatalf("epoch = %d, want 3", sm.Epoch())
+	}
+	if sm.OwnedShards() == 0 {
+		t.Fatal("member listed in view owns no shards")
+	}
+	if applied, err := sm.SetView(mkView(2, "n1")); err != nil || applied {
+		t.Fatalf("stale SetView(2) = %v, %v; want refused, nil", applied, err)
+	}
+	if sm.Epoch() != 3 {
+		t.Fatalf("stale push changed epoch to %d", sm.Epoch())
+	}
+	// A view omitting this member is a drain: accepted, owned drops to 0.
+	if applied, err := sm.SetView(mkView(4, "n2", "n3")); err != nil || !applied {
+		t.Fatalf("drain SetView(4) = %v, %v", applied, err)
+	}
+	if sm.OwnedShards() != 0 {
+		t.Fatalf("drained member still owns %d shards", sm.OwnedShards())
+	}
+	bad := mkView(5, "n1")
+	bad.NumShards = S + 1
+	if _, err := sm.SetView(bad); err == nil {
+		t.Error("SetView accepted a shard-count mismatch")
+	}
+	if _, err := sm.SetView(membership.View{}); err == nil {
+		t.Error("SetView accepted an invalid view")
+	}
+}
+
+// TestDomainShardMapEquivalence mirrors the exactness test for the
+// domain-valued mode: per-item series and top-K from the folded shard
+// map match a serial domain server bit-for-bit, and install replaces.
+func TestDomainShardMapEquivalence(t *testing.T) {
+	const d, m, scale, S = 32, 8, 4.5, 4
+	var ms []Msg
+	for u := 0; u < 80; u++ {
+		item := u % m
+		order := u % 3
+		ms = append(ms, DomainHello(u, item, order))
+		j := 1 + (u*5)%(d>>uint(order))
+		bit := int8(1)
+		if u%3 == 0 {
+			bit = -1
+		}
+		ms = append(ms, FromDomainReport(item, protocol.Report{User: u, Order: order, J: j, Bit: bit}))
+	}
+	sm := NewDomainShardMapCollector(d, m, scale, S, "n0")
+	if err := sm.SendBatch(ms); err != nil {
+		t.Fatal(err)
+	}
+	ref := hh.NewDomainServer(d, m, scale, 1)
+	for _, msg := range ms {
+		if msg.Type == MsgDomainHello {
+			ref.Register(0, msg.Item, msg.Order)
+		} else {
+			ref.Ingest(0, msg.Item, protocol.Report{User: msg.User, Order: msg.Order, J: msg.J, Bit: msg.Bit})
+		}
+	}
+	folded, err := sm.Fold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < m; x++ {
+		if g, w := folded.EstimateItemSeries(x), ref.EstimateItemSeries(x); !reflect.DeepEqual(g, w) {
+			t.Fatalf("item %d series = %v, want %v", x, g, w)
+		}
+	}
+	if g, w := folded.TopK(d, 3), ref.TopK(d, 3); !reflect.DeepEqual(g, w) {
+		t.Fatalf("TopK = %+v, want %+v", g, w)
+	}
+
+	// Install replaces on the domain side too.
+	dst := NewDomainShardMapCollector(d, m, scale, S, "dst")
+	if err := dst.SendBatch(ms[:20]); err != nil {
+		t.Fatal(err)
+	}
+	state, err := sm.ExportShard(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sm.ShardSums(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := dst.InstallShard(1, state); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dst.ShardSums(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("install %d: domain shard sums diverged", i)
+		}
+	}
+	if applied, err := dst.SetView(membership.View{
+		Epoch: 1, K: 1, NumShards: S,
+		Members: []membership.Member{{ID: "dst", Addr: "h:1"}},
+	}); err != nil || !applied {
+		t.Fatalf("domain SetView = %v, %v", applied, err)
+	}
+	if dst.Epoch() != 1 || dst.OwnedShards() != S {
+		t.Fatalf("domain view bookkeeping: epoch=%d owned=%d", dst.Epoch(), dst.OwnedShards())
+	}
+}
+
+// TestDurableShardMapRecovery runs the durable wrapper through ingest,
+// a shard install (which must cut its own snapshot), more ingest, a
+// simulated crash, and recovery: the reopened map must agree with the
+// expected serial state bit-for-bit.
+func TestDurableShardMapRecovery(t *testing.T) {
+	const d, scale, S = 64, 5.5, 8
+	dir := t.TempDir()
+	meta := durableMeta(d, scale)
+
+	first, second := genMsgs(d, 40), genMsgs(d, 90)[40*5:] // users 40..89
+	donor := NewShardMapCollector(d, scale, S, "donor")
+	if err := donor.SendBatch(genMsgs(d, 25)); err != nil {
+		t.Fatal(err)
+	}
+	const shard = 3
+	donorState, err := donor.ExportShard(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dc, stats, err := OpenDurableShardMap(NewShardMapCollector(d, scale, S, "n0"), dir, meta, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hellos != 0 || stats.Reports != 0 {
+		t.Fatalf("fresh open recovered %d hellos / %d reports", stats.Hellos, stats.Reports)
+	}
+	if err := dc.SendBatch(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.InstallShard(shard, donorState); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.SendBatch(second); err != nil {
+		t.Fatal(err)
+	}
+	// Expected state: first, then shard 3 replaced by the donor copy,
+	// then second — replayed on an in-memory twin.
+	twin := NewShardMapCollector(d, scale, S, "twin")
+	if err := twin.SendBatch(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.InstallShard(shard, donorState); err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.SendBatch(second); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: abandon dc without snapshot or close.
+	rec, rstats, err := OpenDurableShardMap(NewShardMapCollector(d, scale, S, "n0"), dir, meta, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rstats.SnapshotCursor == 0 {
+		t.Error("recovery loaded no snapshot despite the install cutting one")
+	}
+	for s := 0; s < S; s++ {
+		g, err := rec.Map().ShardSums(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := twin.ShardSums(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("recovered shard %d diverged from twin", s)
+		}
+	}
+	ge, err := rec.Map().Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	we, err := twin.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ge.EstimateSeries(), we.EstimateSeries()) {
+		t.Fatal("recovered series diverged from twin")
+	}
+}
+
+// TestShardStatesContainer covers the persist-side container the
+// durable snapshot and recovery path speak.
+func TestShardStatesContainer(t *testing.T) {
+	states := [][]byte{[]byte("alpha"), {}, []byte("gamma")}
+	b, err := persist.EncodeShardStates(states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := persist.DecodeShardStates(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(states) {
+		t.Fatalf("decoded %d states, want %d", len(got), len(states))
+	}
+	for i := range states {
+		if string(got[i]) != string(states[i]) {
+			t.Fatalf("state %d = %q, want %q", i, got[i], states[i])
+		}
+	}
+	for i := 1; i < len(b); i++ {
+		if _, err := persist.DecodeShardStates(b[:i]); err == nil {
+			t.Fatalf("accepted truncation to %d bytes", i)
+		}
+	}
+	if _, err := persist.DecodeShardStates(append(append([]byte{}, b...), 0)); err == nil {
+		t.Error("accepted trailing byte")
+	}
+	if _, err := persist.EncodeShardStates(nil); err == nil {
+		t.Error("encoded an empty container")
+	}
+}
+
+// startShardServer boots a membership-mode Boolean server for the
+// round-trip tests.
+func startShardServer(t *testing.T, col ShardMapBatchCollector) (string, func()) {
+	t.Helper()
+	srv := NewShardMapIngestServer(col)
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0", ready) }()
+	addr := (<-ready).String()
+	return addr, func() {
+		if err := srv.Close(); err != nil {
+			t.Error(err)
+		}
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestMembershipServeRoundTrip drives a membership-mode backend over
+// TCP through every flow a member gateway uses: replicated ingest,
+// point/series queries, per-shard sums, state export, shard transfer
+// install, and view push — all via a ReplicaClient lease.
+func TestMembershipServeRoundTrip(t *testing.T) {
+	const d, scale, S = 64, 5.5, 8
+	sm := NewShardMapCollector(d, scale, S, "n0")
+	addr, stop := startShardServer(t, sm)
+	defer stop()
+
+	rc := NewReplicaClient(ClusterOptions{DialAttempts: 2})
+	defer rc.Close()
+	bc, err := rc.Lease(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ms := genMsgs(d, 50)
+	ref := applySerial(d, scale, ms)
+	if err := bc.SendBatch(ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-shard sums fence the earlier batch and must re-merge to the
+	// serial reference.
+	merged := protocol.NewServer(d, scale)
+	for s := 0; s < S; s++ {
+		f, err := bc.FetchShardSums(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.MergeInto(merged); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g, w := merged.EstimateSeries(), ref.EstimateSeries(); !reflect.DeepEqual(g, w) {
+		t.Fatalf("fetched shard sums fold to %v, want %v", g, w)
+	}
+
+	// Global sums and v2 answers still work on the same connection.
+	f, err := bc.FetchSums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := f, SumsFromSharded(ref); !reflect.DeepEqual(g, w) {
+		t.Fatalf("global sums = %+v, want %+v", g, w)
+	}
+	if err := bc.enc.Encode(QueryV2(QueryPoint, d/2, d/2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := bc.dec.ReadAnswer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ref.EstimateAt(d / 2); len(ans.Values) != 1 || ans.Values[0] != want {
+		t.Fatalf("point answer %v, want [%v]", ans.Values, want)
+	}
+
+	// Export a shard, install it on a second backend, confirm the copy.
+	state, err := bc.FetchShardState(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm2 := NewShardMapCollector(d, scale, S, "n1")
+	addr2, stop2 := startShardServer(t, sm2)
+	defer stop2()
+	bc2, err := rc.Lease(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bc2.TransferShard(5, state); err != nil {
+		t.Fatal(err)
+	}
+	want5, err := sm.ShardSums(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got5, err := bc2.FetchShardSums(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got5, want5) {
+		t.Fatal("transferred shard's sums diverge from the source")
+	}
+
+	// View push lands in the collector; a stale re-push is refused.
+	v := membership.View{Epoch: 7, K: 2, NumShards: S, Members: []membership.Member{
+		{ID: "n0", Addr: addr}, {ID: "n1", Addr: addr2},
+	}}
+	if err := bc.PushView(v); err != nil {
+		t.Fatal(err)
+	}
+	if sm.Epoch() != 7 {
+		t.Fatalf("backend epoch = %d, want 7", sm.Epoch())
+	}
+	stale := v.Clone()
+	stale.Epoch = 3
+	if err := bc.PushView(stale); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("stale view push error = %v", err)
+	}
+	// An out-of-range shard request kills the connection with an error.
+	if _, err := bc.FetchShardSums(S); err == nil {
+		t.Error("backend answered an out-of-range shard request")
+	}
+	rc.Release(addr, bc, false)
+	rc.Release(addr2, bc2, true)
+}
+
+// TestDomainMembershipServeRoundTrip is the domain-mode twin: ingest,
+// per-shard domain sums, a domain query, and a shard transfer between
+// two backends.
+func TestDomainMembershipServeRoundTrip(t *testing.T) {
+	const d, m, scale, S = 32, 8, 4.5, 4
+	col := NewDomainShardMapCollector(d, m, scale, S, "n0")
+	srv := NewDomainShardMapIngestServer(col)
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0", ready) }()
+	addr := (<-ready).String()
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Error(err)
+		}
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}()
+
+	rc := NewReplicaClient(ClusterOptions{DialAttempts: 2})
+	defer rc.Close()
+	bc, err := rc.Lease(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Release(addr, bc, true)
+
+	var ms []Msg
+	ref := hh.NewDomainServer(d, m, scale, 1)
+	for u := 0; u < 40; u++ {
+		item := u % m
+		ms = append(ms, DomainHello(u, item, 0))
+		r := protocol.Report{User: u, Order: 0, J: 1 + u%d, Bit: 1}
+		ms = append(ms, FromDomainReport(item, r))
+		ref.Register(0, item, 0)
+		ref.Ingest(0, item, r)
+	}
+	if err := bc.SendBatch(ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	folded := hh.NewDomainServer(d, m, scale, 1)
+	for s := 0; s < S; s++ {
+		f, err := bc.FetchShardDomainSums(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.MergeInto(folded); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for x := 0; x < m; x++ {
+		if g, w := folded.EstimateItemSeries(x), ref.EstimateItemSeries(x); !reflect.DeepEqual(g, w) {
+			t.Fatalf("item %d folded series diverges", x)
+		}
+	}
+
+	state, err := bc.FetchShardState(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col2 := NewDomainShardMapCollector(d, m, scale, S, "n1")
+	if err := col2.InstallShard(2, state); err != nil {
+		t.Fatal(err)
+	}
+	want, err := col.ShardSums(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := col2.ShardSums(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("domain shard transfer diverged")
+	}
+
+	v := membership.View{Epoch: 1, K: 1, NumShards: S, Members: []membership.Member{{ID: "n0", Addr: addr}}}
+	if err := bc.PushView(v); err != nil {
+		t.Fatal(err)
+	}
+	if col.Epoch() != 1 {
+		t.Fatalf("domain backend epoch = %d, want 1", col.Epoch())
+	}
+}

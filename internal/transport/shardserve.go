@@ -1,0 +1,319 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// This file is the serving loop of a membership-mode backend: the
+// Boolean and domain ingest loops over a shard-map collector. On top
+// of the ordinary ingest/query traffic they handle the membership
+// control plane — view pushes, per-shard raw-sums requests from a
+// quorum-reading gateway, shard state export, and shard transfer
+// installs — all on the same connection, with the same atomic-batch
+// discipline.
+
+// NewShardMapIngestServer builds a membership-mode Boolean server over
+// the given shard-map collector.
+func NewShardMapIngestServer(c ShardMapBatchCollector) *IngestServer {
+	return &IngestServer{ShardMap: c, conns: make(map[net.Conn]struct{})}
+}
+
+// NewDomainShardMapIngestServer builds a membership-mode domain server
+// over the given shard-map collector.
+func NewDomainShardMapIngestServer(c *DomainShardMapCollector) *IngestServer {
+	return &IngestServer{DomainShardMap: c, conns: make(map[net.Conn]struct{})}
+}
+
+// handleMemberFrame answers the membership control frames both
+// serve loops share: a view push or shard-transfer install, each
+// acknowledged with one MsgMemberAck. It reports whether the frame was
+// one of them. An install or hard view failure still acks (negatively)
+// before surfacing the error, so the pushing gateway sees a refusal
+// rather than a hang.
+func handleMemberFrame(m Msg, dec *Decoder, enc *Encoder,
+	setView func() (bool, error), install func(shard int, state []byte) error) (bool, error) {
+	switch m.Type {
+	case MsgView:
+		applied, err := setView()
+		if err != nil {
+			enc.EncodeMemberAck(false)
+			enc.Flush()
+			return true, err
+		}
+		if err := enc.EncodeMemberAck(applied); err != nil {
+			return true, err
+		}
+		return true, enc.Flush()
+	case MsgShardTransfer:
+		state := dec.TakeShardState()
+		if err := install(m.Shard, state); err != nil {
+			enc.EncodeMemberAck(false)
+			enc.Flush()
+			return true, err
+		}
+		if err := enc.EncodeMemberAck(true); err != nil {
+			return true, err
+		}
+		return true, enc.Flush()
+	}
+	return false, nil
+}
+
+// serveShardConn runs the decode loop of a membership-mode Boolean
+// connection. Ingest messages route to their user's virtual shard;
+// queries fold the shard map into a fresh serial accumulator; shard-
+// scoped requests serve the quorum-read and reshard flows. Batches
+// are atomic exactly as on the other serving paths.
+func (s *IngestServer) serveShardConn(id int, dec *Decoder, enc *Encoder) error {
+	col := s.ShardMap
+	sm := col.Map()
+	isQuery := func(m Msg) bool {
+		switch m.Type {
+		case MsgQuery, MsgQueryV2, MsgSums, MsgShardSums, MsgShardState:
+			return true
+		}
+		return false
+	}
+	for {
+		ms, err := dec.NextBatch()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil // clean client close or server shutdown
+			}
+			return err
+		}
+		if len(ms) == 1 {
+			handled, err := handleMemberFrame(ms[0], dec, enc,
+				func() (bool, error) { return sm.SetView(dec.TakeView()) },
+				col.InstallShard)
+			if err != nil {
+				return err
+			}
+			if handled {
+				continue
+			}
+		}
+		acked := dec.AckedBatch()
+		start := time.Now()
+		ingest := 0
+		for _, m := range ms {
+			if acked && isQuery(m) {
+				return fmt.Errorf("message type %d (query) inside acked batch", m.Type)
+			}
+			switch m.Type {
+			case MsgQuery:
+				if m.T < 1 || m.T > sm.D() {
+					return fmt.Errorf("query time %d out of range [1..%d]", m.T, sm.D())
+				}
+			case MsgQueryV2:
+				if err := ValidateQuery(sm.D(), m); err != nil {
+					return err
+				}
+			case MsgSums:
+				// No parameters to validate.
+			case MsgShardSums, MsgShardState:
+				if m.Shard < 0 || m.Shard >= sm.NumShards() {
+					return fmt.Errorf("shard %d out of range [0..%d)", m.Shard, sm.NumShards())
+				}
+			default:
+				if err := col.Validate(m); err != nil {
+					return err
+				}
+				ingest++
+			}
+		}
+		shed, holding, err := s.admitBatch(acked, enc)
+		if err != nil {
+			return err
+		}
+		if shed {
+			continue
+		}
+		err = BatchRuns(ms, isQuery,
+			func(run []Msg) error { return col.SendBatch(run) },
+			func(m Msg) error {
+				if s.Metrics != nil {
+					s.Metrics.CountQuery("membership", QueryKindName(m))
+				}
+				switch m.Type {
+				case MsgQuery:
+					est, err := sm.Estimator()
+					if err != nil {
+						return err
+					}
+					if err := enc.Encode(Estimate(m.T, est.EstimateAt(m.T))); err != nil {
+						return err
+					}
+				case MsgQueryV2:
+					est, err := sm.Estimator()
+					if err != nil {
+						return err
+					}
+					ans, err := AnswerQuery(est, m)
+					if err != nil {
+						return err
+					}
+					if err := enc.EncodeAnswer(ans); err != nil {
+						return err
+					}
+				case MsgSums:
+					if err := enc.EncodeSums(sm.GlobalSums()); err != nil {
+						return err
+					}
+				case MsgShardSums:
+					f, err := sm.ShardSums(m.Shard)
+					if err != nil {
+						return err
+					}
+					if err := enc.EncodeSums(f); err != nil {
+						return err
+					}
+				case MsgShardState:
+					state, err := sm.ExportShard(m.Shard)
+					if err != nil {
+						return err
+					}
+					if err := enc.EncodeShardState(m.Shard, state); err != nil {
+						return err
+					}
+				}
+				return enc.Flush()
+			})
+		if holding {
+			s.Queue.Release()
+		}
+		if err != nil {
+			return err
+		}
+		if err := s.finishBatch(acked, enc, ingest, start); err != nil {
+			return err
+		}
+	}
+}
+
+// serveDomainShardConn is serveShardConn for a membership-mode domain
+// backend: item-tagged ingest routes to the user's virtual shard,
+// item-scoped queries fold the shard map, per-shard sums serve quorum
+// reads, and the membership control frames install views and shard
+// transfers.
+func (s *IngestServer) serveDomainShardConn(id int, dec *Decoder, enc *Encoder) error {
+	col := s.DomainShardMap
+	isQuery := func(m Msg) bool {
+		switch m.Type {
+		case MsgDomainQuery, MsgDomainSums, MsgShardSums, MsgShardState:
+			return true
+		}
+		return false
+	}
+	for {
+		ms, err := dec.NextBatch()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil // clean client close or server shutdown
+			}
+			return err
+		}
+		if len(ms) == 1 {
+			handled, err := handleMemberFrame(ms[0], dec, enc,
+				func() (bool, error) { return col.SetView(dec.TakeView()) },
+				col.InstallShard)
+			if err != nil {
+				return err
+			}
+			if handled {
+				continue
+			}
+		}
+		acked := dec.AckedBatch()
+		start := time.Now()
+		ingest := 0
+		for _, m := range ms {
+			if acked && isQuery(m) {
+				return fmt.Errorf("message type %d (query) inside acked batch", m.Type)
+			}
+			switch m.Type {
+			case MsgDomainQuery:
+				if err := ValidateDomainQuery(col.D(), col.M(), m); err != nil {
+					return err
+				}
+			case MsgDomainSums:
+				// No parameters to validate.
+			case MsgShardSums, MsgShardState:
+				if m.Shard < 0 || m.Shard >= col.NumShards() {
+					return fmt.Errorf("shard %d out of range [0..%d)", m.Shard, col.NumShards())
+				}
+			default:
+				if err := col.Validate(m); err != nil {
+					return err
+				}
+				ingest++
+			}
+		}
+		shed, holding, err := s.admitBatch(acked, enc)
+		if err != nil {
+			return err
+		}
+		if shed {
+			continue
+		}
+		err = BatchRuns(ms, isQuery,
+			func(run []Msg) error { return col.SendBatch(run) },
+			func(m Msg) error {
+				if s.Metrics != nil {
+					s.Metrics.CountQuery("membership-domain", QueryKindName(m))
+				}
+				switch m.Type {
+				case MsgDomainQuery:
+					ds, err := col.Fold()
+					if err != nil {
+						return err
+					}
+					ans, err := AnswerDomainQuery(ds, m)
+					if err != nil {
+						return err
+					}
+					if err := enc.EncodeDomainAnswer(ans); err != nil {
+						return err
+					}
+				case MsgDomainSums:
+					ds, err := col.Fold()
+					if err != nil {
+						return err
+					}
+					if err := enc.EncodeDomainSums(DomainSumsFromServer(ds)); err != nil {
+						return err
+					}
+				case MsgShardSums:
+					f, err := col.ShardSums(m.Shard)
+					if err != nil {
+						return err
+					}
+					if err := enc.EncodeDomainSums(f); err != nil {
+						return err
+					}
+				case MsgShardState:
+					state, err := col.ExportShard(m.Shard)
+					if err != nil {
+						return err
+					}
+					if err := enc.EncodeShardState(m.Shard, state); err != nil {
+						return err
+					}
+				}
+				return enc.Flush()
+			})
+		if holding {
+			s.Queue.Release()
+		}
+		if err != nil {
+			return err
+		}
+		if err := s.finishBatch(acked, enc, ingest, start); err != nil {
+			return err
+		}
+	}
+}

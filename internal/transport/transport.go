@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"rtf/internal/dyadic"
+	"rtf/internal/membership"
 	"rtf/internal/protocol"
 	"rtf/internal/rng"
 )
@@ -61,6 +62,17 @@ const (
 	// accumulator (or, on a durable server, the write-ahead log).
 	MsgBatchAcked MsgType = 16 // batch frame requesting a per-batch ack
 	MsgBatchAck   MsgType = 17 // response: 1 = applied whole, 0 = shed whole
+
+	// Dynamic membership (epoched rendezvous partitioning): the member
+	// gateway pushes cluster views to backends, fetches per-virtual-
+	// shard raw sums for quorum reads, and ships shard snapshots
+	// between backends on reshard. See view.go.
+	MsgView            MsgType = 18 // frame: a full membership.View (epoch, K, members)
+	MsgShardSums       MsgType = 19 // request: raw sums for one virtual shard
+	MsgShardState      MsgType = 20 // request: snapshot state of one virtual shard
+	MsgShardStateFrame MsgType = 21 // response: one shard's serialized state
+	MsgShardTransfer   MsgType = 22 // frame: install this shard state (reshard handoff)
+	MsgMemberAck       MsgType = 23 // response to MsgView / MsgShardTransfer: 1 = applied
 )
 
 // QueryKind discriminates the shapes of a versioned (v2) query. The
@@ -130,6 +142,7 @@ type Msg struct {
 	L, R  int       // v2 and domain queries only: range (point queries use L = t)
 	Item  int       // domain messages only: the sampled target item
 	K     int       // domain top-k query only: how many items
+	Shard int       // membership shard requests only: the virtual shard
 }
 
 // Hello constructs an order-announcement message.
@@ -183,6 +196,22 @@ func DomainQuery(kind QueryKind, item, l, r, k int) Msg {
 // the responses.
 func DomainSums() Msg {
 	return Msg{Type: MsgDomainSums}
+}
+
+// ShardSums constructs a per-virtual-shard raw-sums request: a
+// membership-mode server answers with one SumsFrame (Boolean) or
+// DomainSumsFrame (domain) scoped to that shard's accumulator. The
+// member gateway scatters these to a quorum of the shard's replicas
+// and compares the exact integer counters.
+func ShardSums(shard int) Msg {
+	return Msg{Type: MsgShardSums, Shard: shard}
+}
+
+// ShardState constructs a shard-snapshot request: the server answers
+// with one MsgShardStateFrame carrying the shard's serialized state
+// (the protocol state encoding), the transfer format of a reshard.
+func ShardState(shard int) Msg {
+	return Msg{Type: MsgShardState, Shard: shard}
 }
 
 // Estimate constructs a query response.
@@ -307,6 +336,12 @@ func appendMsg(b []byte, m Msg) ([]byte, error) {
 		b = binary.AppendUvarint(b, uint64(m.K))
 	case MsgDomainSums:
 		b = append(b, queryWireVersion)
+	case MsgShardSums, MsgShardState:
+		if m.Shard < 0 {
+			return nil, fmt.Errorf("transport: negative shard %d", m.Shard)
+		}
+		b = append(b, queryWireVersion)
+		b = binary.AppendUvarint(b, uint64(m.Shard))
 	default:
 		return nil, fmt.Errorf("transport: unknown message type %d", m.Type)
 	}
@@ -409,6 +444,15 @@ type Decoder struct {
 	// acked records whether the most recently decoded batch frame was a
 	// MsgBatchAcked (the server owes its sender exactly one BatchAck).
 	acked bool
+
+	// view and shardState hold the payloads of the most recent MsgView
+	// and MsgShardTransfer frames. Both frames are variable-length, so
+	// — like batch frames filling pending — they decode into Decoder
+	// side-state and surface through Next as a marker Msg; the serve
+	// loop retrieves the payload with TakeView / TakeShardState. Msg
+	// itself stays a flat comparable value type.
+	view       membership.View
+	shardState []byte
 }
 
 // NewDecoder wraps a reader.
@@ -487,6 +531,24 @@ func (d *Decoder) scalarOrBatch() (Msg, error) {
 		return Msg{}, err // io.EOF passes through
 	}
 	d.acked = MsgType(tb) == MsgBatchAcked
+	switch MsgType(tb) {
+	case MsgView:
+		// Variable-length frame: decode into side-state, return a
+		// marker (see TakeView).
+		v, err := d.readViewBody()
+		if err != nil {
+			return Msg{}, err
+		}
+		d.view = v
+		return Msg{Type: MsgView}, nil
+	case MsgShardTransfer:
+		shard, state, err := d.readShardPayloadBody()
+		if err != nil {
+			return Msg{}, err
+		}
+		d.shardState = state
+		return Msg{Type: MsgShardTransfer, Shard: shard}, nil
+	}
 	if MsgType(tb) != MsgBatch && MsgType(tb) != MsgBatchAcked {
 		return d.scalarBody(MsgType(tb))
 	}
@@ -750,6 +812,30 @@ func decodeScalar(b []byte) (Msg, int, error) {
 			return Msg{}, 0, fmt.Errorf("transport: unsupported domain-sums-request version %d", b[off])
 		}
 		off++
+	case MsgShardSums, MsgShardState:
+		if off >= len(b) {
+			return Msg{}, 0, errShortMsg
+		}
+		if b[off] != queryWireVersion {
+			return Msg{}, 0, fmt.Errorf("transport: unsupported shard-request version %d", b[off])
+		}
+		off++
+		shard, ok := uvarint()
+		if !ok {
+			return Msg{}, 0, errShortMsg
+		}
+		if shard > membership.MaxShards {
+			return Msg{}, 0, fmt.Errorf("transport: shard %d exceeds limit %d", shard, membership.MaxShards)
+		}
+		m.Shard = int(shard)
+	case MsgView:
+		return Msg{}, 0, errors.New("transport: view frame inside batch")
+	case MsgShardTransfer:
+		return Msg{}, 0, errors.New("transport: shard transfer frame inside batch")
+	case MsgShardStateFrame:
+		return Msg{}, 0, errors.New("transport: shard state frame outside ReadShardState")
+	case MsgMemberAck:
+		return Msg{}, 0, errors.New("transport: member ack outside ReadMemberAck")
 	case MsgBatch, MsgBatchAcked:
 		return Msg{}, 0, errors.New("transport: nested batch")
 	case MsgBatchAck:
@@ -960,6 +1046,32 @@ func (d *Decoder) scalarBody(typ MsgType) (Msg, error) {
 		if ver != queryWireVersion {
 			return Msg{}, fmt.Errorf("transport: unsupported domain-sums-request version %d", ver)
 		}
+	case MsgShardSums, MsgShardState:
+		ver, err := d.r.ReadByte()
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		if ver != queryWireVersion {
+			return Msg{}, fmt.Errorf("transport: unsupported shard-request version %d", ver)
+		}
+		shard, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		if shard > membership.MaxShards {
+			return Msg{}, fmt.Errorf("transport: shard %d exceeds limit %d", shard, membership.MaxShards)
+		}
+		m.Shard = int(shard)
+	case MsgView:
+		// scalarBody handles MsgView only from inside a batch frame:
+		// at top level the decoder intercepts it first (scalarOrBatch).
+		return Msg{}, errors.New("transport: view frame inside batch")
+	case MsgShardTransfer:
+		return Msg{}, errors.New("transport: shard transfer frame inside batch")
+	case MsgShardStateFrame:
+		return Msg{}, errors.New("transport: shard state frame outside ReadShardState")
+	case MsgMemberAck:
+		return Msg{}, errors.New("transport: member ack outside ReadMemberAck")
 	case MsgBatchAck:
 		return Msg{}, errors.New("transport: batch ack outside ReadBatchAck")
 	case MsgAnswer:
