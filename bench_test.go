@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"rtf/internal/bitvec"
 	"rtf/internal/cluster"
@@ -407,12 +408,11 @@ func BenchmarkIngestBatchedSharded(b *testing.B) {
 	}
 }
 
-// BenchmarkIngestDurableWAL measures the write-ahead-logging overhead
-// on the rtf-serve data path: the same batched sharded ingestion as
-// BenchmarkIngestBatchedSharded, but every batch is journaled through a
-// DurableCollector (no fsync — the kill -9 durability level) before it
-// is applied.
-func BenchmarkIngestDurableWAL(b *testing.B) {
+// benchDurableIngest runs the batched sharded ingest workload of
+// BenchmarkIngestBatchedSharded through a DurableCollector opened with
+// the given persistence options: four concurrent streams, every batch
+// journaled before it is applied.
+func benchDurableIngest(b *testing.B, o transport.DurableOptions) {
 	const shards = 4
 	streams := encodeIngestStreams(b, shards, true)
 	var total int64
@@ -426,7 +426,7 @@ func BenchmarkIngestDurableWAL(b *testing.B) {
 		dir := b.TempDir()
 		b.StartTimer()
 		col, _, err := transport.OpenDurable(protocol.NewSharded(ingestBenchD, 100, shards), dir,
-			persist.Meta{Mechanism: "bench", D: ingestBenchD, K: 8, Eps: 1, Scale: 100}, transport.DurableOptions{})
+			persist.Meta{Mechanism: "bench", D: ingestBenchD, K: 8, Eps: 1, Scale: 100}, o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -452,6 +452,37 @@ func BenchmarkIngestDurableWAL(b *testing.B) {
 		col.Close()
 	}
 	b.ReportMetric(float64(ingestBenchReports)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+}
+
+// BenchmarkIngestDurableWAL measures the write-ahead-logging overhead
+// on the rtf-serve data path: the same batched sharded ingestion as
+// BenchmarkIngestBatchedSharded, but every batch is journaled through a
+// DurableCollector (no fsync — the kill -9 durability level) before it
+// is applied.
+func BenchmarkIngestDurableWAL(b *testing.B) {
+	benchDurableIngest(b, transport.DurableOptions{})
+}
+
+// BenchmarkIngestGroupCommit measures what WAL group commit buys on the
+// fsync-durable data path: batches from the four concurrent streams
+// coalesce for up to the commit interval and land in the log through
+// one write and one sync per group instead of one per batch.
+// fsync-direct is the comparator (one sync per batch, the pre-grouping
+// behavior); fsync-group pays the sync once per group. kill9-group runs
+// grouping without fsync — there a write to the page cache is already
+// cheap, so the coalescing window mostly adds latency, which is why
+// -wal-commit-interval is worth setting with -fsync and not without.
+func BenchmarkIngestGroupCommit(b *testing.B) {
+	const interval = 20 * time.Microsecond
+	b.Run("fsync-direct", func(b *testing.B) {
+		benchDurableIngest(b, transport.DurableOptions{Fsync: true})
+	})
+	b.Run("fsync-group", func(b *testing.B) {
+		benchDurableIngest(b, transport.DurableOptions{Fsync: true, GroupCommitInterval: interval})
+	})
+	b.Run("kill9-group", func(b *testing.B) {
+		benchDurableIngest(b, transport.DurableOptions{GroupCommitInterval: interval})
+	})
 }
 
 // BenchmarkAnswerChangeVsDiffPoints compares the two ways to estimate a
@@ -896,6 +927,39 @@ func BenchmarkDomainIngest(b *testing.B) {
 			}(s)
 		}
 		wg.Wait()
+	}
+	b.ReportMetric(float64(ingestBenchReports)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+}
+
+// BenchmarkDomainIngestFlat isolates the accumulator half of the domain
+// data path: raw Ingest calls against the contiguous counter matrix,
+// no wire decode, no collector. Against BenchmarkDomainIngest (which
+// includes decode and validation) it separates "how fast is the flat
+// matrix" from "how fast is the transport in front of it".
+func BenchmarkDomainIngestFlat(b *testing.B) {
+	const shards = 4
+	type tagged struct {
+		item int
+		r    protocol.Report
+	}
+	g := rng.New(53, 8)
+	reports := make([]tagged, ingestBenchReports)
+	for i := range reports {
+		h := g.IntN(dyadic.NumOrders(ingestBenchD))
+		bit := int8(1)
+		if g.Bernoulli(0.5) {
+			bit = -1
+		}
+		reports[i] = tagged{item: g.IntN(domainBenchM), r: protocol.Report{
+			User: i, Order: h, J: 1 + g.IntN(ingestBenchD>>uint(h)), Bit: bit,
+		}}
+	}
+	acc := protocol.NewDomainSharded(ingestBenchD, domainBenchM, 100, shards)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range reports {
+			acc.Ingest(j&(shards-1), reports[j].item, reports[j].r)
+		}
 	}
 	b.ReportMetric(float64(ingestBenchReports)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
 }

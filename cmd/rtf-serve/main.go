@@ -92,6 +92,7 @@ func main() {
 		dataDir = flag.String("data-dir", "", "persist state here (snapshot + write-ahead log); empty = in-memory only")
 		snapEvy = flag.Duration("snapshot-every", time.Minute, "periodic snapshot interval with -data-dir (0 = final snapshot only)")
 		fsync   = flag.Bool("fsync", false, "fsync the WAL after every append (survive power loss, not just crashes)")
+		walGrp  = flag.Duration("wal-commit-interval", 0, "WAL group-commit coalescing window: batches from all connections arriving within it are committed with one write and at most one fsync; acks still mean journaled/durable (0 = one write+fsync per batch)")
 		tornOK  = flag.Bool("tolerate-torn-tail", false, "boot through a torn final WAL record (the artifact of a power loss mid-append) by truncating it; off = fail with a descriptive error so the operator decides")
 		grace   = flag.Duration("grace", 10*time.Second, "how long a shutdown signal lets in-flight connections drain")
 		metrics = flag.String("metrics", "", "serve the metrics snapshot (JSON) at http://ADDR/metrics; empty = off")
@@ -161,7 +162,7 @@ func main() {
 		epochFn, ownedFn = sm.Epoch, sm.OwnedShards
 		if *dataDir != "" {
 			meta := persist.Meta{Mechanism: *mech, D: *d, K: *k, Eps: *eps, Scale: scale}
-			dc, rec, err := transport.OpenDurableShardMap(sm, *dataDir, meta, transport.DurableOptions{Fsync: *fsync, TolerateTornTail: *tornOK})
+			dc, rec, err := transport.OpenDurableShardMap(sm, *dataDir, meta, transport.DurableOptions{Fsync: *fsync, TolerateTornTail: *tornOK, GroupCommitInterval: *walGrp})
 			if err != nil {
 				fatal(err)
 			}
@@ -176,7 +177,7 @@ func main() {
 		ds := hh.NewDomainServer(*d, *m, scale, *shards)
 		if *dataDir != "" {
 			meta := persist.Meta{Mechanism: *mech, D: *d, K: *k, M: *m, Eps: *eps, Scale: scale}
-			dc, rec, err := transport.OpenDurableDomain(ds, *dataDir, meta, transport.DurableOptions{Fsync: *fsync, TolerateTornTail: *tornOK})
+			dc, rec, err := transport.OpenDurableDomain(ds, *dataDir, meta, transport.DurableOptions{Fsync: *fsync, TolerateTornTail: *tornOK, GroupCommitInterval: *walGrp})
 			if err != nil {
 				fatal(err)
 			}
@@ -192,7 +193,7 @@ func main() {
 		acc := protocol.NewSharded(*d, scale, *shards)
 		if *dataDir != "" {
 			meta := persist.Meta{Mechanism: *mech, D: *d, K: *k, Eps: *eps, Scale: scale}
-			dc, rec, err := transport.OpenDurable(acc, *dataDir, meta, transport.DurableOptions{Fsync: *fsync, TolerateTornTail: *tornOK})
+			dc, rec, err := transport.OpenDurable(acc, *dataDir, meta, transport.DurableOptions{Fsync: *fsync, TolerateTornTail: *tornOK, GroupCommitInterval: *walGrp})
 			if err != nil {
 				fatal(err)
 			}

@@ -179,8 +179,7 @@ func (tr *Tree) FlatIndex(iv Interval) int {
 	if iv.Order < 0 || iv.Order > tr.logd {
 		panic("dyadic: order out of range")
 	}
-	n := CountAtOrder(tr.d, iv.Order)
-	if iv.Index < 1 || iv.Index > n {
+	if iv.Index < 1 || iv.Index > tr.d>>iv.Order {
 		panic("dyadic: index out of range")
 	}
 	return tr.offset[iv.Order] + iv.Index - 1

@@ -1,0 +1,34 @@
+package hh_test
+
+import (
+	"fmt"
+
+	"rtf/internal/hh"
+	"rtf/internal/protocol"
+)
+
+// ExampleDomainServer_TopK tracks a tiny 4-item domain and asks for the
+// heavy hitters. Three users sampled item 2 and one sampled item 0;
+// each reports a +1 bit for the order-0 interval at time 1, so with a
+// unit Boolean scale the per-item estimate at t=1 is
+// m × (reports on the item) — 12 for item 2, 4 for item 0 — and the
+// top-2 list ranks them accordingly.
+func ExampleDomainServer_TopK() {
+	s := hh.NewDomainServer(8, 4, 1, 1)
+
+	report := func(user, item int) {
+		s.Register(0, item, 0)
+		s.Ingest(0, item, protocol.Report{User: user, Order: 0, J: 1, Bit: 1})
+	}
+	report(0, 2)
+	report(1, 2)
+	report(2, 2)
+	report(3, 0)
+
+	for _, ic := range s.TopK(1, 2) {
+		fmt.Printf("item %d ≈ %g\n", ic.Item, ic.Count)
+	}
+	// Output:
+	// item 2 ≈ 12
+	// item 0 ≈ 4
+}

@@ -19,11 +19,13 @@
 //
 // The package provides the streaming halves of the reduction —
 // DomainClient wraps any Boolean streaming client behind the Observer
-// shape, DomainServer partitions reports into one standard dyadic
-// accumulator (protocol.Sharded) per item — plus the domain workload
-// model and the Zipf generator. The public entry points (tagged wire
-// frames, mechanism selection, validation) live in the ldp and
-// transport packages; this package is the engine.
+// shape, DomainServer routes reports into a single flat per-item
+// counter matrix (protocol.DomainSharded: the counters of m dyadic
+// accumulators in one contiguous [m × intervals] array per shard, one
+// index computation per report) — plus the domain workload model and
+// the Zipf generator. The public entry points (tagged wire frames,
+// mechanism selection, validation) live in the ldp and transport
+// packages; this package is the engine.
 package hh
 
 import (
@@ -213,12 +215,14 @@ type ItemCount struct {
 	Count float64
 }
 
-// DomainServer is the server half of the reduction: one standard dyadic
-// accumulator (protocol.Sharded — the same type behind the Boolean
-// rtf-serve path) per item, with every per-item estimate scaled by m.
-// The ×m factor is folded into each accumulator's estimator scale once
-// at construction, so estimates remain a fixed linear function of the
-// raw integer counters — which is what keeps sharded, durable and
+// DomainServer is the server half of the reduction: one flat counter
+// matrix holding the state of m dyadic accumulators (one per item) in
+// contiguous per-shard arrays — protocol.DomainSharded, the domain
+// counterpart of the protocol.Sharded type behind the Boolean
+// rtf-serve path — with every per-item estimate scaled by m. The ×m
+// factor is folded into the matrix's estimator scale once at
+// construction, so estimates remain a fixed linear function of the raw
+// integer counters — which is what keeps sharded, durable and
 // clustered deployments bit-for-bit equal to one serial server.
 //
 // Like the protocol-level types it panics on out-of-range items and
@@ -227,7 +231,7 @@ type DomainServer struct {
 	d, m      int
 	boolScale float64 // the Boolean mechanism's estimator scale
 	itemScale float64 // m × boolScale, the per-item estimator scale
-	items     []*protocol.Sharded
+	acc       *protocol.DomainSharded
 }
 
 // NewDomainServer builds a server for horizon d (a power of two) over a
@@ -239,11 +243,10 @@ func NewDomainServer(d, m int, boolScale float64, shards int) *DomainServer {
 		panic(fmt.Sprintf("hh: domain size m=%d must be at least 2", m))
 	}
 	itemScale := float64(m) * boolScale
-	items := make([]*protocol.Sharded, m)
-	for x := range items {
-		items[x] = protocol.NewSharded(d, itemScale, shards)
+	return &DomainServer{
+		d: d, m: m, boolScale: boolScale, itemScale: itemScale,
+		acc: protocol.NewDomainSharded(d, m, itemScale, shards),
 	}
-	return &DomainServer{d: d, m: m, boolScale: boolScale, itemScale: itemScale, items: items}
 }
 
 // D returns the horizon.
@@ -259,52 +262,57 @@ func (s *DomainServer) BoolScale() float64 { return s.boolScale }
 // ItemScale returns the per-item estimator scale m × BoolScale.
 func (s *DomainServer) ItemScale() float64 { return s.itemScale }
 
-// item bounds-checks and returns one item's accumulator.
-func (s *DomainServer) item(x int) *protocol.Sharded {
+// checkItem bounds-checks an item index with the package's own panic
+// message (the protocol layer would panic too, one frame deeper).
+func (s *DomainServer) checkItem(x int) {
 	if x < 0 || x >= s.m {
 		panic(fmt.Sprintf("hh: item %d outside [0..%d)", x, s.m))
 	}
-	return s.items[x]
 }
 
 // Register records a user's announced (item, order) pair into the given
 // shard.
 func (s *DomainServer) Register(shard, item, order int) {
-	s.item(item).Register(shard, order)
+	s.checkItem(item)
+	s.acc.Register(shard, item, order)
 }
 
-// Ingest accumulates one report for the given item into the given shard.
+// Ingest accumulates one report for the given item into the given
+// shard: one index computation into the flat counter matrix and one
+// atomic add. Bounds checks happen once, in the accumulator — this is
+// the hot path, and the protocol layer panics on any out-of-range
+// item, order, index or bit exactly as checkItem would.
 func (s *DomainServer) Ingest(shard, item int, r protocol.Report) {
-	s.item(item).Ingest(shard, r)
+	s.acc.Ingest(shard, item, r)
 }
 
 // Users returns the number of registered users across all items.
-func (s *DomainServer) Users() int {
-	n := 0
-	for _, acc := range s.items {
-		n += acc.Users()
-	}
-	return n
-}
+func (s *DomainServer) Users() int { return s.acc.Users() }
 
 // UsersAtItem returns the number of users whose sampled target is item.
-func (s *DomainServer) UsersAtItem(item int) int { return s.item(item).Users() }
+func (s *DomainServer) UsersAtItem(item int) int {
+	s.checkItem(item)
+	return s.acc.UsersAt(item)
+}
 
 // EstimateItemAt returns f̂(item, t) = m·â_item(t), valid online once
 // time t has passed.
 func (s *DomainServer) EstimateItemAt(item, t int) float64 {
-	return s.item(item).EstimateAt(t)
+	s.checkItem(item)
+	return s.acc.EstimateAt(item, t)
 }
 
 // EstimateItemSeries returns f̂(item, 1..d). The caller owns the slice.
 func (s *DomainServer) EstimateItemSeries(item int) []float64 {
-	return s.item(item).EstimateSeries()
+	s.checkItem(item)
+	return s.acc.EstimateSeries(item)
 }
 
 // EstimateItemSeriesTo returns f̂(item, 1..r), bit-for-bit a prefix of
 // EstimateItemSeries.
 func (s *DomainServer) EstimateItemSeriesTo(item, r int) []float64 {
-	return s.item(item).EstimateSeriesTo(r)
+	s.checkItem(item)
+	return s.acc.EstimateSeriesTo(item, r)
 }
 
 // TopK returns the k items with the largest estimated frequency at time
@@ -322,9 +330,10 @@ func (s *DomainServer) TopK(t, k int) []ItemCount {
 	if k < 0 {
 		panic("hh: negative k")
 	}
+	est := s.acc.EstimateAllAt(t) // one item-major sweep over the flat rows
 	out := make([]ItemCount, s.m)
 	for x := range out {
-		out[x] = ItemCount{Item: x, Count: s.items[x].EstimateAt(t)}
+		out[x] = ItemCount{Item: x, Count: est[x]}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
@@ -342,7 +351,8 @@ func (s *DomainServer) TopK(t, k int) []ItemCount {
 // per-order counts, per-interval bit sums — the exact integers a
 // cluster gateway ships between nodes.
 func (s *DomainServer) FoldItem(item int) (users int64, perOrder, sums []int64) {
-	return s.item(item).Fold()
+	s.checkItem(item)
+	return s.acc.FoldItem(item)
 }
 
 // MergeRawItem folds raw accumulator state (as produced by FoldItem,
@@ -354,22 +364,25 @@ func (s *DomainServer) MergeRawItem(item int, users int64, perOrder, sums []int6
 	if item < 0 || item >= s.m {
 		return fmt.Errorf("hh: item %d outside [0..%d)", item, s.m)
 	}
-	return s.items[item].MergeRaw(users, perOrder, sums)
+	return s.acc.MergeRawItem(item, users, perOrder, sums)
 }
 
 // MarshalState serializes all per-item accumulator state for a durable
-// snapshot. Counters are loaded atomically; quiesce ingestion first
-// when a point-in-time cut matters (the durable collector holds its
-// snapshot lock for exactly this reason).
+// snapshot — byte-for-byte the same kind-3 payload the old per-item
+// layout (protocol.MarshalDomainState) produced, so snapshots written
+// under either layout restore interchangeably. Counters are loaded
+// atomically; quiesce ingestion first when a point-in-time cut matters
+// (the durable collector holds its snapshot lock for exactly this
+// reason).
 func (s *DomainServer) MarshalState() []byte {
-	return protocol.MarshalDomainState(s.items)
+	return s.acc.MarshalState()
 }
 
 // RestoreState folds serialized state into the server — call it on a
 // freshly constructed server to reload a snapshot. The payload's item
 // count, horizon and per-item scale must all match.
 func (s *DomainServer) RestoreState(b []byte) error {
-	return protocol.RestoreDomainState(s.items, b)
+	return s.acc.RestoreState(b)
 }
 
 // ---------------------------------------------------------------------------

@@ -13,6 +13,17 @@
 // addition, the recovered state answers every query bit-for-bit
 // identically to an uninterrupted server.
 //
+// Appends come in two shapes: WAL.Append journals one record with one
+// write call, and WAL.AppendBatch journals a whole group of records —
+// consecutive sequence numbers, one buffer assembly, one write, at most
+// one fsync, whole-group rollback on failure. GroupCommitter builds the
+// group-commit discipline on top of AppendBatch: concurrent callers'
+// payloads coalesce for up to an interval and commit together, each
+// caller blocking until its own record is journaled, so the per-append
+// sync cost is paid once per group while an acknowledgment keeps its
+// exact durability meaning. The append paths allocate nothing in steady
+// state.
+//
 // On-disk layout (all files live in one data directory):
 //
 //	wal-%016x.seg   WAL segment, named by the first sequence number it

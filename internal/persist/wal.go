@@ -46,14 +46,22 @@ type WAL struct {
 	broken error // sticky: a failed append left bytes we could not undo
 }
 
-type crc32Scratch struct{ tab *crc32.Table }
+// crc32Scratch carries the table and an 8-byte sequence buffer for
+// checksumming. The buffer lives in the struct rather than on sum's
+// stack because crc32.Update's assembly kernels make their arguments
+// escape — a stack array there would cost one heap allocation per
+// appended record. Not safe for concurrent use; the WAL calls sum
+// under its mutex and replay is serial.
+type crc32Scratch struct {
+	tab *crc32.Table
+	sb  [8]byte
+}
 
 func newCRC() *crc32Scratch { return &crc32Scratch{tab: crc32.IEEETable} }
 
 func (c *crc32Scratch) sum(seq uint64, payload []byte) uint32 {
-	var sb [8]byte
-	binary.LittleEndian.PutUint64(sb[:], seq)
-	s := crc32.Update(0, c.tab, sb[:])
+	binary.LittleEndian.PutUint64(c.sb[:], seq)
+	s := crc32.Update(0, c.tab, c.sb[:])
 	return crc32.Update(s, c.tab, payload)
 }
 
@@ -171,6 +179,68 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	w.last = seq
 	w.size += int64(len(b))
 	return seq, nil
+}
+
+// AppendBatch appends every payload as its own record — consecutive
+// sequence numbers, one buffer assembly, one write call, and (with
+// Fsync) one sync for the whole group. This is the group-commit
+// primitive: a committer aggregating appends from many connections
+// pays the write+fsync cost once per group instead of once per batch.
+// It returns the sequence number of the first record; payload i became
+// record first+i. The group is atomic like a single Append: a failed
+// write or sync truncates the whole partial group away and consumes no
+// sequence numbers. Segment rotation happens before the group is
+// written, so like single appends a group may run one group past the
+// size threshold.
+func (w *WAL) AppendBatch(payloads [][]byte) (uint64, error) {
+	for _, p := range payloads {
+		if len(p) > MaxRecordLen {
+			return 0, fmt.Errorf("persist: record of %d bytes exceeds limit %d", len(p), MaxRecordLen)
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.close {
+		return 0, fmt.Errorf("persist: append to closed WAL")
+	}
+	if w.broken != nil {
+		return 0, fmt.Errorf("persist: WAL disabled after unrecoverable append failure: %w", w.broken)
+	}
+	if len(payloads) == 0 {
+		return w.last + 1, nil
+	}
+	if w.f == nil || w.size >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	first := w.last + 1
+	seq := w.last
+	b := w.buf[:0]
+	for _, p := range payloads {
+		seq++
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
+		b = binary.LittleEndian.AppendUint32(b, w.crc.sum(seq, p))
+		b = binary.LittleEndian.AppendUint64(b, seq)
+		b = append(b, p...)
+	}
+	w.buf = b[:0]
+	if _, err := w.f.Write(b); err != nil {
+		w.undoPartialLocked(err)
+		return 0, fmt.Errorf("persist: appending records %d..%d: %w", first, seq, err)
+	}
+	if w.opts.Fsync {
+		if err := w.f.Sync(); err != nil {
+			// The group is written but not durable; remove it so its
+			// sequence numbers are not consumed by records we cannot
+			// vouch for.
+			w.undoPartialLocked(err)
+			return 0, fmt.Errorf("persist: syncing records %d..%d: %w", first, seq, err)
+		}
+	}
+	w.last = seq
+	w.size += int64(len(b))
+	return first, nil
 }
 
 // undoPartialLocked truncates the active segment back to the last good

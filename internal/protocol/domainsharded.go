@@ -1,0 +1,401 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"rtf/internal/dyadic"
+)
+
+// DomainSharded is the flat-matrix accumulator behind domain-valued
+// tracking: the counters of m independent dyadic accumulators (one per
+// domain item) stored as one contiguous [m × intervals] int64 matrix
+// per shard, instead of m separately allocated Sharded structs. A
+// report lands with a single index computation — item·rowLen + flat —
+// and one atomic add, with no pointer chase through a per-item struct,
+// and whole-domain sweeps (fold, merge, the top-k estimate pass) walk
+// flat rows in item-major order, which is what keeps server-side
+// aggregation cheap as the domain grows.
+//
+// The semantics are exactly m Sharded accumulators sharing one scale:
+// all mutation is atomic ±1 (or exact integer) addition, so estimates
+// are bit-for-bit identical to m serial servers fed the same reports in
+// any order, and FoldItem/MergeRawItem ship the same raw integers a
+// cluster gateway exchanges between nodes. MarshalState emits the
+// identical kind-3 domain payload that MarshalDomainState produces over
+// per-item Sharded accumulators, so snapshots written under either
+// layout restore interchangeably.
+//
+// Like Sharded it panics on out-of-range items, orders and bits; the
+// hh, ldp and transport layers validate at their boundaries.
+type DomainSharded struct {
+	d, m   int
+	scale  float64
+	tree   *dyadic.Tree
+	sumRow int // interval counters per item row
+	ordRow int // per-order counters per item row
+	shards []domainShard
+}
+
+// domainShard is one shard's counter matrix. The slices are allocated
+// separately per shard so concurrent writers on different shards touch
+// disjoint cache lines; within a shard, item x's counters occupy the
+// contiguous rows sums[x·sumRow : (x+1)·sumRow] and
+// perOrder[x·ordRow : (x+1)·ordRow].
+type domainShard struct {
+	sums     []int64 // m × sumRow, item-major (atomic)
+	perOrder []int64 // m × ordRow, item-major (atomic)
+	users    []int64 // one registered-user count per item (atomic)
+}
+
+// NewDomainSharded builds a flat domain accumulator for horizon d (a
+// power of two) over m items with the given per-item estimator scale
+// and shard count (at least 1; shard assignment never affects
+// estimates).
+func NewDomainSharded(d, m int, scale float64, shards int) *DomainSharded {
+	if !dyadic.IsPow2(d) {
+		panic(fmt.Sprintf("protocol: d=%d not a power of two", d))
+	}
+	if m < 2 {
+		panic(fmt.Sprintf("protocol: domain size m=%d must be at least 2", m))
+	}
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		panic(fmt.Sprintf("protocol: invalid estimator scale %v", scale))
+	}
+	if shards < 1 {
+		panic(fmt.Sprintf("protocol: shard count %d < 1", shards))
+	}
+	tr := dyadic.NewTree(d)
+	s := &DomainSharded{
+		d: d, m: m, scale: scale, tree: tr,
+		sumRow: tr.Size(),
+		ordRow: dyadic.NumOrders(d),
+		shards: make([]domainShard, shards),
+	}
+	for i := range s.shards {
+		s.shards[i] = domainShard{
+			sums:     make([]int64, m*s.sumRow),
+			perOrder: make([]int64, m*s.ordRow),
+			users:    make([]int64, m),
+		}
+	}
+	return s
+}
+
+// NumShards returns the number of shards.
+func (s *DomainSharded) NumShards() int { return len(s.shards) }
+
+// D returns the horizon.
+func (s *DomainSharded) D() int { return s.d }
+
+// M returns the domain size.
+func (s *DomainSharded) M() int { return s.m }
+
+// Scale returns the per-item estimator scale.
+func (s *DomainSharded) Scale() float64 { return s.scale }
+
+func (s *DomainSharded) shard(i int) *domainShard {
+	// In-range shard ids (every caller in practice) skip the divide;
+	// the modulo is only a fallback for oversized ids.
+	if uint(i) < uint(len(s.shards)) {
+		return &s.shards[i]
+	}
+	return &s.shards[i%len(s.shards)]
+}
+
+func (s *DomainSharded) checkItem(item int) {
+	if item < 0 || item >= s.m {
+		panic(fmt.Sprintf("protocol: item %d outside [0..%d)", item, s.m))
+	}
+}
+
+// Register records a user's announced (item, order) pair into the given
+// shard.
+func (s *DomainSharded) Register(shard, item, order int) {
+	s.checkItem(item)
+	if order < 0 || order >= s.ordRow {
+		panic(fmt.Sprintf("protocol: order %d out of range", order))
+	}
+	sh := s.shard(shard)
+	atomic.AddInt64(&sh.users[item], 1)
+	atomic.AddInt64(&sh.perOrder[item*s.ordRow+order], 1)
+}
+
+// Ingest accumulates one report for the given item into the given
+// shard: one index computation, one atomic add. The item and bit
+// checks share one branch with the message construction outlined, so
+// Ingest inlines into the collector batch loops.
+func (s *DomainSharded) Ingest(shard, item int, r Report) {
+	if uint(item) >= uint(s.m) || (r.Bit != 1 && r.Bit != -1) {
+		s.ingestPanic(item, r)
+	}
+	flat := s.tree.FlatIndex(dyadic.Interval{Order: r.Order, Index: r.J})
+	atomic.AddInt64(&s.shard(shard).sums[item*s.sumRow+flat], int64(r.Bit))
+}
+
+// ingestPanic reproduces Ingest's panic messages for an invalid item
+// or bit, outlined to keep Ingest under the inlining budget.
+func (s *DomainSharded) ingestPanic(item int, r Report) {
+	s.checkItem(item)
+	panic(fmt.Sprintf("protocol: report bit %d not ±1", r.Bit))
+}
+
+// Users returns the number of registered users across all items.
+func (s *DomainSharded) Users() int {
+	var n int64
+	for i := range s.shards {
+		for _, u := range s.shards[i].users {
+			n += atomic.LoadInt64(&u)
+		}
+	}
+	return int(n)
+}
+
+// UsersAt returns the number of users whose sampled target is item.
+func (s *DomainSharded) UsersAt(item int) int {
+	s.checkItem(item)
+	var n int64
+	for i := range s.shards {
+		n += atomic.LoadInt64(&s.shards[i].users[item])
+	}
+	return int(n)
+}
+
+// itemSum folds one item's counter for one flat interval index across
+// shards. Pure int64 addition, so the result is independent of shard
+// assignment.
+func (s *DomainSharded) itemSum(item, flat int) int64 {
+	var sum int64
+	off := item*s.sumRow + flat
+	for i := range s.shards {
+		sum += atomic.LoadInt64(&s.shards[i].sums[off])
+	}
+	return sum
+}
+
+// EstimateAt returns item's â[t] via the dyadic decomposition C(t),
+// reading the live counters — the same decomposition order and float
+// addition order as Sharded.EstimateAt, so a flat accumulator agrees
+// bit for bit with per-item Sharded accumulators fed the same reports.
+func (s *DomainSharded) EstimateAt(item, t int) float64 {
+	s.checkItem(item)
+	var est float64
+	for _, iv := range dyadic.Decompose(t, s.d) {
+		est += s.scale * float64(s.itemSum(item, s.tree.FlatIndex(iv)))
+	}
+	return est
+}
+
+// EstimateAllAt returns every item's â[t] in one item-major sweep over
+// the flat counter rows. For each decomposition interval the per-item
+// cross-shard integer sums are folded first, then scaled and
+// accumulated — the identical float operations, in the identical
+// order, as calling EstimateAt once per item, so the two are
+// bit-for-bit equal; the sweep just touches each shard's matrix
+// sequentially instead of chasing m separate accumulators. The caller
+// owns the slice.
+func (s *DomainSharded) EstimateAllAt(t int) []float64 {
+	if t < 1 || t > s.d {
+		panic(fmt.Sprintf("protocol: time %d out of range [1..%d]", t, s.d))
+	}
+	est := make([]float64, s.m)
+	tmp := make([]int64, s.m)
+	for _, iv := range dyadic.Decompose(t, s.d) {
+		flat := s.tree.FlatIndex(iv)
+		for x := range tmp {
+			tmp[x] = 0
+		}
+		for i := range s.shards {
+			sums := s.shards[i].sums
+			for x := 0; x < s.m; x++ {
+				tmp[x] += atomic.LoadInt64(&sums[x*s.sumRow+flat])
+			}
+		}
+		for x := 0; x < s.m; x++ {
+			est[x] += s.scale * float64(tmp[x])
+		}
+	}
+	return est
+}
+
+// EstimateSeries returns item's â[1..d] from the live counters.
+func (s *DomainSharded) EstimateSeries(item int) []float64 {
+	return s.EstimateSeriesTo(item, s.d)
+}
+
+// EstimateSeriesTo returns item's â[1..r] with the same prefix
+// recurrence and float addition order as Sharded.EstimateSeriesTo, so
+// the truncated series is bit-for-bit a prefix of EstimateSeries.
+func (s *DomainSharded) EstimateSeriesTo(item, r int) []float64 {
+	s.checkItem(item)
+	if r < 1 || r > s.d {
+		panic(fmt.Sprintf("protocol: series bound %d out of range [1..%d]", r, s.d))
+	}
+	out := make([]float64, r)
+	for t := 1; t <= r; t++ {
+		low := t & (-t)
+		h := dyadic.Log2(low)
+		est := s.scale * float64(s.itemSum(item, s.tree.FlatIndex(dyadic.Interval{Order: h, Index: t >> uint(h)})))
+		if prev := t - low; prev > 0 {
+			est += out[prev-1]
+		}
+		out[t-1] = est
+	}
+	return out
+}
+
+// FoldItem returns one item's raw accumulator state summed across
+// shards — user count, per-order counts, per-interval bit sums in flat
+// tree order — the exact integers a cluster gateway ships between
+// nodes. Counters are loaded atomically, but a fold taken concurrently
+// with ingestion is not a point-in-time cut; quiesce first when
+// exactness matters.
+func (s *DomainSharded) FoldItem(item int) (users int64, perOrder, sums []int64) {
+	s.checkItem(item)
+	perOrder = make([]int64, s.ordRow)
+	sums = make([]int64, s.sumRow)
+	s.foldItemInto(item, &users, perOrder, sums)
+	return users, perOrder, sums
+}
+
+// foldItemInto accumulates one item's raw state into caller-owned
+// buffers (which must be zeroed and correctly sized).
+func (s *DomainSharded) foldItemInto(item int, users *int64, perOrder, sums []int64) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		*users += atomic.LoadInt64(&sh.users[item])
+		po := sh.perOrder[item*s.ordRow : (item+1)*s.ordRow]
+		for h := range po {
+			perOrder[h] += atomic.LoadInt64(&po[h])
+		}
+		row := sh.sums[item*s.sumRow : (item+1)*s.sumRow]
+		for f := range row {
+			sums[f] += atomic.LoadInt64(&row[f])
+		}
+	}
+}
+
+// MergeRawItem folds raw accumulator state — as produced by FoldItem,
+// possibly on another machine — into one item's row of shard 0. Shard
+// assignment never affects estimates (addition is exact and
+// commutative), so merging into one shard is equivalent to replaying
+// the original ingestion. It fails, without modifying the accumulator,
+// on mismatched lengths or negative counts.
+func (s *DomainSharded) MergeRawItem(item int, users int64, perOrder, sums []int64) error {
+	if item < 0 || item >= s.m {
+		return fmt.Errorf("protocol: item %d outside [0..%d)", item, s.m)
+	}
+	if users < 0 {
+		return fmt.Errorf("protocol: merging negative user count %d", users)
+	}
+	if len(perOrder) != s.ordRow {
+		return fmt.Errorf("protocol: merging %d per-order counts into an accumulator with %d orders", len(perOrder), s.ordRow)
+	}
+	if len(sums) != s.sumRow {
+		return fmt.Errorf("protocol: merging %d interval sums into an accumulator with %d intervals", len(sums), s.sumRow)
+	}
+	for h, c := range perOrder {
+		if c < 0 {
+			return fmt.Errorf("protocol: merging negative count %d at order %d", c, h)
+		}
+	}
+	sh := &s.shards[0]
+	row := sh.sums[item*s.sumRow : (item+1)*s.sumRow]
+	for f, v := range sums {
+		atomic.AddInt64(&row[f], v)
+	}
+	atomic.AddInt64(&sh.users[item], users)
+	po := sh.perOrder[item*s.ordRow : (item+1)*s.ordRow]
+	for h, c := range perOrder {
+		atomic.AddInt64(&po[h], c)
+	}
+	return nil
+}
+
+// MarshalState serializes the whole matrix as a kind-3 domain payload:
+// a domain header (kind, item count) followed by each item's dyadic
+// state, length-prefixed — byte-for-byte the MarshalDomainState
+// encoding over per-item Sharded accumulators, so snapshots written
+// under either layout restore interchangeably. Counters are loaded
+// atomically; quiesce ingestion first when a point-in-time cut matters
+// (the durable collector holds its snapshot lock for exactly this
+// reason).
+func (s *DomainSharded) MarshalState() []byte {
+	b := make([]byte, 0, 16+s.m*(16+10*s.sumRow))
+	b = append(b, stateVersion, stateKindDomain)
+	b = binary.AppendUvarint(b, uint64(s.m))
+	users := int64(0)
+	perOrder := make([]int64, s.ordRow)
+	sums := make([]int64, s.sumRow)
+	item := make([]byte, 0, 16+10*s.sumRow)
+	for x := 0; x < s.m; x++ {
+		users = 0
+		for i := range perOrder {
+			perOrder[i] = 0
+		}
+		for i := range sums {
+			sums[i] = 0
+		}
+		s.foldItemInto(x, &users, perOrder, sums)
+		item = appendDyadicState(item[:0], s.d, s.scale, users, perOrder, sums)
+		b = binary.AppendUvarint(b, uint64(len(item)))
+		b = append(b, item...)
+	}
+	return b
+}
+
+// RestoreState folds a kind-3 domain payload (MarshalState here, or
+// MarshalDomainState over per-item accumulators) into the matrix —
+// call it on a freshly constructed accumulator to reload a snapshot.
+// The payload's item count, horizon and per-item scale must all match;
+// on any error nothing past the failing item is modified.
+func (s *DomainSharded) RestoreState(b []byte) error {
+	r := stateReader{b: b}
+	if v := r.byte("version"); r.err == nil && v != stateVersion {
+		return fmt.Errorf("protocol: unsupported state version %d (this build reads version %d)", v, stateVersion)
+	}
+	if k := r.byte("kind"); r.err == nil && k != stateKindDomain {
+		return fmt.Errorf("protocol: state kind %d is not a domain accumulator set", k)
+	}
+	m := r.uvarint("item count")
+	if r.err != nil {
+		return r.err
+	}
+	if m != uint64(s.m) {
+		return fmt.Errorf("protocol: state has %d items, accumulator has %d", m, s.m)
+	}
+	sh := &s.shards[0]
+	for x := 0; x < s.m; x++ {
+		n := r.uvarint("item payload length")
+		if r.err != nil {
+			return r.err
+		}
+		if n > maxDomainItemState {
+			return fmt.Errorf("protocol: item %d state of %d bytes exceeds limit %d", x, n, maxDomainItemState)
+		}
+		if r.off+int(n) > len(r.b) {
+			return fmt.Errorf("protocol: state truncated inside item %d", x)
+		}
+		payload := r.b[r.off : r.off+int(n)]
+		r.off += int(n)
+		st, err := decodeDyadicState(payload, s.d, s.scale)
+		if err != nil {
+			return fmt.Errorf("protocol: item %d: %w", x, err)
+		}
+		row := sh.sums[x*s.sumRow : (x+1)*s.sumRow]
+		for f, v := range st.sums {
+			atomic.AddInt64(&row[f], v)
+		}
+		atomic.AddInt64(&sh.users[x], st.users)
+		po := sh.perOrder[x*s.ordRow : (x+1)*s.ordRow]
+		for h, c := range st.perOrder {
+			atomic.AddInt64(&po[h], c)
+		}
+	}
+	if r.off != len(b) {
+		return fmt.Errorf("protocol: %d trailing bytes after domain state", len(b)-r.off)
+	}
+	return nil
+}

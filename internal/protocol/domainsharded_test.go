@@ -1,0 +1,189 @@
+package protocol
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"rtf/internal/dyadic"
+	"rtf/internal/rng"
+)
+
+// feedDomain drives a DomainSharded and a per-item []*Sharded set with
+// the identical sequence of registers and ingests, so every test below
+// compares the flat matrix against the layout it replaced.
+func feedDomain(t *testing.T, d, m, shards, n int, seed uint64) (*DomainSharded, []*Sharded) {
+	t.Helper()
+	const scale = 2.5
+	flat := NewDomainSharded(d, m, scale, shards)
+	old := make([]*Sharded, m)
+	for x := range old {
+		old[x] = NewSharded(d, scale, shards)
+	}
+	g := rng.New(seed, 11)
+	for i := 0; i < n; i++ {
+		item := g.IntN(m)
+		shard := g.IntN(shards)
+		h := g.IntN(dyadic.NumOrders(d))
+		if i%16 == 0 {
+			flat.Register(shard, item, h)
+			old[item].Register(shard, h)
+			continue
+		}
+		bit := int8(1)
+		if g.Bernoulli(0.5) {
+			bit = -1
+		}
+		r := Report{User: i, Order: h, J: 1 + g.IntN(d>>uint(h)), Bit: bit}
+		flat.Ingest(shard, item, r)
+		old[item].Ingest(shard, r)
+	}
+	return flat, old
+}
+
+// TestDomainShardedMatchesPerItemLayout pins the tentpole claim of the
+// flat counter matrix: every observable — estimates, folds, users,
+// serialized state — is bit-for-bit identical to the per-item Sharded
+// layout it replaced, fed the same reports.
+func TestDomainShardedMatchesPerItemLayout(t *testing.T) {
+	const d, m, shards = 64, 8, 3
+	flat, old := feedDomain(t, d, m, shards, 6000, 41)
+
+	if flat.Users() == 0 {
+		t.Fatal("no users registered; test drove nothing")
+	}
+	for x := range old {
+		if got, want := flat.UsersAt(x), old[x].Users(); got != want {
+			t.Fatalf("UsersAt(%d) = %d, per-item layout has %d", x, got, want)
+		}
+	}
+
+	// Estimates: per-item point estimates and the item-major sweep must
+	// both reproduce the old layout's float64s exactly (same summands,
+	// same order, same rounding).
+	for tm := 1; tm <= d; tm++ {
+		all := flat.EstimateAllAt(tm)
+		for x := range old {
+			want := old[x].EstimateAt(tm)
+			if got := flat.EstimateAt(x, tm); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("EstimateAt(%d, %d) = %v, per-item layout %v", x, tm, got, want)
+			}
+			if math.Float64bits(all[x]) != math.Float64bits(want) {
+				t.Fatalf("EstimateAllAt(%d)[%d] = %v, per-item layout %v", tm, x, all[x], want)
+			}
+		}
+	}
+	for x := range old {
+		want := old[x].EstimateSeries()
+		got := flat.EstimateSeries(x)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("EstimateSeries(%d)[%d] = %v, per-item layout %v", x, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Folds: the raw integers a cluster gateway ships must be equal.
+	for x := range old {
+		wu, wp, ws := old[x].Fold()
+		gu, gp, gs := flat.FoldItem(x)
+		if gu != wu {
+			t.Fatalf("FoldItem(%d) users = %d, want %d", x, gu, wu)
+		}
+		for i := range wp {
+			if gp[i] != wp[i] {
+				t.Fatalf("FoldItem(%d) perOrder[%d] = %d, want %d", x, i, gp[i], wp[i])
+			}
+		}
+		for i := range ws {
+			if gs[i] != ws[i] {
+				t.Fatalf("FoldItem(%d) sums[%d] = %d, want %d", x, i, gs[i], ws[i])
+			}
+		}
+	}
+
+	// Serialized state: byte-identical payloads, so snapshots written
+	// under either layout restore under the other.
+	flatState := flat.MarshalState()
+	oldState := MarshalDomainState(old)
+	if !bytes.Equal(flatState, oldState) {
+		t.Fatalf("MarshalState differs from MarshalDomainState: %d vs %d bytes", len(flatState), len(oldState))
+	}
+}
+
+// TestDomainShardedStateCrossRestore round-trips snapshots across the
+// two layouts in both directions: a flat snapshot restored into per-item
+// accumulators and a per-item snapshot restored into a flat matrix must
+// both reproduce identical estimates.
+func TestDomainShardedStateCrossRestore(t *testing.T) {
+	const d, m, shards = 32, 5, 2
+	flat, old := feedDomain(t, d, m, shards, 3000, 97)
+	state := flat.MarshalState()
+
+	// Flat snapshot → fresh per-item accumulators.
+	intoOld := make([]*Sharded, m)
+	for x := range intoOld {
+		intoOld[x] = NewSharded(d, flat.Scale(), 1)
+	}
+	if err := RestoreDomainState(intoOld, state); err != nil {
+		t.Fatalf("RestoreDomainState(flat snapshot): %v", err)
+	}
+	// Per-item snapshot → fresh flat matrix.
+	intoFlat := NewDomainSharded(d, m, flat.Scale(), 4)
+	if err := intoFlat.RestoreState(MarshalDomainState(old)); err != nil {
+		t.Fatalf("DomainSharded.RestoreState(per-item snapshot): %v", err)
+	}
+
+	for tm := 1; tm <= d; tm++ {
+		for x := 0; x < m; x++ {
+			want := old[x].EstimateAt(tm)
+			if got := intoOld[x].EstimateAt(tm); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("restored per-item EstimateAt(%d, %d) = %v, want %v", x, tm, got, want)
+			}
+			if got := intoFlat.EstimateAt(x, tm); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("restored flat EstimateAt(%d, %d) = %v, want %v", x, tm, got, want)
+			}
+		}
+	}
+}
+
+// TestDomainShardedMergeRawItem checks that merging one layout's folds
+// into the other reproduces the source exactly — the cluster merge path
+// is raw-integer addition in both layouts.
+func TestDomainShardedMergeRawItem(t *testing.T) {
+	const d, m, shards = 32, 4, 2
+	flat, old := feedDomain(t, d, m, shards, 2000, 7)
+
+	merged := NewDomainSharded(d, m, flat.Scale(), 1)
+	for x := range old {
+		u, p, s := old[x].Fold()
+		if err := merged.MergeRawItem(x, u, p, s); err != nil {
+			t.Fatalf("MergeRawItem(%d): %v", x, err)
+		}
+	}
+	for tm := 1; tm <= d; tm++ {
+		all := merged.EstimateAllAt(tm)
+		for x := range old {
+			want := old[x].EstimateAt(tm)
+			if math.Float64bits(all[x]) != math.Float64bits(want) {
+				t.Fatalf("merged EstimateAllAt(%d)[%d] = %v, want %v", tm, x, all[x], want)
+			}
+		}
+	}
+	if !bytes.Equal(merged.MarshalState(), flat.MarshalState()) {
+		t.Fatal("merged flat state differs from directly ingested flat state")
+	}
+
+	// A malformed merge must reject without modifying anything.
+	before := merged.MarshalState()
+	u, p, s := old[0].Fold()
+	if err := merged.MergeRawItem(0, u, p[:1], s); err == nil {
+		t.Fatal("MergeRawItem accepted a short perOrder slice")
+	}
+	if err := merged.MergeRawItem(m+3, u, p, s); err == nil {
+		t.Fatal("MergeRawItem accepted an out-of-range item")
+	}
+	if !bytes.Equal(before, merged.MarshalState()) {
+		t.Fatal("failed merges modified state")
+	}
+}

@@ -73,6 +73,11 @@ func (s *Sharded) Scale() float64 { return s.scale }
 func (s *Sharded) Tree() *dyadic.Tree { return s.tree }
 
 func (s *Sharded) shard(i int) *accShard {
+	// In-range shard ids (every caller in practice) skip the divide;
+	// the modulo is only a fallback for oversized ids.
+	if uint(i) < uint(len(s.shards)) {
+		return &s.shards[i]
+	}
 	return &s.shards[i%len(s.shards)]
 }
 

@@ -37,32 +37,60 @@ const MaxDomainSums = 1 << 24
 // it before applying (or journaling) anything, and the cluster gateway
 // runs the identical checks before forwarding.
 func ValidateDomainIngest(d, m int, msg Msg) error {
-	maxOrder := dyadic.Log2(d)
+	return validateDomainIngest(d, m, dyadic.Log2(d), &msg)
+}
+
+// domainIngestOK is the branch-only core of validateDomainIngest: the
+// same checks with no error construction, small enough to inline into
+// the batch loops. The hot path costs one inlined call per message;
+// only a failing message pays for validateDomainIngest's fmt.Errorf
+// machinery (the batch loops re-run it to build the precise error).
+func domainIngestOK(d, m, maxOrder int, msg *Msg) bool {
+	switch msg.Type {
+	case MsgDomainReport:
+		return msg.User >= 0 && uint(msg.Item) < uint(m) &&
+			(msg.Bit == 1 || msg.Bit == -1) &&
+			uint(msg.Order) <= uint(maxOrder) &&
+			uint(msg.J-1) < uint(d>>uint(msg.Order))
+	case MsgDomainHello:
+		return msg.User >= 0 && uint(msg.Item) < uint(m) &&
+			uint(msg.Order) <= uint(maxOrder)
+	}
+	return false
+}
+
+// validateDomainIngest is the pointer-based body of
+// ValidateDomainIngest: the collectors run it over whole batches
+// without copying each ~100-byte Msg out of the slice. maxOrder must
+// be dyadic.Log2(d); the batch loops compute it once instead of per
+// message (Log2's not-a-power-of-two panic keeps it from inlining).
+// It agrees with domainIngestOK on every input.
+func validateDomainIngest(d, m, maxOrder int, msg *Msg) error {
 	switch msg.Type {
 	case MsgDomainHello:
 		if msg.User < 0 {
 			return fmt.Errorf("transport: negative user id %d", msg.User)
 		}
-		if msg.Item < 0 || msg.Item >= m {
+		if uint(msg.Item) >= uint(m) {
 			return fmt.Errorf("transport: hello item %d out of range [0..%d)", msg.Item, m)
 		}
-		if msg.Order < 0 || msg.Order > maxOrder {
+		if uint(msg.Order) > uint(maxOrder) {
 			return fmt.Errorf("transport: hello order %d out of range [0..%d]", msg.Order, maxOrder)
 		}
 	case MsgDomainReport:
 		if msg.User < 0 {
 			return fmt.Errorf("transport: negative user id %d", msg.User)
 		}
-		if msg.Item < 0 || msg.Item >= m {
+		if uint(msg.Item) >= uint(m) {
 			return fmt.Errorf("transport: report item %d out of range [0..%d)", msg.Item, m)
 		}
 		if msg.Bit != 1 && msg.Bit != -1 {
 			return fmt.Errorf("transport: report bit %d not ±1", msg.Bit)
 		}
-		if msg.Order < 0 || msg.Order > maxOrder {
+		if uint(msg.Order) > uint(maxOrder) {
 			return fmt.Errorf("transport: report order %d out of range [0..%d]", msg.Order, maxOrder)
 		}
-		if msg.J < 1 || msg.J > d>>uint(msg.Order) {
+		if uint(msg.J-1) >= uint(d>>uint(msg.Order)) {
 			return fmt.Errorf("transport: report index %d out of range for order %d", msg.J, msg.Order)
 		}
 	default:
@@ -490,12 +518,14 @@ func (c *DomainCollector) Domain() *hh.DomainServer { return c.srv }
 // Validate checks one domain hello or report message against the
 // server's parameters without side effects.
 func (c *DomainCollector) Validate(m Msg) error {
-	return ValidateDomainIngest(c.srv.D(), c.srv.M(), m)
+	d := c.srv.D()
+	return validateDomainIngest(d, c.srv.M(), dyadic.Log2(d), &m)
 }
 
 // apply accumulates one validated message; callers must have run
-// Validate first.
-func (c *DomainCollector) apply(shard int, m Msg, hellos, reports *int64) {
+// Validate first. It takes a pointer so the batch loops never copy
+// each Msg out of the decoded slice.
+func (c *DomainCollector) apply(shard int, m *Msg, hellos, reports *int64) {
 	if m.Type == MsgDomainHello {
 		c.srv.Register(shard, m.Item, m.Order)
 		*hellos++
@@ -512,7 +542,7 @@ func (c *DomainCollector) Send(shard int, m Msg) error {
 		return err
 	}
 	var hellos, reports int64
-	c.apply(shard, m, &hellos, &reports)
+	c.apply(shard, &m, &hellos, &reports)
 	if hellos > 0 {
 		c.hellos.Add(hellos)
 	}
@@ -524,9 +554,11 @@ func (c *DomainCollector) Send(shard int, m Msg) error {
 // The batch is atomic: it is validated in full first, and on error
 // nothing is applied.
 func (c *DomainCollector) SendBatch(shard int, ms []Msg) error {
+	d, m := c.srv.D(), c.srv.M()
+	maxOrder := dyadic.Log2(d)
 	for i := range ms {
-		if err := c.Validate(ms[i]); err != nil {
-			return err
+		if !domainIngestOK(d, m, maxOrder, &ms[i]) {
+			return validateDomainIngest(d, m, maxOrder, &ms[i])
 		}
 	}
 	c.applyBatch(shard, ms)
@@ -537,7 +569,7 @@ func (c *DomainCollector) SendBatch(shard int, ms []Msg) error {
 func (c *DomainCollector) applyBatch(shard int, ms []Msg) {
 	var hellos, reports int64
 	for i := range ms {
-		c.apply(shard, ms[i], &hellos, &reports)
+		c.apply(shard, &ms[i], &hellos, &reports)
 	}
 	if hellos > 0 {
 		c.hellos.Add(hellos)
@@ -545,6 +577,9 @@ func (c *DomainCollector) applyBatch(shard int, ms []Msg) {
 	c.reports.Add(reports)
 	c.batches.Add(1)
 }
+
+// applyJournaled implements batchApplier for the durable collector.
+func (c *DomainCollector) applyJournaled(shard int, ms []Msg) { c.applyBatch(shard, ms) }
 
 // Stats returns the number of hellos, reports and batches ingested.
 func (c *DomainCollector) Stats() (hellos, reports, batches int64) {

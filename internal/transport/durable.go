@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rtf/internal/dyadic"
 	"rtf/internal/hh"
 	"rtf/internal/persist"
 	"rtf/internal/protocol"
@@ -47,6 +48,15 @@ type DurableOptions struct {
 	// default: a torn tail then fails recovery with a descriptive error
 	// so the operator decides.
 	TolerateTornTail bool
+	// GroupCommitInterval enables WAL group commit: batches from all
+	// connections are aggregated for up to this long and committed with
+	// one write call (and, with Fsync, one sync), so the per-batch sync
+	// cost is shared across every batch in the group. A batch is only
+	// acknowledged after its group commits, so an ack still means the
+	// batch is journaled (and durable, with Fsync) — grouping changes
+	// who pays for the sync, never what an ack promises. Zero keeps the
+	// direct path: one write (+ sync) per batch, nothing shared.
+	GroupCommitInterval time.Duration
 }
 
 // RecoveryStats reports what OpenDurable reconstructed at boot.
@@ -69,6 +79,7 @@ type RecoveryStats struct {
 // the wrapping collector's business; the journal only moves bytes.
 type durableJournal struct {
 	wal   *persist.WAL
+	gc    *persist.GroupCommitter // non-nil when group commit is enabled
 	dir   string
 	meta  persist.Meta
 	fsync bool
@@ -182,17 +193,27 @@ func openJournal(dir string, meta persist.Meta, o DurableOptions,
 		return nil, stats, fmt.Errorf("transport: opening WAL: %w", err)
 	}
 	j := &durableJournal{wal: wal, dir: dir, meta: meta, fsync: o.Fsync}
+	if o.GroupCommitInterval > 0 {
+		j.gc = persist.NewGroupCommitter(wal, o.GroupCommitInterval)
+	}
 	j.snapCursor.Store(stats.SnapshotCursor)
 	j.snapUnixNano.Store(time.Now().UnixNano())
 	return j, stats, nil
 }
 
+// batchApplier folds a validated, journaled batch into in-memory
+// state. The journal calls it through this interface rather than a
+// closure so the steady-state ingest path allocates nothing.
+type batchApplier interface {
+	applyJournaled(shard int, ms []Msg)
+}
+
 // journal re-encodes the batch, appends it to the write-ahead log, and
-// runs apply — in that order, under the shared half of the snapshot
-// lock, so any batch a query response can reflect is already durable.
-// The batch must be pre-validated; on a journaling error apply never
-// runs.
-func (j *durableJournal) journal(ms []Msg, apply func()) error {
+// applies it via app — in that order, under the shared half of the
+// snapshot lock, so any batch a query response can reflect is already
+// durable. The batch must be pre-validated; on a journaling error the
+// apply never runs.
+func (j *durableJournal) journal(shard int, ms []Msg, app batchApplier) error {
 	bp, _ := j.scratch.Get().(*[]byte)
 	if bp == nil {
 		bp = new([]byte)
@@ -204,12 +225,20 @@ func (j *durableJournal) journal(ms []Msg, apply func()) error {
 	*bp = payload[:0]
 	defer j.scratch.Put(bp)
 
+	// The shared lock is held while a group commit is in flight, so a
+	// snapshot cut (which takes it exclusively) always sees a cursor
+	// covering every applied batch — grouping never lets an applied
+	// batch slip past the cursor of the snapshot that should contain it.
 	j.mu.RLock()
 	defer j.mu.RUnlock()
-	if _, err := j.wal.Append(payload); err != nil {
+	if j.gc != nil {
+		if _, err := j.gc.Commit(payload); err != nil {
+			return err
+		}
+	} else if _, err := j.wal.Append(payload); err != nil {
 		return err
 	}
-	apply()
+	app.applyJournaled(shard, ms)
 	return nil
 }
 
@@ -238,8 +267,14 @@ func (j *durableJournal) snapshot(marshal func() []byte) (uint64, error) {
 	return cursor, nil
 }
 
-// close closes the write-ahead log.
-func (j *durableJournal) close() error { return j.wal.Close() }
+// close flushes any in-flight commit group and closes the write-ahead
+// log.
+func (j *durableJournal) close() error {
+	if j.gc != nil {
+		j.gc.Close()
+	}
+	return j.wal.Close()
+}
 
 // DurableCollector wraps a ShardedCollector with the persistence
 // subsystem: every frame is validated, journaled to the write-ahead
@@ -280,7 +315,7 @@ func (c *DurableCollector) Send(shard int, m Msg) error {
 }
 
 // Validate checks one message without journaling or applying anything.
-func (c *DurableCollector) Validate(m Msg) error { return c.inner.validate(m) }
+func (c *DurableCollector) Validate(m Msg) error { return c.inner.validate(&m) }
 
 // SendBatch validates the batch, appends its wire encoding to the
 // write-ahead log, and applies it to the accumulator — in that order,
@@ -288,11 +323,11 @@ func (c *DurableCollector) Validate(m Msg) error { return c.inner.validate(m) }
 // validation or journaling error nothing is applied.
 func (c *DurableCollector) SendBatch(shard int, ms []Msg) error {
 	for i := range ms {
-		if err := c.inner.validate(ms[i]); err != nil {
+		if err := c.inner.validate(&ms[i]); err != nil {
 			return err
 		}
 	}
-	return c.j.journal(ms, func() { c.inner.applyBatch(shard, ms) })
+	return c.j.journal(shard, ms, c.inner)
 }
 
 // Snapshot writes a durable snapshot of the current accumulator state
@@ -360,12 +395,14 @@ func (c *DurableDomainCollector) Validate(m Msg) error { return c.inner.Validate
 // write-ahead log, and applies it to the domain server — in that
 // order. On a validation or journaling error nothing is applied.
 func (c *DurableDomainCollector) SendBatch(shard int, ms []Msg) error {
+	d, m := c.inner.Domain().D(), c.inner.Domain().M()
+	maxOrder := dyadic.Log2(d)
 	for i := range ms {
-		if err := c.inner.Validate(ms[i]); err != nil {
-			return err
+		if !domainIngestOK(d, m, maxOrder, &ms[i]) {
+			return validateDomainIngest(d, m, maxOrder, &ms[i])
 		}
 	}
-	return c.j.journal(ms, func() { c.inner.applyBatch(shard, ms) })
+	return c.j.journal(shard, ms, c.inner)
 }
 
 // Snapshot writes a durable snapshot of the current per-item state and

@@ -73,7 +73,7 @@ func (c *DurableShardMapCollector) SendBatch(ms []Msg) error {
 			return err
 		}
 	}
-	return c.j.journal(ms, func() { c.inner.applyBatch(ms) })
+	return c.j.journal(0, ms, c.inner)
 }
 
 // InstallShard replaces one virtual shard's state and immediately cuts

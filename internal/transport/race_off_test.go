@@ -1,0 +1,8 @@
+//go:build !race
+
+package transport
+
+// raceEnabled reports whether the race detector is on; its
+// instrumentation allocates, so allocation-count assertions only hold
+// without it.
+const raceEnabled = false

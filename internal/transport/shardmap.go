@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rtf/internal/dyadic"
 	"rtf/internal/hh"
 	"rtf/internal/membership"
 	"rtf/internal/protocol"
@@ -109,9 +110,10 @@ func (c *ShardMapCollector) Validate(m Msg) error { return ValidateIngest(c.d, m
 // its user's virtual shard. The batch is atomic: on error nothing is
 // applied.
 func (c *ShardMapCollector) SendBatch(ms []Msg) error {
+	maxOrder := dyadic.Log2(c.d)
 	for i := range ms {
-		if err := c.Validate(ms[i]); err != nil {
-			return err
+		if !ingestOK(c.d, maxOrder, &ms[i]) {
+			return validateIngest(c.d, maxOrder, &ms[i])
 		}
 	}
 	c.applyBatch(ms)
@@ -122,13 +124,14 @@ func (c *ShardMapCollector) SendBatch(ms []Msg) error {
 func (c *ShardMapCollector) applyBatch(ms []Msg) {
 	c.imu.RLock()
 	var hellos, reports int64
-	for _, m := range ms {
+	for i := range ms {
+		m := &ms[i]
 		acc := c.accs[membership.ShardOf(m.User, c.numShards)].Load()
 		if m.Type == MsgHello {
 			acc.Register(0, m.Order)
 			hellos++
 		} else {
-			acc.Ingest(0, m.Report())
+			acc.Ingest(0, protocol.Report{User: m.User, Order: m.Order, J: m.J, Bit: m.Bit})
 			reports++
 		}
 	}
@@ -139,6 +142,10 @@ func (c *ShardMapCollector) applyBatch(ms []Msg) {
 	c.reports.Add(reports)
 	c.batches.Add(1)
 }
+
+// applyJournaled implements batchApplier for the durable collector;
+// the shard map routes by user, so the connection shard is unused.
+func (c *ShardMapCollector) applyJournaled(_ int, ms []Msg) { c.applyBatch(ms) }
 
 // Stats returns the number of hellos, reports and batches ingested.
 func (c *ShardMapCollector) Stats() (hellos, reports, batches int64) {
@@ -332,14 +339,16 @@ func (c *DomainShardMapCollector) Validate(m Msg) error { return ValidateDomainI
 // SendBatch validates the whole batch, then applies each message to
 // its user's virtual shard. The batch is atomic.
 func (c *DomainShardMapCollector) SendBatch(ms []Msg) error {
+	maxOrder := dyadic.Log2(c.d)
 	for i := range ms {
-		if err := c.Validate(ms[i]); err != nil {
-			return err
+		if !domainIngestOK(c.d, c.m, maxOrder, &ms[i]) {
+			return validateDomainIngest(c.d, c.m, maxOrder, &ms[i])
 		}
 	}
 	c.imu.RLock()
 	var hellos, reports int64
-	for _, msg := range ms {
+	for i := range ms {
+		msg := &ms[i]
 		srv := c.srvs[membership.ShardOf(msg.User, c.numShards)].Load()
 		if msg.Type == MsgDomainHello {
 			srv.Register(0, msg.Item, msg.Order)

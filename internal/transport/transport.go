@@ -567,26 +567,55 @@ func (d *Decoder) scalarOrBatch() (Msg, error) {
 	}
 	d.pending = d.pending[:0]
 	d.next = 0
-	for i := uint64(0); i < n; i++ {
-		// Fast path: when a full message's worth of bytes is already
-		// buffered, decode it straight from the buffered window (one Peek
-		// + one Discard instead of a virtual call per byte). Never block
-		// for more than is needed: with fewer bytes buffered, fall back
-		// to the byte-at-a-time path, which reads exactly one message —
-		// crucial when the peer is waiting for a response mid-stream.
-		if d.r.Buffered() >= maxScalarWire {
-			win, _ := d.r.Peek(maxScalarWire)
-			m, consumed, err := decodeScalar(win)
-			if err != nil {
-				if errors.Is(err, errShortMsg) {
-					// 32 bytes cover every valid message; short here means
-					// an overlong varint.
-					err = errors.New("transport: malformed message in batch")
-				}
-				return Msg{}, err
+	for i := uint64(0); i < n; {
+		// Fast path: decode every fully buffered message straight out of
+		// the buffered window in one tight loop — one Peek and one
+		// Discard per run of buffered messages, instead of one of each
+		// per message. Never block for more than is needed: with fewer
+		// than one message's worth of bytes buffered, fall back to the
+		// byte-at-a-time path, which reads exactly one message — crucial
+		// when the peer is waiting for a response mid-stream.
+		if buffered := d.r.Buffered(); buffered >= maxScalarWire {
+			win, _ := d.r.Peek(buffered)
+			// Pre-extend pending for every message this window could hold
+			// (each scalar is at least two bytes), so the decode loop
+			// indexes slots with no per-message capacity check. Growth is
+			// bounded by bytes actually buffered, never by the declared n.
+			// Re-sliced slots are stale entries from a past batch, which
+			// decodeScalarInto fully overwrites; the trim below drops the
+			// slots this window didn't fill.
+			base := int(i)
+			k := len(win) / 2
+			if rem := int(n) - base; rem < k {
+				k = rem
 			}
-			d.r.Discard(consumed)
-			d.pending = append(d.pending, m)
+			if base+k <= cap(d.pending) {
+				d.pending = d.pending[:base+k]
+			} else {
+				d.pending = append(d.pending[:cap(d.pending)], make([]Msg, base+k-cap(d.pending))...)
+			}
+			// One vectorized clear for the whole window instead of a
+			// ~100-byte struct zero inside every decodeScalarInto call.
+			clear(d.pending[base:])
+			used, j := 0, base
+			for j < base+k && len(win)-used >= maxScalarWire {
+				consumed, err := decodeScalarInto(win[used:], &d.pending[j])
+				if err != nil {
+					d.r.Discard(used)
+					d.pending = d.pending[:0]
+					if errors.Is(err, errShortMsg) {
+						// maxScalarWire bytes cover every valid message;
+						// short here means an overlong varint.
+						err = errors.New("transport: malformed message in batch")
+					}
+					return Msg{}, err
+				}
+				used += consumed
+				j++
+			}
+			d.pending = d.pending[:j]
+			i = uint64(j)
+			d.r.Discard(used)
 			continue
 		}
 		tb, err := d.r.ReadByte()
@@ -601,6 +630,7 @@ func (d *Decoder) scalarOrBatch() (Msg, error) {
 			return Msg{}, truncated(err)
 		}
 		d.pending = append(d.pending, m)
+		i++
 	}
 	return Msg{Type: MsgBatch}, nil
 }
@@ -613,17 +643,51 @@ const maxScalarWire = 48
 // errShortMsg reports that a slice decode ran out of bytes.
 var errShortMsg = errors.New("transport: short message")
 
-// decodeScalar decodes one scalar message from the front of b, returning
-// the number of bytes consumed. It returns errShortMsg when b ends
-// mid-message.
-func decodeScalar(b []byte) (Msg, int, error) {
-	if len(b) == 0 {
-		return Msg{}, 0, errShortMsg
+// uvarintMulti decodes a uvarint whose first byte has the continuation
+// bit set: the two- and three-byte encodings real streams use for user
+// ids and large interval indices are unrolled, everything longer falls
+// through to binary.Uvarint. The (value, length) result is identical to
+// binary.Uvarint's for every input.
+func uvarintMulti(b []byte) (uint64, int) {
+	if len(b) >= 3 && b[0] >= 0x80 {
+		b1 := b[1]
+		if b1 < 0x80 {
+			return uint64(b[0]&0x7f) | uint64(b1)<<7, 2
+		}
+		if b2 := b[2]; b2 < 0x80 {
+			return uint64(b[0]&0x7f) | uint64(b1&0x7f)<<7 | uint64(b2)<<14, 3
+		}
 	}
-	m := Msg{Type: MsgType(b[0])}
+	return binary.Uvarint(b)
+}
+
+// decodeScalarInto decodes one scalar message from the front of b
+// directly into *m, returning the number of bytes consumed. The caller
+// must pass a zero Msg: only the decoded fields are written, so the
+// batch loop can clear a whole window of reused slots with one
+// vectorized clear instead of a ~100-byte struct zero per message.
+// Decoding in place is what keeps the batch fast path free of
+// per-message Msg copies — the struct is ~100 bytes, and the old
+// decode-return-append shape copied it twice per message. It returns
+// errShortMsg when b ends mid-message.
+func decodeScalarInto(b []byte, m *Msg) (int, error) {
+	if len(b) == 0 {
+		return 0, errShortMsg
+	}
+	m.Type = MsgType(b[0])
 	off := 1
 	uvarint := func() (uint64, bool) {
-		v, n := binary.Uvarint(b[off:])
+		// Inlined fast path for the single-byte values that pepper every
+		// stream (orders, items, bits, small indices); multi-byte values
+		// take the uvarintMulti call. Splitting it this way keeps the
+		// closure under the inlining budget — one closure call per field
+		// would cost more than the decode itself.
+		if off < len(b) && b[off] < 0x80 {
+			v := uint64(b[off])
+			off++
+			return v, true
+		}
+		v, n := uvarintMulti(b[off:])
 		if n <= 0 {
 			return 0, false
 		}
@@ -634,34 +698,34 @@ func decodeScalar(b []byte) (Msg, int, error) {
 	case MsgHello:
 		user, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		h, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		if user > math.MaxInt {
-			return Msg{}, 0, fmt.Errorf("transport: user id %d overflows", user)
+			return 0, fmt.Errorf("transport: user id %d overflows", user)
 		}
 		m.User, m.Order = int(user), int(h)
 	case MsgReport:
 		user, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		h, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		j, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		if off >= len(b) {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		if user > math.MaxInt {
-			return Msg{}, 0, fmt.Errorf("transport: user id %d overflows", user)
+			return 0, fmt.Errorf("transport: user id %d overflows", user)
 		}
 		m.User, m.Order, m.J = int(user), int(h), int(j)
 		switch b[off] {
@@ -670,100 +734,100 @@ func decodeScalar(b []byte) (Msg, int, error) {
 		case 0:
 			m.Bit = -1
 		default:
-			return Msg{}, 0, fmt.Errorf("transport: invalid bit byte %d", b[off])
+			return 0, fmt.Errorf("transport: invalid bit byte %d", b[off])
 		}
 		off++
 	case MsgQuery:
 		t, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		m.T = int(t)
 	case MsgEstimate:
 		t, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		if off+8 > len(b) {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		m.T = int(t)
 		m.Value = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
 		off += 8
 	case MsgQueryV2:
 		if off+2 > len(b) {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		if b[off] != queryWireVersion {
-			return Msg{}, 0, fmt.Errorf("transport: unsupported query version %d", b[off])
+			return 0, fmt.Errorf("transport: unsupported query version %d", b[off])
 		}
 		m.Kind = QueryKind(b[off+1])
 		off += 2
 		l, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		r, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		if l > math.MaxInt || r > math.MaxInt {
-			return Msg{}, 0, fmt.Errorf("transport: query bound overflows")
+			return 0, fmt.Errorf("transport: query bound overflows")
 		}
 		m.L, m.R = int(l), int(r)
 	case MsgSums:
 		if off >= len(b) {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		if b[off] != queryWireVersion {
-			return Msg{}, 0, fmt.Errorf("transport: unsupported sums-request version %d", b[off])
+			return 0, fmt.Errorf("transport: unsupported sums-request version %d", b[off])
 		}
 		off++
 	case MsgDomainHello:
 		user, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		item, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		h, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		if user > math.MaxInt {
-			return Msg{}, 0, fmt.Errorf("transport: user id %d overflows", user)
+			return 0, fmt.Errorf("transport: user id %d overflows", user)
 		}
 		if item > math.MaxInt {
-			return Msg{}, 0, fmt.Errorf("transport: item %d overflows", item)
+			return 0, fmt.Errorf("transport: item %d overflows", item)
 		}
 		m.User, m.Item, m.Order = int(user), int(item), int(h)
 	case MsgDomainReport:
 		user, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		item, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		h, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		j, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		if off >= len(b) {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		if user > math.MaxInt {
-			return Msg{}, 0, fmt.Errorf("transport: user id %d overflows", user)
+			return 0, fmt.Errorf("transport: user id %d overflows", user)
 		}
 		if item > math.MaxInt {
-			return Msg{}, 0, fmt.Errorf("transport: item %d overflows", item)
+			return 0, fmt.Errorf("transport: item %d overflows", item)
 		}
 		m.User, m.Item, m.Order, m.J = int(user), int(item), int(h), int(j)
 		switch b[off] {
@@ -772,86 +836,86 @@ func decodeScalar(b []byte) (Msg, int, error) {
 		case 0:
 			m.Bit = -1
 		default:
-			return Msg{}, 0, fmt.Errorf("transport: invalid bit byte %d", b[off])
+			return 0, fmt.Errorf("transport: invalid bit byte %d", b[off])
 		}
 		off++
 	case MsgDomainQuery:
 		if off+2 > len(b) {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		if b[off] != queryWireVersion {
-			return Msg{}, 0, fmt.Errorf("transport: unsupported domain query version %d", b[off])
+			return 0, fmt.Errorf("transport: unsupported domain query version %d", b[off])
 		}
 		m.Kind = QueryKind(b[off+1])
 		off += 2
 		item, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		l, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		r, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		k, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		if item > math.MaxInt || l > math.MaxInt || r > math.MaxInt || k > math.MaxInt {
-			return Msg{}, 0, fmt.Errorf("transport: domain query field overflows")
+			return 0, fmt.Errorf("transport: domain query field overflows")
 		}
 		m.Item, m.L, m.R, m.K = int(item), int(l), int(r), int(k)
 	case MsgDomainSums:
 		if off >= len(b) {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		if b[off] != queryWireVersion {
-			return Msg{}, 0, fmt.Errorf("transport: unsupported domain-sums-request version %d", b[off])
+			return 0, fmt.Errorf("transport: unsupported domain-sums-request version %d", b[off])
 		}
 		off++
 	case MsgShardSums, MsgShardState:
 		if off >= len(b) {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		if b[off] != queryWireVersion {
-			return Msg{}, 0, fmt.Errorf("transport: unsupported shard-request version %d", b[off])
+			return 0, fmt.Errorf("transport: unsupported shard-request version %d", b[off])
 		}
 		off++
 		shard, ok := uvarint()
 		if !ok {
-			return Msg{}, 0, errShortMsg
+			return 0, errShortMsg
 		}
 		if shard > membership.MaxShards {
-			return Msg{}, 0, fmt.Errorf("transport: shard %d exceeds limit %d", shard, membership.MaxShards)
+			return 0, fmt.Errorf("transport: shard %d exceeds limit %d", shard, membership.MaxShards)
 		}
 		m.Shard = int(shard)
 	case MsgView:
-		return Msg{}, 0, errors.New("transport: view frame inside batch")
+		return 0, errors.New("transport: view frame inside batch")
 	case MsgShardTransfer:
-		return Msg{}, 0, errors.New("transport: shard transfer frame inside batch")
+		return 0, errors.New("transport: shard transfer frame inside batch")
 	case MsgShardStateFrame:
-		return Msg{}, 0, errors.New("transport: shard state frame outside ReadShardState")
+		return 0, errors.New("transport: shard state frame outside ReadShardState")
 	case MsgMemberAck:
-		return Msg{}, 0, errors.New("transport: member ack outside ReadMemberAck")
+		return 0, errors.New("transport: member ack outside ReadMemberAck")
 	case MsgBatch, MsgBatchAcked:
-		return Msg{}, 0, errors.New("transport: nested batch")
+		return 0, errors.New("transport: nested batch")
 	case MsgBatchAck:
-		return Msg{}, 0, errors.New("transport: batch ack inside batch")
+		return 0, errors.New("transport: batch ack inside batch")
 	case MsgAnswer:
-		return Msg{}, 0, errors.New("transport: answer frame outside ReadAnswer")
+		return 0, errors.New("transport: answer frame outside ReadAnswer")
 	case MsgSumsFrame:
-		return Msg{}, 0, errors.New("transport: sums frame outside ReadSums")
+		return 0, errors.New("transport: sums frame outside ReadSums")
 	case MsgDomainAnswer:
-		return Msg{}, 0, errors.New("transport: domain answer frame outside ReadDomainAnswer")
+		return 0, errors.New("transport: domain answer frame outside ReadDomainAnswer")
 	case MsgDomainSumsFrame:
-		return Msg{}, 0, errors.New("transport: domain sums frame outside ReadDomainSums")
+		return 0, errors.New("transport: domain sums frame outside ReadDomainSums")
 	default:
-		return Msg{}, 0, fmt.Errorf("transport: unknown message type %d", b[0])
+		return 0, fmt.Errorf("transport: unknown message type %d", b[0])
 	}
-	return m, off, nil
+	return off, nil
 }
 
 // scalarBody decodes the body of a scalar message whose type byte has
@@ -1287,14 +1351,38 @@ func (c *ShardedCollector) Acc() *protocol.Sharded { return c.acc }
 // journaling) anything, and the cluster gateway runs the identical
 // checks before forwarding, so a batch the gateway accepts cannot be
 // rejected downstream by a backend.
-func ValidateIngest(d int, m Msg) error {
-	maxOrder := dyadic.Log2(d)
+func ValidateIngest(d int, m Msg) error { return validateIngest(d, dyadic.Log2(d), &m) }
+
+// ingestOK is the branch-only core of validateIngest: the same checks
+// with no error construction, small enough to inline into the batch
+// loops. The hot path costs one inlined call per message; only a
+// failing message pays for validateIngest's fmt.Errorf machinery (the
+// batch loops re-run it to build the precise error).
+func ingestOK(d, maxOrder int, m *Msg) bool {
+	switch m.Type {
+	case MsgReport:
+		return m.User >= 0 && (m.Bit == 1 || m.Bit == -1) &&
+			uint(m.Order) <= uint(maxOrder) &&
+			uint(m.J-1) < uint(d>>uint(m.Order))
+	case MsgHello:
+		return m.User >= 0 && uint(m.Order) <= uint(maxOrder)
+	}
+	return false
+}
+
+// validateIngest is the pointer-based body of ValidateIngest: the
+// collectors run it over whole batches without copying each ~100-byte
+// Msg out of the slice. maxOrder must be dyadic.Log2(d); the batch
+// loops compute it once instead of per message (Log2's not-a-power-
+// of-two panic keeps it from inlining). It agrees with ingestOK on
+// every input.
+func validateIngest(d, maxOrder int, m *Msg) error {
 	switch m.Type {
 	case MsgHello:
 		if m.User < 0 {
 			return fmt.Errorf("transport: negative user id %d", m.User)
 		}
-		if m.Order < 0 || m.Order > maxOrder {
+		if uint(m.Order) > uint(maxOrder) {
 			return fmt.Errorf("transport: hello order %d out of range [0..%d]", m.Order, maxOrder)
 		}
 	case MsgReport:
@@ -1304,10 +1392,10 @@ func ValidateIngest(d int, m Msg) error {
 		if m.Bit != 1 && m.Bit != -1 {
 			return fmt.Errorf("transport: report bit %d not ±1", m.Bit)
 		}
-		if m.Order < 0 || m.Order > maxOrder {
+		if uint(m.Order) > uint(maxOrder) {
 			return fmt.Errorf("transport: report order %d out of range [0..%d]", m.Order, maxOrder)
 		}
-		if m.J < 1 || m.J > d>>uint(m.Order) {
+		if uint(m.J-1) >= uint(d>>uint(m.Order)) {
 			return fmt.Errorf("transport: report index %d out of range for order %d", m.J, m.Order)
 		}
 	default:
@@ -1320,34 +1408,36 @@ func ValidateIngest(d int, m Msg) error {
 // parameters without side effects. The durable collector validates a
 // whole batch this way before journaling it, so nothing invalid ever
 // reaches the write-ahead log.
-func (c *ShardedCollector) validate(m Msg) error {
-	return ValidateIngest(c.acc.D(), m)
+func (c *ShardedCollector) validate(m *Msg) error {
+	d := c.acc.D()
+	return validateIngest(d, dyadic.Log2(d), m)
 }
 
 // apply accumulates one validated message; callers must have run
-// validate first.
-func (c *ShardedCollector) apply(shard int, m Msg, hellos, reports *int64) {
+// validate first. It takes a pointer so the batch loops never copy
+// each Msg out of the decoded slice.
+func (c *ShardedCollector) apply(shard int, m *Msg, hellos, reports *int64) {
 	if m.Type == MsgHello {
 		c.acc.Register(shard, m.Order)
 		*hellos++
 	} else {
-		c.acc.Ingest(shard, m.Report())
+		c.acc.Ingest(shard, protocol.Report{User: m.User, Order: m.Order, J: m.J, Bit: m.Bit})
 		*reports++
 	}
 }
 
 // Validate checks one hello or report message against the accumulator's
 // parameters without side effects — the validate-only half of Send.
-func (c *ShardedCollector) Validate(m Msg) error { return c.validate(m) }
+func (c *ShardedCollector) Validate(m Msg) error { return c.validate(&m) }
 
 // Send validates one hello or report message and applies it to the
 // accumulator via the given shard. It is safe for concurrent use.
 func (c *ShardedCollector) Send(shard int, m Msg) error {
-	if err := c.validate(m); err != nil {
+	if err := c.validate(&m); err != nil {
 		return err
 	}
 	var hellos, reports int64
-	c.apply(shard, m, &hellos, &reports)
+	c.apply(shard, &m, &hellos, &reports)
 	if hellos > 0 {
 		c.hellos.Add(hellos)
 	}
@@ -1361,9 +1451,11 @@ func (c *ShardedCollector) Send(shard int, m Msg) error {
 // batch is atomic: it is validated in full first, and on error nothing
 // is applied.
 func (c *ShardedCollector) SendBatch(shard int, ms []Msg) error {
+	d := c.acc.D()
+	maxOrder := dyadic.Log2(d)
 	for i := range ms {
-		if err := c.validate(ms[i]); err != nil {
-			return err
+		if !ingestOK(d, maxOrder, &ms[i]) {
+			return validateIngest(d, maxOrder, &ms[i])
 		}
 	}
 	c.applyBatch(shard, ms)
@@ -1374,7 +1466,7 @@ func (c *ShardedCollector) SendBatch(shard int, ms []Msg) error {
 func (c *ShardedCollector) applyBatch(shard int, ms []Msg) {
 	var hellos, reports int64
 	for i := range ms {
-		c.apply(shard, ms[i], &hellos, &reports)
+		c.apply(shard, &ms[i], &hellos, &reports)
 	}
 	if hellos > 0 {
 		c.hellos.Add(hellos)
@@ -1382,6 +1474,9 @@ func (c *ShardedCollector) applyBatch(shard int, ms []Msg) {
 	c.reports.Add(reports)
 	c.batches.Add(1)
 }
+
+// applyJournaled implements batchApplier for the durable collector.
+func (c *ShardedCollector) applyJournaled(shard int, ms []Msg) { c.applyBatch(shard, ms) }
 
 // Stats returns the number of hellos, reports and batches ingested.
 func (c *ShardedCollector) Stats() (hellos, reports, batches int64) {
