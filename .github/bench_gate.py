@@ -5,7 +5,8 @@ Reads two `go test -bench` outputs (merge-base and PR head, each run
 with -count=6), compares per-benchmark median ns/op, writes the
 comparison as a JSON artifact, and exits non-zero when any gated
 benchmark (BenchmarkIngest*/BenchmarkAnswer*/BenchmarkCluster*/
-BenchmarkDomain*/BenchmarkReplicated*/BenchmarkQuorum*) slows down
+BenchmarkDomain*/BenchmarkHashed*/BenchmarkReplicated*/
+BenchmarkQuorum*) slows down
 by more than the threshold. Benchmarks present on only one side (added or removed by
 the PR) are reported but never gate.
 
@@ -17,7 +18,7 @@ import re
 import statistics
 import sys
 
-GATED = re.compile(r"^Benchmark(Ingest|Answer|Cluster|Domain|Replicated|Quorum)")
+GATED = re.compile(r"^Benchmark(Ingest|Answer|Cluster|Domain|Hashed|Replicated|Quorum)")
 # "BenchmarkFoo/sub-8   	     123	   9876 ns/op	..." — the -N
 # GOMAXPROCS suffix is stripped so the name is stable across runners.
 LINE = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+)\s+ns/op")

@@ -990,3 +990,117 @@ func BenchmarkAnswerTopK(b *testing.B) {
 		}
 	}
 }
+
+// hashedBenchEnc is the hashed-domain benchmark encoding: a million-item
+// catalogue folded to 256 bucket rows — the regime the loloha encoding
+// exists for, far past the exact encoding's 4096-row cap.
+var hashedBenchEnc = hh.LolohaEncoding(1_000_000, 256, 0xbeef)
+
+// encodeHashedDomainStreams pre-encodes bucket-tagged batch streams
+// spanning ingestBenchReports hashed domain reports split over the
+// given stream count. The hot path reuses MsgDomainReport with
+// Item = bucket, so the wire work is identical to the exact encoding's
+// — only the row space differs.
+func encodeHashedDomainStreams(b *testing.B, streams int) [][]byte {
+	b.Helper()
+	out := make([][]byte, streams)
+	per := ingestBenchReports / streams
+	for s := 0; s < streams; s++ {
+		g := rng.New(uint64(s)+37, 8)
+		var buf bytes.Buffer
+		enc := transport.NewEncoder(&buf)
+		batch := make([]transport.Msg, 0, ingestBenchBatch)
+		for i := 0; i < per; i++ {
+			bucket := g.IntN(hashedBenchEnc.G)
+			h := g.IntN(dyadic.NumOrders(ingestBenchD))
+			bit := int8(1)
+			if g.Bernoulli(0.5) {
+				bit = -1
+			}
+			batch = append(batch, transport.FromDomainReport(bucket, protocol.Report{
+				User: s*per + i, Order: h, J: 1 + g.IntN(ingestBenchD>>uint(h)), Bit: bit,
+			}))
+			if len(batch) == ingestBenchBatch {
+				if err := enc.EncodeBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				batch = batch[:0]
+			}
+		}
+		if len(batch) > 0 {
+			if err := enc.EncodeBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := enc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		out[s] = buf.Bytes()
+	}
+	return out
+}
+
+// BenchmarkHashedDomainIngest is the rtf-serve -encoding loloha data
+// path: per-stream goroutines decode bucket-tagged batch frames and fan
+// them into the g-row hashed server through the HashedDomainCollector.
+func BenchmarkHashedDomainIngest(b *testing.B) {
+	const shards = 4
+	streams := encodeHashedDomainStreams(b, shards)
+	var total int64
+	for _, s := range streams {
+		total += int64(len(s))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := transport.NewHashedDomainCollector(hh.NewHashedDomainServer(ingestBenchD, hashedBenchEnc, 100, shards))
+		var wg sync.WaitGroup
+		for s := range streams {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				dec := transport.NewDecoder(bytes.NewReader(streams[s]))
+				for {
+					ms, err := dec.NextBatch()
+					if err != nil {
+						return
+					}
+					if err := col.SendBatch(s, ms); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(ingestBenchReports)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+}
+
+// BenchmarkAnswerTopKHashed measures the top-k query on a populated
+// hashed server: g per-bucket point estimates, the unbiased decode, and
+// an O(m) min-heap sweep over the million-item catalogue — the sweep,
+// not the counters, is the m-dependent cost.
+func BenchmarkAnswerTopKHashed(b *testing.B) {
+	hs := hh.NewHashedDomainServer(ingestBenchD, hashedBenchEnc, 100, 2)
+	col := transport.NewHashedDomainCollector(hs)
+	for _, stream := range encodeHashedDomainStreams(b, 2) {
+		dec := transport.NewDecoder(bytes.NewReader(stream))
+		for {
+			ms, err := dec.NextBatch()
+			if err != nil {
+				break
+			}
+			if err := col.SendBatch(0, ms); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	q := transport.DomainQuery(transport.QueryTopK, 0, ingestBenchD/2, 0, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transport.AnswerHashedDomainQuery(hs, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

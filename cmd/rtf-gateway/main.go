@@ -20,6 +20,13 @@
 // every backend's per-item raw sums, with the same bit-for-bit
 // exactness argument.
 //
+// With -encoding loloha (plus -buckets and -hash-seed, matching the
+// backends) the gateway fronts hashed-domain backends: ingest carries
+// bucket-tagged frames, and queries gather each backend's raw bucket
+// sums with an encoding-checked request — a backend hashing under a
+// different seed or sized differently refuses it — before decoding
+// item estimates from the folded bucket counters.
+//
 // The protocol parameters (-mechanism, -d, -k, -m, -eps) must match the
 // backends' and the clients'; the mechanism must have the clustered
 // capability (its server state merges exactly across machines).
@@ -66,6 +73,7 @@ import (
 
 	"rtf/internal/cluster"
 	"rtf/internal/dyadic"
+	"rtf/internal/hh"
 	"rtf/internal/obs"
 	"rtf/internal/transport"
 	"rtf/ldp"
@@ -79,6 +87,9 @@ func main() {
 		d        = flag.Int("d", 1024, "time periods (power of two); must match backends and clients")
 		k        = flag.Int("k", 8, "max changes per user; must match backends and clients")
 		m        = flag.Int("m", 0, "domain size for domain-valued tracking (0 = Boolean protocol); must match backends and clients")
+		encName  = flag.String("encoding", hh.EncodingExact, "domain encoding with -m: exact or loloha; must match backends and clients")
+		buckets  = flag.Int("buckets", 0, "bucket count g with -encoding loloha (2..4096); must match backends and clients")
+		hseed    = flag.Uint64("hash-seed", 0, "shared epoch hash seed with -encoding loloha; must match backends and clients")
 		eps      = flag.Float64("eps", 1.0, "privacy budget (0 < eps <= 1); must match backends and clients")
 		attempts = flag.Int("dial-attempts", 10, "re-dial attempts per backend operation (exponential backoff between attempts)")
 		pool     = flag.Int("pool", 4, "idle connections pooled per backend")
@@ -104,13 +115,32 @@ func main() {
 	if !mc.Caps.Clustered {
 		fatal(fmt.Errorf("mechanism %q cannot be clustered (its server state does not merge across machines); clustered mechanisms: %s", *mech, clustered()))
 	}
+	hashedMode := false
+	var enc hh.DomainEncoding
 	if *m > 0 {
-		if *m < 2 || *m > transport.MaxDomainM {
-			fatal(fmt.Errorf("m=%d outside [2..%d]", *m, transport.MaxDomainM))
+		if err := ldp.ValidateDomainSize(*m, *encName); err != nil {
+			fatal(err)
 		}
 		if !mc.Caps.Domain {
 			fatal(fmt.Errorf("mechanism %q cannot host domain tracking", *mech))
 		}
+		hashedMode = *encName == hh.EncodingLoloha
+		if hashedMode {
+			if !mc.Caps.HashedDomain {
+				fatal(fmt.Errorf("mechanism %q cannot host hashed domain tracking", *mech))
+			}
+			enc = hh.LolohaEncoding(*m, *buckets, *hseed)
+			if err := enc.Validate(); err != nil {
+				fatal(err)
+			}
+			if *members != "" {
+				fatal(fmt.Errorf("-members does not support -encoding loloha yet; use -backends"))
+			}
+		} else if *buckets != 0 || *hseed != 0 {
+			fatal(fmt.Errorf("-buckets and -hash-seed only apply with -encoding loloha"))
+		}
+	} else if *encName != hh.EncodingExact || *buckets != 0 || *hseed != 0 {
+		fatal(fmt.Errorf("-encoding, -buckets and -hash-seed require domain mode (-m)"))
 	}
 	scale, err := mc.EstimatorScale(ldp.Params{D: *d, K: *k, Eps: *eps})
 	if err != nil {
@@ -143,9 +173,12 @@ func main() {
 		fatal(err)
 	}
 	var gw *cluster.Gateway
-	if *m > 0 {
+	switch {
+	case hashedMode:
+		gw = cluster.NewHashedDomain(*d, enc, scale, client)
+	case *m > 0:
 		gw = cluster.NewDomain(*d, *m, scale, client)
-	} else {
+	default:
 		gw = cluster.New(*d, scale, client)
 	}
 	gw.ErrorLog = func(err error) { logger.Error("gateway", "err", err) }

@@ -16,6 +16,16 @@
 // — plus per-item raw-sums requests from a cluster gateway
 // (MsgDomainSums). A server hosts exactly one of the two modes.
 //
+// With -encoding loloha (plus -buckets and -hash-seed) the domain mode
+// hashes instead of enumerating: clients hash their values to g
+// buckets under the shared epoch seed (longitudinal local hashing), the
+// server keeps g bucket accumulators instead of m per-item ones, and
+// item queries are answered by decoding the bucket counters — so the
+// catalogue can be as large as 2^24 while server memory scales with g.
+// Bucket-tagged hellos carry the seed (MsgHashedDomainHello) and are
+// refused under a different seed; gateways fetch raw bucket sums with
+// the encoding-checked MsgHashedDomainSums.
+//
 // With -membership (plus -id and -vshards) the service joins a dynamic
 // cluster fronted by rtf-gateway -members: it keeps one accumulator per
 // virtual shard instead of one global accumulator, and serves the
@@ -86,6 +96,9 @@ func main() {
 		d       = flag.Int("d", 1024, "time periods (power of two); must match clients")
 		k       = flag.Int("k", 8, "max changes per user; must match clients")
 		m       = flag.Int("m", 0, "domain size for domain-valued tracking (0 = Boolean protocol); must match clients")
+		encName = flag.String("encoding", hh.EncodingExact, "domain encoding with -m: exact (one row per item) or loloha (hash to -buckets rows); must match clients")
+		buckets = flag.Int("buckets", 0, "bucket count g with -encoding loloha (2..4096); must match clients")
+		hseed   = flag.Uint64("hash-seed", 0, "shared epoch hash seed with -encoding loloha; must match clients")
 		eps     = flag.Float64("eps", 1.0, "privacy budget (0 < eps <= 1); must match clients")
 		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "accumulator shards (>= 1)")
 		stats   = flag.Duration("stats", 0, "print throughput every interval (0 = off)")
@@ -112,15 +125,37 @@ func main() {
 		fatal(fmt.Errorf("unknown mechanism %q; registered: %s", *mech, hostable(false)))
 	}
 	domainMode := *m > 0
+	hashedMode := false
+	var enc hh.DomainEncoding
 	if domainMode {
-		if *m < 2 || *m > transport.MaxDomainM {
-			fatal(fmt.Errorf("m=%d outside [2..%d]", *m, transport.MaxDomainM))
+		if err := ldp.ValidateDomainSize(*m, *encName); err != nil {
+			fatal(err)
 		}
 		if !mc.Caps.Domain {
 			fatal(fmt.Errorf("mechanism %q cannot host domain tracking; domain-capable: %s", *mech, hostable(true)))
 		}
-	} else if !mc.Caps.Sharded {
-		fatal(fmt.Errorf("mechanism %q cannot be hosted on the sharded accumulator; hostable: %s", *mech, hostable(false)))
+		hashedMode = *encName == hh.EncodingLoloha
+		if hashedMode {
+			if !mc.Caps.HashedDomain {
+				fatal(fmt.Errorf("mechanism %q cannot host hashed domain tracking", *mech))
+			}
+			enc = hh.LolohaEncoding(*m, *buckets, *hseed)
+			if err := enc.Validate(); err != nil {
+				fatal(err)
+			}
+			if *member {
+				fatal(fmt.Errorf("-membership does not support -encoding loloha yet; drop -membership"))
+			}
+		} else if *buckets != 0 || *hseed != 0 {
+			fatal(fmt.Errorf("-buckets and -hash-seed only apply with -encoding loloha"))
+		}
+	} else {
+		if *encName != hh.EncodingExact || *buckets != 0 || *hseed != 0 {
+			fatal(fmt.Errorf("-encoding, -buckets and -hash-seed require domain mode (-m)"))
+		}
+		if !mc.Caps.Sharded {
+			fatal(fmt.Errorf("mechanism %q cannot be hosted on the sharded accumulator; hostable: %s", *mech, hostable(false)))
+		}
 	}
 	scale, err := mc.EstimatorScale(ldp.Params{D: *d, K: *k, Eps: *eps})
 	if err != nil {
@@ -172,6 +207,23 @@ func main() {
 		} else {
 			srv = transport.NewShardMapIngestServer(sm)
 			statsFn = sm.Stats
+		}
+	case hashedMode:
+		hs := hh.NewHashedDomainServer(*d, enc, scale, *shards)
+		if *dataDir != "" {
+			meta := persist.Meta{Mechanism: *mech, D: *d, K: *k, M: *m, Eps: *eps, Scale: scale,
+				Encoding: enc.Name, G: enc.G, HashSeed: enc.Seed}
+			dc, rec, err := transport.OpenDurableHashedDomain(hs, *dataDir, meta, transport.DurableOptions{Fsync: *fsync, TolerateTornTail: *tornOK, GroupCommitInterval: *walGrp})
+			if err != nil {
+				fatal(err)
+			}
+			srv = transport.NewHashedDomainIngestServer(dc)
+			statsFn, snapshotFn, closeFn, durable = dc.Stats, dc.Snapshot, dc.Close, dc
+			logRecovery(logger, *dataDir, rec, hs.Users())
+		} else {
+			dc := transport.NewHashedDomainCollector(hs)
+			srv = transport.NewHashedDomainIngestServer(dc)
+			statsFn = dc.Stats
 		}
 	case domainMode:
 		ds := hh.NewDomainServer(*d, *m, scale, *shards)
@@ -302,6 +354,7 @@ func main() {
 		} else {
 			logger.Info("listening", "addr", a, "metrics", metricsAddr,
 				"mechanism", *mech, "d", *d, "k", *k, "m", *m, "eps", *eps,
+				"encoding", *encName, "buckets", *buckets,
 				"shards", *shards, "queue", *queue, "durable", snapshotFn != nil)
 		}
 	case err := <-errc:

@@ -19,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"rtf/internal/hh"
 	"rtf/internal/protocol"
 	"rtf/internal/transport"
 	"rtf/ldp"
@@ -33,6 +34,7 @@ type domainDriver struct {
 	mech    ldp.Protocol
 	factory *ldp.DomainClientFactory
 	ref     *ldp.DomainServer
+	enc     hh.DomainEncoding // zero-valued in exact mode
 	eps     float64
 	conns   int
 	batch   int
@@ -135,7 +137,13 @@ func (st *domainDriver) sendUsers(addr string, lo, hi int) error {
 					fail(err)
 					return
 				}
-				if err := push(transport.DomainHello(u, cl.Item(), cl.Order())); err != nil {
+				hello := transport.DomainHello(u, cl.Item(), cl.Order())
+				if st.enc.Hashed() {
+					// cl.Item() is the sampled bucket under a hashed
+					// encoding, and the hello must carry the epoch seed.
+					hello = transport.HashedDomainHello(u, cl.Item(), cl.Order(), st.enc.Seed)
+				}
+				if err := push(hello); err != nil {
 					fail(err)
 					return
 				}

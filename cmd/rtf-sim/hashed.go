@@ -1,0 +1,397 @@
+package main
+
+// The -domain -hashed acceptance mode: the hashed-domain (LOLOHA)
+// deployment driven end to end over a catalogue far past the exact
+// encoding's 4096-row wall. Three rtf-serve backends in -encoding
+// loloha mode (backend 0 durable, with a metrics listener) behind an
+// rtf-gateway ingest a Zipf workload over a million-item catalogue;
+// the durable backend is kill -9ed mid-ingest and restarted from its
+// snapshot + write-ahead log; every item-scoped query shape through
+// the gateway — TopK over the whole catalogue, sampled PointItem and
+// SeriesItem — is checked bit-for-bit against one uninterrupted
+// in-process hashed ldp.DomainServer; and at the end the durable
+// backend's RSS is asserted under a ceiling derived from the bucket
+// count g, not the catalogue size m — the whole point of the hashed
+// encoding. Nothing in this mode ever materializes per-item state for
+// the m-item catalogue (an exact m=1e6 row matrix would be gigabytes).
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"rtf/internal/obs"
+	"rtf/internal/transport"
+	"rtf/ldp"
+)
+
+// newHashedDomainDriver builds a domainDriver whose client factory and
+// in-process reference run the loloha encoding: clients hash their
+// tracked value into one of g buckets under the shared epoch seed, and
+// the reference server decodes item estimates from g bucket rows.
+func newHashedDomainDriver(w *ldp.DomainWorkload, mech ldp.Protocol, eps float64, g int, hseed uint64, conns, batch int, seed int64) (*domainDriver, error) {
+	if conns < 1 {
+		return nil, fmt.Errorf("conns=%d must be >= 1", conns)
+	}
+	k := maxInt(w.K, 1)
+	opts := []ldp.Option{
+		ldp.WithMechanism(mech), ldp.WithSparsity(k), ldp.WithEpsilon(eps),
+		ldp.WithDomainEncoding("loloha"), ldp.WithBuckets(g), ldp.WithHashSeed(hseed),
+	}
+	factory, err := ldp.NewDomainClientFactory(w.D, w.M, opts...)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := ldp.NewDomainServer(w.D, w.M, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &domainDriver{
+		w: w, mech: mech, factory: factory, ref: ref, enc: factory.Encoding(),
+		eps: eps, conns: conns, batch: batch, seed: seed,
+	}, nil
+}
+
+// hashedSampleItems picks the catalogue items the point and series
+// verifications probe: the edges, items just past the exact encoding's
+// cap (provably unreachable without the hashed refactor), and an even
+// spread. Sampling is what keeps verification O(g + samples) while the
+// catalogue is millions of items — exactly the regime the encoding is
+// for.
+func hashedSampleItems(m int) []int {
+	seen := make(map[int]bool)
+	items := []int{}
+	add := func(x int) {
+		if x >= 0 && x < m && !seen[x] {
+			seen[x] = true
+			items = append(items, x)
+		}
+	}
+	add(0)
+	add(1)
+	add(ldp.MaxDomainSize)
+	add(ldp.MaxDomainSize + 13)
+	add(m - 1)
+	for i := 0; i < 24; i++ {
+		add(1 + i*(m/24))
+	}
+	return items
+}
+
+// verifyHashed queries the hashed server at addr through every
+// item-scoped shape — point-item at several times and full series for
+// a sample of catalogue items, and top-k over the whole catalogue at
+// several (t, k) — and checks each answer bit-for-bit (values and
+// items) against the in-process hashed reference. It returns the
+// number of values checked.
+func (st *domainDriver) verifyHashed(addr string) (int, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	enc := transport.NewEncoder(conn)
+	dec := transport.NewDecoder(conn)
+	w := st.w
+	checked := 0
+
+	ask := func(q transport.Msg) (transport.DomainAnswerFrame, error) {
+		if err := enc.Encode(q); err != nil {
+			return transport.DomainAnswerFrame{}, err
+		}
+		if err := enc.Flush(); err != nil {
+			return transport.DomainAnswerFrame{}, err
+		}
+		return dec.ReadDomainAnswer()
+	}
+	for _, x := range hashedSampleItems(w.M) {
+		for _, t := range []int{1, w.D / 2, w.D} {
+			a, err := ask(transport.DomainQuery(transport.QueryPointItem, x, t, 0, 0))
+			if err != nil {
+				return 0, fmt.Errorf("point-item(%d, %d): %w", x, t, err)
+			}
+			want, err := st.ref.Answer(ldp.PointItemQuery(x, t))
+			if err != nil {
+				return 0, err
+			}
+			if len(a.Values) != 1 || a.Values[0] != want.Value {
+				return 0, fmt.Errorf("point-item(%d, %d): server %v, in-process %v", x, t, a.Values, want.Value)
+			}
+			checked++
+		}
+		a, err := ask(transport.DomainQuery(transport.QuerySeriesItem, x, 0, 0, 0))
+		if err != nil {
+			return 0, fmt.Errorf("series-item(%d): %w", x, err)
+		}
+		want, err := st.ref.Answer(ldp.SeriesItemQuery(x))
+		if err != nil {
+			return 0, err
+		}
+		if len(a.Values) != len(want.Series) {
+			return 0, fmt.Errorf("series-item(%d): %d values, want %d", x, len(a.Values), len(want.Series))
+		}
+		for i := range want.Series {
+			if a.Values[i] != want.Series[i] {
+				return 0, fmt.Errorf("series-item(%d) t=%d: server %v, in-process %v", x, i+1, a.Values[i], want.Series[i])
+			}
+			checked++
+		}
+	}
+	for _, tk := range [][2]int{{w.D, 100}, {w.D, 10}, {w.D / 2, 1}, {1, 25}} {
+		t, k := tk[0], tk[1]
+		a, err := ask(transport.DomainQuery(transport.QueryTopK, 0, t, 0, k))
+		if err != nil {
+			return 0, fmt.Errorf("top-k(%d, %d): %w", t, k, err)
+		}
+		want, err := st.ref.Answer(ldp.TopKQuery(t, k))
+		if err != nil {
+			return 0, err
+		}
+		if len(a.Items) != len(want.Items) || len(a.Values) != len(want.Series) {
+			return 0, fmt.Errorf("top-k(%d, %d): shape %d/%d, want %d", t, k, len(a.Items), len(a.Values), len(want.Items))
+		}
+		for i := range want.Items {
+			if a.Items[i] != want.Items[i] || a.Values[i] != want.Series[i] {
+				return 0, fmt.Errorf("top-k(%d, %d) rank %d: server (%d, %v), in-process (%d, %v)",
+					t, k, i, a.Items[i], a.Values[i], want.Items[i], want.Series[i])
+			}
+			checked += 2
+		}
+	}
+	return checked, nil
+}
+
+// hashedRSSCeiling is the durable backend's acceptance memory bound:
+// a fixed process baseline plus a per-bucket allowance. It depends on
+// g and d only — deliberately not on the catalogue size m, because the
+// claim under test is that server memory is O(g·d) however large the
+// catalogue. An exact encoding at m=1e6, d=128 would need gigabytes of
+// row state and blows straight through this.
+func hashedRSSCeiling(g, d int) float64 {
+	return float64(192<<20) + float64(g)*float64(d)*256
+}
+
+// runHashedDomain is the hashed-domain acceptance test: spawn three
+// loloha-mode rtf-serve backends (backend 0 durable, with metrics) and
+// a matching rtf-gateway, ingest half the Zipf workload through the
+// gateway, kill -9 the durable backend mid-ingest, restart it on the
+// same port and data directory, verify — after recovery and again
+// after the remaining users — that every item-scoped answer through
+// the gateway is bit-for-bit the uninterrupted in-process hashed
+// DomainServer's, and finally assert the durable backend's RSS is
+// under the g-derived ceiling. Everything is then SIGTERMed and must
+// drain and exit 0.
+func runHashedDomain(st *domainDriver, serveBin, gatewayBin, mech string, d, k, m int, eps float64) error {
+	const nBackends = 3
+	g := st.enc.G
+	sBin, err := findBin(serveBin, "rtf-serve")
+	if err != nil {
+		return fmt.Errorf("finding rtf-serve (-serve-bin): %w", err)
+	}
+	gBin, err := findBin(gatewayBin, "rtf-gateway")
+	if err != nil {
+		return fmt.Errorf("finding rtf-gateway (-gateway-bin): %w", err)
+	}
+	tmp, err := os.MkdirTemp("", "rtf-hashed-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	dataDir := filepath.Join(tmp, "backend0")
+
+	common := []string{
+		"-mechanism", mech,
+		"-d", fmt.Sprint(d),
+		"-k", fmt.Sprint(k),
+		"-m", fmt.Sprint(m),
+		"-eps", fmt.Sprint(eps),
+		"-encoding", "loloha",
+		"-buckets", fmt.Sprint(g),
+		"-hash-seed", fmt.Sprint(st.enc.Seed),
+	}
+	durableArgs := func(addr string) []string {
+		return append([]string{
+			"-addr", addr,
+			"-metrics", "127.0.0.1:0", // scraped for the RSS ceiling check
+			"-data-dir", dataDir,
+			"-fsync",
+			"-snapshot-every", "300ms", // exercise snapshot+WAL interplay mid-run
+			"-grace", "10s",
+		}, common...)
+	}
+
+	start := time.Now()
+	backends := make([]*serveProc, nBackends)
+	addrs := make([]string, nBackends)
+	defer func() {
+		for _, p := range backends {
+			if p != nil {
+				p.kill()
+			}
+		}
+	}()
+	for i := 0; i < nBackends; i++ {
+		args := append([]string{"-addr", "127.0.0.1:0"}, common...)
+		if i == 0 {
+			args = durableArgs("127.0.0.1:0")
+		}
+		p, a, err := startProc(sBin, fmt.Sprintf("backend%d", i), args)
+		if err != nil {
+			return fmt.Errorf("starting backend %d: %w", i, err)
+		}
+		backends[i], addrs[i] = p, a
+	}
+
+	gwArgs := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-backends", strings.Join(addrs, ","),
+		"-grace", "10s",
+	}, common...)
+	gw, gwAddr, err := startProc(gBin, "rtf-gateway", gwArgs)
+	if err != nil {
+		return fmt.Errorf("starting rtf-gateway: %w", err)
+	}
+	defer func() {
+		if gw != nil {
+			gw.kill()
+		}
+	}()
+
+	// Phase 1 lands in two chunks with a pause long enough for a
+	// periodic snapshot on backend 0, so the kill tests real mixed
+	// recovery (snapshot + WAL suffix), not a full-log replay.
+	half := st.w.N / 2
+	fmt.Printf("hashed     phase 1: %d users over an m=%d catalogue hashed to g=%d buckets -> gateway %s over %d backends (backend 0 durable at %s)\n",
+		half, m, g, gwAddr, nBackends, dataDir)
+	if err := st.sendUsers(gwAddr, 0, half/2); err != nil {
+		return err
+	}
+	time.Sleep(700 * time.Millisecond) // > -snapshot-every: let a snapshot cover the prefix
+	if err := st.sendUsers(gwAddr, half/2, half); err != nil {
+		return err
+	}
+	if _, err := st.verifyHashed(gwAddr); err != nil {
+		return fmt.Errorf("pre-crash verification: %w", err)
+	}
+
+	// The kill must land mid-ingest on the durable backend. A doomed
+	// connection streams phantom-user hashed-hello batches through the
+	// gateway, with user ids ≡ 0 mod nBackends so every one routes to
+	// backend 0. Hellos hit backend 0's WAL and per-bucket user counters
+	// but never the interval sums — and the bucket decoder is a fixed
+	// function of the interval sums alone — so whatever prefix survives
+	// the crash, every estimate the verifications below check stays
+	// exactly the in-process engine's.
+	doomedConn, err := net.Dial("tcp", gwAddr)
+	if err != nil {
+		return err
+	}
+	doomed := make(chan struct{})
+	go func() {
+		defer close(doomed)
+		enc := transport.NewEncoder(doomedConn)
+		batch := make([]transport.Msg, 64)
+		for u := 0; ; u++ {
+			for i := range batch {
+				batch[i] = transport.HashedDomainHello(6_000_000+(u*len(batch)+i)*nBackends, 0, 0, st.enc.Seed)
+			}
+			if err := enc.EncodeBatch(batch); err != nil {
+				return
+			}
+			if err := enc.Flush(); err != nil {
+				return // the connection was closed under us: done
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the doomed stream get going
+	fmt.Printf("hashed     kill -9 backend 0 (pid %d) mid-ingest\n", backends[0].cmd.Process.Pid)
+	if err := backends[0].cmd.Process.Kill(); err != nil {
+		return err
+	}
+	backends[0].wait() // "signal: killed" is the expected outcome
+	backends[0] = nil
+	doomedConn.Close()
+	<-doomed
+
+	// Restart backend 0 on the same port (the gateway's backend list is
+	// fixed) and data directory: boot recovery = snapshot + WAL suffix.
+	restarted, raddr, err := startProc(sBin, "backend0", durableArgs(addrs[0]))
+	if err != nil {
+		return fmt.Errorf("restarting backend 0 after kill: %w", err)
+	}
+	backends[0] = restarted
+	if raddr != addrs[0] {
+		return fmt.Errorf("backend 0 restarted at %s, want %s", raddr, addrs[0])
+	}
+	if checked, err := st.verifyHashed(gwAddr); err != nil {
+		return fmt.Errorf("post-recovery verification through the gateway: %w", err)
+	} else {
+		fmt.Printf("hashed     backend 0 recovered: %d values bit-for-bit through the gateway\n", checked)
+	}
+
+	fmt.Printf("hashed     phase 2: %d users -> gateway %s\n", st.w.N-half, gwAddr)
+	if err := st.sendUsers(gwAddr, half, st.w.N); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	checked, err := st.verifyHashed(gwAddr)
+	if err != nil {
+		return fmt.Errorf("final verification: %w", err)
+	}
+
+	// The memory claim: the durable backend — holding the full durable
+	// bucket state for its partition of a million-item catalogue — must
+	// fit under a ceiling derived from g and d, not m. ?gc=1 forces a GC
+	// and a scavenge first, so the reading is live heap, not the
+	// allocator's return-to-OS lag.
+	if backends[0].metricsAddr == "" {
+		return fmt.Errorf("durable backend reported no metrics address")
+	}
+	snap, err := obs.Fetch("http://" + backends[0].metricsAddr + "/metrics?gc=1")
+	if err != nil {
+		return fmt.Errorf("scraping the durable backend's metrics: %w", err)
+	}
+	rss := snap.Gauges["process_rss_bytes"]
+	ceiling := hashedRSSCeiling(g, d)
+	if rss <= 0 {
+		return fmt.Errorf("durable backend reported no process_rss_bytes gauge")
+	}
+	if rss > ceiling {
+		return fmt.Errorf("durable backend RSS %.1fMB exceeds the g-derived ceiling %.1fMB (g=%d, d=%d, m=%d): bucket state is not bounding memory",
+			rss/1e6, ceiling/1e6, g, d, m)
+	}
+
+	// Graceful shutdown, front to back: the gateway and every backend
+	// must drain and exit 0 on SIGTERM (backend 0 flushing a final
+	// snapshot).
+	if err := gw.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := gw.wait(); err != nil {
+		return fmt.Errorf("rtf-gateway did not exit 0 on SIGTERM: %w", err)
+	}
+	gw = nil
+	for i, p := range backends {
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			return err
+		}
+		if err := p.wait(); err != nil {
+			return fmt.Errorf("backend %d did not exit 0 on SIGTERM: %w", i, err)
+		}
+		backends[i] = nil
+	}
+
+	fmt.Printf("hashed mechanism=%s n=%d d=%d k=%d m=%d g=%d eps=%v conns=%d batch=%d seed=%d backends=%d\n",
+		st.mech, st.w.N, st.w.D, st.w.K, m, g, eps, st.conns, st.batch, st.seed, nBackends)
+	fmt.Printf("reports    %d (%d users over %d items in %d buckets)\n", st.reports, st.w.N, m, g)
+	fmt.Printf("wire bytes %d\n", st.bytes)
+	fmt.Printf("elapsed    %v (%.0f reports/s)\n", elapsed.Round(time.Millisecond), float64(st.reports)/elapsed.Seconds())
+	fmt.Printf("checked    %d item-scoped values (TopK over the full catalogue, sampled PointItem/SeriesItem) bit-for-bit\n", checked)
+	fmt.Printf("rss        durable backend %.1fMB <= g-derived ceiling %.1fMB (catalogue m=%d never materialized)\n", rss/1e6, ceiling/1e6, m)
+	fmt.Println("hashed     kill -9 + restart of the durable backend recovered bit-for-bit; gateway and backends drained and exited 0")
+	return nil
+}

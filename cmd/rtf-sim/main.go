@@ -123,6 +123,8 @@ func main() {
 		memberM  = flag.Bool("membership", false, "run the dynamic-membership acceptance test: spawn an rtf-gateway -members front over rtf-serve -membership backends (K=2 replicas, 16 virtual shards), join a member mid-ingest asserting ~1/N shard movement, drain one via snapshot handoff, kill -9 a replica, verify every query shape bit-for-bit throughout (combinable with -domain)")
 		domSize  = flag.Int("m", 8, "domain size for -domain mode")
 		domZipf  = flag.Float64("zipf-s", 1.2, "Zipf exponent over items in -domain mode")
+		hashedM  = flag.Bool("hashed", false, "with -domain: run the hashed-domain (LOLOHA) acceptance test — the same topology and kill -9 recovery under -encoding loloha, a catalogue past the exact 4096 cap, TopK/sampled-item verification bit-for-bit, and a g-derived server RSS ceiling")
+		domBuck  = flag.Int("buckets", 256, "bucket count g for -domain -hashed")
 		serveBin = flag.String("serve-bin", "", "rtf-serve binary for -recover/-cluster/-soak (default: next to this binary, then $PATH)")
 		gwBin    = flag.String("gateway-bin", "", "rtf-gateway binary for -cluster/-soak (default: next to this binary, then $PATH)")
 		soak     = flag.Bool("soak", false, "run the soak harness: spawn a serving topology, drive paced acked-batch ingest at -qps for -duration with a mid-run overload burst, scrape /metrics, assert steady memory, bounded queue, whole-batch shedding and the p99 ceiling, then verify every answer bit-for-bit against a reference fed only the acked batches")
@@ -148,6 +150,25 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *hashedM {
+			if *memberM {
+				fatal(fmt.Errorf("-membership does not support -hashed yet"))
+			}
+			if !mc.Caps.HashedDomain {
+				fatal(fmt.Errorf("-hashed needs a hashed-domain-capable mechanism, got %q", *proto))
+			}
+			// The epoch hash seed is derived from -seed so the whole run —
+			// workload, per-user engines, item→bucket map — replays from
+			// one number.
+			st, err := newHashedDomainDriver(dw, mech, *eps, *domBuck, uint64(*seed)+0x10f0, *conns, *batch, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			if err := runHashedDomain(st, *serveBin, *gwBin, *proto, *d, *k, *domSize, *eps); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		st, err := newDomainDriver(dw, mech, *eps, *conns, *batch, *seed)
 		if err != nil {
 			fatal(err)
@@ -163,6 +184,10 @@ func main() {
 			fatal(err)
 		}
 		return
+	}
+
+	if *hashedM {
+		fatal(fmt.Errorf("-hashed requires -domain"))
 	}
 
 	w, err := loadWorkload(*wlIn, *wl, *n, *d, *k, *seed)

@@ -54,10 +54,14 @@ type Gateway struct {
 	client *transport.ClusterClient
 	d      int
 	scale  float64
-	// m is the domain size when the gateway fronts domain-mode backends
-	// (the richer-domain reduction); 0 means the Boolean protocol. A
-	// gateway serves exactly one of the two modes, like its backends.
+	// m is the row count when the gateway fronts domain-mode backends
+	// (the richer-domain reduction): the domain size under the exact
+	// encoding, the bucket count under a hashed one. 0 means the Boolean
+	// protocol. A gateway serves exactly one mode, like its backends.
 	m int
+	// enc is the hashed domain encoding when the gateway fronts
+	// hashed-domain backends; the zero value means exact or Boolean.
+	enc hh.DomainEncoding
 
 	// ErrorLog, when non-nil, receives per-connection decode/validation
 	// failures (which close that connection but not the gateway).
@@ -115,6 +119,33 @@ func NewDomain(d, m int, scale float64, client *transport.ClusterClient) *Gatewa
 		d:      d,
 		scale:  scale,
 		m:      m,
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// NewHashedDomain builds a gateway fronting hashed-domain backends:
+// horizon d, the shared domain encoding (catalogue size, bucket count,
+// epoch hash seed — checked against every backend on each gather), and
+// the Boolean mechanism's estimator scale. The gateway's row space is
+// the bucket space, so the verbatim domain fold and merge paths apply
+// with m = g. Panics on an invalid or non-hashed encoding, mirroring
+// NewDomain's contract.
+func NewHashedDomain(d int, enc hh.DomainEncoding, scale float64, client *transport.ClusterClient) *Gateway {
+	if !dyadic.IsPow2(d) {
+		panic(fmt.Sprintf("cluster: d=%d not a power of two", d))
+	}
+	if err := enc.Validate(); err != nil {
+		panic("cluster: " + err.Error())
+	}
+	if !enc.Hashed() {
+		panic(fmt.Sprintf("cluster: encoding %q is not hashed", enc.Name))
+	}
+	return &Gateway{
+		client: client,
+		d:      d,
+		scale:  scale,
+		m:      enc.G,
+		enc:    enc,
 		conns:  make(map[net.Conn]struct{}),
 	}
 }
@@ -545,6 +576,9 @@ func (g *Gateway) serveConn(conn net.Conn) error {
 }
 
 func (g *Gateway) serveFrames(s *session, dec *transport.Decoder, enc *transport.Encoder) error {
+	if g.enc.Hashed() {
+		return g.serveHashedDomainFrames(s, dec, enc)
+	}
 	if g.m > 0 {
 		return g.serveDomainFrames(s, dec, enc)
 	}
@@ -753,6 +787,160 @@ func (g *Gateway) serveDomainFrames(s *session, dec *transport.Decoder, enc *tra
 						return err
 					}
 				case transport.MsgDomainSums:
+					merged, err := g.mergeDomainFrames(frames)
+					if err != nil {
+						return err
+					}
+					if err := enc.EncodeDomainSums(merged); err != nil {
+						return err
+					}
+				}
+				return enc.Flush()
+			})
+		if holding {
+			g.Queue.Release()
+		}
+		if err != nil {
+			return err
+		}
+		if err := g.finishBatch(acked, enc, ingest, start); err != nil {
+			return err
+		}
+	}
+}
+
+// gatherHashedDomain is gatherDomain against hashed-domain backends:
+// the fetch carries the gateway's encoding parameters, so a backend
+// hashing under a different seed (or sized differently) refuses the
+// request instead of handing over incompatible bucket counters.
+func (s *session) gatherHashedDomain() ([]transport.DomainSumsFrame, error) {
+	n := s.g.client.N()
+	frames := make([]transport.DomainSumsFrame, n)
+	errs := make([]error, n)
+	enc := s.g.enc
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			f, err := fetchBackend(s, i, func(bc *transport.BackendConn) (transport.DomainSumsFrame, error) {
+				return bc.FetchHashedDomainSums(enc.M, enc.G, enc.Seed)
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			frames[i] = f
+			if m := s.g.Metrics; m != nil {
+				m.ObserveScatter(i, time.Since(start))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return frames, nil
+}
+
+// foldHashedDomain merges gathered per-backend bucket frames into a
+// fresh serial hashed domain server: the raw g-row fold is foldDomain
+// verbatim (MergeInto checks each frame's dimensions), and the decode
+// layer on top answers item-scoped queries bit-for-bit like a single
+// hashed server fed every backend's reports.
+func (g *Gateway) foldHashedDomain(frames []transport.DomainSumsFrame) (*hh.HashedDomainServer, error) {
+	hs := hh.NewHashedDomainServer(g.d, g.enc, g.scale, 1)
+	for i := range frames {
+		if err := frames[i].MergeInto(hs.Inner()); err != nil {
+			return nil, fmt.Errorf("merging domain sums from backend %d: %w", i, err)
+		}
+	}
+	return hs, nil
+}
+
+// serveHashedDomainFrames is serveDomainFrames for a hashed-domain
+// gateway: bucket-tagged ingest runs are partitioned by user and
+// forwarded, item-scoped queries are validated against the catalogue
+// and answered by bucket-space scatter/gather plus the decode layer.
+// Encoding-checked sums requests (MsgHashedDomainSums) are answered
+// after the same parameter check a backend applies, so gateways stack;
+// plain MsgDomainSums — like every other off-mode frame — fails the
+// connection, mirroring a hashed-domain rtf-serve.
+func (g *Gateway) serveHashedDomainFrames(s *session, dec *transport.Decoder, enc *transport.Encoder) error {
+	isQuery := func(m transport.Msg) bool {
+		return m.Type == transport.MsgDomainQuery || m.Type == transport.MsgHashedDomainSums
+	}
+	for {
+		ms, err := dec.NextBatch()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil // clean client close or gateway shutdown
+			}
+			return err
+		}
+		acked := dec.AckedBatch()
+		start := time.Now()
+		ingest := 0
+		// Atomic batches, as on a single server: validate every frame
+		// before forwarding or answering anything.
+		for _, m := range ms {
+			if acked && isQuery(m) {
+				return fmt.Errorf("message type %d (query) inside acked batch", m.Type)
+			}
+			switch m.Type {
+			case transport.MsgDomainQuery:
+				if err := transport.ValidateHashedDomainQuery(g.d, g.enc.M, m); err != nil {
+					return err
+				}
+			case transport.MsgHashedDomainSums:
+				if m.Item != g.enc.M || m.K != g.enc.G || m.Seed != g.enc.Seed {
+					return fmt.Errorf("hashed sums request for m=%d g=%d seed=%d, gateway encodes m=%d g=%d under a different seed",
+						m.Item, m.K, m.Seed, g.enc.M, g.enc.G)
+				}
+			default:
+				// The identical checks the backend collector runs, so a
+				// batch the gateway accepts cannot be rejected downstream
+				// mid-forward.
+				if err := transport.ValidateHashedDomainIngest(g.d, g.enc, m); err != nil {
+					return err
+				}
+				ingest++
+			}
+		}
+		shed, holding, err := g.admitBatch(acked, enc)
+		if err != nil {
+			return err
+		}
+		if shed {
+			continue
+		}
+		err = transport.BatchRuns(ms, isQuery,
+			s.forward,
+			func(m transport.Msg) error {
+				if g.Metrics != nil {
+					g.Metrics.CountQuery("hashed-domain", transport.QueryKindName(m))
+				}
+				frames, err := s.gatherHashedDomain()
+				if err != nil {
+					return err
+				}
+				switch m.Type {
+				case transport.MsgDomainQuery:
+					hs, err := g.foldHashedDomain(frames)
+					if err != nil {
+						return err
+					}
+					ans, err := transport.AnswerHashedDomainQuery(hs, m)
+					if err != nil {
+						return err
+					}
+					if err := enc.EncodeDomainAnswer(ans); err != nil {
+						return err
+					}
+				case transport.MsgHashedDomainSums:
 					merged, err := g.mergeDomainFrames(frames)
 					if err != nil {
 						return err

@@ -1,0 +1,392 @@
+package hh
+
+// This file is the DomainEncoding seam: the mapping between catalogue
+// items and the rows the server actually materializes. The exact
+// encoding is the identity (one row per item, the per-item indicator
+// reduction of the paper's Section 1 adaptation); the loloha encoding
+// hashes the catalogue down to g buckets client-side (longitudinal
+// local hashing, L-OLH/LOLOHA — Arcolezi et al., arXiv:2111.04636 and
+// arXiv:2210.00262) so server memory scales with g, not m, and decodes
+// the g bucket counters back into unbiased per-item frequency
+// estimates. The row accumulator itself (protocol.DomainSharded via
+// DomainServer) is reused verbatim with g rows instead of m.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rtf/internal/protocol"
+)
+
+// Encoding names. EncodingExact is the per-item indicator reduction
+// (one server row per catalogue item); EncodingLoloha is longitudinal
+// optimized local hashing (item → bucket, g server rows).
+const (
+	EncodingExact  = "exact"
+	EncodingLoloha = "loloha"
+)
+
+// MaxDomainRows caps the number of rows a domain server materializes —
+// one dyadic accumulator row each — so a configured or wire-carried
+// size cannot force a huge allocation. It is THE domain-size cap of the
+// exact encoding (transport.MaxDomainM and ldp.MaxDomainSize alias it)
+// and the bucket-count cap of hashed encodings.
+const MaxDomainRows = 1 << 12
+
+// MaxHashedDomainM caps the catalogue size of hashed encodings. The
+// catalogue is never materialized server-side — only g rows are — but
+// query answering sweeps it (TopK hashes every item), so it is bounded
+// too.
+const MaxHashedDomainM = 1 << 24
+
+// DomainEncoding identifies how catalogue items map onto server rows.
+// It is threaded through every layer — options, wire hellos and sums
+// requests, snapshot meta — so a client, server, gateway and recovered
+// snapshot can only interoperate when they agree on it.
+type DomainEncoding struct {
+	Name string // EncodingExact or EncodingLoloha
+	M    int    // catalogue size
+	G    int    // bucket count (hashed encodings; 0 for exact)
+	Seed uint64 // shared epoch hash seed (hashed encodings; 0 for exact)
+}
+
+// ExactEncoding is the identity encoding over m items.
+func ExactEncoding(m int) DomainEncoding {
+	return DomainEncoding{Name: EncodingExact, M: m}
+}
+
+// LolohaEncoding hashes an m-item catalogue to g buckets under the
+// shared epoch seed. Every client of one collection epoch uses the same
+// seed: the g-row aggregate only identifies items because the server
+// can recompute each item's bucket.
+func LolohaEncoding(m, g int, seed uint64) DomainEncoding {
+	return DomainEncoding{Name: EncodingLoloha, M: m, G: g, Seed: seed}
+}
+
+// Hashed reports whether the encoding maps many items onto one row.
+func (e DomainEncoding) Hashed() bool { return e.Name == EncodingLoloha }
+
+// Rows returns the number of rows a server materializes under this
+// encoding: m for exact, g for hashed.
+func (e DomainEncoding) Rows() int {
+	if e.Hashed() {
+		return e.G
+	}
+	return e.M
+}
+
+// Validate checks the encoding's parameters against the caps.
+func (e DomainEncoding) Validate() error {
+	switch e.Name {
+	case EncodingExact:
+		if e.M < 2 || e.M > MaxDomainRows {
+			return fmt.Errorf("hh: exact encoding domain size m=%d outside [2..%d]", e.M, MaxDomainRows)
+		}
+		if e.G != 0 || e.Seed != 0 {
+			return fmt.Errorf("hh: exact encoding carries hash parameters (g=%d seed=%d)", e.G, e.Seed)
+		}
+	case EncodingLoloha:
+		if e.M < 2 || e.M > MaxHashedDomainM {
+			return fmt.Errorf("hh: loloha encoding catalogue size m=%d outside [2..%d]", e.M, MaxHashedDomainM)
+		}
+		if e.G < 2 || e.G > MaxDomainRows {
+			return fmt.Errorf("hh: loloha encoding bucket count g=%d outside [2..%d]", e.G, MaxDomainRows)
+		}
+	default:
+		return fmt.Errorf("hh: unknown domain encoding %q", e.Name)
+	}
+	return nil
+}
+
+// splitmix64 is the SplitMix64 finalizer: a full-avalanche bijection on
+// uint64, cheap enough to hash every catalogue item in a TopK sweep.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Bucket maps a catalogue item to its server row under a hashed
+// encoding. Clients and servers of one epoch share the seed, so they
+// agree on the map.
+func (e DomainEncoding) Bucket(item int) int {
+	return int(splitmix64(e.Seed^uint64(item)) % uint64(e.G))
+}
+
+// OptimalBuckets returns LOLOHA's optimal bucket count g* for the
+// two-level budget split: epsPerm is the permanent (infinity-report)
+// budget ε_perm and eps1 the per-report budget ε_1 < ε_perm. The closed
+// form (Arcolezi et al., arXiv:2210.00262, eq. 8, with α = ε_1/ε_perm)
+// minimizes estimator variance over g; outside its real-valued domain
+// (tiny budgets) the binary split g = 2 is optimal and returned.
+func OptimalBuckets(epsPerm, eps1 float64) int {
+	if !(epsPerm > 0) || !(eps1 > 0) || eps1 >= epsPerm {
+		return 2
+	}
+	a := eps1 / epsPerm
+	e := epsPerm
+	disc := math.Exp(4*e) - 14*math.Exp(2*e) - 12*math.Exp(2*e*(a+1)) +
+		12*math.Exp(e*(a+1)) + 12*math.Exp(e*(a+3)) + 1
+	if disc < 0 {
+		return 2
+	}
+	g := math.Round((math.Sqrt(disc) - math.Exp(2*e) + 6*math.Exp(e) - 6*math.Exp(e*a) + 1) /
+		(6 * (math.Exp(e) - math.Exp(e*a))))
+	if math.IsNaN(g) || g < 2 {
+		return 2
+	}
+	if g > MaxDomainRows {
+		return MaxDomainRows
+	}
+	return int(g)
+}
+
+// HashedDomainClient is the client half of a hashed encoding: it maps
+// the user's current catalogue item to its bucket and runs the ordinary
+// bucket-space DomainClient (sampled target bucket, Boolean indicator
+// stream) on the result. Its wire frames are therefore the ordinary
+// item-tagged frames with Item = the sampled bucket.
+type HashedDomainClient struct {
+	enc   DomainEncoding
+	inner *DomainClient // bucket space: item = sampled bucket, m = g
+}
+
+// NewHashedDomainClient builds the client for one user whose sampled
+// target bucket is bucket (uniform in [0, g)). inner is the user's
+// Boolean mechanism client.
+func NewHashedDomainClient(bucket int, enc DomainEncoding, inner Observer) (*HashedDomainClient, error) {
+	if err := enc.Validate(); err != nil {
+		return nil, err
+	}
+	if !enc.Hashed() {
+		return nil, fmt.Errorf("hh: encoding %q is not hashed", enc.Name)
+	}
+	c, err := NewDomainClient(bucket, enc.G, inner)
+	if err != nil {
+		return nil, err
+	}
+	return &HashedDomainClient{enc: enc, inner: c}, nil
+}
+
+// Bucket returns the client's sampled target bucket — the value carried
+// as Item in its wire hello.
+func (c *HashedDomainClient) Bucket() int { return c.inner.Item() }
+
+// Order returns the inner mechanism client's announced order.
+func (c *HashedDomainClient) Order() int { return c.inner.Order() }
+
+// Encoding returns the client's encoding.
+func (c *HashedDomainClient) Encoding() DomainEncoding { return c.enc }
+
+// Observe consumes the user's current catalogue value (−1 = no item)
+// for the next period, hashes it to its bucket, and feeds the bucket
+// indicator to the mechanism client.
+func (c *HashedDomainClient) Observe(value int) (protocol.Report, bool, error) {
+	if value < -1 || value >= c.enc.M {
+		return protocol.Report{}, false, fmt.Errorf("hh: value %d outside [-1..%d)", value, c.enc.M)
+	}
+	b := -1
+	if value >= 0 {
+		b = c.enc.Bucket(value)
+	}
+	return c.inner.Observe(b)
+}
+
+// HashedDomainServer serves item queries over a hashed encoding: the
+// inner DomainServer keeps g rows (one per bucket, the verbatim
+// DomainSharded counter matrix), and the decode step turns bucket
+// estimates into unbiased item estimates.
+//
+// With F̂(b, t) the bucket-b estimate and N̂(t) = Σ_b F̂(b, t) (summed in
+// fixed bucket order 0..g−1, so every deployment decodes bit-for-bit
+// identically), the item estimate is
+//
+//	f̂(x, t) = (F̂(B(x), t) − N̂(t)/g) · g/(g−1)
+//
+// Each item y ≠ x lands in x's bucket with probability 1/g over the
+// seed draw, so E[F̂(B(x))] = f(x) + (N − f(x))/g and the decode is
+// unbiased in expectation over the shared seed.
+type HashedDomainServer struct {
+	enc   DomainEncoding
+	inner *DomainServer // g rows
+}
+
+// NewHashedDomainServer builds a hashed domain server for horizon d
+// under the encoding, with the Boolean mechanism's estimator scale.
+// Panics on an invalid or non-hashed encoding, mirroring
+// NewDomainServer's contract.
+func NewHashedDomainServer(d int, enc DomainEncoding, boolScale float64, shards int) *HashedDomainServer {
+	if err := enc.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if !enc.Hashed() {
+		panic(fmt.Sprintf("hh: encoding %q is not hashed", enc.Name))
+	}
+	return &HashedDomainServer{enc: enc, inner: NewDomainServer(d, enc.G, boolScale, shards)}
+}
+
+// Encoding returns the server's encoding.
+func (s *HashedDomainServer) Encoding() DomainEncoding { return s.enc }
+
+// D returns the horizon.
+func (s *HashedDomainServer) D() int { return s.inner.D() }
+
+// M returns the catalogue size (not the row count).
+func (s *HashedDomainServer) M() int { return s.enc.M }
+
+// G returns the bucket (row) count.
+func (s *HashedDomainServer) G() int { return s.enc.G }
+
+// Inner returns the g-row DomainServer holding the raw bucket
+// counters. Ingest, folds, raw-sums export and snapshot state all go
+// through it — a hashed deployment's wire sums and durable state are
+// ordinary g-row domain frames.
+func (s *HashedDomainServer) Inner() *DomainServer { return s.inner }
+
+// Users returns the number of registered users.
+func (s *HashedDomainServer) Users() int { return s.inner.Users() }
+
+// Register records a user's sampled bucket and announced order.
+func (s *HashedDomainServer) Register(shard, bucket, order int) {
+	s.inner.Register(shard, bucket, order)
+}
+
+// Ingest accumulates one bucket-tagged report.
+func (s *HashedDomainServer) Ingest(shard, bucket int, r protocol.Report) {
+	s.inner.Ingest(shard, bucket, r)
+}
+
+// checkItem bounds-checks a catalogue item.
+func (s *HashedDomainServer) checkItem(x int) {
+	if x < 0 || x >= s.enc.M {
+		panic(fmt.Sprintf("hh: item %d outside [0..%d)", x, s.enc.M))
+	}
+}
+
+// decodeBuckets turns bucket estimates into per-bucket decoded item
+// values: dec[b] is the frequency estimate of any item hashing to b.
+// The total N̂ is summed in fixed bucket order.
+func (s *HashedDomainServer) decodeBuckets(est []float64) []float64 {
+	g := float64(s.enc.G)
+	var total float64
+	for _, v := range est {
+		total += v
+	}
+	dec := make([]float64, len(est))
+	for b, v := range est {
+		dec[b] = (v - total/g) * g / (g - 1)
+	}
+	return dec
+}
+
+// decodeBucketsAt returns the per-bucket decoded values at time t.
+func (s *HashedDomainServer) decodeBucketsAt(t int) []float64 {
+	return s.decodeBuckets(s.inner.acc.EstimateAllAt(t))
+}
+
+// EstimateItemAt returns the decoded frequency estimate f̂(x, t).
+func (s *HashedDomainServer) EstimateItemAt(item, t int) float64 {
+	s.checkItem(item)
+	return s.decodeBucketsAt(t)[s.enc.Bucket(item)]
+}
+
+// EstimateItemSeries returns the decoded series f̂(x, 1..d).
+func (s *HashedDomainServer) EstimateItemSeries(item int) []float64 {
+	s.checkItem(item)
+	d := s.inner.D()
+	total := make([]float64, d)
+	var own []float64
+	b := s.enc.Bucket(item)
+	for row := 0; row < s.enc.G; row++ {
+		series := s.inner.EstimateItemSeries(row)
+		for t := range series {
+			total[t] += series[t]
+		}
+		if row == b {
+			own = series
+		}
+	}
+	g := float64(s.enc.G)
+	out := make([]float64, d)
+	for t := range out {
+		out[t] = (own[t] - total[t]/g) * g / (g - 1)
+	}
+	return out
+}
+
+// TopK returns the k catalogue items with the largest decoded estimate
+// at time t, in decreasing order with ties broken toward the smaller
+// item — the same ordering contract as the exact DomainServer. The
+// sweep hashes every catalogue item but keeps only a k-bounded
+// selection, so memory is O(g + k), never O(m).
+func (s *HashedDomainServer) TopK(t, k int) []ItemCount {
+	if t < 1 || t > s.inner.D() {
+		panic(fmt.Sprintf("hh: time %d out of range [1..%d]", t, s.inner.D()))
+	}
+	if k < 0 {
+		panic("hh: negative k")
+	}
+	if k > s.enc.M {
+		k = s.enc.M
+	}
+	dec := s.decodeBucketsAt(t)
+	// Min-heap of the k best so far; less = worse (smaller count, ties
+	// toward the larger item, so the root is always the entry a better
+	// candidate should displace). Items arrive in ascending order, so a
+	// candidate equal to the root never displaces it — among boundary
+	// ties the smaller items win, exactly the full-sort-and-truncate
+	// selection of the exact encoding.
+	h := make([]ItemCount, 0, k)
+	worse := func(a, b ItemCount) bool {
+		if a.Count != b.Count {
+			return a.Count < b.Count
+		}
+		return a.Item > b.Item
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(h) && worse(h[l], h[min]) {
+				min = l
+			}
+			if r < len(h) && worse(h[r], h[min]) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			h[i], h[min] = h[min], h[i]
+			i = min
+		}
+	}
+	for x := 0; x < s.enc.M; x++ {
+		c := ItemCount{Item: x, Count: dec[s.enc.Bucket(x)]}
+		if len(h) < k {
+			h = append(h, c)
+			for i := len(h) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !worse(h[i], h[p]) {
+					break
+				}
+				h[i], h[p] = h[p], h[i]
+				i = p
+			}
+			continue
+		}
+		if k == 0 || !worse(h[0], c) {
+			continue
+		}
+		h[0] = c
+		siftDown(0)
+	}
+	sort.Slice(h, func(i, j int) bool {
+		if h[i].Count != h[j].Count {
+			return h[i].Count > h[j].Count
+		}
+		return h[i].Item < h[j].Item
+	})
+	return h
+}

@@ -1,0 +1,101 @@
+package persist
+
+import (
+	"encoding/hex"
+	"reflect"
+	"testing"
+)
+
+// The version-2 snapshot images below were captured before the
+// DomainEncoding refactor. Data directories written by older builds
+// must keep loading byte-for-byte, and — since a non-hashed Meta still
+// encodes as version 2 — new builds must keep producing the identical
+// bytes for the identical state.
+
+const (
+	goldenBoolSnapHex   = "525446534e415002deb4e5c62a0a66757475726572616e6480020400000000000000f03f0000000000000440050102030405"
+	goldenDomainSnapHex = "525446534e4150026e967783e8070a65726c696e6773736f6e80010210000000000000e03f0000000000000a4004deadbeef"
+)
+
+func goldenBoolSnap() *Snapshot {
+	return &Snapshot{
+		Cursor: 42,
+		Meta:   Meta{Mechanism: "futurerand", D: 256, K: 4, Eps: 1, Scale: 2.5},
+		State:  []byte{1, 2, 3, 4, 5},
+	}
+}
+
+func goldenDomainSnap() *Snapshot {
+	return &Snapshot{
+		Cursor: 1000,
+		Meta:   Meta{Mechanism: "erlingsson", D: 128, K: 2, M: 16, Eps: 0.5, Scale: 3.25},
+		State:  []byte{0xde, 0xad, 0xbe, 0xef},
+	}
+}
+
+// TestSnapshotGoldenBytes pins the version-2 snapshot encoding, both
+// directions. A diff here breaks recovery of existing data directories,
+// not a test to update casually.
+func TestSnapshotGoldenBytes(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		snap *Snapshot
+		hex  string
+	}{
+		{"bool", goldenBoolSnap(), goldenBoolSnapHex},
+		{"domain", goldenDomainSnap(), goldenDomainSnapHex},
+	} {
+		if got := hex.EncodeToString(EncodeSnapshot(c.snap)); got != c.hex {
+			t.Errorf("%s snapshot encoding changed:\n got  %s\n want %s", c.name, got, c.hex)
+		}
+		raw, err := hex.DecodeString(c.hex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeSnapshot(raw)
+		if err != nil {
+			t.Fatalf("%s: pinned image no longer decodes: %v", c.name, err)
+		}
+		if !reflect.DeepEqual(got, c.snap) {
+			t.Errorf("%s: pinned image decoded to %+v, want %+v", c.name, got, c.snap)
+		}
+		if raw[len(snapMagic)] != snapVersion {
+			t.Errorf("%s: non-hashed meta must stay on version %d, image has %d", c.name, snapVersion, raw[len(snapMagic)])
+		}
+	}
+}
+
+// TestSnapshotVersionGating checks the version fence around the hashed
+// extension: hashed metadata forces version 3, a version-3 image
+// round-trips the encoding identity exactly, and unknown versions — v1
+// from the distant past or anything from the future — are refused.
+func TestSnapshotVersionGating(t *testing.T) {
+	hashed := &Snapshot{
+		Cursor: 7,
+		Meta: Meta{
+			Mechanism: "futurerand", D: 128, K: 2, M: 1 << 20,
+			Encoding: "loloha", G: 256, HashSeed: 0xdeadbeef,
+			Eps: 1, Scale: 2.0,
+		},
+		State: []byte{9, 8, 7},
+	}
+	img := EncodeSnapshot(hashed)
+	if img[len(snapMagic)] != snapVersionHashed {
+		t.Fatalf("hashed meta encoded as version %d, want %d", img[len(snapMagic)], snapVersionHashed)
+	}
+	got, err := DecodeSnapshot(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, hashed) {
+		t.Fatalf("hashed snapshot round trip: %+v, want %+v", got, hashed)
+	}
+
+	for _, v := range []byte{0, 1, snapVersionHashed + 1, 255} {
+		bad := append([]byte(nil), img...)
+		bad[len(snapMagic)] = v
+		if _, err := DecodeSnapshot(bad); err == nil {
+			t.Errorf("snapshot version %d accepted", v)
+		}
+	}
+}

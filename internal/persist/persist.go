@@ -57,12 +57,19 @@ const (
 	walVersion = 1
 	// snapVersion 2 added the domain-size field to the meta block
 	// (Meta.M); version-1 snapshots are refused rather than misparsed.
-	snapVersion  = 2
-	headerLen    = 8 // magic + version byte, both formats
-	walSegPrefix = "wal-"
-	walSegSuffix = ".seg"
-	snapPrefix   = "snap-"
-	snapSuffix   = ".rtfs"
+	snapVersion = 2
+	// snapVersionHashed (3) appends the hashed-encoding fields to the
+	// meta block (Meta.Encoding, Meta.G, Meta.HashSeed). Writers emit it
+	// only when one of those fields is set, so every snapshot an
+	// exact-encoding deployment writes stays byte-identical to version 2
+	// — and readable by older builds. Decoders accept both versions and
+	// refuse anything else rather than misparse it.
+	snapVersionHashed = 3
+	headerLen         = 8 // magic + version byte, both formats
+	walSegPrefix      = "wal-"
+	walSegSuffix      = ".seg"
+	snapPrefix        = "snap-"
+	snapSuffix        = ".rtfs"
 )
 
 // MaxRecordLen bounds a WAL record's declared payload length, so a
@@ -88,19 +95,40 @@ type Meta struct {
 	M         int     // domain size of the richer-domain extension (0 = Boolean)
 	Eps       float64 // privacy budget
 	Scale     float64 // estimator scale of Algorithm 2
+
+	// Hashed domain encodings only (all zero for Boolean and
+	// exact-encoding servers, keeping their snapshots at version 2
+	// byte-for-byte). The bucket counters of a hashed snapshot only mean
+	// what the encoding and epoch seed say they mean, so recovery
+	// refuses a mismatch on any of them.
+	Encoding string // domain encoding name ("" = exact/Boolean)
+	G        int    // bucket count of a hashed encoding
+	HashSeed uint64 // shared epoch hash seed of a hashed encoding
 }
 
 // Check returns a descriptive error when two metas differ.
 func (m Meta) Check(want Meta) error {
 	if m != want {
-		return fmt.Errorf("persist: snapshot taken with mechanism=%s d=%d k=%d m=%d eps=%v scale=%v, server configured with mechanism=%s d=%d k=%d m=%d eps=%v scale=%v",
-			m.Mechanism, m.D, m.K, m.M, m.Eps, m.Scale, want.Mechanism, want.D, want.K, want.M, want.Eps, want.Scale)
+		return fmt.Errorf("persist: snapshot taken with mechanism=%s d=%d k=%d m=%d eps=%v scale=%v encoding=%q g=%d seed=%d, server configured with mechanism=%s d=%d k=%d m=%d eps=%v scale=%v encoding=%q g=%d seed=%d",
+			m.Mechanism, m.D, m.K, m.M, m.Eps, m.Scale, m.Encoding, m.G, m.HashSeed,
+			want.Mechanism, want.D, want.K, want.M, want.Eps, want.Scale, want.Encoding, want.G, want.HashSeed)
 	}
 	return nil
 }
 
-// appendMeta appends the wire encoding of m.
-func appendMeta(b []byte, m Meta) []byte {
+// metaVersion returns the snapshot format version m requires: version 2
+// unless a hashed-encoding field is set, so exact and Boolean
+// deployments keep writing byte-identical version-2 snapshots.
+func metaVersion(m Meta) byte {
+	if m.Encoding != "" || m.G != 0 || m.HashSeed != 0 {
+		return snapVersionHashed
+	}
+	return snapVersion
+}
+
+// appendMeta appends the wire encoding of m at the given format
+// version. The version-3 tail carries the hashed-encoding fields.
+func appendMeta(b []byte, m Meta, version byte) []byte {
 	b = binary.AppendUvarint(b, uint64(len(m.Mechanism)))
 	b = append(b, m.Mechanism...)
 	b = binary.AppendUvarint(b, uint64(m.D))
@@ -108,6 +136,12 @@ func appendMeta(b []byte, m Meta) []byte {
 	b = binary.AppendUvarint(b, uint64(m.M))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Eps))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Scale))
+	if version >= snapVersionHashed {
+		b = binary.AppendUvarint(b, uint64(len(m.Encoding)))
+		b = append(b, m.Encoding...)
+		b = binary.AppendUvarint(b, uint64(m.G))
+		b = binary.AppendUvarint(b, m.HashSeed)
+	}
 	return b
 }
 

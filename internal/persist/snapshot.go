@@ -25,15 +25,16 @@ type Snapshot struct {
 // image: an 8-byte magic+version header, a CRC-32/IEEE of the payload,
 // and the payload (cursor, meta, state).
 func EncodeSnapshot(s *Snapshot) []byte {
+	version := metaVersion(s.Meta)
 	payload := make([]byte, 0, 64+len(s.State))
 	payload = binary.AppendUvarint(payload, s.Cursor)
-	payload = appendMeta(payload, s.Meta)
+	payload = appendMeta(payload, s.Meta, version)
 	payload = binary.AppendUvarint(payload, uint64(len(s.State)))
 	payload = append(payload, s.State...)
 
 	out := make([]byte, 0, headerLen+4+len(payload))
 	out = append(out, snapMagic...)
-	out = append(out, snapVersion)
+	out = append(out, version)
 	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
 	return append(out, payload...)
 }
@@ -48,8 +49,9 @@ func DecodeSnapshot(b []byte) (*Snapshot, error) {
 	if string(b[:len(snapMagic)]) != snapMagic {
 		return nil, fmt.Errorf("persist: not a snapshot file (bad magic)")
 	}
-	if v := b[len(snapMagic)]; v != snapVersion {
-		return nil, fmt.Errorf("persist: unsupported snapshot version %d (this build reads version %d)", v, snapVersion)
+	version := b[len(snapMagic)]
+	if version != snapVersion && version != snapVersionHashed {
+		return nil, fmt.Errorf("persist: unsupported snapshot version %d (this build reads versions %d and %d)", version, snapVersion, snapVersionHashed)
 	}
 	sum := binary.LittleEndian.Uint32(b[headerLen : headerLen+4])
 	payload := b[headerLen+4:]
@@ -69,6 +71,15 @@ func DecodeSnapshot(b []byte) (*Snapshot, error) {
 	s.Meta.M = int(r.uvarint("m"))
 	s.Meta.Eps = math.Float64frombits(r.u64("eps"))
 	s.Meta.Scale = math.Float64frombits(r.u64("scale"))
+	if version >= snapVersionHashed {
+		encLen := r.uvarint("encoding name length")
+		if r.err == nil && encLen > 1<<10 {
+			return nil, fmt.Errorf("persist: snapshot encoding name of %d bytes is implausible", encLen)
+		}
+		s.Meta.Encoding = string(r.bytes(int(encLen), "encoding name"))
+		s.Meta.G = int(r.uvarint("g"))
+		s.Meta.HashSeed = r.uvarint("hash seed")
+	}
 	stateLen := r.uvarint("state length")
 	if r.err == nil && stateLen > MaxStateLen {
 		return nil, fmt.Errorf("persist: snapshot state of %d bytes exceeds limit %d", stateLen, MaxStateLen)

@@ -110,6 +110,22 @@ func (b *BackendConn) FetchDomainSums() (DomainSumsFrame, error) {
 	return b.dec.ReadDomainSums()
 }
 
+// FetchHashedDomainSums round-trips an encoding-checked raw-sums
+// request against a hashed-domain backend: the backend refuses the
+// request unless its catalogue size, bucket count and epoch hash seed
+// all match, so bucket counters from disagreeing deployments can never
+// merge. Everything sent earlier on this connection is applied before
+// the response is cut, so the fetch doubles as a fence.
+func (b *BackendConn) FetchHashedDomainSums(m, g int, seed uint64) (DomainSumsFrame, error) {
+	if err := b.enc.Encode(HashedDomainSums(m, g, seed)); err != nil {
+		return DomainSumsFrame{}, err
+	}
+	if err := b.enc.Flush(); err != nil {
+		return DomainSumsFrame{}, err
+	}
+	return b.dec.ReadDomainSums()
+}
+
 // Fence round-trips a trivial point query, proving the backend applied
 // everything sent earlier on this connection.
 func (b *BackendConn) Fence() error {

@@ -24,8 +24,11 @@ import (
 // the ordinary Encoder/Decoder paths.
 
 // MaxDomainM bounds the domain size a frame may declare, so a corrupt
-// or adversarial frame cannot force a huge per-item allocation.
-const MaxDomainM = 1 << 12
+// or adversarial frame cannot force a huge per-item allocation. It is
+// the row cap of the domain accumulator — the exact encoding's domain
+// size and a hashed encoding's bucket count — declared once in
+// internal/hh and aliased here and in ldp.MaxDomainSize.
+const MaxDomainM = hh.MaxDomainRows
 
 // MaxDomainSums bounds the total counter count (m × intervals) a
 // domain sums frame may declare across all items.

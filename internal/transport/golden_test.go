@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"rtf/internal/protocol"
+)
+
+// goldenMsgs is a fixed mix of every pre-hashed wire message type. The
+// byte pins below were captured before the DomainEncoding refactor:
+// with the exact encoding, every wire byte is part of the compatibility
+// surface, and a deployed fleet of clients and gateways must keep
+// interoperating across the upgrade.
+func goldenMsgs() []Msg {
+	return []Msg{
+		Hello(7, 3),
+		FromReport(protocol.Report{User: 7, Order: 3, J: 2, Bit: 1}),
+		FromReport(protocol.Report{User: 7, Order: 3, J: 5, Bit: -1}),
+		Query(9),
+		QueryV2(QuerySeries, 1, 8),
+		Sums(),
+		DomainHello(11, 5, 2),
+		FromDomainReport(5, protocol.Report{User: 11, Order: 2, J: 3, Bit: 1}),
+		DomainQuery(QueryPointItem, 5, 7, 0, 0),
+		DomainQuery(QueryTopK, 0, 8, 0, 3),
+		DomainSums(),
+	}
+}
+
+const (
+	goldenScalarHex = "010703020703020102070305000409060103010808010a0b05020b0b050203010c0105050700000c0107000800030e01"
+	goldenBatchHex  = "030b010703020703020102070305000409060103010808010a0b05020b0b050203010c0105050700000c0107000800030e01"
+)
+
+// TestWireGoldenBytes pins the scalar and batch encodings of every
+// pre-hashed message type to bytes captured before the DomainEncoding
+// refactor. A diff here is a wire compatibility break, not a test to
+// update casually.
+func TestWireGoldenBytes(t *testing.T) {
+	msgs := goldenMsgs()
+
+	var scalar bytes.Buffer
+	enc := NewEncoder(&scalar)
+	for _, m := range msgs {
+		if err := enc.Encode(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(scalar.Bytes()); got != goldenScalarHex {
+		t.Errorf("scalar stream changed:\n got  %s\n want %s", got, goldenScalarHex)
+	}
+
+	var batch bytes.Buffer
+	enc = NewEncoder(&batch)
+	if err := enc.EncodeBatch(msgs); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(batch.Bytes()); got != goldenBatchHex {
+		t.Errorf("batch frame changed:\n got  %s\n want %s", got, goldenBatchHex)
+	}
+
+	// And the pinned bytes decode back to the original messages, scalar
+	// and batch alike.
+	raw, err := hex.DecodeString(goldenScalarHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(bytes.NewReader(raw))
+	for i, w := range msgs {
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if got != w {
+			t.Fatalf("msg %d: decoded %+v, want %+v", i, got, w)
+		}
+	}
+	raw, err = hex.DecodeString(goldenBatchHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := NewDecoder(bytes.NewReader(raw)).NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(msgs) {
+		t.Fatalf("batch decoded %d messages, want %d", len(ms), len(msgs))
+	}
+	for i := range ms {
+		if ms[i] != msgs[i] {
+			t.Fatalf("batch msg %d: decoded %+v, want %+v", i, ms[i], msgs[i])
+		}
+	}
+}

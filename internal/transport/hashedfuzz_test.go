@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"rtf/internal/hh"
+	"rtf/internal/protocol"
+)
+
+// FuzzHashedDomainDecode feeds arbitrary bytes to the decoder with the
+// hashed-domain frames in scope — the seed-carrying hashed hello and
+// the encoding-carrying hashed sums request — plus the bucket-tagged
+// reports that share MsgDomainReport with the exact encoding. The
+// decoder must return messages or errors, never panic; every decoded
+// hashed message must satisfy the wire invariants (non-negative user,
+// bucket, catalogue and bucket-count fields, ±1 bits); and every
+// decoded message must round-trip through the encoder bit-for-bit.
+func FuzzHashedDomainDecode(f *testing.F) {
+	seed := func(ms ...Msg) []byte {
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		for _, m := range ms {
+			if err := enc.Encode(m); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := enc.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	batch := func(ms ...Msg) []byte {
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		if err := enc.EncodeBatch(ms); err != nil {
+			f.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(HashedDomainHello(7, 3, 2, 0xdeadbeef)))
+	f.Add(seed(HashedDomainHello(0, 0, 0, 0)))
+	f.Add(seed(HashedDomainSums(1_000_000, 256, 0x9e3779b97f4a7c15)))
+	f.Add(seed(HashedDomainSums(hh.MaxHashedDomainM, hh.MaxDomainRows, 1)))
+	f.Add(batch(
+		HashedDomainHello(1, 0, 0, 42),
+		FromDomainReport(0, protocol.Report{User: 1, Order: 0, J: 1, Bit: 1}),
+	))
+	f.Add([]byte{byte(MsgHashedDomainHello), 1, 2})                                             // truncated hello
+	f.Add([]byte{byte(MsgHashedDomainHello), 255, 255, 255, 255, 255, 255, 255, 255, 255, 255}) // overlong varint
+	f.Add([]byte{byte(MsgHashedDomainSums), 9})                                                 // bad version
+	f.Add([]byte{byte(MsgHashedDomainSums), 1, 255, 255, 255, 255, 255, 255, 255, 255, 255, 1}) // huge m
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		check := func(m Msg) {
+			switch m.Type {
+			case MsgHashedDomainHello:
+				if m.User < 0 || m.Item < 0 {
+					t.Fatalf("decoded hashed hello with negative field: %+v", m)
+				}
+			case MsgHashedDomainSums:
+				if m.Item < 0 || m.K < 0 {
+					t.Fatalf("decoded hashed sums request with negative field: %+v", m)
+				}
+			case MsgDomainReport:
+				if m.Bit != 1 && m.Bit != -1 {
+					t.Fatalf("decoded domain report with bit %d", m.Bit)
+				}
+				if m.User < 0 || m.Item < 0 {
+					t.Fatalf("decoded domain report with negative field: %+v", m)
+				}
+			}
+			// Every successfully decoded hashed message re-encodes and
+			// re-decodes to itself: the codec cannot lose the seed or
+			// the encoding parameters.
+			if m.Type == MsgHashedDomainHello || m.Type == MsgHashedDomainSums {
+				if m.Order < 0 {
+					return // rejected downstream by ingest validation
+				}
+				var buf bytes.Buffer
+				enc := NewEncoder(&buf)
+				if err := enc.Encode(m); err != nil {
+					t.Fatalf("re-encoding decoded %+v: %v", m, err)
+				}
+				if err := enc.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				back, err := NewDecoder(bytes.NewReader(buf.Bytes())).Next()
+				if err != nil {
+					t.Fatalf("re-decoding %+v: %v", m, err)
+				}
+				if back != m {
+					t.Fatalf("round trip changed message: %+v -> %+v", m, back)
+				}
+			}
+		}
+		dec := NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			m, err := dec.Next()
+			if err != nil {
+				break // EOF or any descriptive error is fine
+			}
+			check(m)
+		}
+		dec = NewDecoder(bytes.NewReader(data))
+		total := 0
+		for total < 100000 {
+			ms, err := dec.NextBatch()
+			if err != nil {
+				return // EOF or malformed input: any descriptive error is fine
+			}
+			if len(ms) == 0 {
+				t.Fatal("NextBatch returned an empty slice without error")
+			}
+			for _, m := range ms {
+				check(m)
+			}
+			total += len(ms)
+		}
+	})
+}

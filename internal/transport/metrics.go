@@ -142,7 +142,7 @@ func QueryKindName(m Msg) string {
 	switch m.Type {
 	case MsgQuery:
 		return "point_v1"
-	case MsgSums, MsgDomainSums:
+	case MsgSums, MsgDomainSums, MsgHashedDomainSums:
 		return "sums"
 	case MsgShardSums:
 		return "shard_sums"

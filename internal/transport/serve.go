@@ -28,6 +28,16 @@ type IngestServer struct {
 	// server (and vice versa) fail that connection.
 	Domain DomainBatchCollector
 
+	// HashedDomain, when non-nil, puts the server in hashed-domain mode:
+	// it serves seed-pinned hellos (MsgHashedDomainHello), bucket-tagged
+	// reports (MsgDomainReport with Item = bucket), item-scoped queries
+	// answered through the bucket decoder (MsgDomainQuery), and
+	// encoding-checked raw-sums requests (MsgHashedDomainSums). Plain
+	// domain hellos and sums requests fail the connection: an
+	// exact-encoding peer and a hashed server must never interoperate
+	// silently.
+	HashedDomain HashedDomainBatchCollector
+
 	// ShardMap, when non-nil, puts the server in membership mode: one
 	// accumulator per virtual shard, ingest routed by the user's
 	// shard, plus the membership control plane (view pushes, per-shard
@@ -75,6 +85,13 @@ func NewIngestServer(c BatchCollector) *IngestServer {
 // DurableDomainCollector for a restartable service.
 func NewDomainIngestServer(c DomainBatchCollector) *IngestServer {
 	return &IngestServer{Domain: c, conns: make(map[net.Conn]struct{})}
+}
+
+// NewHashedDomainIngestServer builds a hashed-domain-mode server over
+// the given collector — a plain HashedDomainCollector for in-memory
+// serving, or a DurableHashedDomainCollector for a restartable service.
+func NewHashedDomainIngestServer(c HashedDomainBatchCollector) *IngestServer {
+	return &IngestServer{HashedDomain: c, conns: make(map[net.Conn]struct{})}
 }
 
 // Serve accepts connections on l until Close is called (or the listener
@@ -174,6 +191,9 @@ func (s *IngestServer) serveConn(id int, conn net.Conn) error {
 	}
 	if s.ShardMap != nil {
 		return s.serveShardConn(id, dec, enc)
+	}
+	if s.HashedDomain != nil {
+		return s.serveHashedDomainConn(id, dec, enc)
 	}
 	if s.Domain != nil {
 		return s.serveDomainConn(id, dec, enc)
@@ -366,6 +386,90 @@ func (s *IngestServer) serveDomainConn(id int, dec *Decoder, enc *Encoder) error
 					}
 				case MsgDomainSums:
 					if err := enc.EncodeDomainSums(DomainSumsFromServer(ds)); err != nil {
+						return err
+					}
+				}
+				return enc.Flush()
+			})
+		if holding {
+			s.Queue.Release()
+		}
+		if err != nil {
+			return err
+		}
+		if err := s.finishBatch(acked, enc, ingest, start); err != nil {
+			return err
+		}
+	}
+}
+
+// serveHashedDomainConn is serveConn for a hashed-domain server:
+// seed-pinned hellos and bucket-tagged reports go to the hashed
+// collector under this connection's shard; item-scoped queries are
+// answered through the bucket decoder, and encoding-checked raw-sums
+// requests with the g-row bucket state. Batches are atomic, exactly as
+// on the other paths.
+func (s *IngestServer) serveHashedDomainConn(id int, dec *Decoder, enc *Encoder) error {
+	hs := s.HashedDomain.Hashed()
+	seed := hs.Encoding().Seed
+	isQuery := func(m Msg) bool {
+		return m.Type == MsgDomainQuery || m.Type == MsgHashedDomainSums
+	}
+	for {
+		ms, err := dec.NextBatch()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil // clean client close or server shutdown
+			}
+			return err
+		}
+		acked := dec.AckedBatch()
+		start := time.Now()
+		ingest := 0
+		for _, m := range ms {
+			if acked && isQuery(m) {
+				return fmt.Errorf("message type %d (query) inside acked batch", m.Type)
+			}
+			switch m.Type {
+			case MsgDomainQuery:
+				if err := ValidateHashedDomainQuery(hs.D(), hs.M(), m); err != nil {
+					return err
+				}
+			case MsgHashedDomainSums:
+				if m.Item != hs.M() || m.K != hs.G() || m.Seed != seed {
+					return fmt.Errorf("hashed sums request for m=%d g=%d seed=%d, server encodes m=%d g=%d under a different seed", m.Item, m.K, m.Seed, hs.M(), hs.G())
+				}
+			default:
+				if err := s.HashedDomain.Validate(m); err != nil {
+					return err
+				}
+				ingest++
+			}
+		}
+		shed, holding, err := s.admitBatch(acked, enc)
+		if err != nil {
+			return err
+		}
+		if shed {
+			continue
+		}
+		err = BatchRuns(ms, isQuery,
+			func(run []Msg) error { return s.HashedDomain.SendBatch(id, run) },
+			func(m Msg) error {
+				if s.Metrics != nil {
+					s.Metrics.CountQuery("hashed-domain", QueryKindName(m))
+				}
+				switch m.Type {
+				case MsgDomainQuery:
+					ans, err := AnswerHashedDomainQuery(hs, m)
+					if err != nil {
+						return err
+					}
+					if err := enc.EncodeDomainAnswer(ans); err != nil {
+						return err
+					}
+				case MsgHashedDomainSums:
+					if err := enc.EncodeDomainSums(DomainSumsFromServer(hs.Inner())); err != nil {
 						return err
 					}
 				}

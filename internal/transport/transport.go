@@ -73,6 +73,16 @@ const (
 	MsgShardStateFrame MsgType = 21 // response: one shard's serialized state
 	MsgShardTransfer   MsgType = 22 // frame: install this shard state (reshard handoff)
 	MsgMemberAck       MsgType = 23 // response to MsgView / MsgShardTransfer: 1 = applied
+
+	// Hashed domain encodings (LOLOHA): the hello carries the shared
+	// epoch hash seed so a server can refuse clients hashing under a
+	// different item→bucket map, and the sums request carries the full
+	// encoding parameters (catalogue size, bucket count, seed) so a
+	// gateway and backend can only merge bucket counters they agree on.
+	// Hashed reports reuse MsgDomainReport verbatim with Item = bucket —
+	// the hot path is byte-identical to the exact encoding's.
+	MsgHashedDomainHello MsgType = 24 // user announces (bucket, order) under a hash seed
+	MsgHashedDomainSums  MsgType = 25 // gateway asks for the per-bucket raw sums
 )
 
 // QueryKind discriminates the shapes of a versioned (v2) query. The
@@ -143,6 +153,7 @@ type Msg struct {
 	Item  int       // domain messages only: the sampled target item
 	K     int       // domain top-k query only: how many items
 	Shard int       // membership shard requests only: the virtual shard
+	Seed  uint64    // hashed domain messages only: the shared epoch hash seed
 }
 
 // Hello constructs an order-announcement message.
@@ -196,6 +207,25 @@ func DomainQuery(kind QueryKind, item, l, r, k int) Msg {
 // the responses.
 func DomainSums() Msg {
 	return Msg{Type: MsgDomainSums}
+}
+
+// HashedDomainHello constructs a (bucket, order) announcement for a
+// hashed domain server. The seed is the shared epoch hash seed the
+// user's client hashes items under — data-independent and safe in the
+// clear — so the server can refuse a client whose item→bucket map
+// differs from its own.
+func HashedDomainHello(user, bucket, order int, seed uint64) Msg {
+	return Msg{Type: MsgHashedDomainHello, User: user, Item: bucket, Order: order, Seed: seed}
+}
+
+// HashedDomainSums constructs a per-bucket raw-sums request carrying
+// the requester's full encoding parameters: catalogue size m (in Item),
+// bucket count g (in K) and the epoch hash seed. The server answers
+// with one ordinary DomainSumsFrame over its g bucket rows — but only
+// after checking all three parameters match its own encoding, so two
+// deployments hashing differently can never silently merge counters.
+func HashedDomainSums(m, g int, seed uint64) Msg {
+	return Msg{Type: MsgHashedDomainSums, Item: m, K: g, Seed: seed}
 }
 
 // ShardSums constructs a per-virtual-shard raw-sums request: a
@@ -336,6 +366,25 @@ func appendMsg(b []byte, m Msg) ([]byte, error) {
 		b = binary.AppendUvarint(b, uint64(m.K))
 	case MsgDomainSums:
 		b = append(b, queryWireVersion)
+	case MsgHashedDomainHello:
+		if m.User < 0 {
+			return nil, fmt.Errorf("transport: negative user id %d", m.User)
+		}
+		if m.Item < 0 {
+			return nil, fmt.Errorf("transport: negative bucket %d", m.Item)
+		}
+		b = binary.AppendUvarint(b, uint64(m.User))
+		b = binary.AppendUvarint(b, uint64(m.Item))
+		b = binary.AppendUvarint(b, uint64(m.Order))
+		b = binary.AppendUvarint(b, m.Seed)
+	case MsgHashedDomainSums:
+		if m.Item < 0 || m.K < 0 {
+			return nil, fmt.Errorf("transport: negative hashed-sums field (m=%d g=%d)", m.Item, m.K)
+		}
+		b = append(b, queryWireVersion)
+		b = binary.AppendUvarint(b, uint64(m.Item))
+		b = binary.AppendUvarint(b, uint64(m.K))
+		b = binary.AppendUvarint(b, m.Seed)
 	case MsgShardSums, MsgShardState:
 		if m.Shard < 0 {
 			return nil, fmt.Errorf("transport: negative shard %d", m.Shard)
@@ -876,6 +925,54 @@ func decodeScalarInto(b []byte, m *Msg) (int, error) {
 			return 0, fmt.Errorf("transport: unsupported domain-sums-request version %d", b[off])
 		}
 		off++
+	case MsgHashedDomainHello:
+		user, ok := uvarint()
+		if !ok {
+			return 0, errShortMsg
+		}
+		bucket, ok := uvarint()
+		if !ok {
+			return 0, errShortMsg
+		}
+		h, ok := uvarint()
+		if !ok {
+			return 0, errShortMsg
+		}
+		seed, ok := uvarint()
+		if !ok {
+			return 0, errShortMsg
+		}
+		if user > math.MaxInt {
+			return 0, fmt.Errorf("transport: user id %d overflows", user)
+		}
+		if bucket > math.MaxInt {
+			return 0, fmt.Errorf("transport: bucket %d overflows", bucket)
+		}
+		m.User, m.Item, m.Order, m.Seed = int(user), int(bucket), int(h), seed
+	case MsgHashedDomainSums:
+		if off >= len(b) {
+			return 0, errShortMsg
+		}
+		if b[off] != queryWireVersion {
+			return 0, fmt.Errorf("transport: unsupported hashed-sums-request version %d", b[off])
+		}
+		off++
+		mm, ok := uvarint()
+		if !ok {
+			return 0, errShortMsg
+		}
+		g, ok := uvarint()
+		if !ok {
+			return 0, errShortMsg
+		}
+		seed, ok := uvarint()
+		if !ok {
+			return 0, errShortMsg
+		}
+		if mm > math.MaxInt || g > math.MaxInt {
+			return 0, fmt.Errorf("transport: hashed-sums field overflows")
+		}
+		m.Item, m.K, m.Seed = int(mm), int(g), seed
 	case MsgShardSums, MsgShardState:
 		if off >= len(b) {
 			return 0, errShortMsg
@@ -1110,6 +1207,54 @@ func (d *Decoder) scalarBody(typ MsgType) (Msg, error) {
 		if ver != queryWireVersion {
 			return Msg{}, fmt.Errorf("transport: unsupported domain-sums-request version %d", ver)
 		}
+	case MsgHashedDomainHello:
+		user, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		bucket, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		h, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		seed, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		if user > math.MaxInt {
+			return Msg{}, fmt.Errorf("transport: user id %d overflows", user)
+		}
+		if bucket > math.MaxInt {
+			return Msg{}, fmt.Errorf("transport: bucket %d overflows", bucket)
+		}
+		m.User, m.Item, m.Order, m.Seed = int(user), int(bucket), int(h), seed
+	case MsgHashedDomainSums:
+		ver, err := d.r.ReadByte()
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		if ver != queryWireVersion {
+			return Msg{}, fmt.Errorf("transport: unsupported hashed-sums-request version %d", ver)
+		}
+		mm, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		g, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		seed, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Msg{}, truncated(err)
+		}
+		if mm > math.MaxInt || g > math.MaxInt {
+			return Msg{}, fmt.Errorf("transport: hashed-sums field overflows")
+		}
+		m.Item, m.K, m.Seed = int(mm), int(g), seed
 	case MsgShardSums, MsgShardState:
 		ver, err := d.r.ReadByte()
 		if err != nil {

@@ -36,9 +36,13 @@ type DomainWorkload = hh.DomainWorkload
 // a top-k answer.
 type ItemCount = hh.ItemCount
 
-// MaxDomainSize bounds the domain size m accepted at this boundary —
-// the same bound the wire frames enforce, so any domain a client can
-// construct is also servable over TCP and through a gateway.
+// MaxDomainSize bounds the domain size m accepted by the exact
+// encoding at this boundary — the same bound the wire frames enforce
+// (it aliases the one hh.MaxDomainRows constant, like
+// transport.MaxDomainM), so any domain a client can construct is also
+// servable over TCP and through a gateway. Hashed encodings accept
+// catalogues up to hh.MaxHashedDomainM because only the bucket rows
+// are materialized.
 const MaxDomainSize = transport.MaxDomainM
 
 // GenerateDomain builds a synthetic domain workload with Zipf-popular
@@ -48,26 +52,79 @@ func GenerateDomain(n, d, m, k int, s float64, seed int64) (*DomainWorkload, err
 	return hh.ZipfDomainGen{N: n, D: d, M: m, K: k, S: s}.Generate(rng.NewFromSeed(seed))
 }
 
-// checkDomainSize validates m at the public boundary.
-func checkDomainSize(m int) error {
+// ValidateDomainSize validates a configured domain size m against the
+// active encoding's cap: MaxDomainSize for "exact" (and ""), and
+// hh.MaxHashedDomainM for "loloha". rtf-serve and rtf-gateway share
+// this one check, so their -m flag validation cannot drift.
+func ValidateDomainSize(m int, encoding string) error {
 	if m < 2 {
 		return fmt.Errorf("ldp: domain size m=%d must be at least 2", m)
 	}
-	if m > MaxDomainSize {
-		return fmt.Errorf("ldp: domain size m=%d exceeds the %d limit", m, MaxDomainSize)
+	switch encoding {
+	case "", hh.EncodingExact:
+		if m > MaxDomainSize {
+			return fmt.Errorf("ldp: domain size m=%d exceeds the exact encoding's %d limit (hashed encodings go further)", m, MaxDomainSize)
+		}
+	case hh.EncodingLoloha:
+		if m > hh.MaxHashedDomainM {
+			return fmt.Errorf("ldp: domain size m=%d exceeds the loloha encoding's %d limit", m, hh.MaxHashedDomainM)
+		}
+	default:
+		return fmt.Errorf("ldp: unknown domain encoding %q", encoding)
 	}
 	return nil
 }
 
+// checkDomainSize validates m for the exact encoding at the public
+// boundary.
+func checkDomainSize(m int) error { return ValidateDomainSize(m, hh.EncodingExact) }
+
+// domainEncodingOf resolves the configured encoding for domain size m.
+// Exact (the default) rejects stray hash parameters; loloha takes its
+// bucket count from WithBuckets, falling back to WithBudgetSplit's
+// closed-form optimum.
+func domainEncodingOf(cfg config, m int) (hh.DomainEncoding, error) {
+	name := cfg.encoding
+	if name == "" {
+		name = hh.EncodingExact
+	}
+	if err := ValidateDomainSize(m, name); err != nil {
+		return hh.DomainEncoding{}, err
+	}
+	switch name {
+	case hh.EncodingExact:
+		if cfg.buckets != 0 || cfg.hashSeed != 0 || cfg.epsPerm != 0 || cfg.eps1 != 0 {
+			return hh.DomainEncoding{}, fmt.Errorf("ldp: the exact encoding takes no buckets, hash seed or budget split")
+		}
+		return hh.ExactEncoding(m), nil
+	default: // hh.EncodingLoloha — ValidateDomainSize rejected anything else
+		g := cfg.buckets
+		if g == 0 && (cfg.epsPerm != 0 || cfg.eps1 != 0) {
+			g = hh.OptimalBuckets(cfg.epsPerm, cfg.eps1)
+		}
+		if g == 0 {
+			return hh.DomainEncoding{}, fmt.Errorf("ldp: the loloha encoding needs WithBuckets or WithBudgetSplit to fix its bucket count")
+		}
+		enc := hh.LolohaEncoding(m, g, cfg.hashSeed)
+		if err := enc.Validate(); err != nil {
+			return hh.DomainEncoding{}, err
+		}
+		return enc, nil
+	}
+}
+
 // domainMechanism resolves a protocol to a registered mechanism with
-// the Domain capability.
-func domainMechanism(p Protocol) (Mechanism, error) {
+// the Domain capability (and HashedDomain when the encoding hashes).
+func domainMechanism(p Protocol, enc hh.DomainEncoding) (Mechanism, error) {
 	m, err := lookupErr(p)
 	if err != nil {
 		return Mechanism{}, err
 	}
 	if !m.Caps.Domain {
 		return Mechanism{}, fmt.Errorf("ldp: mechanism %q does not support domain tracking", p)
+	}
+	if enc.Hashed() && !m.Caps.HashedDomain {
+		return Mechanism{}, fmt.Errorf("ldp: mechanism %q does not support hashed domain encodings", p)
 	}
 	return m, nil
 }
@@ -97,11 +154,13 @@ func (o engineObserver) Observe(value bool) (protocol.Report, bool) {
 }
 
 // DomainClient is the client-side half of domain tracking for one user:
-// it holds the sampled target item and feeds the derived indicator
-// stream into the wrapped mechanism's Boolean client.
+// it holds the sampled target item (exact encoding) or target bucket
+// (hashed encoding) and feeds the derived indicator stream into the
+// wrapped mechanism's Boolean client.
 type DomainClient struct {
-	inner *hh.DomainClient
-	user  int
+	inner  *hh.DomainClient       // exact encoding
+	hashed *hh.HashedDomainClient // loloha encoding
+	user   int
 }
 
 // NewDomainClient creates a domain client for the given user over
@@ -127,6 +186,7 @@ type DomainClientFactory struct {
 	build ClientBuilder
 	m     int
 	mech  Protocol
+	enc   hh.DomainEncoding
 }
 
 // NewDomainClientFactory builds a factory for horizon d and domain size
@@ -137,10 +197,11 @@ func NewDomainClientFactory(d, m int, opts ...Option) (*DomainClientFactory, err
 }
 
 func newDomainClientFactory(d, m int, cfg config) (*DomainClientFactory, error) {
-	if err := checkDomainSize(m); err != nil {
+	enc, err := domainEncodingOf(cfg, m)
+	if err != nil {
 		return nil, err
 	}
-	mech, err := domainMechanism(cfg.mech)
+	mech, err := domainMechanism(cfg.mech, enc)
 	if err != nil {
 		return nil, err
 	}
@@ -148,20 +209,38 @@ func newDomainClientFactory(d, m int, cfg config) (*DomainClientFactory, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &DomainClientFactory{build: build, m: m, mech: cfg.mech}, nil
+	return &DomainClientFactory{build: build, m: m, mech: cfg.mech, enc: enc}, nil
 }
 
 // Mechanism returns the factory's protocol.
 func (f *DomainClientFactory) Mechanism() Protocol { return f.mech }
 
-// M returns the domain size.
+// M returns the domain (catalogue) size.
 func (f *DomainClientFactory) M() int { return f.m }
 
+// Encoding returns the factory's domain encoding.
+func (f *DomainClientFactory) Encoding() hh.DomainEncoding { return f.enc }
+
 // NewClient builds the client for one user, seeded deterministically:
-// the seed drives both the uniform target-item draw and the wrapped
-// Boolean client's randomness, through disjoint streams.
+// the seed drives both the uniform target draw (an item under the
+// exact encoding, a bucket under a hashed one) and the wrapped Boolean
+// client's randomness, through disjoint streams. The exact path draws
+// in the same order as it always has, so exact clients are bit-for-bit
+// unchanged by the encoding seam.
 func (f *DomainClientFactory) NewClient(user int, seed int64) (*DomainClient, error) {
 	g := rng.NewFromSeed(seed)
+	if f.enc.Hashed() {
+		bucket := g.IntN(f.enc.G)
+		eng, err := f.build(user, g.Int64())
+		if err != nil {
+			return nil, err
+		}
+		hashed, err := hh.NewHashedDomainClient(bucket, f.enc, engineObserver{eng})
+		if err != nil {
+			return nil, err
+		}
+		return &DomainClient{hashed: hashed, user: user}, nil
+	}
 	item := g.IntN(f.m)
 	eng, err := f.build(user, g.Int64())
 	if err != nil {
@@ -174,17 +253,42 @@ func (f *DomainClientFactory) NewClient(user int, seed int64) (*DomainClient, er
 	return &DomainClient{inner: inner, user: user}, nil
 }
 
-// Item returns the client's sampled target item.
-func (c *DomainClient) Item() int { return c.inner.Item() }
+// Item returns the client's sampled target row: its target item under
+// the exact encoding, its target bucket under a hashed one. In both
+// cases this is the value carried as Item in the client's wire hello
+// and reports (data-independent, safe in the clear).
+func (c *DomainClient) Item() int {
+	if c.hashed != nil {
+		return c.hashed.Bucket()
+	}
+	return c.inner.Item()
+}
 
 // Order returns the wrapped Boolean client's announced order.
-func (c *DomainClient) Order() int { return c.inner.Order() }
+func (c *DomainClient) Order() int {
+	if c.hashed != nil {
+		return c.hashed.Order()
+	}
+	return c.inner.Order()
+}
 
 // Observe consumes the user's current domain value for the next time
-// period (−1 while the user has no value) and returns an item-tagged
+// period (−1 while the user has no value) and returns a row-tagged
 // report to ship when this period is a reporting time for the client.
-// Values outside [0..m) (other than −1) are rejected.
+// Values outside [0..m) (other than −1) are rejected. Under a hashed
+// encoding the value is hashed to its bucket first and the report's
+// Item is the client's sampled bucket.
 func (c *DomainClient) Observe(value int) (DomainReport, bool, error) {
+	if c.hashed != nil {
+		r, ok, err := c.hashed.Observe(value)
+		if err != nil || !ok {
+			return DomainReport{}, false, err
+		}
+		return DomainReport{
+			Item:   c.hashed.Bucket(),
+			Report: Report{User: r.User, Order: r.Order, J: r.J, Bit: r.Bit},
+		}, true, nil
+	}
 	r, ok, err := c.inner.Observe(value)
 	if err != nil || !ok {
 		return DomainReport{}, false, err
@@ -196,28 +300,33 @@ func (c *DomainClient) Observe(value int) (DomainReport, bool, error) {
 }
 
 // DomainServer is the server-side half of domain tracking: one dyadic
-// accumulator per item (the exact shared types behind rtf-serve), with
-// every per-item estimate scaled by m. It answers the item-scoped query
-// shapes — PointItem, SeriesItem, TopK — through Answer.
+// accumulator per row (the exact shared types behind rtf-serve) —
+// per-item rows scaled by m under the exact encoding, per-bucket rows
+// decoded into item estimates under a hashed one. It answers the
+// item-scoped query shapes — PointItem, SeriesItem, TopK — through
+// Answer.
 type DomainServer struct {
-	inner *hh.DomainServer
-	d, m  int
-	mech  Protocol
+	inner  *hh.DomainServer       // exact encoding
+	hashed *hh.HashedDomainServer // loloha encoding
+	enc    hh.DomainEncoding
+	d, m   int
+	mech   Protocol
 }
 
 // NewDomainServer creates a domain server for horizon d (a power of
-// two) and domain size m. Mechanism, sparsity and budget come from
-// options and must match the clients'; the mechanism must declare the
-// Domain capability.
+// two) and domain size m. Mechanism, sparsity, budget and encoding
+// come from options and must match the clients'; the mechanism must
+// declare the Domain capability (HashedDomain for hashed encodings).
 func NewDomainServer(d, m int, opts ...Option) (*DomainServer, error) {
 	cfg := newConfig(opts)
-	if err := checkDomainSize(m); err != nil {
+	enc, err := domainEncodingOf(cfg, m)
+	if err != nil {
 		return nil, err
 	}
 	if !dyadic.IsPow2(d) {
 		return nil, fmt.Errorf("ldp: d=%d is not a power of two", d)
 	}
-	mech, err := domainMechanism(cfg.mech)
+	mech, err := domainMechanism(cfg.mech, enc)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +334,13 @@ func NewDomainServer(d, m int, opts ...Option) (*DomainServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DomainServer{inner: hh.NewDomainServer(d, m, scale, 1), d: d, m: m, mech: cfg.mech}, nil
+	s := &DomainServer{enc: enc, d: d, m: m, mech: cfg.mech}
+	if enc.Hashed() {
+		s.hashed = hh.NewHashedDomainServer(d, enc, scale, 1)
+	} else {
+		s.inner = hh.NewDomainServer(d, m, scale, 1)
+	}
+	return s, nil
 }
 
 // Mechanism returns the server's protocol.
@@ -234,30 +349,53 @@ func (s *DomainServer) Mechanism() Protocol { return s.mech }
 // D returns the horizon.
 func (s *DomainServer) D() int { return s.d }
 
-// M returns the domain size.
+// M returns the domain (catalogue) size.
 func (s *DomainServer) M() int { return s.m }
 
-// Users returns the number of registered users across all items.
-func (s *DomainServer) Users() int { return s.inner.Users() }
+// Encoding returns the server's domain encoding.
+func (s *DomainServer) Encoding() hh.DomainEncoding { return s.enc }
 
-// Register records a user's announced (item, order) pair.
+// Users returns the number of registered users across all rows.
+func (s *DomainServer) Users() int {
+	if s.hashed != nil {
+		return s.hashed.Users()
+	}
+	return s.inner.Users()
+}
+
+// rowName names the server's row space in errors: items for the exact
+// encoding, buckets for a hashed one.
+func (s *DomainServer) rowName() string {
+	if s.enc.Hashed() {
+		return "bucket"
+	}
+	return "item"
+}
+
+// Register records a user's announced (row, order) pair: the sampled
+// item under the exact encoding, the sampled bucket under a hashed
+// one — exactly the value a DomainClient reports as Item.
 func (s *DomainServer) Register(item, order int) error {
-	if item < 0 || item >= s.m {
-		return fmt.Errorf("ldp: item %d out of range [0..%d)", item, s.m)
+	if rows := s.enc.Rows(); item < 0 || item >= rows {
+		return fmt.Errorf("ldp: %s %d out of range [0..%d)", s.rowName(), item, rows)
 	}
 	if maxOrder := dyadic.Log2(s.d); order < 0 || order > maxOrder {
 		return fmt.Errorf("ldp: order %d out of range [0..%d]", order, maxOrder)
 	}
-	s.inner.Register(0, item, order)
+	if s.hashed != nil {
+		s.hashed.Register(0, item, order)
+	} else {
+		s.inner.Register(0, item, order)
+	}
 	return nil
 }
 
-// Ingest accumulates one item-tagged client report. Reports with
+// Ingest accumulates one row-tagged client report. Reports with
 // out-of-range fields — including negative user ids — are rejected at
 // this boundary.
 func (s *DomainServer) Ingest(r DomainReport) error {
-	if r.Item < 0 || r.Item >= s.m {
-		return fmt.Errorf("ldp: report item %d out of range [0..%d)", r.Item, s.m)
+	if rows := s.enc.Rows(); r.Item < 0 || r.Item >= rows {
+		return fmt.Errorf("ldp: report %s %d out of range [0..%d)", s.rowName(), r.Item, rows)
 	}
 	if r.User < 0 {
 		return fmt.Errorf("ldp: negative user id %d", r.User)
@@ -271,7 +409,12 @@ func (s *DomainServer) Ingest(r DomainReport) error {
 	if r.J < 1 || r.J > s.d>>uint(r.Order) {
 		return fmt.Errorf("ldp: report index %d out of range for order %d", r.J, r.Order)
 	}
-	s.inner.Ingest(0, r.Item, protocol.Report{User: r.User, Order: r.Order, J: r.J, Bit: r.Bit})
+	rep := protocol.Report{User: r.User, Order: r.Order, J: r.J, Bit: r.Bit}
+	if s.hashed != nil {
+		s.hashed.Ingest(0, r.Item, rep)
+	} else {
+		s.inner.Ingest(0, r.Item, rep)
+	}
 	return nil
 }
 
@@ -288,10 +431,17 @@ func (s *DomainServer) Answer(q Query) (Answer, error) {
 		if q.T < 1 || q.T > s.d {
 			return Answer{}, fmt.Errorf("ldp: time %d out of range [1..%d]", q.T, s.d)
 		}
+		if s.hashed != nil {
+			return Answer{Query: q, Value: s.hashed.EstimateItemAt(q.Item, q.T)}, nil
+		}
 		return Answer{Query: q, Value: s.inner.EstimateItemAt(q.Item, q.T)}, nil
 	case SeriesItem:
 		if q.Item < 0 || q.Item >= s.m {
 			return Answer{}, fmt.Errorf("ldp: item %d out of range [0..%d)", q.Item, s.m)
+		}
+		if s.hashed != nil {
+			// EstimateItemSeries builds a fresh decoded slice per call.
+			return Answer{Query: q, Series: s.hashed.EstimateItemSeries(q.Item)}, nil
 		}
 		// Fresh copy, as on the Boolean path: never a view into an
 		// engine's backing array.
@@ -303,7 +453,12 @@ func (s *DomainServer) Answer(q Query) (Answer, error) {
 		if q.K < 0 {
 			return Answer{}, fmt.Errorf("ldp: negative k %d", q.K)
 		}
-		top := s.inner.TopK(q.T, q.K)
+		var top []ItemCount
+		if s.hashed != nil {
+			top = s.hashed.TopK(q.T, q.K)
+		} else {
+			top = s.inner.TopK(q.T, q.K)
+		}
 		a := Answer{Query: q, Items: make([]int, len(top)), Series: make([]float64, len(top))}
 		for i, ic := range top {
 			a.Items[i] = ic.Item
@@ -342,14 +497,25 @@ func (s *DomainServer) EstimateItemAt(item, t int) (float64, error) {
 	return a.Value, nil
 }
 
-// MarshalState serializes all per-item accumulator state for a durable
+// MarshalState serializes all per-row accumulator state for a durable
 // snapshot.
-func (s *DomainServer) MarshalState() ([]byte, error) { return s.inner.MarshalState(), nil }
+func (s *DomainServer) MarshalState() ([]byte, error) {
+	if s.hashed != nil {
+		return s.hashed.Inner().MarshalState(), nil
+	}
+	return s.inner.MarshalState(), nil
+}
 
 // RestoreState reloads state produced by MarshalState on a server built
-// with the same mechanism and parameters. Call it on a fresh server;
-// estimates afterwards are bit-for-bit those of the snapshotted server.
-func (s *DomainServer) RestoreState(state []byte) error { return s.inner.RestoreState(state) }
+// with the same mechanism, parameters and encoding. Call it on a fresh
+// server; estimates afterwards are bit-for-bit those of the
+// snapshotted server.
+func (s *DomainServer) RestoreState(state []byte) error {
+	if s.hashed != nil {
+		return s.hashed.Inner().RestoreState(state)
+	}
+	return s.inner.RestoreState(state)
+}
 
 // DomainResult reports per-item frequency tracking quality.
 type DomainResult struct {

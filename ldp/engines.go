@@ -23,7 +23,7 @@ func init() {
 	MustRegister(Mechanism{
 		Protocol:    FutureRand,
 		Description: "the paper's protocol (Theorem 4.1): error O((1/ε)·log d·√(k·n·log(d/β)))",
-		Caps:        Capabilities{Streaming: true, Consistency: true, ErrorBound: true, Sharded: true, Durable: true, Clustered: true, Domain: true},
+		Caps:        Capabilities{Streaming: true, Consistency: true, ErrorBound: true, Sharded: true, Durable: true, Clustered: true, Domain: true, HashedDomain: true},
 		Clients:     frameworkClients(sim.FutureRand),
 		Server:      frameworkServer(sim.FutureRand),
 		System:      frameworkSystem(sim.FutureRand),
@@ -35,7 +35,7 @@ func init() {
 	MustRegister(Mechanism{
 		Protocol:    Independent,
 		Description: "Example 4.2's ε/k composition: error linear in k",
-		Caps:        Capabilities{Streaming: true, Consistency: true, Sharded: true, Durable: true, Clustered: true, Domain: true},
+		Caps:        Capabilities{Streaming: true, Consistency: true, Sharded: true, Durable: true, Clustered: true, Domain: true, HashedDomain: true},
 		Clients:     frameworkClients(sim.Independent),
 		Server:      frameworkServer(sim.Independent),
 		System:      frameworkSystem(sim.Independent),
@@ -46,7 +46,7 @@ func init() {
 	MustRegister(Mechanism{
 		Protocol:    Bun,
 		Description: "the Bun–Nelson–Stemmer composition made online: √ln(k/ε) worse than FutureRand",
-		Caps:        Capabilities{Streaming: true, Consistency: true, Sharded: true, Durable: true, Clustered: true, Domain: true},
+		Caps:        Capabilities{Streaming: true, Consistency: true, Sharded: true, Durable: true, Clustered: true, Domain: true, HashedDomain: true},
 		Clients:     frameworkClients(sim.Bun),
 		Server:      frameworkServer(sim.Bun),
 		System:      frameworkSystem(sim.Bun),
@@ -57,7 +57,7 @@ func init() {
 	MustRegister(Mechanism{
 		Protocol:    Erlingsson,
 		Description: "the 2020 change-sampling baseline: one kept change, RR at ε/2, ×k estimator",
-		Caps:        Capabilities{Streaming: true, Sharded: true, Durable: true, Clustered: true, Domain: true},
+		Caps:        Capabilities{Streaming: true, Sharded: true, Durable: true, Clustered: true, Domain: true, HashedDomain: true},
 		Clients:     erlingssonClients,
 		Server:      erlingssonServer,
 		System: baselineSystem(func(o Options) sim.System {

@@ -193,6 +193,14 @@ type config struct {
 	eps  float64
 	seed int64
 	clip bool
+
+	// Domain encoding selection (domain constructors only). encoding ""
+	// means exact; buckets/hashSeed/epsPerm/eps1 configure loloha.
+	encoding string
+	buckets  int
+	hashSeed uint64
+	epsPerm  float64
+	eps1     float64
 }
 
 func newConfig(opts []Option) config {
@@ -225,6 +233,35 @@ func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
 // change, keeping the sparsity contract on streams that exceed the
 // bound (framework mechanisms only).
 func WithClipping() Option { return func(c *config) { c.clip = true } }
+
+// WithDomainEncoding selects the domain encoding for the domain
+// constructors: "exact" (the default — one server row per catalogue
+// item, m ≤ 4096) or "loloha" (longitudinal local hashing — items hash
+// to g buckets under a shared epoch seed, m up to 2^24 with server
+// memory scaling in g). The mechanism must declare the HashedDomain
+// capability for "loloha". Ignored by the Boolean constructors.
+func WithDomainEncoding(name string) Option { return func(c *config) { c.encoding = name } }
+
+// WithBuckets sets the hashed encoding's bucket count g (2..4096).
+// Only meaningful with WithDomainEncoding("loloha"); when unset, the
+// bucket count comes from WithBudgetSplit's closed-form optimum.
+func WithBuckets(g int) Option { return func(c *config) { c.buckets = g } }
+
+// WithHashSeed sets the shared epoch hash seed of a hashed encoding.
+// Every client and server of one collection epoch must use the same
+// seed — the bucket counters only decode into item estimates because
+// the server can recompute each item's bucket. Default 0.
+func WithHashSeed(seed uint64) Option { return func(c *config) { c.hashSeed = seed } }
+
+// WithBudgetSplit records LOLOHA's two-level budget split — epsPerm is
+// the permanent (infinity-report) budget and eps1 < epsPerm the
+// per-report budget — and, when WithBuckets is not given, derives the
+// bucket count from the split's closed-form optimum g*(epsPerm, eps1).
+// The split only selects g; the wrapped mechanism still runs at the
+// budget given by WithEpsilon.
+func WithBudgetSplit(epsPerm, eps1 float64) Option {
+	return func(c *config) { c.epsPerm, c.eps1 = epsPerm, eps1 }
+}
 
 // Client is the client-side half of the streaming protocol for one
 // user, for whatever mechanism it was built with.

@@ -43,6 +43,13 @@ type Capabilities struct {
 	// so a DomainServer can run one instance per item and scale
 	// estimates by m. Implies Streaming and Sharded.
 	Domain bool
+	// HashedDomain: the mechanism supports hashed domain encodings
+	// (LOLOHA): its clients can track the bucket-indicator stream
+	// 1{B(v) = b} exactly as they track an item indicator, so the
+	// reduction runs over g hash buckets instead of m items and server
+	// memory scales with g. Implies Domain — a hashed encoding is a
+	// domain reduction whose rows are buckets.
+	HashedDomain bool
 }
 
 // Params carries the protocol parameters shared by a mechanism's
@@ -157,6 +164,9 @@ func Register(m Mechanism) error {
 	}
 	if m.Caps.Domain && (!m.Caps.Streaming || !m.Caps.Sharded) {
 		return fmt.Errorf("ldp: domain mechanism %q must be streaming and sharded (the reduction runs per-user clients over per-item dyadic accumulators)", m.Protocol)
+	}
+	if m.Caps.HashedDomain && !m.Caps.Domain {
+		return fmt.Errorf("ldp: hashed-domain mechanism %q must support the domain reduction (a hashed encoding is a domain reduction over buckets)", m.Protocol)
 	}
 	if m.Caps.ErrorBound && m.ErrorBound == nil {
 		return fmt.Errorf("ldp: mechanism %q declares an error bound but provides none", m.Protocol)
