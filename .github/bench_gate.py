@@ -6,7 +6,7 @@ with -count=6), compares per-benchmark median ns/op, writes the
 comparison as a JSON artifact, and exits non-zero when any gated
 benchmark (BenchmarkIngest*/BenchmarkAnswer*/BenchmarkCluster*/
 BenchmarkDomain*/BenchmarkHashed*/BenchmarkReplicated*/
-BenchmarkQuorum*) slows down
+BenchmarkQuorum*/BenchmarkGateway*/BenchmarkConcurrent*) slows down
 by more than the threshold. Benchmarks present on only one side (added or removed by
 the PR) are reported but never gate.
 
@@ -18,7 +18,7 @@ import re
 import statistics
 import sys
 
-GATED = re.compile(r"^Benchmark(Ingest|Answer|Cluster|Domain|Hashed|Replicated|Quorum)")
+GATED = re.compile(r"^Benchmark(Ingest|Answer|Cluster|Domain|Hashed|Replicated|Quorum|Gateway|Concurrent)")
 # "BenchmarkFoo/sub-8   	     123	   9876 ns/op	..." — the -N
 # GOMAXPROCS suffix is stripped so the name is stable across runners.
 LINE = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+)\s+ns/op")

@@ -18,6 +18,7 @@ import (
 	"rtf/internal/eval"
 	"rtf/internal/hh"
 	"rtf/internal/membership"
+	"rtf/internal/obs"
 	"rtf/internal/persist"
 	"rtf/internal/probmath"
 	"rtf/internal/protocol"
@@ -546,7 +547,7 @@ type clusterBench struct {
 	done     []chan error
 }
 
-func startClusterBench(b *testing.B, n, d int, scale float64) *clusterBench {
+func startClusterBench(b *testing.B, n, d int, scale float64, configure ...func(*cluster.Gateway)) *clusterBench {
 	b.Helper()
 	cb := &clusterBench{}
 	var addrs []string
@@ -564,6 +565,9 @@ func startClusterBench(b *testing.B, n, d int, scale float64) *clusterBench {
 		b.Fatal(err)
 	}
 	cb.gw = cluster.New(d, scale, client)
+	for _, f := range configure {
+		f(cb.gw) // before ListenAndServe: the serve loop reads these fields
+	}
 	ready := make(chan net.Addr, 1)
 	done := make(chan error, 1)
 	go func() { done <- cb.gw.ListenAndServe("127.0.0.1:0", ready) }()
@@ -1103,4 +1107,196 @@ func BenchmarkAnswerTopKHashed(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Read-path cache benchmarks: the version-stamped memo on the top-k
+// selection, the shared-server concurrent answer path, and single-
+// flight coalescing through the gateway. All three are registered with
+// the CI regression gate.
+
+// readPathBenchM is the widest exact domain the transport accepts
+// (transport.MaxDomainRows) — the regime where the m-point estimate
+// sweep dominates a cold top-k answer and the memo pays for itself.
+const readPathBenchM = 4096
+
+// populateReadPathBench builds an m-row domain server fed
+// ingestBenchReports reports, version-stamped once at the end the way
+// the collectors do per applied batch.
+func populateReadPathBench(b *testing.B, m int) *hh.DomainServer {
+	b.Helper()
+	ds := hh.NewDomainServer(ingestBenchD, m, 100, 2)
+	g := rng.New(91, 92)
+	for i := 0; i < ingestBenchReports; i++ {
+		item := g.IntN(m)
+		h := g.IntN(dyadic.NumOrders(ingestBenchD))
+		bit := int8(1)
+		if g.Bernoulli(0.5) {
+			bit = -1
+		}
+		ds.Register(0, item, h)
+		ds.Ingest(0, item, protocol.Report{
+			User: i, Order: h, J: 1 + g.IntN(ingestBenchD>>uint(h)), Bit: bit,
+		})
+	}
+	ds.AdvanceVersion(0)
+	return ds
+}
+
+// BenchmarkAnswerTopKCold is the uncached top-k answer at m = 4096:
+// every iteration advances the version stamp, so the memo misses and
+// the full m-point estimate sweep plus the k-bounded selection run.
+func BenchmarkAnswerTopKCold(b *testing.B) {
+	ds := populateReadPathBench(b, readPathBenchM)
+	q := transport.DomainQuery(transport.QueryTopK, 0, ingestBenchD/2, 0, 10)
+	var ans transport.DomainAnswerFrame
+	var sc transport.TopKScratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds.AdvanceVersion(0)
+		if _, err := transport.AnswerDomainQueryInto(ds, q, &ans, &sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnswerTopKWarm is the same query against an unchanged
+// version stamp: the memoized selection is copied out without touching
+// the counters. The gap to BenchmarkAnswerTopKCold is the read-path
+// cache's whole value proposition (>= 5x at this m).
+func BenchmarkAnswerTopKWarm(b *testing.B) {
+	ds := populateReadPathBench(b, readPathBenchM)
+	q := transport.DomainQuery(transport.QueryTopK, 0, ingestBenchD/2, 0, 10)
+	var ans transport.DomainAnswerFrame
+	var sc transport.TopKScratch
+	if _, err := transport.AnswerDomainQueryInto(ds, q, &ans, &sc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transport.AnswerDomainQueryInto(ds, q, &ans, &sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentQueries hammers one populated domain server from
+// GOMAXPROCS goroutines, each with its own answer frame and selection
+// scratch — the serve-loop arrangement. After the first miss fills the
+// memo every answer is a warm copy-out, so this measures contention on
+// the memo mutex, not estimation work.
+func BenchmarkConcurrentQueries(b *testing.B) {
+	ds := populateReadPathBench(b, readPathBenchM)
+	q := transport.DomainQuery(transport.QueryTopK, 0, ingestBenchD/2, 0, 10)
+	var warm transport.DomainAnswerFrame
+	var wsc transport.TopKScratch
+	if _, err := transport.AnswerDomainQueryInto(ds, q, &warm, &wsc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var ans transport.DomainAnswerFrame
+		var sc transport.TopKScratch
+		for pb.Next() {
+			if _, err := transport.AnswerDomainQueryInto(ds, q, &ans, &sc); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkGatewayQueryCoalesced measures the single-flight answer
+// cache end to end: each iteration invalidates the gateway's cached
+// gather with a small fenced ingest batch, then fires the same series
+// query from 8 persistent client connections at once. One client leads
+// the scatter/gather; the rest coalesce onto it or hit the published
+// entry, so per-backend fetch traffic stays near one gather per
+// iteration no matter the client count. The reported coalesced+hits/op
+// metric counts the queries answered without their own gather (up to
+// clients-1 per iteration).
+func BenchmarkGatewayQueryCoalesced(b *testing.B) {
+	const clients = 8
+	reg := obs.NewRegistry()
+	cb := startClusterBench(b, 3, ingestBenchD, 100, func(gw *cluster.Gateway) {
+		gw.Metrics = transport.NewServerMetrics(reg)
+	})
+
+	ingestConn, err := net.Dial("tcp", cb.addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ingestConn.Close()
+	ingestEnc := transport.NewEncoder(ingestConn)
+	ingestDec := transport.NewDecoder(ingestConn)
+
+	q := transport.QueryV2(transport.QuerySeries, 0, 0)
+	start := make([]chan struct{}, clients)
+	done := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		start[c] = make(chan struct{})
+		conn, err := net.Dial("tcp", cb.addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer conn.Close()
+		go func(conn net.Conn, start chan struct{}) {
+			enc := transport.NewEncoder(conn)
+			dec := transport.NewDecoder(conn)
+			for range start {
+				err := enc.Encode(q)
+				if err == nil {
+					err = enc.Flush()
+				}
+				if err == nil {
+					_, err = dec.ReadAnswer()
+				}
+				done <- err
+			}
+		}(conn, start[c])
+	}
+
+	g := rng.New(7, 9)
+	batch := make([]transport.Msg, 64)
+	nextUser := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			h := g.IntN(dyadic.NumOrders(ingestBenchD))
+			bit := int8(1)
+			if g.Bernoulli(0.5) {
+				bit = -1
+			}
+			batch[j] = transport.FromReport(protocol.Report{
+				User: nextUser, Order: h, J: 1 + g.IntN(ingestBenchD>>uint(h)), Bit: bit,
+			})
+			nextUser++
+		}
+		if err := ingestEnc.EncodeBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		if err := ingestEnc.Encode(transport.Query(1)); err != nil { // fence
+			b.Fatal(err)
+		}
+		if err := ingestEnc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ingestDec.Next(); err != nil { // fence answer
+			b.Fatal(err)
+		}
+		for c := 0; c < clients; c++ {
+			start[c] <- struct{}{}
+		}
+		for c := 0; c < clients; c++ {
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	for c := 0; c < clients; c++ {
+		close(start[c])
+	}
+	saved := reg.Counter("query_coalesced_total").Value() + reg.Counter("query_cache_hits_total").Value()
+	b.ReportMetric(float64(saved)/float64(b.N), "coalesced+hits/op")
 }

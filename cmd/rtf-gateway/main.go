@@ -101,6 +101,8 @@ func main() {
 		members  = flag.String("members", "", "dynamic membership mode: comma-separated id=addr member list (mutually exclusive with -backends); backends must run rtf-serve -membership")
 		replicas = flag.Int("replicas", 2, "replication factor K under -members: every virtual shard is written to and quorum-read from K members")
 		vshards  = flag.Int("vshards", 64, "virtual shard count under -members; must match the backends' -vshards")
+		cacheTTL = flag.Duration("answer-cache-ttl", 0, "bounded-staleness reads: serve a cached scatter/gather up to this old to clean sessions even when ingest has advanced (0 = off; the cache then serves only provably exact entries)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/ on the -metrics listener")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, "rtf-gateway")
@@ -161,6 +163,7 @@ func main() {
 			d: *d, k: *k, m: *m, eps: *eps, scale: scale,
 			replicas: *replicas, vshards: *vshards,
 			opts: opts, grace: *grace, metrics: *metrics, queue: *queue,
+			pprof: *pprofOn,
 		})
 		return
 	}
@@ -182,6 +185,7 @@ func main() {
 		gw = cluster.New(*d, scale, client)
 	}
 	gw.ErrorLog = func(err error) { logger.Error("gateway", "err", err) }
+	gw.AnswerCacheTTL = *cacheTTL
 
 	reg := obs.NewRegistry()
 	reg.SetInfo("component", "rtf-gateway")
@@ -201,6 +205,9 @@ func main() {
 		metricsAddr = mln.Addr().String()
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg)
+		if *pprofOn {
+			obs.MountPprof(mux)
+		}
 		go http.Serve(mln, mux)
 	}
 

@@ -32,6 +32,7 @@ type memberConfig struct {
 	grace   time.Duration
 	metrics string
 	queue   int
+	pprof   bool
 }
 
 // runMember serves the dynamic-membership mode: the gateway fronts a
@@ -91,6 +92,9 @@ func runMember(logger *obs.Logger, cfg memberConfig) {
 				logView(logger, gw.View())
 			}
 		}))
+		if cfg.pprof {
+			obs.MountPprof(mux)
+		}
 		go http.Serve(mln, mux)
 	}
 

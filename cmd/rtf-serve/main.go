@@ -110,6 +110,7 @@ func main() {
 		grace   = flag.Duration("grace", 10*time.Second, "how long a shutdown signal lets in-flight connections drain")
 		metrics = flag.String("metrics", "", "serve the metrics snapshot (JSON) at http://ADDR/metrics; empty = off")
 		queue   = flag.Int("queue", 0, "bounded ingest admission queue capacity: acked batches beyond it are shed whole, legacy batches block (0 = unbounded)")
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/ on the -metrics listener")
 		member  = flag.Bool("membership", false, "membership mode: host one accumulator per virtual shard and serve the dynamic-cluster control plane (view pushes, per-shard sums, shard transfers) for an rtf-gateway -members front")
 		id      = flag.String("id", "", "this backend's member ID under -membership (must match the gateway's -members entry)")
 		vshards = flag.Int("vshards", 64, "virtual shard count under -membership; must match the gateway's -vshards")
@@ -290,6 +291,9 @@ func main() {
 		metricsAddr = mln.Addr().String()
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg)
+		if *pprofOn {
+			obs.MountPprof(mux)
+		}
 		go http.Serve(mln, mux)
 	}
 

@@ -346,6 +346,30 @@ func runSoak(st *driver, serveBin, gwBin, mech string, d, k int, eps float64, cf
 	if got := final.Counters["ingest_messages_total"]; got != ctr.appliedMsgs.Load() {
 		bad("server counted %d applied messages, harness saw %d", got, ctr.appliedMsgs.Load())
 	}
+	// Read-path cache counters must be coherent at a quiescent scrape:
+	// every cache-eligible query counted exactly one hit or miss, and
+	// coalesced queries are a subset of all answered queries. Absent
+	// counters read as zero, so the single-server run (whose Boolean
+	// query path has no memo) passes trivially.
+	cacheHits := final.Counters["query_cache_hits_total"]
+	cacheMisses := final.Counters["query_cache_misses_total"]
+	cacheEligible := final.Counters["query_cache_eligible_total"]
+	coalesced := final.Counters["query_coalesced_total"]
+	if cacheHits+cacheMisses != cacheEligible {
+		bad("cache counters incoherent: hits %d + misses %d != eligible %d", cacheHits, cacheMisses, cacheEligible)
+	}
+	var queriesTotal int64
+	for name, v := range final.Counters {
+		if strings.HasPrefix(name, "queries_total") {
+			queriesTotal += v
+		}
+	}
+	if coalesced > queriesTotal {
+		bad("query_coalesced_total %d exceeds %d answered queries", coalesced, queriesTotal)
+	}
+	if cfg.backends > 0 && cacheEligible == 0 {
+		bad("gateway soak answered %d queries but counted none cache-eligible", queriesTotal)
+	}
 
 	// Graceful shutdown, target first, and every process must exit 0.
 	for i := len(procs) - 1; i >= 0; i-- {

@@ -37,6 +37,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rtf/internal/dyadic"
@@ -73,6 +74,14 @@ type Gateway struct {
 	// shed accounting. Nil keeps every path metric-free.
 	Metrics *transport.ServerMetrics
 
+	// AnswerCacheTTL, when positive, opts the gateway into bounded-
+	// staleness reads: a cached gather younger than this may answer a
+	// clean session's query even when ingest has advanced since it was
+	// filled. Zero (the default) keeps the cache exact — an entry is
+	// served only when the ingest epoch proves it bit-for-bit equal to a
+	// fresh scatter/gather. See cache.go.
+	AnswerCacheTTL time.Duration
+
 	// Queue, when non-nil, bounds concurrent in-flight batches at the
 	// gateway's front door — before anything is forwarded, so a shed
 	// batch is rejected whole and never reaches any backend. Legacy
@@ -82,6 +91,15 @@ type Gateway struct {
 	// batch cannot end up applied on one partition and dropped on
 	// another.
 	Queue *transport.IngestQueue
+
+	// ingestEpoch advances whenever the cluster-wide answer could have
+	// changed: a forward starting, a fence certifying forwards as
+	// applied, or an unfenced lease dying. Cache entries are stamped
+	// with it; see cache.go for the exactness argument.
+	ingestEpoch atomic.Uint64
+	// cache is the version-stamped gathered-sums cache and the
+	// single-flight latch coalescing concurrent identical gathers.
+	cache answerCache
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -229,9 +247,15 @@ func (s *session) lease(i int) (*transport.BackendConn, error) {
 	return s.leases[i], nil
 }
 
-// drop closes and forgets a lease that saw an error.
+// drop closes and forgets a lease that saw an error. Losing a lease
+// with unfenced forwards advances the ingest epoch: the forwards may
+// still land on the backend without any fence ever recording it, so
+// cache entries gathered before the drop can no longer be proven fresh.
 func (s *session) drop(i int) {
 	if s.leases[i] != nil {
+		if s.unfenced[i] {
+			s.g.ingestEpoch.Add(1)
+		}
 		s.g.client.Release(i, s.leases[i], false)
 		s.leases[i] = nil
 	}
@@ -308,7 +332,13 @@ func fetchBackend[T any](s *session, i int, fetch func(*transport.BackendConn) (
 			s.leases[i].Close()
 			s.leases[i] = r.bc
 		}
-		s.unfenced[i] = false // everything forwarded on this lease is applied
+		if s.unfenced[i] {
+			// Everything forwarded on this lease is now certifiably
+			// applied — the cluster-wide answer may have changed, so
+			// cache entries gathered before this fence go stale.
+			s.unfenced[i] = false
+			s.g.ingestEpoch.Add(1)
+		}
 		return r.f, nil
 	}
 	return zero, fmt.Errorf("fetching sums from backend %d: %w", i, lastErr)
@@ -367,6 +397,10 @@ func hedge[T any](s *session, i int, primary *transport.BackendConn, delay time.
 // re-send. A batch is only guaranteed applied once a later fence or
 // query round-trips on the same session.
 func (s *session) forward(ms []transport.Msg) error {
+	// Bump the epoch before anything is written: once a sub-batch is on
+	// the wire its reports may land at any later moment, so no gather
+	// whose stamp predates this forward may be served as exact again.
+	s.g.ingestEpoch.Add(1)
 	for i := range s.bufs {
 		s.bufs[i] = s.bufs[i][:0]
 	}
@@ -636,17 +670,24 @@ func (g *Gateway) serveFrames(s *session, dec *transport.Decoder, enc *transport
 				if g.Metrics != nil {
 					g.Metrics.CountQuery("boolean", transport.QueryKindName(m))
 				}
-				srv, frames, err := s.gather()
+				e, hit, coalesced, err := g.acquireEntry(s, func() (*cacheEntry, error) {
+					srv, frames, err := s.gather()
+					if err != nil {
+						return nil, err
+					}
+					return &cacheEntry{srv: srv, frames: frames}, nil
+				})
 				if err != nil {
 					return err
 				}
+				g.countCacheOutcome(hit, coalesced)
 				switch m.Type {
 				case transport.MsgQuery:
-					if err := enc.Encode(transport.Estimate(m.T, srv.EstimateAt(m.T))); err != nil {
+					if err := enc.Encode(transport.Estimate(m.T, e.srv.EstimateAt(m.T))); err != nil {
 						return err
 					}
 				case transport.MsgQueryV2:
-					ans, err := transport.AnswerQuery(srv, m)
+					ans, err := transport.AnswerQuery(e.srv, m)
 					if err != nil {
 						return err
 					}
@@ -654,7 +695,7 @@ func (g *Gateway) serveFrames(s *session, dec *transport.Decoder, enc *transport
 						return err
 					}
 				case transport.MsgSums:
-					if err := enc.EncodeSums(g.mergeFrames(frames)); err != nil {
+					if err := enc.EncodeSums(g.mergeFrames(e.frames)); err != nil {
 						return err
 					}
 				}
@@ -769,13 +810,20 @@ func (g *Gateway) serveDomainFrames(s *session, dec *transport.Decoder, enc *tra
 				if g.Metrics != nil {
 					g.Metrics.CountQuery("domain", transport.QueryKindName(m))
 				}
-				frames, err := s.gatherDomain()
+				e, hit, coalesced, err := g.acquireEntry(s, func() (*cacheEntry, error) {
+					frames, err := s.gatherDomain()
+					if err != nil {
+						return nil, err
+					}
+					return &cacheEntry{domainFrames: frames}, nil
+				})
 				if err != nil {
 					return err
 				}
+				g.countCacheOutcome(hit, coalesced)
 				switch m.Type {
 				case transport.MsgDomainQuery:
-					ds, err := g.foldDomain(frames)
+					ds, err := e.domainServer(g)
 					if err != nil {
 						return err
 					}
@@ -787,7 +835,7 @@ func (g *Gateway) serveDomainFrames(s *session, dec *transport.Decoder, enc *tra
 						return err
 					}
 				case transport.MsgDomainSums:
-					merged, err := g.mergeDomainFrames(frames)
+					merged, err := g.mergeDomainFrames(e.domainFrames)
 					if err != nil {
 						return err
 					}
@@ -923,13 +971,20 @@ func (g *Gateway) serveHashedDomainFrames(s *session, dec *transport.Decoder, en
 				if g.Metrics != nil {
 					g.Metrics.CountQuery("hashed-domain", transport.QueryKindName(m))
 				}
-				frames, err := s.gatherHashedDomain()
+				e, hit, coalesced, err := g.acquireEntry(s, func() (*cacheEntry, error) {
+					frames, err := s.gatherHashedDomain()
+					if err != nil {
+						return nil, err
+					}
+					return &cacheEntry{domainFrames: frames}, nil
+				})
 				if err != nil {
 					return err
 				}
+				g.countCacheOutcome(hit, coalesced)
 				switch m.Type {
 				case transport.MsgDomainQuery:
-					hs, err := g.foldHashedDomain(frames)
+					hs, err := e.hashedServer(g)
 					if err != nil {
 						return err
 					}
@@ -941,7 +996,7 @@ func (g *Gateway) serveHashedDomainFrames(s *session, dec *transport.Decoder, en
 						return err
 					}
 				case transport.MsgHashedDomainSums:
-					merged, err := g.mergeDomainFrames(frames)
+					merged, err := g.mergeDomainFrames(e.domainFrames)
 					if err != nil {
 						return err
 					}

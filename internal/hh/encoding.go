@@ -14,7 +14,6 @@ package hh
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"rtf/internal/protocol"
 )
@@ -211,6 +210,7 @@ func (c *HashedDomainClient) Observe(value int) (protocol.Report, bool, error) {
 type HashedDomainServer struct {
 	enc   DomainEncoding
 	inner *DomainServer // g rows
+	memo  estMemo       // version-keyed decode/TopK cache (est = decoded buckets), see memo.go
 }
 
 // NewHashedDomainServer builds a hashed domain server for horizon d
@@ -265,31 +265,65 @@ func (s *HashedDomainServer) checkItem(x int) {
 	}
 }
 
-// decodeBuckets turns bucket estimates into per-bucket decoded item
-// values: dec[b] is the frequency estimate of any item hashing to b.
-// The total N̂ is summed in fixed bucket order.
-func (s *HashedDomainServer) decodeBuckets(est []float64) []float64 {
+// AdvanceVersion bumps the inner accumulator's mutation stamp for the
+// given shard; see DomainServer.AdvanceVersion.
+func (s *HashedDomainServer) AdvanceVersion(shard int) { s.inner.AdvanceVersion(shard) }
+
+// Version returns the inner accumulator's monotone mutation stamp; see
+// protocol.DomainSharded.Version for the freshness contract.
+func (s *HashedDomainServer) Version() uint64 { return s.inner.Version() }
+
+// decodeLocked returns the per-bucket decoded item values at time t —
+// dec[b] is the frequency estimate of any item hashing to b, with the
+// total N̂ summed in fixed bucket order 0..g−1 — stamped with version v
+// (which the caller must have loaded before calling), serving the memo
+// when (t, v) is unchanged. The caller must hold memo.mu; the returned
+// slice is memo-owned. The float operations and their order are
+// identical whether the decode is served warm or recomputed.
+func (s *HashedDomainServer) decodeLocked(t int, v uint64) []float64 {
+	mm := &s.memo
+	if mm.estValid && mm.estT == t && mm.estStamp == v {
+		return mm.est
+	}
+	if mm.est == nil {
+		mm.est = make([]float64, s.enc.G)
+		mm.tmp = make([]int64, s.enc.G)
+	}
+	est := s.inner.acc.EstimateAllAtInto(mm.est, mm.tmp, t)
 	g := float64(s.enc.G)
 	var total float64
-	for _, v := range est {
-		total += v
+	for _, bv := range est {
+		total += bv
 	}
-	dec := make([]float64, len(est))
-	for b, v := range est {
-		dec[b] = (v - total/g) * g / (g - 1)
+	for b, bv := range est {
+		est[b] = (bv - total/g) * g / (g - 1)
 	}
-	return dec
-}
-
-// decodeBucketsAt returns the per-bucket decoded values at time t.
-func (s *HashedDomainServer) decodeBucketsAt(t int) []float64 {
-	return s.decodeBuckets(s.inner.acc.EstimateAllAt(t))
+	mm.estValid, mm.estT, mm.estStamp = true, t, v
+	return est
 }
 
 // EstimateItemAt returns the decoded frequency estimate f̂(x, t).
 func (s *HashedDomainServer) EstimateItemAt(item, t int) float64 {
+	v, _ := s.EstimateItemAtCached(item, t)
+	return v
+}
+
+// EstimateItemAtCached is EstimateItemAt plus whether the decoded
+// bucket sweep was served from the version-keyed memo (the serve loops
+// use this to count cache hits; a hit is bit-for-bit identical to
+// recomputing, see memo.go).
+func (s *HashedDomainServer) EstimateItemAtCached(item, t int) (float64, bool) {
 	s.checkItem(item)
-	return s.decodeBucketsAt(t)[s.enc.Bucket(item)]
+	if t < 1 || t > s.inner.D() {
+		panic(fmt.Sprintf("hh: time %d out of range [1..%d]", t, s.inner.D()))
+	}
+	mm := &s.memo
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	v := s.inner.acc.Version()
+	hit := mm.estValid && mm.estT == t && mm.estStamp == v
+	dec := s.decodeLocked(t, v)
+	return dec[s.enc.Bucket(item)], hit
 }
 
 // EstimateItemSeries returns the decoded series f̂(x, 1..d).
@@ -322,6 +356,16 @@ func (s *HashedDomainServer) EstimateItemSeries(item int) []float64 {
 // sweep hashes every catalogue item but keeps only a k-bounded
 // selection, so memory is O(g + k), never O(m).
 func (s *HashedDomainServer) TopK(t, k int) []ItemCount {
+	out, _ := s.AppendTopK(nil, t, k)
+	return out
+}
+
+// AppendTopK appends the TopK result to dst and returns the extended
+// slice, plus whether the selection was served from the version-keyed
+// memo — the same contract as DomainServer.AppendTopK. A warm hit skips
+// both the bucket decode and the m-item hash sweep; the appended
+// entries are always a copy, so callers may retain or mutate them.
+func (s *HashedDomainServer) AppendTopK(dst []ItemCount, t, k int) ([]ItemCount, bool) {
 	if t < 1 || t > s.inner.D() {
 		panic(fmt.Sprintf("hh: time %d out of range [1..%d]", t, s.inner.D()))
 	}
@@ -331,62 +375,15 @@ func (s *HashedDomainServer) TopK(t, k int) []ItemCount {
 	if k > s.enc.M {
 		k = s.enc.M
 	}
-	dec := s.decodeBucketsAt(t)
-	// Min-heap of the k best so far; less = worse (smaller count, ties
-	// toward the larger item, so the root is always the entry a better
-	// candidate should displace). Items arrive in ascending order, so a
-	// candidate equal to the root never displaces it — among boundary
-	// ties the smaller items win, exactly the full-sort-and-truncate
-	// selection of the exact encoding.
-	h := make([]ItemCount, 0, k)
-	worse := func(a, b ItemCount) bool {
-		if a.Count != b.Count {
-			return a.Count < b.Count
-		}
-		return a.Item > b.Item
+	mm := &s.memo
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	v := s.inner.acc.Version()
+	if mm.topValid && mm.topT == t && mm.topK == k && mm.topStamp == v {
+		return append(dst, mm.top...), true
 	}
-	siftDown := func(i int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			min := i
-			if l < len(h) && worse(h[l], h[min]) {
-				min = l
-			}
-			if r < len(h) && worse(h[r], h[min]) {
-				min = r
-			}
-			if min == i {
-				return
-			}
-			h[i], h[min] = h[min], h[i]
-			i = min
-		}
-	}
-	for x := 0; x < s.enc.M; x++ {
-		c := ItemCount{Item: x, Count: dec[s.enc.Bucket(x)]}
-		if len(h) < k {
-			h = append(h, c)
-			for i := len(h) - 1; i > 0; {
-				p := (i - 1) / 2
-				if !worse(h[i], h[p]) {
-					break
-				}
-				h[i], h[p] = h[p], h[i]
-				i = p
-			}
-			continue
-		}
-		if k == 0 || !worse(h[0], c) {
-			continue
-		}
-		h[0] = c
-		siftDown(0)
-	}
-	sort.Slice(h, func(i, j int) bool {
-		if h[i].Count != h[j].Count {
-			return h[i].Count > h[j].Count
-		}
-		return h[i].Item < h[j].Item
-	})
-	return h
+	dec := s.decodeLocked(t, v)
+	mm.top = selectTopK(mm.top, s.enc.M, k, func(x int) float64 { return dec[s.enc.Bucket(x)] })
+	mm.topValid, mm.topT, mm.topK, mm.topStamp = true, t, k, v
+	return append(dst, mm.top...), false
 }

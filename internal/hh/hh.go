@@ -30,7 +30,6 @@ package hh
 
 import (
 	"fmt"
-	"sort"
 
 	"rtf/internal/dyadic"
 	"rtf/internal/protocol"
@@ -232,6 +231,7 @@ type DomainServer struct {
 	boolScale float64 // the Boolean mechanism's estimator scale
 	itemScale float64 // m × boolScale, the per-item estimator scale
 	acc       *protocol.DomainSharded
+	memo      estMemo // version-keyed EstimateAllAt/TopK cache, see memo.go
 }
 
 // NewDomainServer builds a server for horizon d (a power of two) over a
@@ -286,6 +286,16 @@ func (s *DomainServer) Ingest(shard, item int, r protocol.Report) {
 	s.acc.Ingest(shard, item, r)
 }
 
+// AdvanceVersion bumps the accumulator's mutation stamp for the given
+// shard. Ingest is version-silent (see protocol.DomainSharded); callers
+// that batch raw reports advance once per applied batch so their writes
+// invalidate the memoized read path.
+func (s *DomainServer) AdvanceVersion(shard int) { s.acc.AdvanceVersion(shard) }
+
+// Version returns the accumulator's monotone mutation stamp; see
+// protocol.DomainSharded.Version for the freshness contract.
+func (s *DomainServer) Version() uint64 { return s.acc.Version() }
+
 // Users returns the number of registered users across all items.
 func (s *DomainServer) Users() int { return s.acc.Users() }
 
@@ -324,27 +334,57 @@ func (s *DomainServer) EstimateItemSeriesTo(item, r int) []float64 {
 // list. k larger than m is clamped; t and k are assumed range-checked
 // by the caller (the ldp and transport boundaries validate).
 func (s *DomainServer) TopK(t, k int) []ItemCount {
+	out, _ := s.AppendTopK(nil, t, k)
+	return out
+}
+
+// AppendTopK appends the TopK result to dst and returns the extended
+// slice, plus whether the selection was served from the version-keyed
+// memo (an unchanged accumulator stamp — see memo.go for why a hit is
+// bit-for-bit identical to recomputing). The appended entries are a
+// copy: dst never aliases memo-owned storage, so callers may retain or
+// mutate the result freely. Passing a recycled dst[:0] makes the warm
+// path allocation-free; TopK itself is AppendTopK(nil, …), a fresh
+// caller-owned slice.
+func (s *DomainServer) AppendTopK(dst []ItemCount, t, k int) ([]ItemCount, bool) {
 	if t < 1 || t > s.d {
 		panic(fmt.Sprintf("hh: time %d out of range [1..%d]", t, s.d))
 	}
 	if k < 0 {
 		panic("hh: negative k")
 	}
-	est := s.acc.EstimateAllAt(t) // one item-major sweep over the flat rows
-	out := make([]ItemCount, s.m)
-	for x := range out {
-		out[x] = ItemCount{Item: x, Count: est[x]}
+	if k > s.m {
+		k = s.m
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		return out[i].Item < out[j].Item
-	})
-	if k < len(out) {
-		out = out[:k]
+	mm := &s.memo
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	v := s.acc.Version()
+	if mm.topValid && mm.topT == t && mm.topK == k && mm.topStamp == v {
+		return append(dst, mm.top...), true
 	}
-	return out
+	est := s.estimateAllLocked(t, v)
+	mm.top = selectTopK(mm.top, s.m, k, func(x int) float64 { return est[x] })
+	mm.topValid, mm.topT, mm.topK, mm.topStamp = true, t, k, v
+	return append(dst, mm.top...), false
+}
+
+// estimateAllLocked returns the per-item estimate sweep at t, stamped
+// with version v (which the caller must have loaded before calling),
+// serving the memo when (t, v) is unchanged. The caller must hold
+// memo.mu; the returned slice is memo-owned.
+func (s *DomainServer) estimateAllLocked(t int, v uint64) []float64 {
+	mm := &s.memo
+	if mm.estValid && mm.estT == t && mm.estStamp == v {
+		return mm.est
+	}
+	if mm.est == nil {
+		mm.est = make([]float64, s.m)
+		mm.tmp = make([]int64, s.m)
+	}
+	s.acc.EstimateAllAtInto(mm.est, mm.tmp, t)
+	mm.estValid, mm.estT, mm.estStamp = true, t, v
+	return mm.est
 }
 
 // FoldItem returns one item's raw accumulator state — user count,

@@ -1,0 +1,114 @@
+package hh
+
+// This file is the version-keyed read cache of the domain servers: the
+// EstimateAllAt sweep (and the hashed decoder's bucket-estimate pass)
+// is memoized against the accumulator's monotone version stamp, and
+// TopK keeps only a k-bounded selection instead of sorting all m items.
+//
+// Exactness: a memo entry records the stamp returned by Version()
+// *before* its sweep ran. Version components only grow, and every
+// batched writer advances the stamp after its writes land (the
+// transport collectors call AdvanceVersion once per applied batch), so
+// an unchanged stamp at lookup time certifies that no write batch
+// completed since the entry was computed — replaying the sweep would
+// read the same counters and produce the same floats, so serving the
+// entry is bit-for-bit identical to recomputing. A lookup racing an
+// in-flight, not-yet-advanced batch is no different from an uncached
+// sweep racing the same batch: the system only promises exact answers
+// at fences and quiescence, and there every batch has advanced.
+
+import (
+	"sort"
+	"sync"
+)
+
+// estMemo caches one (t, version)-keyed estimate sweep and one
+// (t, k, version)-keyed TopK selection, with the scratch buffers the
+// sweeps reuse. Guarded by mu; the cached slices are memo-owned and
+// must be copied at any API boundary that hands them out.
+type estMemo struct {
+	mu sync.Mutex
+
+	estValid bool
+	estT     int
+	estStamp uint64
+	est      []float64 // per-row estimates at estT (exact: per item; hashed: per bucket, decoded)
+	tmp      []int64   // integer fold scratch for the sweep
+
+	topValid bool
+	topT     int
+	topK     int
+	topStamp uint64
+	top      []ItemCount // selection result at (topT, topK)
+}
+
+// selectTopK writes the k largest of count(0), …, count(n−1) into h
+// (reusing its capacity; h is truncated first) and returns it sorted in
+// decreasing order with ties broken toward the smaller item — exactly
+// the full-sort-and-truncate ordering, in O(n + k log k) instead of
+// O(n log n).
+//
+// The heap h is a min-heap of the k best so far; worse = smaller count,
+// ties toward the larger item, so the root is always the entry a better
+// candidate should displace. Items arrive in ascending order, so a
+// candidate equal to the root never displaces it — among boundary ties
+// the smaller items win, matching the full sort.
+func selectTopK(h []ItemCount, n, k int, count func(int) float64) []ItemCount {
+	if k > n {
+		k = n
+	}
+	h = h[:0]
+	if k <= 0 {
+		return h
+	}
+	worse := func(a, b ItemCount) bool {
+		if a.Count != b.Count {
+			return a.Count < b.Count
+		}
+		return a.Item > b.Item
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(h) && worse(h[l], h[min]) {
+				min = l
+			}
+			if r < len(h) && worse(h[r], h[min]) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			h[i], h[min] = h[min], h[i]
+			i = min
+		}
+	}
+	for x := 0; x < n; x++ {
+		c := ItemCount{Item: x, Count: count(x)}
+		if len(h) < k {
+			h = append(h, c)
+			for i := len(h) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !worse(h[i], h[p]) {
+					break
+				}
+				h[i], h[p] = h[p], h[i]
+				i = p
+			}
+			continue
+		}
+		if !worse(h[0], c) {
+			continue
+		}
+		h[0] = c
+		siftDown(0)
+	}
+	sort.Slice(h, func(i, j int) bool {
+		if h[i].Count != h[j].Count {
+			return h[i].Count > h[j].Count
+		}
+		return h[i].Item < h[j].Item
+	})
+	return h
+}

@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// MountPprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/ on mux — explicitly, rather than via the package's
+// blank-import side effect on http.DefaultServeMux, so profiling is
+// exposed only on the operator's metrics listener and only when the
+// binary's -pprof flag asked for it. The index page links the named
+// profiles (heap, goroutine, block, mutex, allocs); /profile and
+// /trace capture CPU profiles and execution traces. See
+// docs/PERFORMANCE.md for the profiling workflow.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -48,6 +48,7 @@ type domainShard struct {
 	sums     []int64 // m × sumRow, item-major (atomic)
 	perOrder []int64 // m × ordRow, item-major (atomic)
 	users    []int64 // one registered-user count per item (atomic)
+	version  int64   // monotone mutation counter (atomic), see Version
 }
 
 // NewDomainSharded builds a flat domain accumulator for horizon d (a
@@ -121,6 +122,33 @@ func (s *DomainSharded) Register(shard, item, order int) {
 	sh := s.shard(shard)
 	atomic.AddInt64(&sh.users[item], 1)
 	atomic.AddInt64(&sh.perOrder[item*s.ordRow+order], 1)
+	atomic.AddInt64(&sh.version, 1)
+}
+
+// AdvanceVersion bumps the given shard's mutation counter. Ingest is
+// deliberately version-silent — a second atomic add per report would
+// roughly double the one-index-one-add hot path — so writers that batch
+// reports call AdvanceVersion once per applied batch instead. Every
+// collector in internal/transport does this; raw Ingest callers that
+// want their writes visible to version-stamped caches must do the same.
+func (s *DomainSharded) AdvanceVersion(shard int) {
+	atomic.AddInt64(&s.shard(shard).version, 1)
+}
+
+// Version folds the per-shard mutation counters into one monotone
+// stamp. Each component only grows, so the sum observed by a reader can
+// only grow; if two Version calls bracketing a derived computation
+// return the same value, no Register/MergeRawItem/RestoreState/
+// AdvanceVersion completed in between, and the derived result may be
+// served again verbatim. At quiescence (all writers' batches applied
+// and advanced) an unchanged stamp therefore certifies bit-for-bit
+// freshness.
+func (s *DomainSharded) Version() uint64 {
+	var v int64
+	for i := range s.shards {
+		v += atomic.LoadInt64(&s.shards[i].version)
+	}
+	return uint64(v)
 }
 
 // Ingest accumulates one report for the given item into the given
@@ -197,11 +225,23 @@ func (s *DomainSharded) EstimateAt(item, t int) float64 {
 // sequentially instead of chasing m separate accumulators. The caller
 // owns the slice.
 func (s *DomainSharded) EstimateAllAt(t int) []float64 {
+	return s.EstimateAllAtInto(make([]float64, s.m), make([]int64, s.m), t)
+}
+
+// EstimateAllAtInto is EstimateAllAt sweeping into caller-owned
+// buffers: est and tmp must both have length m (est is overwritten, tmp
+// is scratch). It returns est. The memoized read path in internal/hh
+// uses this to keep repeated sweeps allocation-free.
+func (s *DomainSharded) EstimateAllAtInto(est []float64, tmp []int64, t int) []float64 {
 	if t < 1 || t > s.d {
 		panic(fmt.Sprintf("protocol: time %d out of range [1..%d]", t, s.d))
 	}
-	est := make([]float64, s.m)
-	tmp := make([]int64, s.m)
+	if len(est) != s.m || len(tmp) != s.m {
+		panic(fmt.Sprintf("protocol: estimate buffers of length %d/%d for domain size %d", len(est), len(tmp), s.m))
+	}
+	for x := range est {
+		est[x] = 0
+	}
 	for _, iv := range dyadic.Decompose(t, s.d) {
 		flat := s.tree.FlatIndex(iv)
 		for x := range tmp {
@@ -311,6 +351,7 @@ func (s *DomainSharded) MergeRawItem(item int, users int64, perOrder, sums []int
 	for h, c := range perOrder {
 		atomic.AddInt64(&po[h], c)
 	}
+	atomic.AddInt64(&sh.version, 1)
 	return nil
 }
 
@@ -397,5 +438,6 @@ func (s *DomainSharded) RestoreState(b []byte) error {
 	if r.off != len(b) {
 		return fmt.Errorf("protocol: %d trailing bytes after domain state", len(b)-r.off)
 	}
+	atomic.AddInt64(&sh.version, 1)
 	return nil
 }

@@ -35,6 +35,7 @@ type accShard struct {
 	sums     []int64 // Σ of ±1 report bits, one per dyadic interval (atomic)
 	users    int64   // registered users (atomic)
 	perOrder []int64 // registered users per order (atomic)
+	version  int64   // monotone mutation counter (atomic), see Version
 }
 
 // NewSharded builds a sharded accumulator for horizon d with the given
@@ -89,6 +90,7 @@ func (s *Sharded) Register(shard, order int) {
 	}
 	atomic.AddInt64(&sh.users, 1)
 	atomic.AddInt64(&sh.perOrder[order], 1)
+	atomic.AddInt64(&sh.version, 1)
 }
 
 // Ingest accumulates one report into the given shard.
@@ -103,7 +105,34 @@ func (s *Sharded) Ingest(shard int, r Report) {
 // IngestSum adds a pre-aggregated sum of ±1 bits for one interval into
 // the given shard.
 func (s *Sharded) IngestSum(shard int, iv dyadic.Interval, sum int64) {
-	atomic.AddInt64(&s.shard(shard).sums[s.tree.FlatIndex(iv)], sum)
+	sh := s.shard(shard)
+	atomic.AddInt64(&sh.sums[s.tree.FlatIndex(iv)], sum)
+	atomic.AddInt64(&sh.version, 1)
+}
+
+// AdvanceVersion bumps the given shard's mutation counter. Ingest is
+// deliberately version-silent — a second atomic add per report would
+// roughly double the hot-path cost — so writers that batch raw reports
+// call AdvanceVersion once per applied batch instead. Every collector in
+// internal/transport does this; raw Ingest callers that want their
+// writes visible to version-stamped caches must do the same.
+func (s *Sharded) AdvanceVersion(shard int) {
+	atomic.AddInt64(&s.shard(shard).version, 1)
+}
+
+// Version folds the per-shard mutation counters into one monotone
+// stamp. Each component only grows, so the sum observed by a reader can
+// only grow; if two Version calls bracketing a derived computation
+// return the same value, no Register/IngestSum/MergeRaw/AdvanceVersion
+// completed in between, and the derived result may be served again
+// verbatim. At quiescence (all writers' batches applied and advanced)
+// an unchanged stamp therefore certifies bit-for-bit freshness.
+func (s *Sharded) Version() uint64 {
+	var v int64
+	for i := range s.shards {
+		v += atomic.LoadInt64(&s.shards[i].version)
+	}
+	return uint64(v)
 }
 
 // Users returns the number of registered users across all shards.
@@ -232,6 +261,7 @@ func (s *Sharded) MergeRaw(users int64, perOrder, sums []int64) error {
 	for h, c := range perOrder {
 		atomic.AddInt64(&sh.perOrder[h], c)
 	}
+	atomic.AddInt64(&sh.version, 1)
 	return nil
 }
 

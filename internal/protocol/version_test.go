@@ -1,0 +1,151 @@
+package protocol
+
+import (
+	"sync"
+	"testing"
+
+	"rtf/internal/dyadic"
+)
+
+// The version stamp must move on every non-hot mutator and on explicit
+// batch advancement, and must never move on a pure read.
+func TestShardedVersionAdvances(t *testing.T) {
+	acc := NewSharded(8, 1.5, 4)
+	v0 := acc.Version()
+	if v0 != 0 {
+		t.Fatalf("fresh accumulator version = %d, want 0", v0)
+	}
+
+	acc.Register(1, 0)
+	if v := acc.Version(); v <= v0 {
+		t.Fatalf("Register did not advance version: %d -> %d", v0, v)
+	}
+	v1 := acc.Version()
+
+	acc.IngestSum(2, dyadic.Interval{Order: 0, Index: 3}, 5)
+	if v := acc.Version(); v <= v1 {
+		t.Fatalf("IngestSum did not advance version: %d -> %d", v1, v)
+	}
+	v2 := acc.Version()
+
+	// Ingest is deliberately version-silent; the batch writer advances.
+	acc.Ingest(0, Report{Order: 0, J: 1, Bit: 1})
+	if v := acc.Version(); v != v2 {
+		t.Fatalf("Ingest alone moved version: %d -> %d", v2, v)
+	}
+	acc.AdvanceVersion(0)
+	if v := acc.Version(); v <= v2 {
+		t.Fatalf("AdvanceVersion did not advance version: %d -> %d", v2, v)
+	}
+	v3 := acc.Version()
+
+	users, perOrder, sums := acc.Fold()
+	if v := acc.Version(); v != v3 {
+		t.Fatalf("Fold (a read) moved version: %d -> %d", v3, v)
+	}
+	if err := acc.MergeRaw(users, perOrder, sums); err != nil {
+		t.Fatalf("MergeRaw: %v", err)
+	}
+	if v := acc.Version(); v <= v3 {
+		t.Fatalf("MergeRaw did not advance version: %d -> %d", v3, v)
+	}
+
+	_ = acc.EstimateAt(4)
+	_ = acc.EstimateSeries()
+	if v, want := acc.Version(), acc.Version(); v != want {
+		t.Fatalf("reads moved version: %d != %d", v, want)
+	}
+}
+
+func TestDomainShardedVersionAdvances(t *testing.T) {
+	acc := NewDomainSharded(8, 4, 2.0, 4)
+	v0 := acc.Version()
+	if v0 != 0 {
+		t.Fatalf("fresh accumulator version = %d, want 0", v0)
+	}
+
+	acc.Register(1, 2, 0)
+	if v := acc.Version(); v <= v0 {
+		t.Fatalf("Register did not advance version: %d -> %d", v0, v)
+	}
+	v1 := acc.Version()
+
+	// Ingest is deliberately version-silent; the batch writer advances.
+	acc.Ingest(3, 2, Report{Order: 0, J: 1, Bit: 1})
+	if v := acc.Version(); v != v1 {
+		t.Fatalf("Ingest alone moved version: %d -> %d", v1, v)
+	}
+	acc.AdvanceVersion(3)
+	if v := acc.Version(); v <= v1 {
+		t.Fatalf("AdvanceVersion did not advance version: %d -> %d", v1, v)
+	}
+	v2 := acc.Version()
+
+	users, perOrder, sums := acc.FoldItem(2)
+	if v := acc.Version(); v != v2 {
+		t.Fatalf("FoldItem (a read) moved version: %d -> %d", v2, v)
+	}
+	if err := acc.MergeRawItem(2, users, perOrder, sums); err != nil {
+		t.Fatalf("MergeRawItem: %v", err)
+	}
+	if v := acc.Version(); v <= v2 {
+		t.Fatalf("MergeRawItem did not advance version: %d -> %d", v2, v)
+	}
+	v3 := acc.Version()
+
+	state := acc.MarshalState()
+	if v := acc.Version(); v != v3 {
+		t.Fatalf("MarshalState (a read) moved version: %d -> %d", v3, v)
+	}
+	other := NewDomainSharded(8, 4, 2.0, 4)
+	if err := other.RestoreState(state); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if v := other.Version(); v == 0 {
+		t.Fatal("RestoreState did not advance version")
+	}
+}
+
+// Version is a sum of monotone per-shard counters, so a reader that
+// observes the same stamp across two folds is guaranteed no advance
+// completed in between — even with advancing writers on many shards.
+func TestVersionMonotoneUnderConcurrentAdvance(t *testing.T) {
+	acc := NewDomainSharded(8, 4, 2.0, 8)
+	const writers, advances = 8, 500
+	stop := make(chan struct{})
+	var observed []uint64
+	var writerWG, readerWG sync.WaitGroup
+	writerWG.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < advances; i++ {
+				acc.Ingest(w, i%4, Report{Order: 0, J: 1, Bit: 1})
+				acc.AdvanceVersion(w)
+			}
+		}(w)
+	}
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				observed = append(observed, acc.Version())
+			}
+		}
+	}()
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	for i := 1; i < len(observed); i++ {
+		if observed[i] < observed[i-1] {
+			t.Fatalf("version went backwards: %d then %d", observed[i-1], observed[i])
+		}
+	}
+	if got, want := acc.Version(), uint64(writers*advances); got != want {
+		t.Fatalf("final version %d, want %d", got, want)
+	}
+}

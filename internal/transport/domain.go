@@ -142,25 +142,41 @@ func ValidateDomainQuery(d, m int, msg Msg) error {
 // decomposition in the same order everywhere. Returned slices are owned
 // by the caller.
 func AnswerDomainQuery(ds *hh.DomainServer, msg Msg) (DomainAnswerFrame, error) {
-	if err := ValidateDomainQuery(ds.D(), ds.M(), msg); err != nil {
+	var a DomainAnswerFrame
+	var sc TopKScratch
+	if _, err := AnswerDomainQueryInto(ds, msg, &a, &sc); err != nil {
 		return DomainAnswerFrame{}, err
 	}
-	a := DomainAnswerFrame{Kind: msg.Kind, Item: msg.Item, L: msg.L, R: msg.R, K: msg.K}
+	return a, nil
+}
+
+// AnswerDomainQueryInto is AnswerDomainQuery answering into a reusable
+// frame: a's Items/Values buffers and sc's selection scratch are
+// truncated and re-appended, so a serve loop recycling one frame and
+// scratch per connection answers warm top-k and point-item queries
+// without allocating. It reports whether the answer was served from the
+// server's version-keyed memo (top-k only; the other shapes read
+// counters directly). The frame's slices remain owned by the caller and
+// never alias server-internal storage.
+func AnswerDomainQueryInto(ds *hh.DomainServer, msg Msg, a *DomainAnswerFrame, sc *TopKScratch) (cached bool, err error) {
+	if err := ValidateDomainQuery(ds.D(), ds.M(), msg); err != nil {
+		return false, err
+	}
+	a.Kind, a.Item, a.L, a.R, a.K = msg.Kind, msg.Item, msg.L, msg.R, msg.K
+	a.Items, a.Values = a.Items[:0], a.Values[:0]
 	switch msg.Kind {
 	case QueryPointItem:
-		a.Values = []float64{ds.EstimateItemAt(msg.Item, msg.L)}
+		a.Values = append(a.Values, ds.EstimateItemAt(msg.Item, msg.L))
 	case QuerySeriesItem:
-		a.Values = append([]float64(nil), ds.EstimateItemSeries(msg.Item)...)
+		a.Values = append(a.Values, ds.EstimateItemSeries(msg.Item)...)
 	case QueryTopK:
-		top := ds.TopK(msg.L, msg.K)
-		a.Items = make([]int, len(top))
-		a.Values = make([]float64, len(top))
-		for i, ic := range top {
-			a.Items[i] = ic.Item
-			a.Values[i] = ic.Count
+		sc.top, cached = ds.AppendTopK(sc.top[:0], msg.L, msg.K)
+		for _, ic := range sc.top {
+			a.Items = append(a.Items, ic.Item)
+			a.Values = append(a.Values, ic.Count)
 		}
 	}
-	return a, nil
+	return cached, nil
 }
 
 // DomainAnswerFrame is the server's response to an item-scoped query:
@@ -173,6 +189,14 @@ type DomainAnswerFrame struct {
 	Item, L, R, K int
 	Items         []int
 	Values        []float64
+}
+
+// TopKScratch is the reusable selection buffer for the Into answer
+// paths. It lives outside DomainAnswerFrame so frames stay plain
+// values whose equality means payload equality; a serve loop holds one
+// scratch per connection alongside its reusable frame.
+type TopKScratch struct {
+	top []hh.ItemCount
 }
 
 // EncodeDomainAnswer writes one MsgDomainAnswer frame.
@@ -550,6 +574,9 @@ func (c *DomainCollector) Send(shard int, m Msg) error {
 		c.hellos.Add(hellos)
 	}
 	c.reports.Add(reports)
+	if reports > 0 {
+		c.srv.AdvanceVersion(shard)
+	}
 	return nil
 }
 
@@ -568,7 +595,10 @@ func (c *DomainCollector) SendBatch(shard int, ms []Msg) error {
 	return nil
 }
 
-// applyBatch accumulates a fully validated batch.
+// applyBatch accumulates a fully validated batch, then advances the
+// server's version stamp once — batch-amortized invalidation for the
+// version-keyed read caches (Ingest itself is version-silent to keep
+// the hot path at one index computation and one atomic add).
 func (c *DomainCollector) applyBatch(shard int, ms []Msg) {
 	var hellos, reports int64
 	for i := range ms {
@@ -579,6 +609,9 @@ func (c *DomainCollector) applyBatch(shard int, ms []Msg) {
 	}
 	c.reports.Add(reports)
 	c.batches.Add(1)
+	if reports > 0 {
+		c.srv.AdvanceVersion(shard)
+	}
 }
 
 // applyJournaled implements batchApplier for the durable collector.

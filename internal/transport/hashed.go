@@ -108,25 +108,41 @@ func ValidateHashedDomainQuery(d, m int, msg Msg) error {
 // function of the per-bucket point estimates, which sum the same dyadic
 // decomposition in the same bucket order everywhere.
 func AnswerHashedDomainQuery(hs *hh.HashedDomainServer, msg Msg) (DomainAnswerFrame, error) {
-	if err := ValidateHashedDomainQuery(hs.D(), hs.M(), msg); err != nil {
+	var a DomainAnswerFrame
+	var sc TopKScratch
+	if _, err := AnswerHashedDomainQueryInto(hs, msg, &a, &sc); err != nil {
 		return DomainAnswerFrame{}, err
 	}
-	a := DomainAnswerFrame{Kind: msg.Kind, Item: msg.Item, L: msg.L, R: msg.R, K: msg.K}
+	return a, nil
+}
+
+// AnswerHashedDomainQueryInto is AnswerHashedDomainQuery answering into
+// a reusable frame — the hashed counterpart of AnswerDomainQueryInto.
+// It reports whether the answer was served from the server's
+// version-keyed decode memo (top-k and point-item; a warm top-k skips
+// the m-item hash sweep entirely). The frame's slices remain owned by
+// the caller and never alias server-internal storage.
+func AnswerHashedDomainQueryInto(hs *hh.HashedDomainServer, msg Msg, a *DomainAnswerFrame, sc *TopKScratch) (cached bool, err error) {
+	if err := ValidateHashedDomainQuery(hs.D(), hs.M(), msg); err != nil {
+		return false, err
+	}
+	a.Kind, a.Item, a.L, a.R, a.K = msg.Kind, msg.Item, msg.L, msg.R, msg.K
+	a.Items, a.Values = a.Items[:0], a.Values[:0]
 	switch msg.Kind {
 	case QueryPointItem:
-		a.Values = []float64{hs.EstimateItemAt(msg.Item, msg.L)}
+		var v float64
+		v, cached = hs.EstimateItemAtCached(msg.Item, msg.L)
+		a.Values = append(a.Values, v)
 	case QuerySeriesItem:
-		a.Values = hs.EstimateItemSeries(msg.Item)
+		a.Values = append(a.Values, hs.EstimateItemSeries(msg.Item)...)
 	case QueryTopK:
-		top := hs.TopK(msg.L, msg.K)
-		a.Items = make([]int, len(top))
-		a.Values = make([]float64, len(top))
-		for i, ic := range top {
-			a.Items[i] = ic.Item
-			a.Values[i] = ic.Count
+		sc.top, cached = hs.AppendTopK(sc.top[:0], msg.L, msg.K)
+		for _, ic := range sc.top {
+			a.Items = append(a.Items, ic.Item)
+			a.Values = append(a.Values, ic.Count)
 		}
 	}
-	return a, nil
+	return cached, nil
 }
 
 // HashedDomainBatchCollector is the hashed counterpart of
@@ -198,6 +214,9 @@ func (c *HashedDomainCollector) Send(shard int, m Msg) error {
 		c.hellos.Add(hellos)
 	}
 	c.reports.Add(reports)
+	if reports > 0 {
+		c.srv.AdvanceVersion(shard)
+	}
 	return nil
 }
 
@@ -216,7 +235,10 @@ func (c *HashedDomainCollector) SendBatch(shard int, ms []Msg) error {
 	return nil
 }
 
-// applyBatch accumulates a fully validated batch.
+// applyBatch accumulates a fully validated batch, then advances the
+// server's version stamp once — batch-amortized invalidation for the
+// version-keyed read caches (Ingest itself is version-silent to keep
+// the hot path at one index computation and one atomic add).
 func (c *HashedDomainCollector) applyBatch(shard int, ms []Msg) {
 	var hellos, reports int64
 	for i := range ms {
@@ -227,6 +249,9 @@ func (c *HashedDomainCollector) applyBatch(shard int, ms []Msg) {
 	}
 	c.reports.Add(reports)
 	c.batches.Add(1)
+	if reports > 0 {
+		c.srv.AdvanceVersion(shard)
+	}
 }
 
 // applyJournaled implements batchApplier for the durable collector.

@@ -107,6 +107,31 @@ func (m *ServerMetrics) CountQuery(mechanism, kind string) {
 	m.reg.Counter(obs.Label("queries_total", "mechanism", mechanism, "kind", kind)).Inc()
 }
 
+// CountCacheEligible records one answered query whose answer path is
+// backed by a version-keyed memo (query_cache_eligible_total). Every
+// eligible query is also counted as exactly one hit or miss, so at any
+// quiescent scrape hits + misses == eligible.
+func (m *ServerMetrics) CountCacheEligible() {
+	m.reg.Counter("query_cache_eligible_total").Inc()
+}
+
+// CountCacheResult records whether an eligible query was answered from
+// a warm memo (query_cache_hits_total) or recomputed
+// (query_cache_misses_total).
+func (m *ServerMetrics) CountCacheResult(hit bool) {
+	if hit {
+		m.reg.Counter("query_cache_hits_total").Inc()
+	} else {
+		m.reg.Counter("query_cache_misses_total").Inc()
+	}
+}
+
+// CountCoalesced records one query that joined an in-flight identical
+// scatter/gather instead of starting its own (query_coalesced_total).
+func (m *ServerMetrics) CountCoalesced() {
+	m.reg.Counter("query_coalesced_total").Inc()
+}
+
 // RegisterQueue exports the queue's live depth and capacity as gauges.
 func (m *ServerMetrics) RegisterQueue(q *IngestQueue) {
 	m.reg.GaugeFunc("ingest_queue_depth", func() float64 { return float64(q.Depth()) })

@@ -333,6 +333,11 @@ func (s *IngestServer) serveDomainConn(id int, dec *Decoder, enc *Encoder) error
 	isQuery := func(m Msg) bool {
 		return m.Type == MsgDomainQuery || m.Type == MsgDomainSums
 	}
+	// One answer frame and selection scratch per connection: warm
+	// top-k and point-item answers reuse these buffers and allocate
+	// nothing (pinned by TestAnswerIntoAllocFree).
+	var ans DomainAnswerFrame
+	var sc TopKScratch
 	for {
 		ms, err := dec.NextBatch()
 		if err != nil {
@@ -377,9 +382,16 @@ func (s *IngestServer) serveDomainConn(id int, dec *Decoder, enc *Encoder) error
 				}
 				switch m.Type {
 				case MsgDomainQuery:
-					ans, err := AnswerDomainQuery(ds, m)
+					cached, err := AnswerDomainQueryInto(ds, m, &ans, &sc)
 					if err != nil {
 						return err
+					}
+					// Only top-k goes through the version-keyed memo on
+					// the exact encoding; point estimates read counters
+					// directly.
+					if s.Metrics != nil && m.Kind == QueryTopK {
+						s.Metrics.CountCacheEligible()
+						s.Metrics.CountCacheResult(cached)
 					}
 					if err := enc.EncodeDomainAnswer(ans); err != nil {
 						return err
@@ -415,6 +427,8 @@ func (s *IngestServer) serveHashedDomainConn(id int, dec *Decoder, enc *Encoder)
 	isQuery := func(m Msg) bool {
 		return m.Type == MsgDomainQuery || m.Type == MsgHashedDomainSums
 	}
+	var ans DomainAnswerFrame
+	var sc TopKScratch
 	for {
 		ms, err := dec.NextBatch()
 		if err != nil {
@@ -461,9 +475,15 @@ func (s *IngestServer) serveHashedDomainConn(id int, dec *Decoder, enc *Encoder)
 				}
 				switch m.Type {
 				case MsgDomainQuery:
-					ans, err := AnswerHashedDomainQuery(hs, m)
+					cached, err := AnswerHashedDomainQueryInto(hs, m, &ans, &sc)
 					if err != nil {
 						return err
+					}
+					// Top-k and point-item both go through the hashed
+					// decoder's version-keyed decode memo.
+					if s.Metrics != nil && (m.Kind == QueryTopK || m.Kind == QueryPointItem) {
+						s.Metrics.CountCacheEligible()
+						s.Metrics.CountCacheResult(cached)
 					}
 					if err := enc.EncodeDomainAnswer(ans); err != nil {
 						return err

@@ -1587,6 +1587,9 @@ func (c *ShardedCollector) Send(shard int, m Msg) error {
 		c.hellos.Add(hellos)
 	}
 	c.reports.Add(reports)
+	if reports > 0 {
+		c.acc.AdvanceVersion(shard)
+	}
 	return nil
 }
 
@@ -1607,7 +1610,10 @@ func (c *ShardedCollector) SendBatch(shard int, ms []Msg) error {
 	return nil
 }
 
-// applyBatch accumulates a fully validated batch.
+// applyBatch accumulates a fully validated batch, then advances the
+// accumulator's version stamp once — batch-amortized invalidation for
+// the version-keyed read caches (Ingest itself is version-silent to
+// keep the hot path at one atomic add per report).
 func (c *ShardedCollector) applyBatch(shard int, ms []Msg) {
 	var hellos, reports int64
 	for i := range ms {
@@ -1618,6 +1624,9 @@ func (c *ShardedCollector) applyBatch(shard int, ms []Msg) {
 	}
 	c.reports.Add(reports)
 	c.batches.Add(1)
+	if reports > 0 {
+		c.acc.AdvanceVersion(shard)
+	}
 }
 
 // applyJournaled implements batchApplier for the durable collector.

@@ -412,8 +412,10 @@ func (s *DomainServer) Ingest(r DomainReport) error {
 	rep := protocol.Report{User: r.User, Order: r.Order, J: r.J, Bit: r.Bit}
 	if s.hashed != nil {
 		s.hashed.Ingest(0, r.Item, rep)
+		s.hashed.AdvanceVersion(0)
 	} else {
 		s.inner.Ingest(0, r.Item, rep)
+		s.inner.AdvanceVersion(0)
 	}
 	return nil
 }
